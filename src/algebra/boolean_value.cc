@@ -1,0 +1,113 @@
+#include "algebra/boolean_value.h"
+
+#include "logic/builder.h"
+
+namespace bvq {
+
+Result<bool> EvalBooleanFormula(const FormulaPtr& formula) {
+  switch (formula->kind()) {
+    case FormulaKind::kTrue:
+      return true;
+    case FormulaKind::kFalse:
+      return false;
+    case FormulaKind::kNot: {
+      auto sub =
+          EvalBooleanFormula(static_cast<const NotFormula&>(*formula).sub());
+      if (!sub.ok()) return sub;
+      return !*sub;
+    }
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+    case FormulaKind::kImplies:
+    case FormulaKind::kIff: {
+      const auto& b = static_cast<const BinaryFormula&>(*formula);
+      auto lhs = EvalBooleanFormula(b.lhs());
+      if (!lhs.ok()) return lhs;
+      auto rhs = EvalBooleanFormula(b.rhs());
+      if (!rhs.ok()) return rhs;
+      switch (formula->kind()) {
+        case FormulaKind::kAnd:
+          return *lhs && *rhs;
+        case FormulaKind::kOr:
+          return *lhs || *rhs;
+        case FormulaKind::kImplies:
+          return !*lhs || *rhs;
+        default:
+          return *lhs == *rhs;
+      }
+    }
+    default:
+      return Status::TypeError(
+          "Boolean formula value is defined for constant formulas only");
+  }
+}
+
+Database BooleanValueDatabase() {
+  Database db(2);
+  Status s = db.AddRelation("P", Relation::FromTuples(1, {{1}}));
+  assert(s.ok());
+  (void)s;
+  return db;
+}
+
+Result<FormulaPtr> BooleanFormulaToFoSentence(const FormulaPtr& formula) {
+  switch (formula->kind()) {
+    case FormulaKind::kTrue:
+      return Exists(0, Atom("P", {0}));
+    case FormulaKind::kFalse:
+      return ForAll(0, Atom("P", {0}));
+    case FormulaKind::kNot: {
+      auto sub = BooleanFormulaToFoSentence(
+          static_cast<const NotFormula&>(*formula).sub());
+      if (!sub.ok()) return sub;
+      return Not(std::move(*sub));
+    }
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+    case FormulaKind::kImplies:
+    case FormulaKind::kIff: {
+      const auto& b = static_cast<const BinaryFormula&>(*formula);
+      auto lhs = BooleanFormulaToFoSentence(b.lhs());
+      if (!lhs.ok()) return lhs;
+      auto rhs = BooleanFormulaToFoSentence(b.rhs());
+      if (!rhs.ok()) return rhs;
+      return FormulaPtr(std::make_shared<BinaryFormula>(
+          formula->kind(), std::move(*lhs), std::move(*rhs)));
+    }
+    default:
+      return Status::TypeError(
+          "only constant Boolean formulas reduce to Theorem 4.4 sentences");
+  }
+}
+
+FormulaPtr RandomBooleanFormula(std::size_t size, Rng& rng) {
+  if (size <= 1) {
+    return rng.Bernoulli(0.5) ? True() : False();
+  }
+  switch (rng.Below(5)) {
+    case 0:
+      return Not(RandomBooleanFormula(size - 1, rng));
+    case 1: {
+      const std::size_t left = 1 + rng.Below(size - 1);
+      return Implies(RandomBooleanFormula(left, rng),
+                     RandomBooleanFormula(size - left, rng));
+    }
+    case 2: {
+      const std::size_t left = 1 + rng.Below(size - 1);
+      return Iff(RandomBooleanFormula(left, rng),
+                 RandomBooleanFormula(size - left, rng));
+    }
+    case 3: {
+      const std::size_t left = 1 + rng.Below(size - 1);
+      return And(RandomBooleanFormula(left, rng),
+                 RandomBooleanFormula(size - left, rng));
+    }
+    default: {
+      const std::size_t left = 1 + rng.Below(size - 1);
+      return Or(RandomBooleanFormula(left, rng),
+                RandomBooleanFormula(size - left, rng));
+    }
+  }
+}
+
+}  // namespace bvq

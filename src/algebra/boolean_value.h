@@ -1,0 +1,39 @@
+#ifndef BVQ_ALGEBRA_BOOLEAN_VALUE_H_
+#define BVQ_ALGEBRA_BOOLEAN_VALUE_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "db/database.h"
+#include "logic/formula.h"
+
+namespace bvq {
+
+/// The Boolean formula value problem [Bus87]: evaluate a constant Boolean
+/// formula (true/false, !, &, |, ->, <->). Section 4.1 uses it as the
+/// ALOGTIME-hardness witness for the expression complexity of FO^k over a
+/// suitable fixed database (Theorem 4.4).
+
+/// Direct recursive evaluation. The formula must be closed over constants
+/// (no atoms, no variables, no quantifiers).
+Result<bool> EvalBooleanFormula(const FormulaPtr& formula);
+
+/// The fixed database of Theorem 4.4: domain {0,1} with P = {1} (a
+/// nontrivial unary relation).
+Database BooleanValueDatabase();
+
+/// The reduction of Theorem 4.4: maps a constant Boolean formula to an
+/// FO^1 sentence over BooleanValueDatabase() that holds iff the formula is
+/// true: the constant `true` becomes "exists x1 . P(x1)" (which holds) and
+/// `false` becomes "forall x1 . P(x1)" (which fails since P != D), with
+/// connectives mapped homomorphically. The output size is linear in the
+/// input.
+Result<FormulaPtr> BooleanFormulaToFoSentence(const FormulaPtr& formula);
+
+/// Random constant Boolean formula with ~`size` nodes.
+FormulaPtr RandomBooleanFormula(std::size_t size, Rng& rng);
+
+}  // namespace bvq
+
+#endif  // BVQ_ALGEBRA_BOOLEAN_VALUE_H_

@@ -1,0 +1,303 @@
+#include "algebra/parenthesis_grammar.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "algebra/word_algebra.h"
+#include "common/index.h"
+#include "common/strings.h"
+
+namespace bvq {
+
+namespace {
+
+std::string AtomToken(const std::string& pred,
+                      const std::vector<std::size_t>& args) {
+  std::string out = pred + "[";
+  for (std::size_t j = 0; j < args.size(); ++j) {
+    if (j > 0) out += ",";
+    out += std::to_string(args[j] + 1);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+Result<ParenthesisGrammar> ParenthesisGrammar::Build(
+    const Database& db, std::size_t num_vars,
+    const std::vector<std::pair<std::string, std::vector<std::size_t>>>&
+        atom_patterns) {
+  if (TupleIndexer::Exceeds(db.domain_size(), num_vars, 6)) {
+    return Status::ResourceExhausted(
+        "parenthesis grammar materialization is gated to n^k <= 6");
+  }
+  ParenthesisGrammar g;
+  g.db_ = &db;
+  g.domain_size_ = db.domain_size();
+  g.num_vars_ = num_vars;
+  TupleIndexer idx(g.domain_size_, num_vars);
+  g.num_points_ = idx.NumTuples();
+  g.num_masks_ = std::size_t{1} << g.num_points_;
+  g.full_mask_ = (uint64_t{1} << g.num_points_) - 1;
+  g.strides_.resize(num_vars);
+  for (std::size_t j = 0; j < num_vars; ++j) g.strides_[j] = idx.Stride(j);
+
+  auto algebra = WordAlgebraEvaluator::Create(db, num_vars);
+  if (!algebra.ok()) return algebra.status();
+  for (const auto& [pred, args] : atom_patterns) {
+    auto mask = algebra->AtomMask(pred, args);
+    if (!mask.ok()) return mask.status();
+    g.atom_masks_.emplace_back(AtomToken(pred, args), *mask);
+  }
+  // Equality diagonals are also atoms of the grammar.
+  for (std::size_t i = 0; i < num_vars; ++i) {
+    for (std::size_t j = 0; j < num_vars; ++j) {
+      g.atom_masks_.emplace_back(
+          StrCat("=[", i + 1, ",", j + 1, "]"),
+          algebra->EqualityMask(i, j));
+    }
+  }
+  return g;
+}
+
+std::size_t ParenthesisGrammar::NumProductions() const {
+  // S -> ( r @ r ) per mask; atom productions; unary ! and E<j> per mask;
+  // binary & per mask pair.
+  return num_masks_                         // start
+         + atom_masks_.size()               // atoms
+         + num_masks_                       // negation
+         + num_vars_ * num_masks_           // quantifiers
+         + num_masks_ * num_masks_;         // conjunction
+}
+
+std::string ParenthesisGrammar::ToString() const {
+  std::ostringstream os;
+  os << "Parenthesis grammar G(B): " << NumNonterminals()
+     << " nonterminals, " << NumProductions() << " productions\n";
+  for (const auto& [token, mask] : atom_masks_) {
+    os << "  r" << mask << " -> ( " << token << " )\n";
+  }
+  WordAlgebraEvaluator algebra = *WordAlgebraEvaluator::Create(*db_, num_vars_);
+  for (uint64_t a = 0; a < num_masks_; ++a) {
+    os << "  r" << (a ^ full_mask_) << " -> ( ! r" << a << " )\n";
+    for (std::size_t j = 0; j < num_vars_; ++j) {
+      os << "  r" << algebra.ExistsMask(a, j) << " -> ( E" << j + 1 << " r"
+         << a << " )\n";
+    }
+    for (uint64_t b = 0; b < num_masks_; ++b) {
+      os << "  r" << (a & b) << " -> ( r" << a << " & r" << b << " )\n";
+    }
+    os << "  S -> ( r" << a << " @ r" << a << " )\n";
+  }
+  return os.str();
+}
+
+Result<uint64_t> ParenthesisGrammar::EvaluateExpression(
+    const std::string& expr) const {
+  // Shift-reduce over tokens: nonterminal values live on the stack as
+  // masks; every ')' triggers exactly one reduction (parenthesis
+  // grammars!).
+  struct Item {
+    enum Kind { kLParen, kBang, kAmp, kExists, kMask } kind;
+    std::size_t var = 0;    // kExists
+    uint64_t mask = 0;      // kMask
+  };
+  std::vector<Item> stack;
+  auto algebra = WordAlgebraEvaluator::Create(*db_, num_vars_);
+  if (!algebra.ok()) return algebra.status();
+
+  std::size_t pos = 0;
+  const std::size_t size = expr.size();
+  auto skip_ws = [&]() {
+    while (pos < size && std::isspace(static_cast<unsigned char>(expr[pos]))) {
+      ++pos;
+    }
+  };
+  while (true) {
+    skip_ws();
+    if (pos >= size) break;
+    const char c = expr[pos];
+    if (c == '(') {
+      stack.push_back({Item::kLParen});
+      ++pos;
+      continue;
+    }
+    if (c == '!') {
+      stack.push_back({Item::kBang});
+      ++pos;
+      continue;
+    }
+    if (c == '&') {
+      stack.push_back({Item::kAmp});
+      ++pos;
+      continue;
+    }
+    if (c == 'E' && pos + 1 < size &&
+        std::isdigit(static_cast<unsigned char>(expr[pos + 1]))) {
+      ++pos;
+      std::size_t var = 0;
+      while (pos < size && std::isdigit(static_cast<unsigned char>(expr[pos]))) {
+        var = var * 10 + static_cast<std::size_t>(expr[pos] - '0');
+        ++pos;
+      }
+      if (var == 0 || var > num_vars_) {
+        return Status::ParseError(StrCat("bad quantifier E", var));
+      }
+      stack.push_back({Item::kExists, var - 1, 0});
+      continue;
+    }
+    if (c == ')') {
+      ++pos;
+      // Pop back to '(' and reduce.
+      std::vector<Item> frame;
+      while (!stack.empty() && stack.back().kind != Item::kLParen) {
+        frame.push_back(stack.back());
+        stack.pop_back();
+      }
+      if (stack.empty()) return Status::ParseError("unbalanced ')'");
+      stack.pop_back();  // '('
+      std::reverse(frame.begin(), frame.end());
+      uint64_t value;
+      if (frame.size() == 1 && frame[0].kind == Item::kMask) {
+        value = frame[0].mask;  // ( r )
+      } else if (frame.size() == 2 && frame[0].kind == Item::kBang &&
+                 frame[1].kind == Item::kMask) {
+        value = frame[1].mask ^ full_mask_;
+      } else if (frame.size() == 2 && frame[0].kind == Item::kExists &&
+                 frame[1].kind == Item::kMask) {
+        value = algebra->ExistsMask(frame[1].mask, frame[0].var);
+      } else if (frame.size() == 3 && frame[0].kind == Item::kMask &&
+                 frame[1].kind == Item::kAmp &&
+                 frame[2].kind == Item::kMask) {
+        value = frame[0].mask & frame[2].mask;
+      } else {
+        return Status::ParseError("no production matches a reduction frame");
+      }
+      stack.push_back({Item::kMask, 0, value});
+      continue;
+    }
+    // Atom token (pred name or '=', then [..]).
+    std::size_t start = pos;
+    while (pos < size && expr[pos] != '[') ++pos;
+    if (pos >= size) {
+      return Status::ParseError(StrCat("bad token at offset ", start));
+    }
+    while (pos < size && expr[pos] != ']') ++pos;
+    if (pos >= size) return Status::ParseError("unterminated atom token");
+    ++pos;
+    const std::string token = expr.substr(start, pos - start);
+    bool found = false;
+    for (const auto& [atom, mask] : atom_masks_) {
+      if (atom == token) {
+        stack.push_back({Item::kMask, 0, mask});
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::ParseError(StrCat("unknown atom token ", token));
+    }
+  }
+  if (stack.size() != 1 || stack[0].kind != Item::kMask) {
+    return Status::ParseError("expression did not reduce to one relation");
+  }
+  return stack[0].mask;
+}
+
+Result<bool> ParenthesisGrammar::Recognize(const std::string& word) const {
+  auto at = word.rfind('@');
+  if (at == std::string::npos) {
+    return Status::ParseError("expected '<expr> @ r<mask>'");
+  }
+  std::string expr = word.substr(0, at);
+  std::string_view claim = StripAsciiWhitespace(
+      std::string_view(word).substr(at + 1));
+  if (claim.empty() || claim[0] != 'r') {
+    return Status::ParseError("expected claimed nonterminal r<mask>");
+  }
+  uint64_t claimed = 0;
+  for (std::size_t i = 1; i < claim.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(claim[i]))) {
+      return Status::ParseError("bad nonterminal");
+    }
+    claimed = claimed * 10 + static_cast<uint64_t>(claim[i] - '0');
+  }
+  if (claimed > full_mask_) {
+    return Status::ParseError("claimed relation out of range");
+  }
+  auto value = EvaluateExpression(expr);
+  if (!value.ok()) return value.status();
+  return *value == claimed;
+}
+
+Result<std::string> ParenthesisGrammar::FormulaToExpressionString(
+    const FormulaPtr& f) {
+  switch (f->kind()) {
+    case FormulaKind::kTrue: {
+      // true == ( ! ( =[1,1] & ! =[1,1] ...)): simplest: !(empty), and
+      // empty == ( =[1,1] & ( ! =[1,1] ) ). Render directly:
+      return std::string("( ! ( ( =[1,1] ) & ( ! ( =[1,1] ) ) ) )");
+    }
+    case FormulaKind::kFalse:
+      return std::string("( ( =[1,1] ) & ( ! ( =[1,1] ) ) )");
+    case FormulaKind::kAtom: {
+      const auto& atom = static_cast<const AtomFormula&>(*f);
+      return StrCat("( ", AtomToken(atom.pred(), atom.args()), " )");
+    }
+    case FormulaKind::kEquals: {
+      const auto& eq = static_cast<const EqualsFormula&>(*f);
+      return StrCat("( =[", eq.lhs() + 1, ",", eq.rhs() + 1, "] )");
+    }
+    case FormulaKind::kNot: {
+      auto sub = FormulaToExpressionString(
+          static_cast<const NotFormula&>(*f).sub());
+      if (!sub.ok()) return sub;
+      return StrCat("( ! ", *sub, " )");
+    }
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+    case FormulaKind::kImplies:
+    case FormulaKind::kIff: {
+      const auto& b = static_cast<const BinaryFormula&>(*f);
+      auto lhs = FormulaToExpressionString(b.lhs());
+      if (!lhs.ok()) return lhs;
+      auto rhs = FormulaToExpressionString(b.rhs());
+      if (!rhs.ok()) return rhs;
+      switch (f->kind()) {
+        case FormulaKind::kAnd:
+          return StrCat("( ", *lhs, " & ", *rhs, " )");
+        case FormulaKind::kOr:
+          // a | b == !(!a & !b)
+          return StrCat("( ! ( ( ! ", *lhs, " ) & ( ! ", *rhs, " ) ) )");
+        case FormulaKind::kImplies:
+          // a -> b == !(a & !b)
+          return StrCat("( ! ( ", *lhs, " & ( ! ", *rhs, " ) ) )");
+        default:
+          // a <-> b == !(a & !b) & !(b & !a)
+          return StrCat("( ( ! ( ", *lhs, " & ( ! ", *rhs,
+                        " ) ) ) & ( ! ( ", *rhs, " & ( ! ", *lhs,
+                        " ) ) ) )");
+      }
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForAll: {
+      const auto& q = static_cast<const QuantFormula&>(*f);
+      auto body = FormulaToExpressionString(q.body());
+      if (!body.ok()) return body;
+      if (f->kind() == FormulaKind::kExists) {
+        return StrCat("( E", q.var() + 1, " ", *body, " )");
+      }
+      // forall x . a == !(Ex !a)
+      return StrCat("( ! ( E", q.var() + 1, " ( ! ", *body, " ) ) )");
+    }
+    case FormulaKind::kFixpoint:
+    case FormulaKind::kSecondOrderExists:
+      return Status::Unsupported(
+          "only FO formulas reduce to the parenthesis language");
+  }
+  return Status::Internal("unreachable formula kind");
+}
+
+}  // namespace bvq

@@ -1,0 +1,77 @@
+#ifndef BVQ_ALGEBRA_PARENTHESIS_GRAMMAR_H_
+#define BVQ_ALGEBRA_PARENTHESIS_GRAMMAR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "db/database.h"
+#include "logic/formula.h"
+
+namespace bvq {
+
+/// Lemma 4.2, executably: for a fixed database B there is a parenthesis
+/// grammar G(B) whose language contains "(phi@r)" exactly when the FO^k
+/// query phi evaluates to the k-ary relation r over B. Parenthesis
+/// languages are recognizable in LOGSPACE [Lyn77] and even ALOGTIME
+/// [Bus87], which is where the expression complexity of FO^k lands
+/// (Corollary 4.3).
+///
+/// Nonterminals are the k-ary relations over the domain (named "r<mask>"
+/// by their packed bit representation); terminals are '(' ')' '&' '!'
+/// 'E<j>' and the atom tokens "<pred>[i1,...,im]". Productions follow the
+/// paper: r -> (atom) for the relation an atom denotes, r -> (r1 & r2)
+/// when r = r1 cap r2, r -> (! r1) when r is the complement of r1, and
+/// r -> (E<j> r1) when r is the cylindrification of r1 along x_j.
+///
+/// The nonterminal count is 2^{n^k}, so construction is gated to tiny
+/// fixed databases (n^k <= 6) — exactly the "fixed database" regime of
+/// expression complexity.
+class ParenthesisGrammar {
+ public:
+  /// Builds G(B) for the FO^k algebra of `db`, with atom productions for
+  /// every pattern in `atom_patterns` (pred name + argument variables).
+  static Result<ParenthesisGrammar> Build(
+      const Database& db, std::size_t num_vars,
+      const std::vector<std::pair<std::string, std::vector<std::size_t>>>&
+          atom_patterns);
+
+  /// Number of nonterminals (2^{n^k}, plus the start symbol).
+  std::size_t NumNonterminals() const { return num_masks_ + 1; }
+
+  /// Materialized production list, "(r5 -> ( r1 & r4 ))"-style text.
+  std::string ToString() const;
+  std::size_t NumProductions() const;
+
+  /// Recognizes a word of the form "<expr> @ r<mask>": true iff it is in
+  /// L(G(B)), i.e., iff expr evaluates to that relation. Implemented as a
+  /// single left-to-right pass with a reduction stack (the deterministic
+  /// shift-reduce recognizer parenthesis grammars admit).
+  Result<bool> Recognize(const std::string& word) const;
+
+  /// The reduction of Lemma 4.2: renders an FO^k formula in the grammar's
+  /// expression syntax (rewriting |, ->, <->, forall into the &, !, E
+  /// basis). Independent of any database.
+  static Result<std::string> FormulaToExpressionString(const FormulaPtr& f);
+
+  /// Convenience: evaluates `expr` (same syntax) to its relation mask.
+  Result<uint64_t> EvaluateExpression(const std::string& expr) const;
+
+ private:
+  ParenthesisGrammar() = default;
+
+  const Database* db_ = nullptr;
+  std::size_t domain_size_ = 0;
+  std::size_t num_vars_ = 0;
+  std::size_t num_points_ = 0;
+  std::size_t num_masks_ = 0;
+  uint64_t full_mask_ = 0;
+  // Atom token -> denoted mask.
+  std::vector<std::pair<std::string, uint64_t>> atom_masks_;
+  std::vector<std::size_t> strides_;
+};
+
+}  // namespace bvq
+
+#endif  // BVQ_ALGEBRA_PARENTHESIS_GRAMMAR_H_

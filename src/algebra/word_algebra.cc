@@ -1,0 +1,175 @@
+#include "algebra/word_algebra.h"
+
+#include "common/index.h"
+#include "common/strings.h"
+
+namespace bvq {
+
+WordAlgebraEvaluator::WordAlgebraEvaluator(const Database& db,
+                                           std::size_t num_vars)
+    : db_(&db), domain_size_(db.domain_size()), num_vars_(num_vars) {
+  TupleIndexer idx(domain_size_, num_vars_);
+  num_points_ = idx.NumTuples();
+  full_mask_ = num_points_ == 64 ? ~uint64_t{0}
+                                 : ((uint64_t{1} << num_points_) - 1);
+  strides_.resize(num_vars_);
+  for (std::size_t j = 0; j < num_vars_; ++j) strides_[j] = idx.Stride(j);
+}
+
+Result<WordAlgebraEvaluator> WordAlgebraEvaluator::Create(
+    const Database& db, std::size_t num_vars) {
+  if (TupleIndexer::Exceeds(db.domain_size(), num_vars, 64)) {
+    return Status::ResourceExhausted(
+        StrCat("n^k = ", db.domain_size(), "^", num_vars,
+               " exceeds one machine word; use BoundedEvaluator"));
+  }
+  return WordAlgebraEvaluator(db, num_vars);
+}
+
+Result<uint64_t> WordAlgebraEvaluator::AtomMask(
+    const std::string& pred, const std::vector<std::size_t>& args) const {
+  auto key = std::make_pair(pred, args);
+  auto it = atom_cache_.find(key);
+  if (it != atom_cache_.end()) return it->second;
+  auto rel = db_->GetRelation(pred);
+  if (!rel.ok()) return rel.status();
+  if ((*rel)->arity() != args.size()) {
+    return Status::TypeError(StrCat("arity mismatch for ", pred));
+  }
+  for (std::size_t v : args) {
+    if (v >= num_vars_) {
+      return Status::TypeError(StrCat("atom ", pred, " variable out of range"));
+    }
+  }
+  TupleIndexer idx(domain_size_, num_vars_);
+  uint64_t mask = 0;
+  Tuple point(args.size());
+  for (std::size_t r = 0; r < num_points_; ++r) {
+    for (std::size_t j = 0; j < args.size(); ++j) {
+      point[j] = idx.Digit(r, args[j]);
+    }
+    if ((*rel)->Contains(point)) mask |= uint64_t{1} << r;
+  }
+  atom_cache_.emplace(std::move(key), mask);
+  return mask;
+}
+
+uint64_t WordAlgebraEvaluator::EqualityMask(std::size_t var_i,
+                                            std::size_t var_j) const {
+  TupleIndexer idx(domain_size_, num_vars_);
+  uint64_t mask = 0;
+  for (std::size_t r = 0; r < num_points_; ++r) {
+    if (idx.Digit(r, var_i) == idx.Digit(r, var_j)) mask |= uint64_t{1} << r;
+  }
+  return mask;
+}
+
+uint64_t WordAlgebraEvaluator::ExistsMask(uint64_t mask,
+                                          std::size_t var) const {
+  const std::size_t stride = strides_[var];
+  const std::size_t block = stride * domain_size_;
+  uint64_t out = 0;
+  for (std::size_t major = 0; major < num_points_; major += block) {
+    for (std::size_t minor = 0; minor < stride; ++minor) {
+      const std::size_t base = major + minor;
+      bool any = false;
+      for (std::size_t v = 0; v < domain_size_; ++v) {
+        if ((mask >> (base + v * stride)) & 1) {
+          any = true;
+          break;
+        }
+      }
+      if (any) {
+        for (std::size_t v = 0; v < domain_size_; ++v) {
+          out |= uint64_t{1} << (base + v * stride);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+uint64_t WordAlgebraEvaluator::ForAllMask(uint64_t mask,
+                                          std::size_t var) const {
+  return ExistsMask(mask ^ full_mask_, var) ^ full_mask_;
+}
+
+Result<uint64_t> WordAlgebraEvaluator::Evaluate(
+    const FormulaPtr& formula) const {
+  switch (formula->kind()) {
+    case FormulaKind::kTrue:
+      return full_mask_;
+    case FormulaKind::kFalse:
+      return uint64_t{0};
+    case FormulaKind::kAtom: {
+      const auto& atom = static_cast<const AtomFormula&>(*formula);
+      return AtomMask(atom.pred(), atom.args());
+    }
+    case FormulaKind::kEquals: {
+      const auto& eq = static_cast<const EqualsFormula&>(*formula);
+      if (eq.lhs() >= num_vars_ || eq.rhs() >= num_vars_) {
+        return Status::TypeError("equality variable out of range");
+      }
+      return EqualityMask(eq.lhs(), eq.rhs());
+    }
+    case FormulaKind::kNot: {
+      auto sub = Evaluate(static_cast<const NotFormula&>(*formula).sub());
+      if (!sub.ok()) return sub;
+      return *sub ^ full_mask_;
+    }
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+    case FormulaKind::kImplies:
+    case FormulaKind::kIff: {
+      const auto& b = static_cast<const BinaryFormula&>(*formula);
+      auto lhs = Evaluate(b.lhs());
+      if (!lhs.ok()) return lhs;
+      auto rhs = Evaluate(b.rhs());
+      if (!rhs.ok()) return rhs;
+      switch (formula->kind()) {
+        case FormulaKind::kAnd:
+          return *lhs & *rhs;
+        case FormulaKind::kOr:
+          return *lhs | *rhs;
+        case FormulaKind::kImplies:
+          return (*lhs ^ full_mask_) | *rhs;
+        default:
+          return (*lhs ^ *rhs) ^ full_mask_;
+      }
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForAll: {
+      const auto& q = static_cast<const QuantFormula&>(*formula);
+      if (q.var() >= num_vars_) {
+        return Status::TypeError("quantified variable out of range");
+      }
+      auto body = Evaluate(q.body());
+      if (!body.ok()) return body;
+      return formula->kind() == FormulaKind::kExists
+                 ? ExistsMask(*body, q.var())
+                 : ForAllMask(*body, q.var());
+    }
+    case FormulaKind::kFixpoint:
+    case FormulaKind::kSecondOrderExists:
+      return Status::Unsupported(
+          "WordAlgebraEvaluator handles first-order formulas only");
+  }
+  return Status::Internal("unreachable formula kind");
+}
+
+Relation WordAlgebraEvaluator::MaskToRelation(
+    uint64_t mask, const std::vector<std::size_t>& vars) const {
+  TupleIndexer idx(domain_size_, num_vars_);
+  RelationBuilder out(vars.size());
+  std::vector<Value> row(vars.size());
+  for (std::size_t r = 0; r < num_points_; ++r) {
+    if (!((mask >> r) & 1)) continue;
+    for (std::size_t j = 0; j < vars.size(); ++j) {
+      row[j] = idx.Digit(r, vars[j]);
+    }
+    out.Add(row.data());
+  }
+  return out.Build();
+}
+
+}  // namespace bvq

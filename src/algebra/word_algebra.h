@@ -1,0 +1,73 @@
+#ifndef BVQ_ALGEBRA_WORD_ALGEBRA_H_
+#define BVQ_ALGEBRA_WORD_ALGEBRA_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "db/database.h"
+#include "logic/formula.h"
+
+namespace bvq {
+
+/// Expression-complexity evaluator for FO^k over a *fixed* database
+/// (Section 4.1 of the paper).
+///
+/// The key observation behind Lemma 4.2 / Corollary 4.3 is that over a
+/// fixed database there are only finitely many k-ary relations, so an
+/// FO^k query is an expression over a fixed finite algebra. Here we
+/// require n^k <= 64, pack each k-ary relation into one machine word, and
+/// evaluate every connective with a constant number of word operations —
+/// atoms and equality diagonals are precomputed, conjunction is bitwise
+/// AND, negation is XOR with the full mask, and each quantifier is a
+/// fixed smear over at most 64 bits. The cost per expression node is thus
+/// independent of the expression and bounded by the (fixed) database — a
+/// sequential shadow of the ALOGTIME bound of Corollary 4.3, to be
+/// contrasted with the general-purpose evaluator whose per-node cost
+/// scales with n^k bit-vector operations plus allocation.
+class WordAlgebraEvaluator {
+ public:
+  /// Fails with ResourceExhausted unless n^k <= 64.
+  static Result<WordAlgebraEvaluator> Create(const Database& db,
+                                             std::size_t num_vars);
+
+  /// Evaluates an FO^k formula to the packed k-ary relation (bit r of the
+  /// result corresponds to assignment rank r, coordinate 0 least
+  /// significant). Fixpoints/second-order constructs are rejected.
+  Result<uint64_t> Evaluate(const FormulaPtr& formula) const;
+
+  /// All of D^k.
+  uint64_t full_mask() const { return full_mask_; }
+  std::size_t domain_size() const { return domain_size_; }
+  std::size_t num_vars() const { return num_vars_; }
+
+  /// Decodes a mask into a relation over the given (distinct) variables.
+  Relation MaskToRelation(uint64_t mask,
+                          const std::vector<std::size_t>& vars) const;
+
+  /// Precomputed mask for an atom (exposed for the grammar builder).
+  Result<uint64_t> AtomMask(const std::string& pred,
+                            const std::vector<std::size_t>& args) const;
+  uint64_t EqualityMask(std::size_t var_i, std::size_t var_j) const;
+  uint64_t ExistsMask(uint64_t mask, std::size_t var) const;
+  uint64_t ForAllMask(uint64_t mask, std::size_t var) const;
+
+ private:
+  WordAlgebraEvaluator(const Database& db, std::size_t num_vars);
+
+  const Database* db_;
+  std::size_t domain_size_;
+  std::size_t num_vars_;
+  std::size_t num_points_;  // n^k
+  uint64_t full_mask_;
+  std::vector<std::size_t> strides_;
+  // Memoized atom masks keyed by (pred, args).
+  mutable std::map<std::pair<std::string, std::vector<std::size_t>>, uint64_t>
+      atom_cache_;
+};
+
+}  // namespace bvq
+
+#endif  // BVQ_ALGEBRA_WORD_ALGEBRA_H_

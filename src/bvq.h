@@ -1,0 +1,45 @@
+#ifndef BVQ_BVQ_H_
+#define BVQ_BVQ_H_
+
+/// Umbrella header for the bvq library: bounded-variable query evaluation
+/// after Vardi, "On the Complexity of Bounded-Variable Queries"
+/// (PODS 1995). Include individual headers instead when compile time
+/// matters; this exists for quick starts and examples.
+
+#include "algebra/boolean_value.h"          // IWYU pragma: export
+#include "algebra/parenthesis_grammar.h"    // IWYU pragma: export
+#include "algebra/word_algebra.h"           // IWYU pragma: export
+#include "common/rng.h"                     // IWYU pragma: export
+#include "common/status.h"                  // IWYU pragma: export
+#include "datalog/datalog.h"                // IWYU pragma: export
+#include "db/assignment_set.h"              // IWYU pragma: export
+#include "db/database.h"                    // IWYU pragma: export
+#include "db/generators.h"                  // IWYU pragma: export
+#include "db/relalg.h"                      // IWYU pragma: export
+#include "db/relation.h"                    // IWYU pragma: export
+#include "eval/bounded_eval.h"              // IWYU pragma: export
+#include "eval/certificate.h"               // IWYU pragma: export
+#include "eval/eso_eval.h"                  // IWYU pragma: export
+#include "eval/naive_eval.h"                // IWYU pragma: export
+#include "eval/reference_eval.h"            // IWYU pragma: export
+#include "logic/analysis.h"                 // IWYU pragma: export
+#include "logic/builder.h"                  // IWYU pragma: export
+#include "logic/formula.h"                  // IWYU pragma: export
+#include "logic/nnf.h"                      // IWYU pragma: export
+#include "logic/parser.h"                   // IWYU pragma: export
+#include "logic/pebble_game.h"              // IWYU pragma: export
+#include "logic/random_formula.h"           // IWYU pragma: export
+#include "mucalc/kripke.h"                  // IWYU pragma: export
+#include "mucalc/mucalc.h"                  // IWYU pragma: export
+#include "optimizer/acyclic.h"              // IWYU pragma: export
+#include "optimizer/conjunctive_query.h"    // IWYU pragma: export
+#include "optimizer/containment.h"          // IWYU pragma: export
+#include "optimizer/variable_min.h"         // IWYU pragma: export
+#include "reductions/path_systems.h"        // IWYU pragma: export
+#include "reductions/qbf.h"                 // IWYU pragma: export
+#include "reductions/sat_to_eso.h"          // IWYU pragma: export
+#include "sat/cnf.h"                        // IWYU pragma: export
+#include "sat/solver.h"                     // IWYU pragma: export
+#include "sat/tseitin.h"                    // IWYU pragma: export
+
+#endif  // BVQ_BVQ_H_

@@ -1,0 +1,128 @@
+#include "common/bitset.h"
+
+#include <bit>
+
+namespace bvq {
+
+namespace {
+constexpr std::size_t kWordBits = 64;
+
+std::size_t NumWords(std::size_t num_bits) {
+  return (num_bits + kWordBits - 1) / kWordBits;
+}
+}  // namespace
+
+DynamicBitset::DynamicBitset(std::size_t num_bits, bool value)
+    : num_bits_(num_bits),
+      words_(NumWords(num_bits), value ? ~uint64_t{0} : uint64_t{0}) {
+  if (value) ClearPadding();
+}
+
+void DynamicBitset::ClearPadding() {
+  const std::size_t rem = num_bits_ % kWordBits;
+  if (rem != 0 && !words_.empty()) {
+    words_.back() &= (uint64_t{1} << rem) - 1;
+  }
+}
+
+void DynamicBitset::ResetAll() {
+  for (auto& w : words_) w = 0;
+}
+
+void DynamicBitset::SetAll() {
+  for (auto& w : words_) w = ~uint64_t{0};
+  ClearPadding();
+}
+
+std::size_t DynamicBitset::Count() const {
+  std::size_t c = 0;
+  for (uint64_t w : words_) c += static_cast<std::size_t>(std::popcount(w));
+  return c;
+}
+
+bool DynamicBitset::Any() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+std::size_t DynamicBitset::FindNext(std::size_t from) const {
+  if (from >= num_bits_) return num_bits_;
+  std::size_t wi = from / kWordBits;
+  uint64_t w = words_[wi] >> (from % kWordBits);
+  if (w != 0) {
+    return from + static_cast<std::size_t>(std::countr_zero(w));
+  }
+  for (++wi; wi < words_.size(); ++wi) {
+    if (words_[wi] != 0) {
+      return wi * kWordBits +
+             static_cast<std::size_t>(std::countr_zero(words_[wi]));
+    }
+  }
+  return num_bits_;
+}
+
+DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator^=(const DynamicBitset& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::SubtractInPlace(const DynamicBitset& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] &= ~other.words_[i];
+  }
+  return *this;
+}
+
+void DynamicBitset::FlipAll() {
+  for (auto& w : words_) w = ~w;
+  ClearPadding();
+}
+
+bool DynamicBitset::operator==(const DynamicBitset& other) const {
+  return num_bits_ == other.num_bits_ && words_ == other.words_;
+}
+
+bool DynamicBitset::IsSubsetOf(const DynamicBitset& other) const {
+  assert(num_bits_ == other.num_bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+bool DynamicBitset::IsDisjointFrom(const DynamicBitset& other) const {
+  assert(num_bits_ == other.num_bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+uint64_t DynamicBitset::Hash() const {
+  uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  h ^= num_bits_;
+  h *= 1099511628211ull;
+  for (uint64_t w : words_) {
+    h ^= w;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace bvq

@@ -1,0 +1,34 @@
+#include "common/index.h"
+
+#include <limits>
+
+namespace bvq {
+
+TupleIndexer::TupleIndexer(std::size_t domain_size, std::size_t arity)
+    : domain_size_(domain_size), arity_(arity), strides_(arity) {
+  // domain_size 0 is allowed: D^k is empty for k >= 1 (NumTuples() == 0,
+  // so no rank is ever valid and the digit arithmetic is never reached)
+  // and the single empty tuple for k == 0.
+  std::size_t s = 1;
+  for (std::size_t j = 0; j < arity; ++j) {
+    strides_[j] = s;
+    s *= domain_size;
+  }
+  num_tuples_ = s;
+}
+
+bool TupleIndexer::Exceeds(std::size_t domain_size, std::size_t arity,
+                           std::size_t limit) {
+  std::size_t s = 1;
+  for (std::size_t j = 0; j < arity; ++j) {
+    if (domain_size != 0 &&
+        s > std::numeric_limits<std::size_t>::max() / domain_size) {
+      return true;
+    }
+    s *= domain_size;
+    if (s > limit) return true;
+  }
+  return s > limit;
+}
+
+}  // namespace bvq

@@ -1,0 +1,87 @@
+#ifndef BVQ_COMMON_INDEX_H_
+#define BVQ_COMMON_INDEX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bvq {
+
+/// Mixed-radix (base-n) indexing for tuples over a finite domain.
+///
+/// Bounded-variable evaluation (Proposition 3.1 of the paper) manipulates
+/// subsets of D^k. We linearize D^k as the integers [0, n^k) with the
+/// *first* coordinate as the least significant digit:
+///   Rank(t) = t[0] + t[1]*n + ... + t[k-1]*n^{k-1}.
+/// This makes "iterate over all values of coordinate j with the others
+/// fixed" a strided loop, which the k-ary relation kernels rely on.
+class TupleIndexer {
+ public:
+  /// Indexer for D^arity with |D| = domain_size. domain_size 0 is allowed
+  /// (no tuples for arity >= 1; the single empty tuple for arity 0).
+  TupleIndexer(std::size_t domain_size, std::size_t arity);
+
+  std::size_t domain_size() const { return domain_size_; }
+  std::size_t arity() const { return arity_; }
+  /// n^k, the number of tuples.
+  std::size_t NumTuples() const { return num_tuples_; }
+  /// n^j, the stride of coordinate j.
+  std::size_t Stride(std::size_t j) const {
+    assert(j < strides_.size());
+    return strides_[j];
+  }
+
+  /// Rank of a tuple given as a contiguous array of `arity` values < n.
+  std::size_t Rank(const uint32_t* tuple) const {
+    std::size_t r = 0;
+    for (std::size_t j = 0; j < arity_; ++j) {
+      assert(tuple[j] < domain_size_);
+      r += tuple[j] * strides_[j];
+    }
+    return r;
+  }
+  std::size_t Rank(const std::vector<uint32_t>& tuple) const {
+    assert(tuple.size() == arity_);
+    return Rank(tuple.data());
+  }
+
+  /// Inverse of Rank: writes the digits of `rank` into `out[0..arity)`.
+  void Unrank(std::size_t rank, uint32_t* out) const {
+    for (std::size_t j = 0; j < arity_; ++j) {
+      out[j] = static_cast<uint32_t>(rank % domain_size_);
+      rank /= domain_size_;
+    }
+  }
+  std::vector<uint32_t> Unrank(std::size_t rank) const {
+    std::vector<uint32_t> t(arity_);
+    Unrank(rank, t.data());
+    return t;
+  }
+
+  /// Value of coordinate j within ranked tuple `rank`.
+  uint32_t Digit(std::size_t rank, std::size_t j) const {
+    return static_cast<uint32_t>((rank / strides_[j]) % domain_size_);
+  }
+
+  /// Rank with coordinate j replaced by `value`.
+  std::size_t WithDigit(std::size_t rank, std::size_t j,
+                        uint32_t value) const {
+    const std::size_t old = (rank / strides_[j]) % domain_size_;
+    return rank - old * strides_[j] + value * strides_[j];
+  }
+
+  /// True iff n^k overflows or exceeds `limit` (guards allocation).
+  static bool Exceeds(std::size_t domain_size, std::size_t arity,
+                      std::size_t limit);
+
+ private:
+  std::size_t domain_size_;
+  std::size_t arity_;
+  std::size_t num_tuples_;
+  std::vector<std::size_t> strides_;
+};
+
+}  // namespace bvq
+
+#endif  // BVQ_COMMON_INDEX_H_

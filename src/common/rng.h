@@ -1,0 +1,55 @@
+#ifndef BVQ_COMMON_RNG_H_
+#define BVQ_COMMON_RNG_H_
+
+#include <cassert>
+#include <cstdint>
+
+namespace bvq {
+
+/// Deterministic, seedable PRNG (splitmix64) used by all random generators
+/// in the library so tests and benchmarks are reproducible byte-for-byte
+/// across platforms (unlike std::mt19937 + std::uniform_int_distribution,
+/// whose outputs vary across standard library implementations).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next64() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). bound > 0.
+  uint64_t Below(uint64_t bound) {
+    assert(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = -bound % bound;
+    for (;;) {
+      const uint64_t r = Next64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Below(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// True with probability p (0 <= p <= 1).
+  bool Bernoulli(double p) {
+    return static_cast<double>(Next64() >> 11) * (1.0 / 9007199254740992.0) <
+           p;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace bvq
+
+#endif  // BVQ_COMMON_RNG_H_

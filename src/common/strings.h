@@ -1,0 +1,40 @@
+#ifndef BVQ_COMMON_STRINGS_H_
+#define BVQ_COMMON_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bvq {
+
+/// Concatenates the stream representations of all arguments.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+/// Joins the stream representations of `items` with `sep`.
+template <typename Container>
+std::string StrJoin(const Container& items, std::string_view sep) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first) os << sep;
+    first = false;
+    os << item;
+  }
+  return os.str();
+}
+
+/// Splits `s` on `sep`, dropping empty pieces.
+std::vector<std::string> StrSplit(std::string_view s, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripAsciiWhitespace(std::string_view s);
+
+}  // namespace bvq
+
+#endif  // BVQ_COMMON_STRINGS_H_

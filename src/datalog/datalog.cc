@@ -1,0 +1,509 @@
+#include "datalog/datalog.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace bvq {
+namespace datalog {
+
+namespace {
+
+// Converts a body atom over `rel` into a VarRelation: rows must match the
+// atom's constants and repeated variables; columns are the atom's sorted
+// distinct variables.
+VarRelation AtomToVarRelation(const Relation& rel,
+                              const std::vector<Term>& terms) {
+  std::vector<std::size_t> vars;
+  for (const Term& t : terms) {
+    if (t.is_var) vars.push_back(t.var);
+  }
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+
+  std::vector<std::ptrdiff_t> var_col(terms.size(), -1);
+  for (std::size_t j = 0; j < terms.size(); ++j) {
+    if (terms[j].is_var) {
+      var_col[j] = static_cast<std::ptrdiff_t>(
+          std::lower_bound(vars.begin(), vars.end(), terms[j].var) -
+          vars.begin());
+    }
+  }
+
+  RelationBuilder out(vars.size());
+  std::vector<Value> row(vars.size());
+  std::vector<bool> written(vars.size());
+  for (std::size_t i = 0; i < rel.size(); ++i) {
+    const Value* t = rel.tuple(i);
+    bool match = true;
+    std::fill(written.begin(), written.end(), false);
+    for (std::size_t j = 0; j < terms.size() && match; ++j) {
+      if (!terms[j].is_var) {
+        match = t[j] == terms[j].constant;
+        continue;
+      }
+      const std::size_t c = static_cast<std::size_t>(var_col[j]);
+      if (written[c] && row[c] != t[j]) {
+        match = false;
+      } else {
+        row[c] = t[j];
+        written[c] = true;
+      }
+    }
+    if (match) out.Add(row.data());
+  }
+  return {vars, out.Build()};
+}
+
+Relation UnionRelations(const Relation& a, const Relation& b) {
+  RelationBuilder out(a.arity());
+  a.ForEach([&](const Value* t) { out.Add(t); });
+  b.ForEach([&](const Value* t) { out.Add(t); });
+  return out.Build();
+}
+
+Relation DifferenceRelations(const Relation& a, const Relation& b) {
+  RelationBuilder out(a.arity());
+  a.ForEach([&](const Value* t) {
+    if (!b.Contains(t)) out.Add(t);
+  });
+  return out.Build();
+}
+
+// Relations visible to rule bodies: IDB overlays EDB.
+struct Universe {
+  const Database* edb;
+  const std::map<std::string, Relation>* idb;
+
+  Result<const Relation*> Get(const std::string& pred,
+                              std::size_t arity) const {
+    auto it = idb->find(pred);
+    if (it != idb->end()) {
+      if (it->second.arity() != arity) {
+        return Status::TypeError(StrCat("predicate ", pred, " arity mismatch"));
+      }
+      return &it->second;
+    }
+    auto rel = edb->GetRelation(pred);
+    if (!rel.ok()) {
+      return Status::TypeError(
+          StrCat("unknown predicate ", pred, " (not EDB, not IDB)"));
+    }
+    if ((*rel)->arity() != arity) {
+      return Status::TypeError(StrCat("predicate ", pred, " arity mismatch"));
+    }
+    return *rel;
+  }
+};
+
+// Evaluates one rule body, optionally overriding body position
+// `delta_pos` with relation `delta`. Returns derived head tuples.
+Result<Relation> EvaluateRule(const Rule& rule, const Universe& universe,
+                              std::ptrdiff_t delta_pos,
+                              const Relation* delta) {
+  VarRelation acc{{}, Relation::Proposition(true)};
+  // Positive literals first (joins), then negated literals (antijoins);
+  // safety guarantees the antijoin variables are already bound.
+  for (std::size_t i = 0; i < rule.body.size(); ++i) {
+    const Atom& atom = rule.body[i];
+    if (atom.negated) continue;
+    const Relation* rel;
+    if (static_cast<std::ptrdiff_t>(i) == delta_pos) {
+      rel = delta;
+    } else {
+      auto r = universe.Get(atom.pred, atom.terms.size());
+      if (!r.ok()) return r.status();
+      rel = *r;
+    }
+    acc = Join(acc, AtomToVarRelation(*rel, atom.terms));
+    if (acc.rel.empty()) {
+      // Short-circuit: an empty intermediate means no derivations (and the
+      // remaining joins cannot resurrect tuples).
+      return Relation(rule.head.terms.size());
+    }
+  }
+  for (const Atom& atom : rule.body) {
+    if (!atom.negated) continue;
+    auto r = universe.Get(atom.pred, atom.terms.size());
+    if (!r.ok()) return r.status();
+    acc = Antijoin(acc, AtomToVarRelation(**r, atom.terms));
+    if (acc.rel.empty()) return Relation(rule.head.terms.size());
+  }
+  // Project onto the head.
+  RelationBuilder out(rule.head.terms.size());
+  std::vector<std::ptrdiff_t> source(rule.head.terms.size(), -1);
+  for (std::size_t j = 0; j < rule.head.terms.size(); ++j) {
+    const Term& t = rule.head.terms[j];
+    if (t.is_var) {
+      auto it = std::lower_bound(acc.vars.begin(), acc.vars.end(), t.var);
+      if (it == acc.vars.end() || *it != t.var) {
+        return Status::TypeError(
+            StrCat("head variable of ", rule.head.pred,
+                   " does not occur in a positive body atom"));
+      }
+      source[j] = it - acc.vars.begin();
+    }
+  }
+  std::vector<Value> row(rule.head.terms.size());
+  for (std::size_t i = 0; i < acc.rel.size(); ++i) {
+    const Value* t = acc.rel.tuple(i);
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      row[j] = source[j] >= 0 ? t[source[j]]
+                              : rule.head.terms[j].constant;
+    }
+    out.Add(row.data());
+  }
+  return out.Build();
+}
+
+}  // namespace
+
+std::vector<std::string> Program::IdbPredicates() const {
+  std::vector<std::string> out;
+  std::set<std::string> seen;
+  for (const Rule& r : rules) {
+    if (seen.insert(r.head.pred).second) out.push_back(r.head.pred);
+  }
+  return out;
+}
+
+std::string Program::ToString() const {
+  std::ostringstream os;
+  auto print_atom = [&](const Atom& a) {
+    if (a.negated) os << "not ";
+    os << a.pred << "(";
+    for (std::size_t j = 0; j < a.terms.size(); ++j) {
+      if (j > 0) os << ",";
+      if (a.terms[j].is_var) {
+        os << "V" << a.terms[j].var;
+      } else {
+        os << a.terms[j].constant;
+      }
+    }
+    os << ")";
+  };
+  for (const Rule& r : rules) {
+    print_atom(r.head);
+    if (!r.body.empty()) {
+      os << " :- ";
+      for (std::size_t i = 0; i < r.body.size(); ++i) {
+        if (i > 0) os << ", ";
+        print_atom(r.body[i]);
+      }
+    }
+    os << ".\n";
+  }
+  return os.str();
+}
+
+Result<Program> ParseProgram(const std::string& text) {
+  Program program;
+  // Strip comments, then split on '.'.
+  std::string clean;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    auto cut = line.find('%');
+    clean += (cut == std::string::npos) ? line : line.substr(0, cut);
+    clean += "\n";
+  }
+
+  std::size_t pos = 0;
+  auto skip_ws = [&]() {
+    while (pos < clean.size() &&
+           std::isspace(static_cast<unsigned char>(clean[pos]))) {
+      ++pos;
+    }
+  };
+  // Variable names are scoped per rule.
+  std::map<std::string, std::size_t> var_ids;
+
+  auto parse_atom = [&](bool allow_negation) -> Result<Atom> {
+    skip_ws();
+    bool negated = false;
+    if (allow_negation && clean.compare(pos, 4, "not ") == 0) {
+      negated = true;
+      pos += 4;
+      skip_ws();
+    }
+    std::size_t start = pos;
+    while (pos < clean.size() &&
+           (std::isalnum(static_cast<unsigned char>(clean[pos])) ||
+            clean[pos] == '_')) {
+      ++pos;
+    }
+    if (start == pos) {
+      return Status::ParseError(
+          StrCat("expected predicate name at offset ", pos));
+    }
+    Atom atom;
+    atom.negated = negated;
+    atom.pred = clean.substr(start, pos - start);
+    skip_ws();
+    if (pos >= clean.size() || clean[pos] != '(') {
+      return Status::ParseError(StrCat("expected '(' after ", atom.pred));
+    }
+    ++pos;
+    skip_ws();
+    if (pos < clean.size() && clean[pos] == ')') {
+      ++pos;
+      return atom;
+    }
+    for (;;) {
+      skip_ws();
+      std::size_t tstart = pos;
+      while (pos < clean.size() &&
+             (std::isalnum(static_cast<unsigned char>(clean[pos])) ||
+              clean[pos] == '_')) {
+        ++pos;
+      }
+      if (tstart == pos) {
+        return Status::ParseError(StrCat("expected term at offset ", pos));
+      }
+      std::string tok = clean.substr(tstart, pos - tstart);
+      if (std::isdigit(static_cast<unsigned char>(tok[0]))) {
+        atom.terms.push_back(
+            Term::Const(static_cast<Value>(std::stoul(tok))));
+      } else if (std::isupper(static_cast<unsigned char>(tok[0]))) {
+        auto [it, inserted] = var_ids.try_emplace(tok, var_ids.size());
+        atom.terms.push_back(Term::Var(it->second));
+      } else {
+        return Status::ParseError(
+            StrCat("term ", tok,
+                   " must be a number or a capitalized variable"));
+      }
+      skip_ws();
+      if (pos < clean.size() && clean[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      if (pos < clean.size() && clean[pos] == ')') {
+        ++pos;
+        return atom;
+      }
+      return Status::ParseError(StrCat("expected ',' or ')' at offset ", pos));
+    }
+  };
+
+  for (;;) {
+    skip_ws();
+    if (pos >= clean.size()) break;
+    var_ids.clear();
+    auto head = parse_atom(false);
+    if (!head.ok()) return head.status();
+    Rule rule;
+    rule.head = std::move(*head);
+    skip_ws();
+    if (pos + 1 < clean.size() && clean[pos] == ':' && clean[pos + 1] == '-') {
+      pos += 2;
+      for (;;) {
+        auto atom = parse_atom(true);
+        if (!atom.ok()) return atom.status();
+        rule.body.push_back(std::move(*atom));
+        skip_ws();
+        if (pos < clean.size() && clean[pos] == ',') {
+          ++pos;
+          continue;
+        }
+        break;
+      }
+    }
+    skip_ws();
+    if (pos >= clean.size() || clean[pos] != '.') {
+      return Status::ParseError(StrCat("expected '.' at offset ", pos));
+    }
+    ++pos;
+    // Safety: every head variable and every variable of a negated literal
+    // occurs in a positive body literal.
+    std::set<std::size_t> positive_vars;
+    for (const Atom& a : rule.body) {
+      if (a.negated) continue;
+      for (const Term& t : a.terms) {
+        if (t.is_var) positive_vars.insert(t.var);
+      }
+    }
+    for (const Term& t : rule.head.terms) {
+      if (t.is_var && !positive_vars.count(t.var)) {
+        return Status::TypeError(
+            StrCat("rule for ", rule.head.pred,
+                   " is not range-restricted (unbound head variable)"));
+      }
+    }
+    for (const Atom& a : rule.body) {
+      if (!a.negated) continue;
+      for (const Term& t : a.terms) {
+        if (t.is_var && !positive_vars.count(t.var)) {
+          return Status::TypeError(
+              StrCat("rule for ", rule.head.pred,
+                     " is unsafe: variable of negated literal ", a.pred,
+                     " not bound positively"));
+        }
+      }
+    }
+    program.rules.push_back(std::move(rule));
+  }
+  return program;
+}
+
+Result<std::map<std::string, std::size_t>> Stratify(const Program& program,
+                                                    const Database& edb) {
+  std::map<std::string, std::size_t> stratum;
+  for (const Rule& r : program.rules) stratum.try_emplace(r.head.pred, 0);
+  const std::size_t limit = stratum.size();
+  bool changed = true;
+  std::size_t rounds = 0;
+  while (changed) {
+    if (++rounds > limit * limit + 2) {
+      return Status::TypeError(
+          "program is not stratifiable (recursion through negation)");
+    }
+    changed = false;
+    for (const Rule& r : program.rules) {
+      std::size_t& h = stratum[r.head.pred];
+      for (const Atom& a : r.body) {
+        auto it = stratum.find(a.pred);
+        if (it == stratum.end()) continue;  // EDB: stratum 0
+        const std::size_t need = it->second + (a.negated ? 1 : 0);
+        if (h < need) {
+          h = need;
+          changed = true;
+        }
+        if (h > limit) {
+          return Status::TypeError(
+              "program is not stratifiable (recursion through negation)");
+        }
+      }
+    }
+  }
+  (void)edb;
+  return stratum;
+}
+
+Result<Database> DatalogEngine::Evaluate(const Program& program,
+                                         DatalogMode mode) {
+  stats_ = DatalogStats();
+  std::map<std::string, Relation> idb;
+  // Initialize IDB relations (arity from first head occurrence).
+  for (const Rule& r : program.rules) {
+    auto [it, inserted] =
+        idb.try_emplace(r.head.pred, Relation(r.head.terms.size()));
+    if (!inserted && it->second.arity() != r.head.terms.size()) {
+      return Status::TypeError(
+          StrCat("predicate ", r.head.pred, " used with two arities"));
+    }
+    // EDB predicates must not be redefined.
+    if (edb_->HasRelation(r.head.pred)) {
+      return Status::TypeError(
+          StrCat("head predicate ", r.head.pred, " is an EDB relation"));
+    }
+  }
+  Universe universe{edb_, &idb};
+
+  auto strata = Stratify(program, *edb_);
+  if (!strata.ok()) return strata.status();
+  std::size_t max_stratum = 0;
+  for (const auto& [pred, st] : *strata) {
+    max_stratum = std::max(max_stratum, st);
+  }
+
+  for (std::size_t level = 0; level <= max_stratum; ++level) {
+    std::vector<const Rule*> rules;
+    for (const Rule& r : program.rules) {
+      if (strata->at(r.head.pred) == level) rules.push_back(&r);
+    }
+    if (rules.empty()) continue;
+
+    if (mode == DatalogMode::kNaive) {
+      for (;;) {
+        ++stats_.rounds;
+        bool changed = false;
+        std::map<std::string, Relation> next = idb;
+        for (const Rule* rule : rules) {
+          ++stats_.rule_firings;
+          auto derived = EvaluateRule(*rule, universe, -1, nullptr);
+          if (!derived.ok()) return derived.status();
+          Relation merged = UnionRelations(next[rule->head.pred], *derived);
+          if (merged.size() != next[rule->head.pred].size()) {
+            changed = true;
+            next[rule->head.pred] = std::move(merged);
+          }
+        }
+        if (!changed) break;
+        idb = std::move(next);
+      }
+      continue;
+    }
+
+    // Semi-naive within the stratum: deltas only make sense for positive
+    // body literals of predicates in this stratum; everything below is
+    // already complete.
+    std::map<std::string, Relation> delta;
+    for (const Rule* rule : rules) {
+      ++stats_.rule_firings;
+      auto derived = EvaluateRule(*rule, universe, -1, nullptr);
+      if (!derived.ok()) return derived.status();
+      Relation fresh = DifferenceRelations(*derived, idb[rule->head.pred]);
+      if (!fresh.empty()) {
+        auto [it, inserted] =
+            delta.try_emplace(rule->head.pred, Relation(fresh.arity()));
+        it->second = UnionRelations(it->second, fresh);
+      }
+    }
+    ++stats_.rounds;
+    for (auto& [pred, d] : delta) {
+      stats_.derived_tuples += d.size();
+      idb[pred] = UnionRelations(idb[pred], d);
+    }
+    while (true) {
+      std::map<std::string, Relation> new_delta;
+      bool any = false;
+      for (const Rule* rule : rules) {
+        for (std::size_t i = 0; i < rule->body.size(); ++i) {
+          const Atom& atom = rule->body[i];
+          if (atom.negated) continue;  // lower stratum: fixed
+          auto sit = strata->find(atom.pred);
+          if (sit == strata->end() || sit->second != level) continue;
+          auto dit = delta.find(atom.pred);
+          if (dit == delta.end() || dit->second.empty()) continue;
+          ++stats_.rule_firings;
+          auto derived = EvaluateRule(*rule, universe,
+                                      static_cast<std::ptrdiff_t>(i),
+                                      &dit->second);
+          if (!derived.ok()) return derived.status();
+          Relation fresh =
+              DifferenceRelations(*derived, idb[rule->head.pred]);
+          if (!fresh.empty()) {
+            auto [it, inserted] = new_delta.try_emplace(
+                rule->head.pred, Relation(fresh.arity()));
+            it->second = UnionRelations(it->second, fresh);
+            any = true;
+          }
+        }
+      }
+      if (!any) break;
+      ++stats_.rounds;
+      for (auto& [pred, d] : new_delta) {
+        stats_.derived_tuples += d.size();
+        idb[pred] = UnionRelations(idb[pred], d);
+      }
+      delta = std::move(new_delta);
+    }
+  }
+
+  Database out(edb_->domain_size());
+  for (const auto& [name, rel] : edb_->relations()) {
+    BVQ_RETURN_IF_ERROR(out.AddRelation(name, rel));
+  }
+  for (auto& [name, rel] : idb) {
+    if (mode == DatalogMode::kNaive) stats_.derived_tuples += rel.size();
+    BVQ_RETURN_IF_ERROR(out.AddRelation(name, std::move(rel)));
+  }
+  return out;
+}
+
+}  // namespace datalog
+}  // namespace bvq

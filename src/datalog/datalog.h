@@ -1,0 +1,113 @@
+#ifndef BVQ_DATALOG_DATALOG_H_
+#define BVQ_DATALOG_DATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "db/database.h"
+#include "db/relalg.h"
+
+namespace bvq {
+namespace datalog {
+
+/// A term in a Datalog atom: a variable (identified by index within the
+/// rule) or a domain constant.
+struct Term {
+  static Term Var(std::size_t v) { return Term{true, v, 0}; }
+  static Term Const(Value c) { return Term{false, 0, c}; }
+
+  bool is_var;
+  std::size_t var;
+  Value constant;
+
+  bool operator==(const Term& o) const {
+    return is_var == o.is_var &&
+           (is_var ? var == o.var : constant == o.constant);
+  }
+};
+
+/// pred(t1, ..., tm), possibly negated in a rule body ("not pred(..)").
+struct Atom {
+  std::string pred;
+  std::vector<Term> terms;
+  bool negated = false;  // body literals only
+};
+
+/// head :- body1, ..., bodyn.  A fact is a rule with an empty body and
+/// constant head terms.
+struct Rule {
+  Atom head;
+  std::vector<Atom> body;
+};
+
+/// A positive Datalog program. Predicates not appearing in any head are
+/// EDB (supplied by the input database); head predicates are IDB.
+struct Program {
+  std::vector<Rule> rules;
+
+  /// Names of IDB predicates (appearing in some head), in first-seen order.
+  std::vector<std::string> IdbPredicates() const;
+
+  std::string ToString() const;
+};
+
+/// Parses Datalog text. Variables are capitalized identifiers, constants
+/// are numbers, '%' starts a comment, and body literals may be negated
+/// with "not":
+///
+///   P(X) :- S(X).
+///   P(X) :- Q(X,Y,Z), P(Y), P(Z).
+///   Unreached(X) :- V(X), not P(X).
+///
+/// Negation must be *stratified* (no recursion through negation) and
+/// *safe* (every variable of a negated literal also occurs in a positive
+/// body literal); both are checked at evaluation time.
+Result<Program> ParseProgram(const std::string& text);
+
+/// Assigns each IDB predicate a stratum such that positive dependencies
+/// stay within or below the stratum and negative dependencies come from
+/// strictly below. Returns TypeError if the program has recursion through
+/// negation. EDB predicates sit at stratum 0.
+Result<std::map<std::string, std::size_t>> Stratify(const Program& program,
+                                                    const Database& edb);
+
+/// Evaluation statistics for the harness.
+struct DatalogStats {
+  std::size_t rounds = 0;        // fixpoint rounds until no change
+  std::size_t rule_firings = 0;  // rule-body join evaluations
+  std::size_t derived_tuples = 0;
+};
+
+/// How the bottom-up fixpoint is iterated.
+enum class DatalogMode {
+  kNaive,      // re-derive everything each round
+  kSemiNaive,  // differential: join each rule once per delta position
+};
+
+/// Bottom-up evaluator for positive Datalog over a Database of EDB
+/// relations. This is the substrate behind the Path Systems cross-check
+/// for Proposition 3.2: reachability in a path system is one fixed Datalog
+/// program, evaluated here independently of the FO^3 reduction.
+class DatalogEngine {
+ public:
+  /// The engine keeps a reference to `edb`; it must outlive the engine.
+  explicit DatalogEngine(const Database& edb) : edb_(&edb) {}
+
+  /// Computes all IDB relations; returns a database containing the EDB
+  /// relations plus the computed IDB relations.
+  Result<Database> Evaluate(const Program& program,
+                            DatalogMode mode = DatalogMode::kSemiNaive);
+
+  const DatalogStats& stats() const { return stats_; }
+
+ private:
+  const Database* edb_;
+  DatalogStats stats_;
+};
+
+}  // namespace datalog
+}  // namespace bvq
+
+#endif  // BVQ_DATALOG_DATALOG_H_

@@ -1,0 +1,194 @@
+#include "db/assignment_set.h"
+
+#include <cassert>
+
+namespace bvq {
+
+AssignmentSet::AssignmentSet(std::size_t domain_size, std::size_t num_vars)
+    : indexer_(domain_size, num_vars), bits_(indexer_.NumTuples(), false) {}
+
+AssignmentSet AssignmentSet::Full(std::size_t domain_size,
+                                  std::size_t num_vars) {
+  AssignmentSet s(domain_size, num_vars);
+  s.bits_.SetAll();
+  return s;
+}
+
+AssignmentSet& AssignmentSet::AndWith(const AssignmentSet& other) {
+  bits_ &= other.bits_;
+  return *this;
+}
+
+AssignmentSet& AssignmentSet::OrWith(const AssignmentSet& other) {
+  bits_ |= other.bits_;
+  return *this;
+}
+
+AssignmentSet& AssignmentSet::Complement() {
+  bits_.FlipAll();
+  return *this;
+}
+
+AssignmentSet& AssignmentSet::SubtractWith(const AssignmentSet& other) {
+  bits_.SubtractInPlace(other.bits_);
+  return *this;
+}
+
+AssignmentSet AssignmentSet::ExistsVar(std::size_t var) const {
+  assert(var < num_vars());
+  const std::size_t n = domain_size();
+  const std::size_t stride = indexer_.Stride(var);
+  const std::size_t total = indexer_.NumTuples();
+  AssignmentSet out(n, num_vars());
+  // Iterate over all ranks whose coordinate `var` is 0; for each such base,
+  // OR together the n positions along the axis, then fill the whole axis.
+  // The base ranks are those r where (r / stride) % n == 0.
+  const std::size_t block = stride * n;
+  for (std::size_t major = 0; major < total; major += block) {
+    for (std::size_t minor = 0; minor < stride; ++minor) {
+      const std::size_t base = major + minor;
+      bool any = false;
+      for (std::size_t v = 0; v < n; ++v) {
+        if (bits_.Test(base + v * stride)) {
+          any = true;
+          break;
+        }
+      }
+      if (any) {
+        for (std::size_t v = 0; v < n; ++v) out.bits_.Set(base + v * stride);
+      }
+    }
+  }
+  return out;
+}
+
+AssignmentSet AssignmentSet::ForAllVar(std::size_t var) const {
+  assert(var < num_vars());
+  const std::size_t n = domain_size();
+  const std::size_t stride = indexer_.Stride(var);
+  const std::size_t total = indexer_.NumTuples();
+  AssignmentSet out(n, num_vars());
+  const std::size_t block = stride * n;
+  for (std::size_t major = 0; major < total; major += block) {
+    for (std::size_t minor = 0; minor < stride; ++minor) {
+      const std::size_t base = major + minor;
+      bool all = true;
+      for (std::size_t v = 0; v < n; ++v) {
+        if (!bits_.Test(base + v * stride)) {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        for (std::size_t v = 0; v < n; ++v) out.bits_.Set(base + v * stride);
+      }
+    }
+  }
+  return out;
+}
+
+AssignmentSet AssignmentSet::Equality(std::size_t domain_size,
+                                      std::size_t num_vars, std::size_t var_i,
+                                      std::size_t var_j) {
+  AssignmentSet out(domain_size, num_vars);
+  const TupleIndexer& idx = out.indexer_;
+  const std::size_t total = idx.NumTuples();
+  for (std::size_t r = 0; r < total; ++r) {
+    if (idx.Digit(r, var_i) == idx.Digit(r, var_j)) out.bits_.Set(r);
+  }
+  return out;
+}
+
+AssignmentSet AssignmentSet::VarEqualsConst(std::size_t domain_size,
+                                            std::size_t num_vars,
+                                            std::size_t var_i, Value c) {
+  AssignmentSet out(domain_size, num_vars);
+  const TupleIndexer& idx = out.indexer_;
+  const std::size_t total = idx.NumTuples();
+  for (std::size_t r = 0; r < total; ++r) {
+    if (idx.Digit(r, var_i) == c) out.bits_.Set(r);
+  }
+  return out;
+}
+
+AssignmentSet AssignmentSet::FromAtom(std::size_t domain_size,
+                                      std::size_t num_vars,
+                                      const Relation& relation,
+                                      const std::vector<std::size_t>& args) {
+  assert(args.size() == relation.arity());
+  AssignmentSet out(domain_size, num_vars);
+  const TupleIndexer& idx = out.indexer_;
+  const std::size_t total = idx.NumTuples();
+  const std::size_t m = args.size();
+  if (m == 0) {
+    if (relation.AsBool()) out.bits_.SetAll();
+    return out;
+  }
+  std::vector<Value> point(m);
+  for (std::size_t r = 0; r < total; ++r) {
+    for (std::size_t j = 0; j < m; ++j) {
+      point[j] = idx.Digit(r, args[j]);
+    }
+    if (relation.Contains(point.data())) out.bits_.Set(r);
+  }
+  return out;
+}
+
+std::vector<std::size_t> AssignmentSet::BuildRemapTable(
+    const TupleIndexer& idx, const std::vector<std::size_t>& targets,
+    const std::vector<std::size_t>& sources) {
+  assert(targets.size() == sources.size());
+  const std::size_t total = idx.NumTuples();
+  const std::size_t m = targets.size();
+  std::vector<std::size_t> table(total);
+  std::vector<Value> vals(m);
+  for (std::size_t r = 0; r < total; ++r) {
+    // Read all sources from the original rank first, then write targets.
+    for (std::size_t j = 0; j < m; ++j) vals[j] = idx.Digit(r, sources[j]);
+    std::size_t rp = r;
+    for (std::size_t j = 0; j < m; ++j) {
+      rp = idx.WithDigit(rp, targets[j], vals[j]);
+    }
+    table[r] = rp;
+  }
+  return table;
+}
+
+AssignmentSet AssignmentSet::RemapByTable(
+    const std::vector<std::size_t>& table) const {
+  assert(table.size() == indexer_.NumTuples());
+  AssignmentSet out(domain_size(), num_vars());
+  for (std::size_t r = 0; r < table.size(); ++r) {
+    if (bits_.Test(table[r])) out.bits_.Set(r);
+  }
+  return out;
+}
+
+AssignmentSet AssignmentSet::Remap(
+    const std::vector<std::size_t>& targets,
+    const std::vector<std::size_t>& sources) const {
+  return RemapByTable(BuildRemapTable(indexer_, targets, sources));
+}
+
+Relation AssignmentSet::ToRelation(
+    const std::vector<std::size_t>& vars) const {
+  RelationBuilder b(vars.size());
+  std::vector<Value> row(vars.size());
+  for (std::size_t r = bits_.FindFirst(); r < bits_.size();
+       r = bits_.FindNext(r + 1)) {
+    for (std::size_t j = 0; j < vars.size(); ++j) {
+      row[j] = indexer_.Digit(r, vars[j]);
+    }
+    b.Add(row.data());
+  }
+  return b.Build();
+}
+
+AssignmentSet& AssignmentSet::RestrictToAtom(
+    const Relation& relation, const std::vector<std::size_t>& args) {
+  AssignmentSet atom =
+      FromAtom(domain_size(), num_vars(), relation, args);
+  return AndWith(atom);
+}
+
+}  // namespace bvq

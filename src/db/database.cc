@@ -1,0 +1,128 @@
+#include "db/database.h"
+
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace bvq {
+
+Status Database::AddRelation(const std::string& name, Relation relation) {
+  if (relation.MinDomainSize() > domain_size_) {
+    return Status::InvalidArgument(
+        StrCat("relation ", name, " contains value outside domain of size ",
+               domain_size_));
+  }
+  relations_[name] = std::move(relation);
+  return Status::OK();
+}
+
+Result<const Relation*> Database::GetRelation(const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound(StrCat("no relation named ", name));
+  }
+  return &it->second;
+}
+
+std::size_t Database::TotalTuples() const {
+  std::size_t total = 0;
+  for (const auto& [name, rel] : relations_) total += rel.size();
+  return total;
+}
+
+std::string Database::ToString() const {
+  std::ostringstream os;
+  os << "domain " << domain_size_ << "\n";
+  for (const auto& [name, rel] : relations_) {
+    os << "rel " << name << "/" << rel.arity();
+    rel.ForEach([&](const Value* t) {
+      os << " ";
+      for (std::size_t j = 0; j < rel.arity(); ++j) {
+        if (j > 0) os << " ";
+        os << t[j];
+      }
+      os << " ;";
+    });
+    os << "\n";
+  }
+  return os.str();
+}
+
+Result<Database> ParseDatabase(const std::string& text) {
+  Database db(0);
+  std::istringstream is(text);
+  std::string line;
+  int line_no = 0;
+  bool saw_domain = false;
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::string_view sv = StripAsciiWhitespace(line);
+    if (sv.empty() || sv[0] == '#') continue;
+    std::istringstream ls{std::string(sv)};
+    std::string head;
+    ls >> head;
+    if (head == "domain") {
+      std::size_t n = 0;
+      if (!(ls >> n)) {
+        return Status::ParseError(
+            StrCat("line ", line_no, ": expected domain size"));
+      }
+      db.set_domain_size(n);
+      saw_domain = true;
+    } else if (head == "rel") {
+      std::string decl;
+      if (!(ls >> decl)) {
+        return Status::ParseError(
+            StrCat("line ", line_no, ": expected <name>/<arity>"));
+      }
+      auto slash = decl.find('/');
+      if (slash == std::string::npos) {
+        return Status::ParseError(
+            StrCat("line ", line_no, ": expected <name>/<arity>, got ", decl));
+      }
+      const std::string name = decl.substr(0, slash);
+      std::size_t arity = 0;
+      try {
+        arity = std::stoul(decl.substr(slash + 1));
+      } catch (...) {
+        return Status::ParseError(
+            StrCat("line ", line_no, ": bad arity in ", decl));
+      }
+      RelationBuilder builder(arity);
+      Tuple t;
+      std::string tok;
+      while (ls >> tok) {
+        if (tok == ";") {
+          if (t.size() != arity) {
+            return Status::ParseError(StrCat("line ", line_no, ": tuple of ",
+                                             t.size(), " values in relation ",
+                                             name, "/", arity));
+          }
+          builder.Add(t);
+          t.clear();
+        } else {
+          try {
+            t.push_back(static_cast<Value>(std::stoul(tok)));
+          } catch (...) {
+            return Status::ParseError(
+                StrCat("line ", line_no, ": bad value ", tok));
+          }
+        }
+      }
+      if (!t.empty()) {
+        return Status::ParseError(
+            StrCat("line ", line_no, ": trailing values without ';'"));
+      }
+      BVQ_RETURN_IF_ERROR(db.AddRelation(name, builder.Build()));
+    } else {
+      return Status::ParseError(
+          StrCat("line ", line_no, ": unknown directive ", head));
+    }
+  }
+  if (!saw_domain) {
+    return Status::ParseError("missing 'domain <n>' line");
+  }
+  return db;
+}
+
+}  // namespace bvq

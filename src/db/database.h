@@ -1,0 +1,68 @@
+#ifndef BVQ_DB_DATABASE_H_
+#define BVQ_DB_DATABASE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "db/relation.h"
+
+namespace bvq {
+
+/// A relational database B = (D, R_1, ..., R_l) per Section 2.1 of the
+/// paper: a finite domain (normalized here to {0,...,n-1}) together with
+/// named relations over it.
+///
+/// Relation names are looked up by the evaluators when interpreting atoms;
+/// recursion variables and second-order variables shadow database relations
+/// of the same name during evaluation.
+class Database {
+ public:
+  /// A database with domain {0,...,domain_size-1} and no relations.
+  explicit Database(std::size_t domain_size = 0)
+      : domain_size_(domain_size) {}
+
+  std::size_t domain_size() const { return domain_size_; }
+  void set_domain_size(std::size_t n) { domain_size_ = n; }
+
+  /// Adds or replaces a relation. Fails if any tuple value is outside the
+  /// domain.
+  Status AddRelation(const std::string& name, Relation relation);
+
+  bool HasRelation(const std::string& name) const {
+    return relations_.count(name) > 0;
+  }
+  /// Looks up a relation by name.
+  Result<const Relation*> GetRelation(const std::string& name) const;
+
+  const std::map<std::string, Relation>& relations() const {
+    return relations_;
+  }
+
+  /// Total number of tuples across relations (a size measure for data
+  /// complexity sweeps).
+  std::size_t TotalTuples() const;
+
+  /// Renders the database in the text format understood by ParseDatabase:
+  ///   domain <n>
+  ///   rel <name>/<arity> <t11> <t12> ... ; <t21> ... ;
+  std::string ToString() const;
+
+  bool operator==(const Database& other) const {
+    return domain_size_ == other.domain_size_ &&
+           relations_ == other.relations_;
+  }
+
+ private:
+  std::size_t domain_size_;
+  std::map<std::string, Relation> relations_;
+};
+
+/// Parses the text format produced by Database::ToString. Lines starting
+/// with '#' are comments.
+Result<Database> ParseDatabase(const std::string& text);
+
+}  // namespace bvq
+
+#endif  // BVQ_DB_DATABASE_H_

@@ -1,0 +1,116 @@
+#include "db/generators.h"
+
+#include "common/index.h"
+
+namespace bvq {
+
+Relation RandomRelation(std::size_t domain_size, std::size_t arity,
+                        double density, Rng& rng) {
+  TupleIndexer idx(domain_size, arity);
+  RelationBuilder b(arity);
+  Tuple t(arity);
+  for (std::size_t r = 0; r < idx.NumTuples(); ++r) {
+    if (rng.Bernoulli(density)) {
+      idx.Unrank(r, t.data());
+      b.Add(t);
+    }
+  }
+  return b.Build();
+}
+
+Relation RandomGraph(std::size_t num_nodes, double edge_prob, Rng& rng,
+                     bool allow_self_loops) {
+  RelationBuilder b(2);
+  for (std::size_t u = 0; u < num_nodes; ++u) {
+    for (std::size_t v = 0; v < num_nodes; ++v) {
+      if (u == v && !allow_self_loops) continue;
+      if (rng.Bernoulli(edge_prob)) {
+        Value row[2] = {static_cast<Value>(u), static_cast<Value>(v)};
+        b.Add(row);
+      }
+    }
+  }
+  return b.Build();
+}
+
+Relation PathGraph(std::size_t num_nodes) {
+  RelationBuilder b(2);
+  for (std::size_t u = 0; u + 1 < num_nodes; ++u) {
+    Value row[2] = {static_cast<Value>(u), static_cast<Value>(u + 1)};
+    b.Add(row);
+  }
+  return b.Build();
+}
+
+Relation CycleGraph(std::size_t num_nodes) {
+  RelationBuilder b(2);
+  for (std::size_t u = 0; u < num_nodes; ++u) {
+    Value row[2] = {static_cast<Value>(u),
+                    static_cast<Value>((u + 1) % num_nodes)};
+    b.Add(row);
+  }
+  return b.Build();
+}
+
+Database RandomDatabase(std::size_t domain_size, std::size_t num_relations,
+                        std::size_t arity, double density, Rng& rng) {
+  Database db(domain_size);
+  for (std::size_t i = 0; i < num_relations; ++i) {
+    Status s = db.AddRelation("R" + std::to_string(i),
+                              RandomRelation(domain_size, arity, density, rng));
+    assert(s.ok());
+    (void)s;
+  }
+  return db;
+}
+
+Database EmployeeDatabase(std::size_t num_employees, std::size_t num_depts,
+                          std::size_t salary_range, Rng& rng) {
+  // Domain layout: employees [0, E), departments [E, E+D),
+  // salary levels [E+D, E+D+S).
+  const std::size_t emp_base = 0;
+  const std::size_t dept_base = num_employees;
+  const std::size_t sal_base = num_employees + num_depts;
+  Database db(num_employees + num_depts + salary_range);
+
+  RelationBuilder emp(2), mgr(2), scy(2), sal(2), lt(2);
+  for (std::size_t e = 0; e < num_employees; ++e) {
+    const Value dept =
+        static_cast<Value>(dept_base + rng.Below(num_depts));
+    Value row[2] = {static_cast<Value>(emp_base + e), dept};
+    emp.Add(row);
+    Value srow[2] = {static_cast<Value>(emp_base + e),
+                     static_cast<Value>(sal_base + rng.Below(salary_range))};
+    sal.Add(srow);
+  }
+  for (std::size_t d = 0; d < num_depts; ++d) {
+    const Value manager = static_cast<Value>(rng.Below(num_employees));
+    Value row[2] = {static_cast<Value>(dept_base + d), manager};
+    mgr.Add(row);
+    const Value secretary = static_cast<Value>(rng.Below(num_employees));
+    Value srow[2] = {manager, secretary};
+    scy.Add(srow);
+  }
+  for (std::size_t a = 0; a < salary_range; ++a) {
+    for (std::size_t b = a + 1; b < salary_range; ++b) {
+      Value row[2] = {static_cast<Value>(sal_base + a),
+                      static_cast<Value>(sal_base + b)};
+      lt.Add(row);
+    }
+  }
+  Status s;
+  s = db.AddRelation("EMP", emp.Build());
+  assert(s.ok());
+  s = db.AddRelation("MGR", mgr.Build());
+  assert(s.ok());
+  s = db.AddRelation("SCY", scy.Build());
+  assert(s.ok());
+  s = db.AddRelation("SAL", sal.Build());
+  assert(s.ok());
+  s = db.AddRelation("LT", lt.Build());
+  assert(s.ok());
+  (void)s;
+  return db;
+}
+
+}  // namespace bvq

@@ -1,0 +1,47 @@
+#ifndef BVQ_DB_GENERATORS_H_
+#define BVQ_DB_GENERATORS_H_
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "db/database.h"
+#include "db/relation.h"
+
+namespace bvq {
+
+/// Random relation of the given arity: each tuple of D^arity is included
+/// independently with probability `density`.
+Relation RandomRelation(std::size_t domain_size, std::size_t arity,
+                        double density, Rng& rng);
+
+/// G(n, p) directed graph as a binary relation E (no self loops unless
+/// allow_self_loops).
+Relation RandomGraph(std::size_t num_nodes, double edge_prob, Rng& rng,
+                     bool allow_self_loops = false);
+
+/// The directed path 0 -> 1 -> ... -> n-1.
+Relation PathGraph(std::size_t num_nodes);
+
+/// The directed cycle 0 -> 1 -> ... -> n-1 -> 0.
+Relation CycleGraph(std::size_t num_nodes);
+
+/// Random database with `num_relations` relations named R0, R1, ..., of the
+/// given arity and density. Handy for property tests comparing evaluators.
+Database RandomDatabase(std::size_t domain_size, std::size_t num_relations,
+                        std::size_t arity, double density, Rng& rng);
+
+/// The employees example from the paper's introduction: relations
+/// EMP(Emp,Dept), MGR(Dept,Mgr), SCY(Mgr,Scy), SAL(Person,Sal) over a
+/// synthetic company with `num_employees` employees, `num_depts`
+/// departments, and salaries drawn from [0, salary_range). The domain packs
+/// people, departments, and salary values into one value space.
+///
+/// Every manager and secretary is also an employee with a salary, so the
+/// query "employees who earn less than their manager's secretary" has
+/// nontrivial answers.
+Database EmployeeDatabase(std::size_t num_employees, std::size_t num_depts,
+                          std::size_t salary_range, Rng& rng);
+
+}  // namespace bvq
+
+#endif  // BVQ_DB_GENERATORS_H_

@@ -1,0 +1,635 @@
+#include "eval/bounded_eval.h"
+
+#include <unordered_set>
+
+#include "common/strings.h"
+#include "logic/analysis.h"
+
+namespace bvq {
+
+namespace {
+
+// Enumerates the parameter blocks of a partial-fixpoint computation: a
+// block is one valuation of the coordinates *not* bound by the fixpoint.
+// Blocks evolve independently (the recursion-variable Remap never crosses
+// them), so limit/cycle detection must be per block (Section 3.4 semantics
+// with parameters).
+class BlockLayout {
+ public:
+  BlockLayout(const TupleIndexer& idx, const std::vector<std::size_t>& bound)
+      : idx_(idx) {
+    std::vector<bool> is_bound(idx.arity(), false);
+    for (std::size_t v : bound) is_bound[v] = true;
+    for (std::size_t j = 0; j < idx.arity(); ++j) {
+      (is_bound[j] ? bound_coords_ : param_coords_).push_back(j);
+    }
+    num_blocks_ = 1;
+    for (std::size_t j = 0; j < param_coords_.size(); ++j) {
+      num_blocks_ *= idx.domain_size();
+    }
+    slice_size_ = 1;
+    for (std::size_t j = 0; j < bound_coords_.size(); ++j) {
+      slice_size_ *= idx.domain_size();
+    }
+  }
+
+  std::size_t num_blocks() const { return num_blocks_; }
+  std::size_t slice_size() const { return slice_size_; }
+
+  // Global rank of slice position s within block b.
+  std::size_t GlobalRank(std::size_t block, std::size_t slice_pos) const {
+    std::size_t r = 0;
+    std::size_t rem = block;
+    for (std::size_t c : param_coords_) {
+      r += (rem % idx_.domain_size()) * idx_.Stride(c);
+      rem /= idx_.domain_size();
+    }
+    rem = slice_pos;
+    for (std::size_t c : bound_coords_) {
+      r += (rem % idx_.domain_size()) * idx_.Stride(c);
+      rem /= idx_.domain_size();
+    }
+    return r;
+  }
+
+  // FNV hash of a block's slice of `set`.
+  uint64_t SliceHash(const AssignmentSet& set, std::size_t block) const {
+    uint64_t h = 1469598103934665603ull;
+    uint64_t word = 0;
+    int nbits = 0;
+    for (std::size_t s = 0; s < slice_size_; ++s) {
+      word = (word << 1) | (set.Test(GlobalRank(block, s)) ? 1 : 0);
+      if (++nbits == 64) {
+        h ^= word;
+        h *= 1099511628211ull;
+        word = 0;
+        nbits = 0;
+      }
+    }
+    if (nbits > 0) {
+      h ^= word;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+
+  bool SlicesEqual(const AssignmentSet& a, const AssignmentSet& b,
+                   std::size_t block) const {
+    for (std::size_t s = 0; s < slice_size_; ++s) {
+      const std::size_t r = GlobalRank(block, s);
+      if (a.Test(r) != b.Test(r)) return false;
+    }
+    return true;
+  }
+
+  void CopySlice(const AssignmentSet& from, AssignmentSet& to,
+                 std::size_t block) const {
+    for (std::size_t s = 0; s < slice_size_; ++s) {
+      const std::size_t r = GlobalRank(block, s);
+      to.mutable_bits().Assign(r, from.Test(r));
+    }
+  }
+
+ private:
+  TupleIndexer idx_;  // by value: callers often pass a temporary
+  std::vector<std::size_t> bound_coords_;
+  std::vector<std::size_t> param_coords_;
+  std::size_t num_blocks_;
+  std::size_t slice_size_;
+};
+
+}  // namespace
+
+BoundedEvaluator::BoundedEvaluator(const Database& db, std::size_t num_vars,
+                                   BoundedEvalOptions options)
+    : db_(&db), num_vars_(num_vars), options_(options) {}
+
+Result<AssignmentSet> BoundedEvaluator::Evaluate(const FormulaPtr& formula) {
+  Env env;
+  return EvaluateWithEnv(formula, env);
+}
+
+Result<AssignmentSet> BoundedEvaluator::EvaluateWithEnv(
+    const FormulaPtr& formula, const std::map<std::string, RelVarBinding>& env) {
+  if (TupleIndexer::Exceeds(db_->domain_size(), num_vars_,
+                            options_.max_cube_bits)) {
+    return Status::ResourceExhausted(
+        StrCat("n^k = ", db_->domain_size(), "^", num_vars_,
+               " exceeds the assignment-set size limit"));
+  }
+  warm_cache_.clear();
+  atom_cache_.clear();
+  remap_cache_.clear();
+  epoch_[0] = epoch_[1] = 0;
+  Env working = env;
+  return Eval(formula, working);
+}
+
+Result<Relation> BoundedEvaluator::EvaluateQuery(const Query& query) {
+  auto set = Evaluate(query.formula);
+  if (!set.ok()) return set.status();
+  for (std::size_t v : query.answer_vars) {
+    if (v >= num_vars_) {
+      return Status::TypeError(
+          StrCat("answer variable x", v + 1, " out of range for k = ",
+                 num_vars_));
+    }
+  }
+  return set->ToRelation(query.answer_vars);
+}
+
+const std::vector<std::size_t>& BoundedEvaluator::RemapTable(
+    const std::vector<std::size_t>& targets,
+    const std::vector<std::size_t>& sources) {
+  std::string key;
+  for (std::size_t v : targets) {
+    key += std::to_string(v);
+    key += ",";
+  }
+  key += "<-";
+  for (std::size_t v : sources) {
+    key += std::to_string(v);
+    key += ",";
+  }
+  auto it = remap_cache_.find(key);
+  if (it != remap_cache_.end()) return it->second;
+  TupleIndexer idx(db_->domain_size(), num_vars_);
+  auto [ins, inserted] = remap_cache_.emplace(
+      std::move(key), AssignmentSet::BuildRemapTable(idx, targets, sources));
+  return ins->second;
+}
+
+Result<AssignmentSet> BoundedEvaluator::Eval(const FormulaPtr& f, Env& env) {
+  ++stats_.node_evals;
+  const std::size_t n = db_->domain_size();
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+      return AssignmentSet::Full(n, num_vars_);
+    case FormulaKind::kFalse:
+      return AssignmentSet(n, num_vars_);
+    case FormulaKind::kAtom: {
+      const auto& atom = static_cast<const AtomFormula&>(*f);
+      for (std::size_t v : atom.args()) {
+        if (v >= num_vars_) {
+          return Status::TypeError(StrCat("atom ", atom.pred(),
+                                          " uses out-of-range variable x",
+                                          v + 1));
+        }
+      }
+      auto it = env.find(atom.pred());
+      if (it != env.end()) {
+        if (it->second.coords.size() != atom.args().size()) {
+          return Status::TypeError(
+              StrCat("relation variable ", atom.pred(), " has arity ",
+                     it->second.coords.size(), ", used with ",
+                     atom.args().size()));
+        }
+        return it->second.cube.RemapByTable(
+            RemapTable(it->second.coords, atom.args()));
+      }
+      auto rel = db_->GetRelation(atom.pred());
+      if (!rel.ok()) return rel.status();
+      if ((*rel)->arity() != atom.args().size()) {
+        return Status::TypeError(
+            StrCat("relation ", atom.pred(), " has arity ", (*rel)->arity(),
+                   ", used with ", atom.args().size()));
+      }
+      std::string key = atom.pred() + "/";
+      for (std::size_t v : atom.args()) {
+        key += std::to_string(v);
+        key += ",";
+      }
+      auto cached = atom_cache_.find(key);
+      if (cached != atom_cache_.end()) return cached->second;
+      AssignmentSet set =
+          AssignmentSet::FromAtom(n, num_vars_, **rel, atom.args());
+      atom_cache_.emplace(std::move(key), set);
+      return set;
+    }
+    case FormulaKind::kEquals: {
+      const auto& eq = static_cast<const EqualsFormula&>(*f);
+      if (eq.lhs() >= num_vars_ || eq.rhs() >= num_vars_) {
+        return Status::TypeError("equality uses out-of-range variable");
+      }
+      std::string key =
+          StrCat("=", eq.lhs(), ",", eq.rhs());
+      auto cached = atom_cache_.find(key);
+      if (cached != atom_cache_.end()) return cached->second;
+      AssignmentSet set =
+          AssignmentSet::Equality(n, num_vars_, eq.lhs(), eq.rhs());
+      atom_cache_.emplace(std::move(key), set);
+      return set;
+    }
+    case FormulaKind::kNot: {
+      auto sub = Eval(static_cast<const NotFormula&>(*f).sub(), env);
+      if (!sub.ok()) return sub;
+      sub->Complement();
+      return sub;
+    }
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+    case FormulaKind::kImplies:
+    case FormulaKind::kIff: {
+      const auto& b = static_cast<const BinaryFormula&>(*f);
+      auto lhs = Eval(b.lhs(), env);
+      if (!lhs.ok()) return lhs;
+      auto rhs = Eval(b.rhs(), env);
+      if (!rhs.ok()) return rhs;
+      switch (f->kind()) {
+        case FormulaKind::kAnd:
+          lhs->AndWith(*rhs);
+          return lhs;
+        case FormulaKind::kOr:
+          lhs->OrWith(*rhs);
+          return lhs;
+        case FormulaKind::kImplies:
+          lhs->Complement();
+          lhs->OrWith(*rhs);
+          return lhs;
+        case FormulaKind::kIff: {
+          // a <-> b == ~(a xor b)
+          lhs->mutable_bits() ^= rhs->bits();
+          lhs->Complement();
+          return lhs;
+        }
+        default:
+          break;
+      }
+      return Status::Internal("unreachable binary op");
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForAll: {
+      const auto& q = static_cast<const QuantFormula&>(*f);
+      if (q.var() >= num_vars_) {
+        return Status::TypeError(
+            StrCat("quantifier over out-of-range variable x", q.var() + 1));
+      }
+      auto body = Eval(q.body(), env);
+      if (!body.ok()) return body;
+      return f->kind() == FormulaKind::kExists ? body->ExistsVar(q.var())
+                                               : body->ForAllVar(q.var());
+    }
+    case FormulaKind::kFixpoint: {
+      const auto& fp = static_cast<const FixpointFormula&>(*f);
+      for (std::size_t v : fp.bound_vars()) {
+        if (v >= num_vars_) {
+          return Status::TypeError(
+              StrCat("fixpoint binds out-of-range variable x", v + 1));
+        }
+      }
+      for (std::size_t v : fp.apply_args()) {
+        if (v >= num_vars_) {
+          return Status::TypeError(
+              StrCat("fixpoint applied to out-of-range variable x", v + 1));
+        }
+      }
+      if (fp.apply_args().size() != fp.bound_vars().size()) {
+        return Status::TypeError("fixpoint arity mismatch");
+      }
+      if (fp.op() == FixpointKind::kPartial) {
+        return EvalPartialFixpoint(fp, env);
+      }
+      if (fp.op() == FixpointKind::kInflationary) {
+        return EvalInflationaryFixpoint(fp, env);
+      }
+      if (!OccursOnlyPositively(fp.body(), fp.rel_var())) {
+        return Status::TypeError(
+            StrCat("recursion variable ", fp.rel_var(),
+                   " must occur positively in lfp/gfp body"));
+      }
+      if (options_.fixpoint_strategy == FixpointStrategy::kMonotoneReuse) {
+        return EvalMonotoneFixpoint(fp, env);
+      }
+      return EvalFixpoint(fp, env);
+    }
+    case FormulaKind::kSecondOrderExists:
+      return EvalSecondOrder(static_cast<const SoExistsFormula&>(*f), env);
+  }
+  return Status::Internal("unreachable formula kind");
+}
+
+Result<AssignmentSet> BoundedEvaluator::EvalFixpoint(
+    const FixpointFormula& fp, Env& env) {
+  const std::size_t n = db_->domain_size();
+  const bool is_least = fp.op() == FixpointKind::kLeast;
+  AssignmentSet x = is_least ? AssignmentSet(n, num_vars_)
+                             : AssignmentSet::Full(n, num_vars_);
+  // Save and shadow any outer binding of the same name.
+  auto saved = env.find(fp.rel_var());
+  std::optional<RelVarBinding> outer;
+  if (saved != env.end()) outer = saved->second;
+
+  const std::size_t max_iters = x.indexer().NumTuples() + 2;
+  bool converged = false;
+  for (std::size_t iter = 0; iter <= max_iters; ++iter) {
+    env[fp.rel_var()] = RelVarBinding{x, fp.bound_vars()};
+    ++stats_.fixpoint_iterations;
+    auto next = Eval(fp.body(), env);
+    if (!next.ok()) {
+      if (outer) {
+        env[fp.rel_var()] = *outer;
+      } else {
+        env.erase(fp.rel_var());
+      }
+      return next;
+    }
+    if (*next == x) {
+      converged = true;
+      break;
+    }
+    x = std::move(*next);
+  }
+  if (outer) {
+    env[fp.rel_var()] = *outer;
+  } else {
+    env.erase(fp.rel_var());
+  }
+  if (!converged) {
+    // A syntactically positive body can still induce a non-monotone
+    // operator when the recursion variable passes through a pfp body.
+    return Status::TypeError(
+        StrCat("fixpoint ", fp.rel_var(),
+               " did not converge; operator is not monotone"));
+  }
+  return x.Remap(fp.bound_vars(), fp.apply_args());
+}
+
+Result<AssignmentSet> BoundedEvaluator::EvalMonotoneFixpoint(
+    const FixpointFormula& fp, Env& env) {
+  const std::size_t n = db_->domain_size();
+  const bool is_least = fp.op() == FixpointKind::kLeast;
+  const int pol = is_least ? 0 : 1;
+
+  AssignmentSet x = is_least ? AssignmentSet(n, num_vars_)
+                             : AssignmentSet::Full(n, num_vars_);
+  auto cached = warm_cache_.find(&fp);
+  if (cached != warm_cache_.end() && cached->second.epoch == epoch_[pol]) {
+    x = cached->second.value;
+    ++stats_.warm_starts;
+  }
+
+  auto saved = env.find(fp.rel_var());
+  std::optional<RelVarBinding> outer;
+  if (saved != env.end()) outer = saved->second;
+
+  const std::size_t max_iters = x.indexer().NumTuples() + 2;
+  bool converged = false;
+  for (std::size_t iter = 0; iter <= max_iters; ++iter) {
+    env[fp.rel_var()] = RelVarBinding{x, fp.bound_vars()};
+    ++stats_.fixpoint_iterations;
+    auto next = Eval(fp.body(), env);
+    if (!next.ok()) {
+      if (outer) {
+        env[fp.rel_var()] = *outer;
+      } else {
+        env.erase(fp.rel_var());
+      }
+      return next;
+    }
+    if (*next == x) {
+      converged = true;
+      break;
+    }
+    x = std::move(*next);
+    // Advancing this iterate invalidates warm caches of opposite-polarity
+    // fixpoints (their operators just moved in the non-monotone direction
+    // for them).
+    ++epoch_[1 - pol];
+  }
+  if (outer) {
+    env[fp.rel_var()] = *outer;
+  } else {
+    env.erase(fp.rel_var());
+  }
+  if (!converged) {
+    return Status::TypeError(
+        StrCat("fixpoint ", fp.rel_var(),
+               " did not converge; operator is not monotone"));
+  }
+  warm_cache_.insert_or_assign(&fp, CacheEntry{x, epoch_[pol]});
+  return x.Remap(fp.bound_vars(), fp.apply_args());
+}
+
+Result<AssignmentSet> BoundedEvaluator::EvalInflationaryFixpoint(
+    const FixpointFormula& fp, Env& env) {
+  // IFP: X_{i+1} = X_i union phi(X_i); increasing by construction, so it
+  // converges within n^k stages regardless of the body's shape.
+  const std::size_t n = db_->domain_size();
+  AssignmentSet x(n, num_vars_);
+  auto saved = env.find(fp.rel_var());
+  std::optional<RelVarBinding> outer;
+  if (saved != env.end()) outer = saved->second;
+
+  const std::size_t max_iters = x.indexer().NumTuples() + 2;
+  for (std::size_t iter = 0; iter <= max_iters; ++iter) {
+    env[fp.rel_var()] = RelVarBinding{x, fp.bound_vars()};
+    ++stats_.fixpoint_iterations;
+    // The arbitrary (possibly non-monotone) body invalidates monotone
+    // warm-start caches beneath, like pfp does.
+    ++epoch_[0];
+    ++epoch_[1];
+    auto next = Eval(fp.body(), env);
+    if (!next.ok()) {
+      if (outer) {
+        env[fp.rel_var()] = *outer;
+      } else {
+        env.erase(fp.rel_var());
+      }
+      return next;
+    }
+    next->OrWith(x);
+    if (*next == x) break;
+    x = std::move(*next);
+  }
+  if (outer) {
+    env[fp.rel_var()] = *outer;
+  } else {
+    env.erase(fp.rel_var());
+  }
+  return x.Remap(fp.bound_vars(), fp.apply_args());
+}
+
+Result<AssignmentSet> BoundedEvaluator::EvalPartialFixpoint(
+    const FixpointFormula& fp, Env& env) {
+  const std::size_t n = db_->domain_size();
+  BlockLayout layout(AssignmentSet(n, num_vars_).indexer(), fp.bound_vars());
+  const std::size_t num_blocks = layout.num_blocks();
+
+  AssignmentSet x(n, num_vars_);            // current stage
+  AssignmentSet result(n, num_vars_);       // assembled per-block limits
+  std::vector<bool> decided(num_blocks, false);
+  std::size_t num_decided = 0;
+
+  // Warm caches of monotone fixpoints nested inside a pfp are unsound (the
+  // pfp iterate is not monotone); invalidate on every stage by bumping both
+  // epochs below.
+
+  auto saved = env.find(fp.rel_var());
+  std::optional<RelVarBinding> outer;
+  if (saved != env.end()) outer = saved->second;
+  auto restore = [&]() {
+    if (outer) {
+      env[fp.rel_var()] = *outer;
+    } else {
+      env.erase(fp.rel_var());
+    }
+  };
+
+  if (options_.pfp_cycle_detection == PfpCycleDetection::kHashHistory) {
+    std::vector<std::unordered_set<uint64_t>> seen(num_blocks);
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+      seen[b].insert(layout.SliceHash(x, b));
+    }
+    while (num_decided < num_blocks) {
+      env[fp.rel_var()] = RelVarBinding{x, fp.bound_vars()};
+      ++stats_.fixpoint_iterations;
+      ++epoch_[0];
+      ++epoch_[1];
+      auto next = Eval(fp.body(), env);
+      if (!next.ok()) {
+        restore();
+        return next;
+      }
+      for (std::size_t b = 0; b < num_blocks; ++b) {
+        if (decided[b]) continue;
+        if (layout.SlicesEqual(x, *next, b)) {
+          // Stage repeated immediately: the sequence has a limit here.
+          layout.CopySlice(*next, result, b);
+          decided[b] = true;
+          ++num_decided;
+          continue;
+        }
+        const uint64_t h = layout.SliceHash(*next, b);
+        if (!seen[b].insert(h).second) {
+          // Revisited an earlier stage without having converged: the
+          // sequence cycles, so the partial fixpoint is empty (leave the
+          // result slice all-zero).
+          decided[b] = true;
+          ++num_decided;
+        }
+      }
+      x = std::move(*next);
+    }
+  } else {
+    // Floyd tortoise-and-hare, per block. The tortoise advances one stage
+    // and the hare two stages per round; when a block's slices meet, the
+    // block is inside its cycle. A cycle of length 1 is a limit; anything
+    // longer means no limit (empty slice).
+    AssignmentSet tortoise = x;
+    AssignmentSet hare = x;
+    // met[b]: slices met, waiting to test whether the meeting point is a
+    // fixpoint (the next tortoise step tells us).
+    std::vector<bool> met(num_blocks, false);
+    auto step = [&](const AssignmentSet& from) -> Result<AssignmentSet> {
+      env[fp.rel_var()] = RelVarBinding{from, fp.bound_vars()};
+      ++stats_.fixpoint_iterations;
+      ++epoch_[0];
+      ++epoch_[1];
+      return Eval(fp.body(), env);
+    };
+    while (num_decided < num_blocks) {
+      auto t_next = step(tortoise);
+      if (!t_next.ok()) {
+        restore();
+        return t_next;
+      }
+      for (std::size_t b = 0; b < num_blocks; ++b) {
+        if (decided[b] || !met[b]) continue;
+        // The meeting point for block b was tortoise's previous slice;
+        // t_next tells us whether it is a fixpoint.
+        if (layout.SlicesEqual(tortoise, *t_next, b)) {
+          layout.CopySlice(tortoise, result, b);
+        }
+        decided[b] = true;
+        ++num_decided;
+      }
+      auto h_mid = step(hare);
+      if (!h_mid.ok()) {
+        restore();
+        return h_mid;
+      }
+      auto h_next = step(*h_mid);
+      if (!h_next.ok()) {
+        restore();
+        return h_next;
+      }
+      tortoise = std::move(*t_next);
+      hare = std::move(*h_next);
+      for (std::size_t b = 0; b < num_blocks; ++b) {
+        if (decided[b] || met[b]) continue;
+        if (layout.SlicesEqual(tortoise, hare, b)) met[b] = true;
+      }
+    }
+  }
+  restore();
+  return result.Remap(fp.bound_vars(), fp.apply_args());
+}
+
+Result<AssignmentSet> BoundedEvaluator::EvalSecondOrder(
+    const SoExistsFormula& so, Env& env) {
+  const std::size_t n = db_->domain_size();
+  if (TupleIndexer::Exceeds(n, so.arity(),
+                            options_.max_so_enumeration_bits)) {
+    return Status::ResourceExhausted(
+        StrCat("enumerating ", so.rel_var(), "/", so.arity(), " over |D|=",
+               n,
+               " is out of range for brute force; use EsoEvaluator"));
+  }
+  TupleIndexer idx(n, so.arity());
+  const std::size_t cells = idx.NumTuples();
+  if (cells >= 63) {
+    return Status::ResourceExhausted(
+        "second-order enumeration space too large");
+  }
+  auto saved = env.find(so.rel_var());
+  std::optional<RelVarBinding> outer;
+  if (saved != env.end()) outer = saved->second;
+
+  // Bind the quantified relation to coordinates 0..arity-1 of the cube.
+  std::vector<std::size_t> coords(so.arity());
+  for (std::size_t j = 0; j < so.arity(); ++j) coords[j] = j;
+  if (so.arity() > num_vars_) {
+    return Status::TypeError(
+        StrCat("second-order variable ", so.rel_var(), " of arity ",
+               so.arity(), " exceeds the ", num_vars_,
+               "-variable cube; apply EsoArityReduction first"));
+  }
+
+  AssignmentSet acc(n, num_vars_);
+  Tuple t(so.arity());
+  for (uint64_t mask = 0; mask < (uint64_t{1} << cells); ++mask) {
+    RelationBuilder rb(so.arity());
+    for (std::size_t c = 0; c < cells; ++c) {
+      if ((mask >> c) & 1) {
+        idx.Unrank(c, t.data());
+        rb.Add(t);
+      }
+    }
+    Relation rel = rb.Build();
+    AssignmentSet cube =
+        AssignmentSet::FromAtom(n, num_vars_, rel, coords);
+    env[so.rel_var()] = RelVarBinding{std::move(cube), coords};
+    // Arbitrary witnesses break monotone warm-start assumptions.
+    ++epoch_[0];
+    ++epoch_[1];
+    auto body = Eval(so.body(), env);
+    if (!body.ok()) {
+      if (outer) {
+        env[so.rel_var()] = *outer;
+      } else {
+        env.erase(so.rel_var());
+      }
+      return body;
+    }
+    acc.OrWith(*body);
+    if (acc.IsFull()) break;
+  }
+  if (outer) {
+    env[so.rel_var()] = *outer;
+  } else {
+    env.erase(so.rel_var());
+  }
+  return acc;
+}
+
+}  // namespace bvq

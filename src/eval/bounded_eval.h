@@ -1,0 +1,154 @@
+#ifndef BVQ_EVAL_BOUNDED_EVAL_H_
+#define BVQ_EVAL_BOUNDED_EVAL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "db/assignment_set.h"
+#include "db/database.h"
+#include "logic/formula.h"
+
+namespace bvq {
+
+/// How nested fixpoints are iterated.
+enum class FixpointStrategy {
+  /// Recompute every inner fixpoint from scratch on each iteration of its
+  /// enclosing fixpoint. With alternation depth l this performs up to
+  /// n^{kl} body evaluations — the exponential behaviour Section 3.2 of the
+  /// paper starts from.
+  kNaiveNested,
+  /// Warm-start an inner fixpoint from its previous value across iterations
+  /// of enclosing fixpoints of the *same* polarity, resetting only when an
+  /// enclosing fixpoint of the opposite polarity advances (the footnote-5
+  /// optimization; an Emerson–Lei-style scheme). Monotone (alternation-free)
+  /// nestings then need only l*n^k body evaluations.
+  kMonotoneReuse,
+};
+
+/// How PFP limit/cycle detection is performed (Section 3.4).
+enum class PfpCycleDetection {
+  /// Remember a hash of every stage seen; O(#stages) space, each stage
+  /// visited once.
+  kHashHistory,
+  /// Floyd tortoise-and-hare; O(1) extra space per parameter block (the
+  /// polynomial-space regime Theorem 3.8 is about) at the cost of a
+  /// constant-factor more stage evaluations.
+  kFloyd,
+};
+
+/// Counters exposed for the benchmark harness.
+struct EvalStats {
+  /// Number of fixpoint body evaluations (the paper's "iterations").
+  std::size_t fixpoint_iterations = 0;
+  /// Number of AssignmentSet-producing node evaluations.
+  std::size_t node_evals = 0;
+  /// Number of warm starts taken by kMonotoneReuse.
+  std::size_t warm_starts = 0;
+
+  void Reset() { *this = EvalStats(); }
+};
+
+/// Options for BoundedEvaluator.
+struct BoundedEvalOptions {
+  FixpointStrategy fixpoint_strategy = FixpointStrategy::kNaiveNested;
+  PfpCycleDetection pfp_cycle_detection = PfpCycleDetection::kHashHistory;
+  /// Upper bound on n^k (bits per AssignmentSet); evaluation fails with
+  /// ResourceExhausted beyond it.
+  std::size_t max_cube_bits = std::size_t{1} << 30;
+  /// Upper bound on 2^{n^m} enumeration for second-order quantifiers; the
+  /// ESO evaluator (SAT-based) should be used beyond toy sizes.
+  std::size_t max_so_enumeration_bits = 22;
+};
+
+/// Interpretation of a relation variable during evaluation: the current
+/// iterate (or chosen witness) encoded as a cube over all k variables, with
+/// the relation's m arguments living at coordinates `coords`. An atom
+/// S(u_1..u_m) evaluates to cube.Remap(coords <- u).
+struct RelVarBinding {
+  AssignmentSet cube;
+  std::vector<std::size_t> coords;
+};
+
+/// Bottom-up evaluator for bounded-variable queries: FO^k per
+/// Proposition 3.1, FP^k per Section 3.2, PFP^k per Section 3.4.
+///
+/// Every subformula is evaluated to an AssignmentSet over D^k (a k-ary
+/// relation, hence of size at most n^k): conjunction is bitset
+/// intersection, negation is complement, quantification is projection with
+/// cylindrification. Fixpoint subformulas iterate on AssignmentSets.
+///
+/// Second-order quantifiers are supported only by (guarded) enumeration;
+/// use EsoEvaluator for real ESO^k workloads.
+class BoundedEvaluator {
+ public:
+  /// Evaluates over database `db` using `num_vars` variables (the k of
+  /// L^k); formulas may use variable indices < num_vars.
+  BoundedEvaluator(const Database& db, std::size_t num_vars,
+                   BoundedEvalOptions options = {});
+
+  /// The set of assignments D^k satisfying `formula`.
+  Result<AssignmentSet> Evaluate(const FormulaPtr& formula);
+
+  /// Evaluates with initial relation-variable bindings (used by the
+  /// certificate checker and tests).
+  Result<AssignmentSet> EvaluateWithEnv(
+      const FormulaPtr& formula,
+      const std::map<std::string, RelVarBinding>& env);
+
+  /// Evaluates a query (y̅)phi to the |y̅|-ary answer relation.
+  Result<Relation> EvaluateQuery(const Query& query);
+
+  const EvalStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+  std::size_t num_vars() const { return num_vars_; }
+  const Database& database() const { return *db_; }
+
+ private:
+  using Env = std::map<std::string, RelVarBinding>;
+
+  Result<AssignmentSet> Eval(const FormulaPtr& f, Env& env);
+  Result<AssignmentSet> EvalFixpoint(const FixpointFormula& fp, Env& env);
+  Result<AssignmentSet> EvalMonotoneFixpoint(const FixpointFormula& fp,
+                                             Env& env);
+  Result<AssignmentSet> EvalInflationaryFixpoint(const FixpointFormula& fp,
+                                                 Env& env);
+  Result<AssignmentSet> EvalPartialFixpoint(const FixpointFormula& fp,
+                                            Env& env);
+  Result<AssignmentSet> EvalSecondOrder(const SoExistsFormula& so, Env& env);
+
+  const Database* db_;
+  std::size_t num_vars_;
+  BoundedEvalOptions options_;
+  EvalStats stats_;
+
+  // kMonotoneReuse state: cached last iterate per fixpoint node, valid only
+  // while no enclosing opposite-polarity fixpoint has advanced (tracked via
+  // per-polarity epochs; index 0 = least, 1 = greatest).
+  struct CacheEntry {
+    AssignmentSet value;
+    uint64_t epoch;
+  };
+  std::map<const FixpointFormula*, CacheEntry> warm_cache_;
+  uint64_t epoch_[2] = {0, 0};
+
+  // Database atoms and equality diagonals are invariant during one
+  // evaluation but re-requested on every fixpoint iteration; memoize them
+  // (keyed by "pred/arg,arg,.." and "=i,j"). Cleared per public Evaluate
+  // call.
+  std::map<std::string, AssignmentSet> atom_cache_;
+
+  // Remap permutation tables keyed by "t1,t2<-s1,s2"; rebuilt lazily per
+  // evaluation, reused across fixpoint iterations.
+  std::map<std::string, std::vector<std::size_t>> remap_cache_;
+  const std::vector<std::size_t>& RemapTable(
+      const std::vector<std::size_t>& targets,
+      const std::vector<std::size_t>& sources);
+};
+
+}  // namespace bvq
+
+#endif  // BVQ_EVAL_BOUNDED_EVAL_H_

@@ -1,0 +1,397 @@
+#include "eval/certificate.h"
+
+#include <optional>
+
+#include "common/strings.h"
+#include "logic/analysis.h"
+#include "logic/nnf.h"
+
+namespace bvq {
+
+namespace {
+
+void CollectImmediate(const FormulaPtr& f,
+                      std::vector<const FixpointFormula*>& out) {
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+    case FormulaKind::kAtom:
+    case FormulaKind::kEquals:
+      return;
+    case FormulaKind::kNot:
+      CollectImmediate(static_cast<const NotFormula&>(*f).sub(), out);
+      return;
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+    case FormulaKind::kImplies:
+    case FormulaKind::kIff: {
+      const auto& b = static_cast<const BinaryFormula&>(*f);
+      CollectImmediate(b.lhs(), out);
+      CollectImmediate(b.rhs(), out);
+      return;
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForAll:
+      CollectImmediate(static_cast<const QuantFormula&>(*f).body(), out);
+      return;
+    case FormulaKind::kFixpoint:
+      out.push_back(static_cast<const FixpointFormula*>(f.get()));
+      return;  // do not descend into the body
+    case FormulaKind::kSecondOrderExists:
+      CollectImmediate(static_cast<const SoExistsFormula&>(*f).body(), out);
+      return;
+  }
+}
+
+// Checks NNF, absence of pfp / second-order quantifiers, and positivity of
+// every recursion variable in its body.
+Status CheckCertifiable(const FormulaPtr& f) {
+  if (!IsNegationNormalForm(f)) {
+    return Status::InvalidArgument(
+        "certificates require negation normal form; apply "
+        "NegationNormalForm first");
+  }
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+    case FormulaKind::kAtom:
+    case FormulaKind::kEquals:
+      return Status::OK();
+    case FormulaKind::kNot:
+      return CheckCertifiable(static_cast<const NotFormula&>(*f).sub());
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      const auto& b = static_cast<const BinaryFormula&>(*f);
+      BVQ_RETURN_IF_ERROR(CheckCertifiable(b.lhs()));
+      return CheckCertifiable(b.rhs());
+    }
+    case FormulaKind::kImplies:
+    case FormulaKind::kIff:
+      return Status::InvalidArgument("NNF cannot contain -> or <->");
+    case FormulaKind::kExists:
+    case FormulaKind::kForAll:
+      return CheckCertifiable(static_cast<const QuantFormula&>(*f).body());
+    case FormulaKind::kFixpoint: {
+      const auto& fp = static_cast<const FixpointFormula&>(*f);
+      if (fp.op() == FixpointKind::kPartial ||
+          fp.op() == FixpointKind::kInflationary) {
+        return Status::Unsupported(
+            "partial/inflationary fixpoints have no Theorem 3.5 "
+            "certificates (Section 3.2 notes the technique does not apply "
+            "to IFP)");
+      }
+      if (!OccursOnlyPositively(fp.body(), fp.rel_var())) {
+        return Status::TypeError(
+            StrCat("recursion variable ", fp.rel_var(),
+                   " must occur positively"));
+      }
+      return CheckCertifiable(fp.body());
+    }
+    case FormulaKind::kSecondOrderExists:
+      return Status::Unsupported(
+          "second-order quantifiers are outside the certificate fragment");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<const FixpointFormula*> ImmediateFixpoints(const FormulaPtr& f) {
+  std::vector<const FixpointFormula*> out;
+  CollectImmediate(f, out);
+  return out;
+}
+
+CertificateSystem::CertificateSystem(const Database& db, std::size_t num_vars)
+    : db_(&db), num_vars_(num_vars) {}
+
+Status CertificateSystem::CheckSupported(const FormulaPtr& f) const {
+  return CheckCertifiable(f);
+}
+
+Result<AssignmentSet> CertificateSystem::PluggedEval(
+    const FormulaPtr& f, std::map<std::string, RelVarBinding>& env,
+    const std::vector<AssignmentSet>& values, std::size_t& cursor) {
+  const std::size_t n = db_->domain_size();
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+      return AssignmentSet::Full(n, num_vars_);
+    case FormulaKind::kFalse:
+      return AssignmentSet(n, num_vars_);
+    case FormulaKind::kAtom: {
+      const auto& atom = static_cast<const AtomFormula&>(*f);
+      auto it = env.find(atom.pred());
+      if (it != env.end()) {
+        if (it->second.coords.size() != atom.args().size()) {
+          return Status::TypeError(
+              StrCat("arity mismatch for ", atom.pred()));
+        }
+        return it->second.cube.Remap(it->second.coords, atom.args());
+      }
+      auto rel = db_->GetRelation(atom.pred());
+      if (!rel.ok()) return rel.status();
+      if ((*rel)->arity() != atom.args().size()) {
+        return Status::TypeError(StrCat("arity mismatch for ", atom.pred()));
+      }
+      return AssignmentSet::FromAtom(n, num_vars_, **rel, atom.args());
+    }
+    case FormulaKind::kEquals: {
+      const auto& eq = static_cast<const EqualsFormula&>(*f);
+      return AssignmentSet::Equality(n, num_vars_, eq.lhs(), eq.rhs());
+    }
+    case FormulaKind::kNot: {
+      auto sub = PluggedEval(static_cast<const NotFormula&>(*f).sub(), env,
+                             values, cursor);
+      if (!sub.ok()) return sub;
+      sub->Complement();
+      return sub;
+    }
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      const auto& b = static_cast<const BinaryFormula&>(*f);
+      auto lhs = PluggedEval(b.lhs(), env, values, cursor);
+      if (!lhs.ok()) return lhs;
+      auto rhs = PluggedEval(b.rhs(), env, values, cursor);
+      if (!rhs.ok()) return rhs;
+      if (f->kind() == FormulaKind::kAnd) {
+        lhs->AndWith(*rhs);
+      } else {
+        lhs->OrWith(*rhs);
+      }
+      return lhs;
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForAll: {
+      const auto& q = static_cast<const QuantFormula&>(*f);
+      auto body = PluggedEval(q.body(), env, values, cursor);
+      if (!body.ok()) return body;
+      return f->kind() == FormulaKind::kExists ? body->ExistsVar(q.var())
+                                               : body->ForAllVar(q.var());
+    }
+    case FormulaKind::kFixpoint: {
+      const auto& fp = static_cast<const FixpointFormula&>(*f);
+      if (cursor >= values.size()) {
+        return Status::InvalidArgument(
+            "certificate provides too few witness values");
+      }
+      const AssignmentSet& cube = values[cursor++];
+      return cube.Remap(fp.bound_vars(), fp.apply_args());
+    }
+    case FormulaKind::kImplies:
+    case FormulaKind::kIff:
+    case FormulaKind::kSecondOrderExists:
+      return Status::Internal("PluggedEval on unsupported node");
+  }
+  return Status::Internal("unreachable formula kind");
+}
+
+Result<std::vector<FixpointCertificate>> CertificateSystem::GenerateChildren(
+    const FormulaPtr& f, std::map<std::string, RelVarBinding>& env,
+    std::vector<AssignmentSet>* claimed) {
+  std::vector<FixpointCertificate> certs;
+  for (const FixpointFormula* fp : ImmediateFixpoints(f)) {
+    AssignmentSet value(db_->domain_size(), num_vars_);
+    auto cert = GenerateFixpoint(*fp, env, &value);
+    if (!cert.ok()) return cert.status();
+    claimed->push_back(std::move(value));
+    certs.push_back(std::move(*cert));
+  }
+  return certs;
+}
+
+Result<FixpointCertificate> CertificateSystem::GenerateFixpoint(
+    const FixpointFormula& fp, std::map<std::string, RelVarBinding>& env,
+    AssignmentSet* claimed) {
+  const std::size_t n = db_->domain_size();
+  const bool is_least = fp.op() == FixpointKind::kLeast;
+
+  auto saved = env.find(fp.rel_var());
+  std::optional<RelVarBinding> outer;
+  if (saved != env.end()) outer = saved->second;
+  auto restore = [&]() {
+    if (outer) {
+      env[fp.rel_var()] = *outer;
+    } else {
+      env.erase(fp.rel_var());
+    }
+  };
+
+  FixpointCertificate cert;
+  AssignmentSet x = is_least ? AssignmentSet(n, num_vars_)
+                             : AssignmentSet::Full(n, num_vars_);
+  const std::size_t max_iters = x.indexer().NumTuples() + 2;
+  for (std::size_t iter = 0; iter <= max_iters; ++iter) {
+    env[fp.rel_var()] = RelVarBinding{x, fp.bound_vars()};
+    std::vector<AssignmentSet> child_values;
+    auto children = GenerateChildren(fp.body(), env, &child_values);
+    if (!children.ok()) {
+      restore();
+      return children.status();
+    }
+    std::size_t cursor = 0;
+    auto next = PluggedEval(fp.body(), env, child_values, cursor);
+    if (!next.ok()) {
+      restore();
+      return next.status();
+    }
+    if (*next == x) {
+      if (!is_least) {
+        // The gfp witness is the fixpoint itself, with the inner
+        // certificates from this converged iteration.
+        cert.chain.push_back(x);
+        cert.step_children.push_back(std::move(*children));
+      } else if (cert.chain.empty()) {
+        // lfp converged immediately (to the empty set): record one
+        // (trivially valid) step so the certificate is non-degenerate.
+        cert.chain.push_back(x);
+        cert.step_children.push_back(std::move(*children));
+      }
+      break;
+    }
+    if (is_least) {
+      cert.chain.push_back(*next);
+      cert.step_children.push_back(std::move(*children));
+    }
+    x = std::move(*next);
+  }
+  restore();
+  *claimed = cert.chain.back();
+  return cert;
+}
+
+Result<FormulaCertificate> CertificateSystem::Generate(
+    const FormulaPtr& formula) {
+  BVQ_RETURN_IF_ERROR(CheckSupported(formula));
+  std::map<std::string, RelVarBinding> env;
+  std::vector<AssignmentSet> claimed;
+  auto roots = GenerateChildren(formula, env, &claimed);
+  if (!roots.ok()) return roots.status();
+  FormulaCertificate cert;
+  cert.roots = std::move(*roots);
+  return cert;
+}
+
+Result<std::vector<AssignmentSet>> CertificateSystem::VerifyChildren(
+    const FormulaPtr& f, std::map<std::string, RelVarBinding>& env,
+    const std::vector<FixpointCertificate>& certs) {
+  std::vector<const FixpointFormula*> nodes = ImmediateFixpoints(f);
+  if (nodes.size() != certs.size()) {
+    return Status::InvalidArgument(
+        StrCat("certificate has ", certs.size(), " entries for ",
+               nodes.size(), " fixpoint occurrences"));
+  }
+  std::vector<AssignmentSet> values;
+  values.reserve(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    auto v = VerifyFixpoint(*nodes[i], env, certs[i]);
+    if (!v.ok()) return v.status();
+    values.push_back(std::move(*v));
+  }
+  return values;
+}
+
+Result<AssignmentSet> CertificateSystem::VerifyFixpoint(
+    const FixpointFormula& fp, std::map<std::string, RelVarBinding>& env,
+    const FixpointCertificate& cert) {
+  const std::size_t n = db_->domain_size();
+  if (cert.chain.empty() ||
+      cert.chain.size() != cert.step_children.size()) {
+    return Status::InvalidArgument("malformed fixpoint certificate");
+  }
+  stats_.witness_sets += cert.chain.size();
+
+  auto saved = env.find(fp.rel_var());
+  std::optional<RelVarBinding> outer;
+  if (saved != env.end()) outer = saved->second;
+  auto restore = [&]() {
+    if (outer) {
+      env[fp.rel_var()] = *outer;
+    } else {
+      env.erase(fp.rel_var());
+    }
+  };
+
+  if (fp.op() == FixpointKind::kGreatest) {
+    // Lemma 3.3: a post-fixpoint Q (Q subset of Phi'(Q)) under-approximates
+    // the greatest fixpoint.
+    if (cert.chain.size() != 1) {
+      restore();
+      return Status::InvalidArgument(
+          "gfp certificate must contain exactly one witness");
+    }
+    const AssignmentSet& q = cert.chain[0];
+    env[fp.rel_var()] = RelVarBinding{q, fp.bound_vars()};
+    auto child_values = VerifyChildren(fp.body(), env, cert.step_children[0]);
+    if (!child_values.ok()) {
+      restore();
+      return child_values.status();
+    }
+    std::size_t cursor = 0;
+    ++stats_.body_evals;
+    auto v = PluggedEval(fp.body(), env, *child_values, cursor);
+    restore();
+    if (!v.ok()) return v;
+    if (!q.IsSubsetOf(*v)) {
+      return Status::InvalidArgument(
+          StrCat("gfp witness for ", fp.rel_var(),
+                 " is not a post-fixpoint"));
+    }
+    return q;
+  }
+
+  // Lemma 3.4: an increasing chain with Q_i subset of Phi'(Q_{i-1})
+  // under-approximates the least fixpoint.
+  AssignmentSet prev(n, num_vars_);  // Q_0 = empty
+  for (std::size_t i = 0; i < cert.chain.size(); ++i) {
+    const AssignmentSet& q = cert.chain[i];
+    if (!prev.IsSubsetOf(q)) {
+      restore();
+      return Status::InvalidArgument(
+          StrCat("lfp chain for ", fp.rel_var(), " is not increasing at step ",
+                 i));
+    }
+    env[fp.rel_var()] = RelVarBinding{prev, fp.bound_vars()};
+    auto child_values = VerifyChildren(fp.body(), env, cert.step_children[i]);
+    if (!child_values.ok()) {
+      restore();
+      return child_values.status();
+    }
+    std::size_t cursor = 0;
+    ++stats_.body_evals;
+    auto v = PluggedEval(fp.body(), env, *child_values, cursor);
+    if (!v.ok()) {
+      restore();
+      return v;
+    }
+    if (!q.IsSubsetOf(*v)) {
+      restore();
+      return Status::InvalidArgument(
+          StrCat("lfp chain step ", i, " for ", fp.rel_var(),
+                 " is not contained in the operator image"));
+    }
+    prev = q;
+  }
+  restore();
+  return cert.chain.back();
+}
+
+Result<AssignmentSet> CertificateSystem::Verify(
+    const FormulaPtr& formula, const FormulaCertificate& certificate) {
+  BVQ_RETURN_IF_ERROR(CheckSupported(formula));
+  std::map<std::string, RelVarBinding> env;
+  auto values = VerifyChildren(formula, env, certificate.roots);
+  if (!values.ok()) return values.status();
+  std::size_t cursor = 0;
+  ++stats_.body_evals;
+  return PluggedEval(formula, env, *values, cursor);
+}
+
+Result<bool> CertificateSystem::VerifyMembership(
+    const FormulaPtr& formula, const FormulaCertificate& certificate,
+    const std::vector<Value>& assignment) {
+  auto set = Verify(formula, certificate);
+  if (!set.ok()) return set.status();
+  return set->TestAssignment(assignment);
+}
+
+}  // namespace bvq

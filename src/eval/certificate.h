@@ -1,0 +1,123 @@
+#ifndef BVQ_EVAL_CERTIFICATE_H_
+#define BVQ_EVAL_CERTIFICATE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "db/assignment_set.h"
+#include "db/database.h"
+#include "eval/bounded_eval.h"
+#include "logic/formula.h"
+
+namespace bvq {
+
+/// A certificate for one fixpoint subformula, per Lemmas 3.3 and 3.4:
+///
+///  - for a greatest fixpoint, a single witness set Q with Q subset of
+///    Phi'(Q) (Lemma 3.3: every such Q under-approximates the gfp);
+///  - for a least fixpoint, an increasing chain Q_1 subset ... subset Q_r
+///    with Q_i subset of Phi'(Q_{i-1}) and Q_0 the empty set (Lemma 3.4:
+///    the union under-approximates the lfp);
+///
+/// where Phi' evaluates the fixpoint body with every *immediate inner
+/// fixpoint occurrence* replaced by its own certified under-approximation.
+/// `step_children[i]` holds, in DFS order of the body, the certificates of
+/// those inner occurrences used while checking step i (a gfp has exactly
+/// one step).
+///
+/// Witness sets are stored in the cube encoding of RelVarBinding: an
+/// AssignmentSet over D^k whose coordinates at the node's bound variables
+/// carry the m-ary relation (other coordinates are the fixpoint's
+/// parameters).
+struct FixpointCertificate {
+  std::vector<AssignmentSet> chain;
+  std::vector<std::vector<FixpointCertificate>> step_children;
+};
+
+/// Certificate for a whole formula: one FixpointCertificate per immediate
+/// (outermost) fixpoint occurrence, in DFS order.
+struct FormulaCertificate {
+  std::vector<FixpointCertificate> roots;
+};
+
+/// Counters for the harness: verification performs at most l * n^k body
+/// evaluations (Theorem 3.5) versus the naive n^{kl}.
+struct CertificateStats {
+  /// Body evaluations (one per chain step across all certificates).
+  std::size_t body_evals = 0;
+  /// Total number of witness sets in the certificate (its "size" in cubes).
+  std::size_t witness_sets = 0;
+
+  void Reset() { *this = CertificateStats(); }
+};
+
+/// Deterministic stand-in for the nondeterministic algorithm of
+/// Theorem 3.5: `Generate` plays the guesser (it derives the witness chains
+/// from a sound evaluation — this is the expensive, NP-side work), `Verify`
+/// plays the polynomial-time verifier and is completely independent of how
+/// the certificate was produced.
+///
+/// Requirements on the formula: negation normal form with no pfp and no
+/// second-order quantifiers (use NegationNormalForm), so every fixpoint
+/// occurs positively and certified under-approximations compose
+/// monotonically.
+class CertificateSystem {
+ public:
+  CertificateSystem(const Database& db, std::size_t num_vars);
+
+  /// Produces a certificate whose verification yields exactly the formula's
+  /// satisfying-assignment set.
+  Result<FormulaCertificate> Generate(const FormulaPtr& formula);
+
+  /// Checks the certificate and returns the certified set: every
+  /// assignment in the result genuinely satisfies the formula (soundness
+  /// holds whatever the certificate contents; an invalid certificate is
+  /// rejected with an error).
+  Result<AssignmentSet> Verify(const FormulaPtr& formula,
+                               const FormulaCertificate& certificate);
+
+  /// Membership decision for one assignment: verifies and tests. The
+  /// NP-side decision procedure of Theorem 3.5.
+  Result<bool> VerifyMembership(const FormulaPtr& formula,
+                                const FormulaCertificate& certificate,
+                                const std::vector<Value>& assignment);
+
+  const CertificateStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+ private:
+  Status CheckSupported(const FormulaPtr& f) const;
+
+  // Evaluates `f` with immediate fixpoint occurrences read from `values`
+  // (in DFS order via cursor) and enclosing binders from `env`.
+  Result<AssignmentSet> PluggedEval(const FormulaPtr& f,
+                                    std::map<std::string, RelVarBinding>& env,
+                                    const std::vector<AssignmentSet>& values,
+                                    std::size_t& cursor);
+
+  Result<std::vector<FixpointCertificate>> GenerateChildren(
+      const FormulaPtr& f, std::map<std::string, RelVarBinding>& env,
+      std::vector<AssignmentSet>* claimed);
+  Result<FixpointCertificate> GenerateFixpoint(
+      const FixpointFormula& fp, std::map<std::string, RelVarBinding>& env,
+      AssignmentSet* claimed);
+
+  Result<std::vector<AssignmentSet>> VerifyChildren(
+      const FormulaPtr& f, std::map<std::string, RelVarBinding>& env,
+      const std::vector<FixpointCertificate>& certs);
+  Result<AssignmentSet> VerifyFixpoint(
+      const FixpointFormula& fp, std::map<std::string, RelVarBinding>& env,
+      const FixpointCertificate& cert);
+
+  const Database* db_;
+  std::size_t num_vars_;
+  CertificateStats stats_;
+};
+
+/// Lists the immediate fixpoint occurrences of `f` in DFS order (not
+/// descending into fixpoint bodies). Exposed for tests.
+std::vector<const FixpointFormula*> ImmediateFixpoints(const FormulaPtr& f);
+
+}  // namespace bvq
+
+#endif  // BVQ_EVAL_CERTIFICATE_H_

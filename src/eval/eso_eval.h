@@ -1,0 +1,98 @@
+#ifndef BVQ_EVAL_ESO_EVAL_H_
+#define BVQ_EVAL_ESO_EVAL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "db/assignment_set.h"
+#include "db/database.h"
+#include "logic/formula.h"
+#include "sat/solver.h"
+
+namespace bvq {
+
+/// Lemma 3.6 as an executable transformation: rewrites an ESO^k formula so
+/// that every second-order quantified relation has arity at most k.
+///
+/// For each quantified relation S and each distinct argument pattern u̅
+/// with which S occurs, a k-ary view relation S__<pattern> is introduced;
+/// the atom S(u̅) becomes S__<pattern>(x1,...,xk), and consistency
+/// assertions are added for every pair of patterns p, q and every pair of
+/// k-tuples of variables w̅, v̅ whose composed argument sequences w̅∘p and
+/// v̅∘q coincide syntactically (a constant number for fixed k, quadratic in
+/// the formula overall).
+///
+/// The result is equivalent to the input on every database with at least
+/// one element. Only formulas of the shape "SO-exists prefix over an FO
+/// matrix" are accepted.
+Result<FormulaPtr> EsoArityReduce(const FormulaPtr& formula,
+                                  std::size_t num_vars);
+
+/// A witness for the second-order quantifiers of a satisfied ESO query:
+/// one relation per quantified variable. Cells never referenced by the
+/// grounding are absent (reported false).
+using EsoWitness = std::map<std::string, Relation>;
+
+struct EsoEvalOptions {
+  sat::SolverOptions solver;
+  /// Cap on the number of grounded circuit nodes.
+  std::size_t max_ground_nodes = std::size_t{1} << 26;
+};
+
+struct EsoEvalStats {
+  std::size_t cnf_vars = 0;
+  std::size_t cnf_clauses = 0;
+  std::size_t so_cells = 0;  // propositional variables for SO relation cells
+  sat::SolverStats solver;
+};
+
+/// Evaluator for ESO^k queries (Corollary 3.7): grounds the query to a
+/// polynomially sized CNF and decides it with the CDCL solver.
+///
+/// The grounding exploits exactly the observation behind Lemma 3.6: an
+/// atom S(u̅) in a k-variable formula can only ever refer to value tuples
+/// (a[u_1],...,a[u_l]) for assignments a in D^k, so at most |phi| * n^k
+/// cells of each quantified relation matter; one propositional variable is
+/// created per *referenced* cell. Subformula groundings are memoized per
+/// (node, assignment), so total circuit size is O(|phi| * n^k).
+///
+/// Supported fragment: first-order connectives/quantifiers plus
+/// second-order existentials in positive positions. Fixpoints are not
+/// supported (that is FP^k's business).
+class EsoEvaluator {
+ public:
+  EsoEvaluator(const Database& db, std::size_t num_vars,
+               EsoEvalOptions options = {});
+
+  /// Truth of `formula` under `assignment` (one SAT call). If `witness` is
+  /// non-null and the result is true, the second-order witness relations
+  /// are stored there.
+  Result<bool> Holds(const FormulaPtr& formula,
+                     const std::vector<Value>& assignment,
+                     EsoWitness* witness = nullptr);
+
+  /// Truth of a sentence (all variables quantified or irrelevant):
+  /// evaluates under the all-zero assignment.
+  Result<bool> HoldsSentence(const FormulaPtr& formula,
+                             EsoWitness* witness = nullptr) {
+    return Holds(formula, std::vector<Value>(num_vars_, 0), witness);
+  }
+
+  /// Full answer set over D^k: one SAT call per assignment. Intended for
+  /// tests and small instances.
+  Result<AssignmentSet> Evaluate(const FormulaPtr& formula);
+
+  const EsoEvalStats& stats() const { return stats_; }
+
+ private:
+  const Database* db_;
+  std::size_t num_vars_;
+  EsoEvalOptions options_;
+  EsoEvalStats stats_;
+};
+
+}  // namespace bvq
+
+#endif  // BVQ_EVAL_ESO_EVAL_H_

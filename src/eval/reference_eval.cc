@@ -1,0 +1,241 @@
+#include "eval/reference_eval.h"
+
+#include <algorithm>
+
+#include "common/index.h"
+#include "common/strings.h"
+
+namespace bvq {
+
+namespace {
+
+constexpr std::size_t kMaxSoCells = 20;  // 2^20 candidate relations max
+
+}  // namespace
+
+ReferenceEvaluator::ReferenceEvaluator(const Database& db,
+                                       std::size_t num_vars)
+    : db_(&db), num_vars_(num_vars) {}
+
+Result<bool> ReferenceEvaluator::Holds(
+    const FormulaPtr& formula, const std::vector<Value>& assignment,
+    const std::map<std::string, Relation>& env) const {
+  const std::size_t n = db_->domain_size();
+  switch (formula->kind()) {
+    case FormulaKind::kTrue:
+      return true;
+    case FormulaKind::kFalse:
+      return false;
+    case FormulaKind::kAtom: {
+      const auto& atom = static_cast<const AtomFormula&>(*formula);
+      Tuple point(atom.args().size());
+      for (std::size_t j = 0; j < atom.args().size(); ++j) {
+        if (atom.args()[j] >= assignment.size()) {
+          return Status::TypeError("atom variable out of range");
+        }
+        point[j] = assignment[atom.args()[j]];
+      }
+      auto it = env.find(atom.pred());
+      if (it != env.end()) {
+        if (it->second.arity() != point.size()) {
+          return Status::TypeError(
+              StrCat("arity mismatch for ", atom.pred()));
+        }
+        return it->second.Contains(point);
+      }
+      auto rel = db_->GetRelation(atom.pred());
+      if (!rel.ok()) return rel.status();
+      if ((*rel)->arity() != point.size()) {
+        return Status::TypeError(StrCat("arity mismatch for ", atom.pred()));
+      }
+      return (*rel)->Contains(point);
+    }
+    case FormulaKind::kEquals: {
+      const auto& eq = static_cast<const EqualsFormula&>(*formula);
+      return assignment[eq.lhs()] == assignment[eq.rhs()];
+    }
+    case FormulaKind::kNot: {
+      auto sub = Holds(static_cast<const NotFormula&>(*formula).sub(),
+                       assignment, env);
+      if (!sub.ok()) return sub;
+      return !*sub;
+    }
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+    case FormulaKind::kImplies:
+    case FormulaKind::kIff: {
+      const auto& b = static_cast<const BinaryFormula&>(*formula);
+      auto lhs = Holds(b.lhs(), assignment, env);
+      if (!lhs.ok()) return lhs;
+      auto rhs = Holds(b.rhs(), assignment, env);
+      if (!rhs.ok()) return rhs;
+      switch (formula->kind()) {
+        case FormulaKind::kAnd:
+          return *lhs && *rhs;
+        case FormulaKind::kOr:
+          return *lhs || *rhs;
+        case FormulaKind::kImplies:
+          return !*lhs || *rhs;
+        default:
+          return *lhs == *rhs;
+      }
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForAll: {
+      const auto& q = static_cast<const QuantFormula&>(*formula);
+      const bool is_exists = formula->kind() == FormulaKind::kExists;
+      std::vector<Value> a = assignment;
+      for (std::size_t v = 0; v < n; ++v) {
+        a[q.var()] = static_cast<Value>(v);
+        auto body = Holds(q.body(), a, env);
+        if (!body.ok()) return body;
+        if (is_exists && *body) return true;
+        if (!is_exists && !*body) return false;
+      }
+      return !is_exists;
+    }
+    case FormulaKind::kFixpoint: {
+      const auto& fp = static_cast<const FixpointFormula&>(*formula);
+      const std::size_t m = fp.bound_vars().size();
+      TupleIndexer idx(n, m);
+      // The stage relation is computed with the current assignment fixed,
+      // which is exactly the semantics of parameters y in the paper.
+      auto apply_operator =
+          [&](const Relation& current) -> Result<Relation> {
+        std::map<std::string, Relation> inner_env = env;
+        inner_env[fp.rel_var()] = current;
+        RelationBuilder next(m);
+        std::vector<Value> a = assignment;
+        Tuple t(m);
+        for (std::size_t r = 0; r < idx.NumTuples(); ++r) {
+          idx.Unrank(r, t.data());
+          for (std::size_t j = 0; j < m; ++j) a[fp.bound_vars()[j]] = t[j];
+          auto holds = Holds(fp.body(), a, inner_env);
+          if (!holds.ok()) return holds.status();
+          if (*holds) next.Add(t);
+        }
+        return next.Build();
+      };
+
+      Relation current(m);
+      if (fp.op() == FixpointKind::kGreatest) {
+        auto full = Relation::Full(m, n);
+        if (!full.ok()) return full.status();
+        current = std::move(*full);
+      }
+      Relation limit(m);
+      if (fp.op() == FixpointKind::kInflationary) {
+        for (;;) {
+          auto next = apply_operator(current);
+          if (!next.ok()) return next.status();
+          // Union with the previous stage (IFP semantics).
+          RelationBuilder u(m);
+          current.ForEach([&](const Value* t) { u.Add(t); });
+          next->ForEach([&](const Value* t) { u.Add(t); });
+          Relation merged = u.Build();
+          if (merged == current) {
+            limit = std::move(merged);
+            break;
+          }
+          current = std::move(merged);
+        }
+      } else if (fp.op() == FixpointKind::kPartial) {
+        std::vector<Relation> history;
+        history.push_back(current);
+        for (;;) {
+          auto next = apply_operator(current);
+          if (!next.ok()) return next.status();
+          if (*next == current) {
+            limit = std::move(*next);
+            break;
+          }
+          if (std::find(history.begin(), history.end(), *next) !=
+              history.end()) {
+            // Cycle without a limit: the partial fixpoint is empty.
+            break;
+          }
+          history.push_back(*next);
+          current = std::move(*next);
+        }
+      } else {
+        bool converged = false;
+        for (std::size_t iter = 0; iter <= idx.NumTuples() + 2; ++iter) {
+          auto next = apply_operator(current);
+          if (!next.ok()) return next.status();
+          if (*next == current) {
+            limit = std::move(*next);
+            converged = true;
+            break;
+          }
+          current = std::move(*next);
+        }
+        if (!converged) {
+          return Status::TypeError(
+              "fixpoint did not converge; operator is not monotone");
+        }
+      }
+      Tuple point(m);
+      for (std::size_t j = 0; j < m; ++j) {
+        point[j] = assignment[fp.apply_args()[j]];
+      }
+      return limit.Contains(point);
+    }
+    case FormulaKind::kSecondOrderExists: {
+      const auto& so = static_cast<const SoExistsFormula&>(*formula);
+      if (TupleIndexer::Exceeds(n, so.arity(), kMaxSoCells)) {
+        return Status::ResourceExhausted(
+            "second-order enumeration too large for reference evaluator");
+      }
+      TupleIndexer idx(n, so.arity());
+      const std::size_t cells = idx.NumTuples();
+      Tuple t(so.arity());
+      for (uint64_t mask = 0; mask < (uint64_t{1} << cells); ++mask) {
+        RelationBuilder rb(so.arity());
+        for (std::size_t c = 0; c < cells; ++c) {
+          if ((mask >> c) & 1) {
+            idx.Unrank(c, t.data());
+            rb.Add(t);
+          }
+        }
+        std::map<std::string, Relation> inner_env = env;
+        inner_env[so.rel_var()] = rb.Build();
+        auto holds = Holds(so.body(), assignment, inner_env);
+        if (!holds.ok()) return holds;
+        if (*holds) return true;
+      }
+      return false;
+    }
+  }
+  return Status::Internal("unreachable formula kind");
+}
+
+Result<Relation> ReferenceEvaluator::SatisfyingAssignments(
+    const FormulaPtr& formula) const {
+  const std::size_t n = db_->domain_size();
+  TupleIndexer idx(n, num_vars_);
+  RelationBuilder out(num_vars_);
+  std::vector<Value> a(num_vars_);
+  for (std::size_t r = 0; r < idx.NumTuples(); ++r) {
+    idx.Unrank(r, a.data());
+    auto holds = Holds(formula, a, {});
+    if (!holds.ok()) return holds.status();
+    if (*holds) out.Add(a);
+  }
+  return out.Build();
+}
+
+Result<Relation> ReferenceEvaluator::EvaluateQuery(const Query& query) const {
+  auto sat = SatisfyingAssignments(query.formula);
+  if (!sat.ok()) return sat;
+  RelationBuilder out(query.answer_vars.size());
+  Tuple row(query.answer_vars.size());
+  sat->ForEach([&](const Value* t) {
+    for (std::size_t j = 0; j < query.answer_vars.size(); ++j) {
+      row[j] = t[query.answer_vars[j]];
+    }
+    out.Add(row);
+  });
+  return out.Build();
+}
+
+}  // namespace bvq

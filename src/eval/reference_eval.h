@@ -1,0 +1,53 @@
+#ifndef BVQ_EVAL_REFERENCE_EVAL_H_
+#define BVQ_EVAL_REFERENCE_EVAL_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "db/database.h"
+#include "db/relation.h"
+#include "logic/formula.h"
+
+namespace bvq {
+
+/// A deliberately simple, slow, definition-following evaluator used as the
+/// semantics ground truth in tests.
+///
+/// Truth of a formula under an explicit assignment is computed by direct
+/// recursion on the formula: quantifiers try every domain element,
+/// fixpoints iterate explicit m-ary Relations per the Tarski–Knaster stage
+/// sequence (recomputed for every assignment of their parameters),
+/// second-order quantifiers enumerate all 2^{n^m} candidate relations.
+/// Nothing is shared with the production evaluators, so agreement between
+/// the two is strong evidence of correctness.
+class ReferenceEvaluator {
+ public:
+  ReferenceEvaluator(const Database& db, std::size_t num_vars);
+
+  /// Truth of `formula` under `assignment` (values for x1..xk) and
+  /// relation-variable environment `env`.
+  Result<bool> Holds(const FormulaPtr& formula,
+                     const std::vector<Value>& assignment,
+                     const std::map<std::string, Relation>& env) const;
+
+  Result<bool> Holds(const FormulaPtr& formula,
+                     const std::vector<Value>& assignment) const {
+    return Holds(formula, assignment, {});
+  }
+
+  /// The full satisfying set, as a num_vars-ary relation over D (one row
+  /// per satisfying assignment). Exponential scan; tests only.
+  Result<Relation> SatisfyingAssignments(const FormulaPtr& formula) const;
+
+  /// Evaluates a query (y̅)phi to its answer relation.
+  Result<Relation> EvaluateQuery(const Query& query) const;
+
+ private:
+  const Database* db_;
+  std::size_t num_vars_;
+};
+
+}  // namespace bvq
+
+#endif  // BVQ_EVAL_REFERENCE_EVAL_H_

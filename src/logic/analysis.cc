@@ -1,0 +1,512 @@
+#include "logic/analysis.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace bvq {
+
+namespace {
+
+void CollectFreeVars(const FormulaPtr& f, std::set<std::size_t>& out) {
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+      return;
+    case FormulaKind::kAtom: {
+      const auto& atom = static_cast<const AtomFormula&>(*f);
+      out.insert(atom.args().begin(), atom.args().end());
+      return;
+    }
+    case FormulaKind::kEquals: {
+      const auto& eq = static_cast<const EqualsFormula&>(*f);
+      out.insert(eq.lhs());
+      out.insert(eq.rhs());
+      return;
+    }
+    case FormulaKind::kNot:
+      CollectFreeVars(static_cast<const NotFormula&>(*f).sub(), out);
+      return;
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+    case FormulaKind::kImplies:
+    case FormulaKind::kIff: {
+      const auto& b = static_cast<const BinaryFormula&>(*f);
+      CollectFreeVars(b.lhs(), out);
+      CollectFreeVars(b.rhs(), out);
+      return;
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForAll: {
+      const auto& q = static_cast<const QuantFormula&>(*f);
+      std::set<std::size_t> inner;
+      CollectFreeVars(q.body(), inner);
+      inner.erase(q.var());
+      out.insert(inner.begin(), inner.end());
+      return;
+    }
+    case FormulaKind::kFixpoint: {
+      const auto& fp = static_cast<const FixpointFormula&>(*f);
+      std::set<std::size_t> inner;
+      CollectFreeVars(fp.body(), inner);
+      for (std::size_t v : fp.bound_vars()) inner.erase(v);
+      out.insert(inner.begin(), inner.end());
+      out.insert(fp.apply_args().begin(), fp.apply_args().end());
+      return;
+    }
+    case FormulaKind::kSecondOrderExists:
+      CollectFreeVars(static_cast<const SoExistsFormula&>(*f).body(), out);
+      return;
+  }
+}
+
+std::size_t MaxVarIndexPlusOne(const FormulaPtr& f) {
+  std::size_t m = 0;
+  auto bump = [&m](std::size_t v) { m = std::max(m, v + 1); };
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+      return 0;
+    case FormulaKind::kAtom: {
+      const auto& atom = static_cast<const AtomFormula&>(*f);
+      for (std::size_t v : atom.args()) bump(v);
+      return m;
+    }
+    case FormulaKind::kEquals: {
+      const auto& eq = static_cast<const EqualsFormula&>(*f);
+      bump(eq.lhs());
+      bump(eq.rhs());
+      return m;
+    }
+    case FormulaKind::kNot:
+      return MaxVarIndexPlusOne(static_cast<const NotFormula&>(*f).sub());
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+    case FormulaKind::kImplies:
+    case FormulaKind::kIff: {
+      const auto& b = static_cast<const BinaryFormula&>(*f);
+      return std::max(MaxVarIndexPlusOne(b.lhs()),
+                      MaxVarIndexPlusOne(b.rhs()));
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForAll: {
+      const auto& q = static_cast<const QuantFormula&>(*f);
+      bump(q.var());
+      return std::max(m, MaxVarIndexPlusOne(q.body()));
+    }
+    case FormulaKind::kFixpoint: {
+      const auto& fp = static_cast<const FixpointFormula&>(*f);
+      for (std::size_t v : fp.bound_vars()) bump(v);
+      for (std::size_t v : fp.apply_args()) bump(v);
+      return std::max(m, MaxVarIndexPlusOne(fp.body()));
+    }
+    case FormulaKind::kSecondOrderExists:
+      return MaxVarIndexPlusOne(
+          static_cast<const SoExistsFormula&>(*f).body());
+  }
+  return 0;
+}
+
+// Collects free predicates with arities; reports arity conflicts.
+Status CollectPredicates(const FormulaPtr& f,
+                         std::set<std::string>& bound,
+                         std::map<std::string, std::size_t>& out) {
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+    case FormulaKind::kEquals:
+      return Status::OK();
+    case FormulaKind::kAtom: {
+      const auto& atom = static_cast<const AtomFormula&>(*f);
+      if (bound.count(atom.pred())) return Status::OK();
+      auto it = out.find(atom.pred());
+      if (it != out.end() && it->second != atom.args().size()) {
+        return Status::TypeError(
+            StrCat("predicate ", atom.pred(), " used with arities ",
+                   it->second, " and ", atom.args().size()));
+      }
+      out[atom.pred()] = atom.args().size();
+      return Status::OK();
+    }
+    case FormulaKind::kNot:
+      return CollectPredicates(static_cast<const NotFormula&>(*f).sub(),
+                               bound, out);
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+    case FormulaKind::kImplies:
+    case FormulaKind::kIff: {
+      const auto& b = static_cast<const BinaryFormula&>(*f);
+      BVQ_RETURN_IF_ERROR(CollectPredicates(b.lhs(), bound, out));
+      return CollectPredicates(b.rhs(), bound, out);
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForAll:
+      return CollectPredicates(static_cast<const QuantFormula&>(*f).body(),
+                               bound, out);
+    case FormulaKind::kFixpoint: {
+      const auto& fp = static_cast<const FixpointFormula&>(*f);
+      const bool was_bound = bound.count(fp.rel_var()) > 0;
+      bound.insert(fp.rel_var());
+      Status s = CollectPredicates(fp.body(), bound, out);
+      if (!was_bound) bound.erase(fp.rel_var());
+      return s;
+    }
+    case FormulaKind::kSecondOrderExists: {
+      const auto& so = static_cast<const SoExistsFormula&>(*f);
+      const bool was_bound = bound.count(so.rel_var()) > 0;
+      bound.insert(so.rel_var());
+      Status s = CollectPredicates(so.body(), bound, out);
+      if (!was_bound) bound.erase(so.rel_var());
+      return s;
+    }
+  }
+  return Status::OK();
+}
+
+enum class Polarity { kPositive, kNegative, kBoth };
+
+Polarity Flip(Polarity p) {
+  switch (p) {
+    case Polarity::kPositive:
+      return Polarity::kNegative;
+    case Polarity::kNegative:
+      return Polarity::kPositive;
+    case Polarity::kBoth:
+      return Polarity::kBoth;
+  }
+  return Polarity::kBoth;
+}
+
+// Checks that rel_var occurs only with polarity kPositive under the given
+// ambient polarity.
+bool CheckPolarity(const FormulaPtr& f, const std::string& rel_var,
+                   Polarity ambient) {
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+    case FormulaKind::kEquals:
+      return true;
+    case FormulaKind::kAtom: {
+      const auto& atom = static_cast<const AtomFormula&>(*f);
+      if (atom.pred() != rel_var) return true;
+      return ambient == Polarity::kPositive;
+    }
+    case FormulaKind::kNot:
+      return CheckPolarity(static_cast<const NotFormula&>(*f).sub(), rel_var,
+                           Flip(ambient));
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      const auto& b = static_cast<const BinaryFormula&>(*f);
+      return CheckPolarity(b.lhs(), rel_var, ambient) &&
+             CheckPolarity(b.rhs(), rel_var, ambient);
+    }
+    case FormulaKind::kImplies: {
+      const auto& b = static_cast<const BinaryFormula&>(*f);
+      return CheckPolarity(b.lhs(), rel_var, Flip(ambient)) &&
+             CheckPolarity(b.rhs(), rel_var, ambient);
+    }
+    case FormulaKind::kIff: {
+      const auto& b = static_cast<const BinaryFormula&>(*f);
+      return CheckPolarity(b.lhs(), rel_var, Polarity::kBoth) &&
+             CheckPolarity(b.rhs(), rel_var, Polarity::kBoth);
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForAll:
+      return CheckPolarity(static_cast<const QuantFormula&>(*f).body(),
+                           rel_var, ambient);
+    case FormulaKind::kFixpoint: {
+      const auto& fp = static_cast<const FixpointFormula&>(*f);
+      if (fp.rel_var() == rel_var) return true;  // shadowed
+      return CheckPolarity(fp.body(), rel_var, ambient);
+    }
+    case FormulaKind::kSecondOrderExists: {
+      const auto& so = static_cast<const SoExistsFormula&>(*f);
+      if (so.rel_var() == rel_var) return true;  // shadowed
+      return CheckPolarity(so.body(), rel_var, ambient);
+    }
+  }
+  return false;
+}
+
+void Classify(const FormulaPtr& f, bool under_so_prefix, LanguageClass& c) {
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+    case FormulaKind::kAtom:
+    case FormulaKind::kEquals:
+      return;
+    case FormulaKind::kNot:
+      Classify(static_cast<const NotFormula&>(*f).sub(), false, c);
+      return;
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+    case FormulaKind::kImplies:
+    case FormulaKind::kIff: {
+      const auto& b = static_cast<const BinaryFormula&>(*f);
+      Classify(b.lhs(), false, c);
+      Classify(b.rhs(), false, c);
+      return;
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForAll:
+      Classify(static_cast<const QuantFormula&>(*f).body(), false, c);
+      return;
+    case FormulaKind::kFixpoint: {
+      const auto& fp = static_cast<const FixpointFormula&>(*f);
+      c.first_order = false;
+      c.eso = false;
+      if (fp.op() == FixpointKind::kPartial ||
+          fp.op() == FixpointKind::kInflationary) {
+        c.fixpoint = false;
+      } else if (!OccursOnlyPositively(fp.body(), fp.rel_var())) {
+        c.fixpoint = false;
+        c.partial_fixpoint = false;  // ill-formed as FP; pfp would not bind
+      }
+      Classify(fp.body(), false, c);
+      return;
+    }
+    case FormulaKind::kSecondOrderExists: {
+      const auto& so = static_cast<const SoExistsFormula&>(*f);
+      c.first_order = false;
+      c.fixpoint = false;
+      c.partial_fixpoint = false;
+      if (!under_so_prefix) c.eso = false;
+      Classify(so.body(), under_so_prefix, c);
+      return;
+    }
+  }
+}
+
+// Computes, for the subformula f, the alternation depth contributed by
+// chains ending in a kLeast (mu_depth) and kGreatest (nu_depth) fixpoint.
+// This is the standard Niwinski-style syntactic alternation depth,
+// simplified to nesting (we do not check dependence through the recursion
+// variable, so this is an upper bound that is tight for all families used
+// in this repository).
+struct AltDepth {
+  std::size_t mu = 0;  // deepest chain whose outermost sign is mu
+  std::size_t nu = 0;  // deepest chain whose outermost sign is nu
+};
+
+AltDepth AlternationDepthRec(const FormulaPtr& f) {
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+    case FormulaKind::kAtom:
+    case FormulaKind::kEquals:
+      return {};
+    case FormulaKind::kNot:
+      return AlternationDepthRec(static_cast<const NotFormula&>(*f).sub());
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+    case FormulaKind::kImplies:
+    case FormulaKind::kIff: {
+      const auto& b = static_cast<const BinaryFormula&>(*f);
+      AltDepth l = AlternationDepthRec(b.lhs());
+      AltDepth r = AlternationDepthRec(b.rhs());
+      return {std::max(l.mu, r.mu), std::max(l.nu, r.nu)};
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForAll:
+      return AlternationDepthRec(static_cast<const QuantFormula&>(*f).body());
+    case FormulaKind::kFixpoint: {
+      const auto& fp = static_cast<const FixpointFormula&>(*f);
+      AltDepth inner = AlternationDepthRec(fp.body());
+      AltDepth out = inner;
+      if (fp.op() == FixpointKind::kLeast ||
+          fp.op() == FixpointKind::kPartial ||
+          fp.op() == FixpointKind::kInflationary) {
+        out.mu = std::max({std::size_t{1}, inner.mu, inner.nu + 1});
+      } else {
+        out.nu = std::max({std::size_t{1}, inner.nu, inner.mu + 1});
+      }
+      return out;
+    }
+    case FormulaKind::kSecondOrderExists:
+      return AlternationDepthRec(
+          static_cast<const SoExistsFormula&>(*f).body());
+  }
+  return {};
+}
+
+Status CheckRec(const FormulaPtr& f, const Database& db, std::size_t num_vars,
+                std::map<std::string, std::size_t>& binders) {
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+      return Status::OK();
+    case FormulaKind::kAtom: {
+      const auto& atom = static_cast<const AtomFormula&>(*f);
+      for (std::size_t v : atom.args()) {
+        if (v >= num_vars) {
+          return Status::TypeError(StrCat("atom ", atom.pred(),
+                                          " uses variable x", v + 1,
+                                          " but only ", num_vars,
+                                          " variables are allowed"));
+        }
+      }
+      auto it = binders.find(atom.pred());
+      if (it != binders.end()) {
+        if (it->second != atom.args().size()) {
+          return Status::TypeError(
+              StrCat("relation variable ", atom.pred(), " has arity ",
+                     it->second, ", used with ", atom.args().size()));
+        }
+        return Status::OK();
+      }
+      auto rel = db.GetRelation(atom.pred());
+      if (!rel.ok()) {
+        return Status::TypeError(
+            StrCat("unknown predicate ", atom.pred()));
+      }
+      if ((*rel)->arity() != atom.args().size()) {
+        return Status::TypeError(
+            StrCat("relation ", atom.pred(), " has arity ", (*rel)->arity(),
+                   ", used with ", atom.args().size()));
+      }
+      return Status::OK();
+    }
+    case FormulaKind::kEquals: {
+      const auto& eq = static_cast<const EqualsFormula&>(*f);
+      if (eq.lhs() >= num_vars || eq.rhs() >= num_vars) {
+        return Status::TypeError("equality uses out-of-range variable");
+      }
+      return Status::OK();
+    }
+    case FormulaKind::kNot:
+      return CheckRec(static_cast<const NotFormula&>(*f).sub(), db, num_vars,
+                      binders);
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+    case FormulaKind::kImplies:
+    case FormulaKind::kIff: {
+      const auto& b = static_cast<const BinaryFormula&>(*f);
+      BVQ_RETURN_IF_ERROR(CheckRec(b.lhs(), db, num_vars, binders));
+      return CheckRec(b.rhs(), db, num_vars, binders);
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForAll: {
+      const auto& q = static_cast<const QuantFormula&>(*f);
+      if (q.var() >= num_vars) {
+        return Status::TypeError(
+            StrCat("quantifier binds out-of-range variable x", q.var() + 1));
+      }
+      return CheckRec(q.body(), db, num_vars, binders);
+    }
+    case FormulaKind::kFixpoint: {
+      const auto& fp = static_cast<const FixpointFormula&>(*f);
+      if (fp.bound_vars().empty()) {
+        return Status::TypeError("fixpoint binds no variables");
+      }
+      std::set<std::size_t> distinct(fp.bound_vars().begin(),
+                                     fp.bound_vars().end());
+      if (distinct.size() != fp.bound_vars().size()) {
+        return Status::TypeError(
+            StrCat("fixpoint ", fp.rel_var(), " binds repeated variables"));
+      }
+      if (fp.apply_args().size() != fp.bound_vars().size()) {
+        return Status::TypeError(
+            StrCat("fixpoint ", fp.rel_var(), " applied to ",
+                   fp.apply_args().size(), " arguments, binds ",
+                   fp.bound_vars().size()));
+      }
+      for (std::size_t v : fp.bound_vars()) {
+        if (v >= num_vars) {
+          return Status::TypeError(
+              StrCat("fixpoint binds out-of-range variable x", v + 1));
+        }
+      }
+      for (std::size_t v : fp.apply_args()) {
+        if (v >= num_vars) {
+          return Status::TypeError(
+              StrCat("fixpoint applied to out-of-range variable x", v + 1));
+        }
+      }
+      if (fp.op() != FixpointKind::kPartial &&
+          fp.op() != FixpointKind::kInflationary &&
+          !OccursOnlyPositively(fp.body(), fp.rel_var())) {
+        return Status::TypeError(
+            StrCat("recursion variable ", fp.rel_var(),
+                   " must occur positively in an lfp/gfp body"));
+      }
+      auto saved = binders.find(fp.rel_var());
+      std::size_t saved_arity = 0;
+      bool had = false;
+      if (saved != binders.end()) {
+        had = true;
+        saved_arity = saved->second;
+      }
+      binders[fp.rel_var()] = fp.bound_vars().size();
+      Status s = CheckRec(fp.body(), db, num_vars, binders);
+      if (had) {
+        binders[fp.rel_var()] = saved_arity;
+      } else {
+        binders.erase(fp.rel_var());
+      }
+      return s;
+    }
+    case FormulaKind::kSecondOrderExists: {
+      const auto& so = static_cast<const SoExistsFormula&>(*f);
+      auto saved = binders.find(so.rel_var());
+      std::size_t saved_arity = 0;
+      bool had = false;
+      if (saved != binders.end()) {
+        had = true;
+        saved_arity = saved->second;
+      }
+      binders[so.rel_var()] = so.arity();
+      Status s = CheckRec(so.body(), db, num_vars, binders);
+      if (had) {
+        binders[so.rel_var()] = saved_arity;
+      } else {
+        binders.erase(so.rel_var());
+      }
+      return s;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::set<std::size_t> FreeVars(const FormulaPtr& formula) {
+  std::set<std::size_t> out;
+  CollectFreeVars(formula, out);
+  return out;
+}
+
+std::size_t NumVariables(const FormulaPtr& formula) {
+  return MaxVarIndexPlusOne(formula);
+}
+
+Result<std::map<std::string, std::size_t>> FreePredicates(
+    const FormulaPtr& formula) {
+  std::map<std::string, std::size_t> out;
+  std::set<std::string> bound;
+  BVQ_RETURN_IF_ERROR(CollectPredicates(formula, bound, out));
+  return out;
+}
+
+bool OccursOnlyPositively(const FormulaPtr& formula,
+                          const std::string& rel_var) {
+  return CheckPolarity(formula, rel_var, Polarity::kPositive);
+}
+
+LanguageClass ClassifyLanguage(const FormulaPtr& formula) {
+  LanguageClass c;
+  Classify(formula, true, c);
+  return c;
+}
+
+std::size_t AlternationDepth(const FormulaPtr& formula) {
+  AltDepth d = AlternationDepthRec(formula);
+  return std::max(d.mu, d.nu);
+}
+
+Status CheckWellFormed(const FormulaPtr& formula, const Database& db,
+                       std::size_t num_vars) {
+  std::map<std::string, std::size_t> binders;
+  return CheckRec(formula, db, num_vars, binders);
+}
+
+}  // namespace bvq

@@ -1,0 +1,62 @@
+#ifndef BVQ_LOGIC_ANALYSIS_H_
+#define BVQ_LOGIC_ANALYSIS_H_
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/status.h"
+#include "db/database.h"
+#include "logic/formula.h"
+
+namespace bvq {
+
+/// Free first-order variables of `formula` (indices).
+std::set<std::size_t> FreeVars(const FormulaPtr& formula);
+
+/// The number of distinct individual variables the formula mentions (bound
+/// or free), as max index + 1. A formula is in L^k iff NumVariables <= k —
+/// the paper's bounded-variable restriction (Section 2.2).
+std::size_t NumVariables(const FormulaPtr& formula);
+
+/// Free relation variables (predicate names not bound by an enclosing
+/// fixpoint or second-order quantifier) together with their arity as used.
+/// These must be supplied by the database (or an environment) at evaluation
+/// time. Returns an error if a name is used with two different arities.
+Result<std::map<std::string, std::size_t>> FreePredicates(
+    const FormulaPtr& formula);
+
+/// Whether every occurrence of `rel_var` in `formula` is positive (under an
+/// even number of negations, counting the left side of -> as one negation
+/// and both sides of <-> as unknown polarity). Occurrences under <-> make
+/// this return false. Required for lfp/gfp bodies (Section 2.2).
+bool OccursOnlyPositively(const FormulaPtr& formula,
+                          const std::string& rel_var);
+
+/// Which of the paper's four languages a formula falls in.
+struct LanguageClass {
+  bool first_order = true;   // FO: no fixpoints, no second-order
+  bool fixpoint = true;      // FP: lfp/gfp only (positivity satisfied)
+  bool partial_fixpoint = true;  // PFP: pfp/lfp/gfp, no second-order
+  bool eso = true;           // ESO: SO-exists prefix over an FO matrix
+};
+LanguageClass ClassifyLanguage(const FormulaPtr& formula);
+
+/// Alternation depth of least/greatest fixpoints: the length l of the
+/// longest chain of *dependent* nested fixpoints with alternating signs.
+/// Drives the naive evaluator's n^{kl} iteration bound and Theorem 3.5's
+/// l*n^k certificate size. A formula without fixpoints has depth 0; a
+/// single lfp (or any non-alternating monotone nesting) has depth 1.
+std::size_t AlternationDepth(const FormulaPtr& formula);
+
+/// Verifies a formula against a database: every free predicate resolves to
+/// a database relation with matching arity; fixpoint binders use distinct
+/// bound variables with matching argument counts; lfp/gfp bodies use their
+/// recursion variable only positively; all variable indices are < num_vars.
+Status CheckWellFormed(const FormulaPtr& formula, const Database& db,
+                       std::size_t num_vars);
+
+}  // namespace bvq
+
+#endif  // BVQ_LOGIC_ANALYSIS_H_

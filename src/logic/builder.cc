@@ -1,0 +1,119 @@
+#include "logic/builder.h"
+
+namespace bvq {
+
+FormulaPtr AndAll(std::vector<FormulaPtr> fs) {
+  if (fs.empty()) return True();
+  FormulaPtr out = std::move(fs[0]);
+  for (std::size_t i = 1; i < fs.size(); ++i) {
+    out = And(std::move(out), std::move(fs[i]));
+  }
+  return out;
+}
+
+FormulaPtr OrAll(std::vector<FormulaPtr> fs) {
+  if (fs.empty()) return False();
+  FormulaPtr out = std::move(fs[0]);
+  for (std::size_t i = 1; i < fs.size(); ++i) {
+    out = Or(std::move(out), std::move(fs[i]));
+  }
+  return out;
+}
+
+FormulaPtr SubstitutePredicate(const FormulaPtr& formula,
+                               const std::string& pred,
+                               const std::vector<std::size_t>& params,
+                               const FormulaPtr& replacement) {
+  switch (formula->kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+    case FormulaKind::kEquals:
+      return formula;
+    case FormulaKind::kAtom: {
+      const auto& atom = static_cast<const AtomFormula&>(*formula);
+      if (atom.pred() != pred) return formula;
+      if (atom.args() != params) return nullptr;
+      return replacement;
+    }
+    case FormulaKind::kNot: {
+      const auto& f = static_cast<const NotFormula&>(*formula);
+      FormulaPtr sub = SubstitutePredicate(f.sub(), pred, params, replacement);
+      if (sub == nullptr) return nullptr;
+      if (sub == f.sub()) return formula;
+      return Not(std::move(sub));
+    }
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+    case FormulaKind::kImplies:
+    case FormulaKind::kIff: {
+      const auto& f = static_cast<const BinaryFormula&>(*formula);
+      FormulaPtr lhs = SubstitutePredicate(f.lhs(), pred, params, replacement);
+      FormulaPtr rhs = SubstitutePredicate(f.rhs(), pred, params, replacement);
+      if (lhs == nullptr || rhs == nullptr) return nullptr;
+      if (lhs == f.lhs() && rhs == f.rhs()) return formula;
+      return std::make_shared<BinaryFormula>(formula->kind(), std::move(lhs),
+                                             std::move(rhs));
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForAll: {
+      const auto& f = static_cast<const QuantFormula&>(*formula);
+      FormulaPtr body =
+          SubstitutePredicate(f.body(), pred, params, replacement);
+      if (body == nullptr) return nullptr;
+      if (body == f.body()) return formula;
+      return std::make_shared<QuantFormula>(formula->kind(), f.var(),
+                                            std::move(body));
+    }
+    case FormulaKind::kFixpoint: {
+      const auto& f = static_cast<const FixpointFormula&>(*formula);
+      if (f.rel_var() == pred) return formula;  // shadowed inside
+      FormulaPtr body =
+          SubstitutePredicate(f.body(), pred, params, replacement);
+      if (body == nullptr) return nullptr;
+      if (body == f.body()) return formula;
+      return std::make_shared<FixpointFormula>(f.op(), f.rel_var(),
+                                               f.bound_vars(), std::move(body),
+                                               f.apply_args());
+    }
+    case FormulaKind::kSecondOrderExists: {
+      const auto& f = static_cast<const SoExistsFormula&>(*formula);
+      if (f.rel_var() == pred) return formula;  // shadowed inside
+      FormulaPtr body =
+          SubstitutePredicate(f.body(), pred, params, replacement);
+      if (body == nullptr) return nullptr;
+      if (body == f.body()) return formula;
+      return std::make_shared<SoExistsFormula>(f.rel_var(), f.arity(),
+                                               std::move(body));
+    }
+  }
+  return nullptr;
+}
+
+std::size_t Formula::Size() const {
+  switch (kind_) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+    case FormulaKind::kAtom:
+    case FormulaKind::kEquals:
+      return 1;
+    case FormulaKind::kNot:
+      return 1 + static_cast<const NotFormula*>(this)->sub()->Size();
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+    case FormulaKind::kImplies:
+    case FormulaKind::kIff: {
+      const auto* f = static_cast<const BinaryFormula*>(this);
+      return 1 + f->lhs()->Size() + f->rhs()->Size();
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForAll:
+      return 1 + static_cast<const QuantFormula*>(this)->body()->Size();
+    case FormulaKind::kFixpoint:
+      return 1 + static_cast<const FixpointFormula*>(this)->body()->Size();
+    case FormulaKind::kSecondOrderExists:
+      return 1 + static_cast<const SoExistsFormula*>(this)->body()->Size();
+  }
+  return 1;
+}
+
+}  // namespace bvq

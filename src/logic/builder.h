@@ -1,0 +1,119 @@
+#ifndef BVQ_LOGIC_BUILDER_H_
+#define BVQ_LOGIC_BUILDER_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "logic/formula.h"
+
+namespace bvq {
+
+/// Programmatic formula constructors. These are the intended way to build
+/// formulas from code (reductions, translations, tests); the parser is for
+/// humans. All functions return shared immutable subtrees, so reductions
+/// that substitute a subformula many times stay linear-size.
+
+inline FormulaPtr True() { return std::make_shared<ConstFormula>(true); }
+inline FormulaPtr False() { return std::make_shared<ConstFormula>(false); }
+
+inline FormulaPtr Atom(std::string pred, std::vector<std::size_t> args) {
+  return std::make_shared<AtomFormula>(std::move(pred), std::move(args));
+}
+
+inline FormulaPtr Eq(std::size_t lhs, std::size_t rhs) {
+  return std::make_shared<EqualsFormula>(lhs, rhs);
+}
+
+inline FormulaPtr Not(FormulaPtr sub) {
+  return std::make_shared<NotFormula>(std::move(sub));
+}
+
+inline FormulaPtr And(FormulaPtr lhs, FormulaPtr rhs) {
+  return std::make_shared<BinaryFormula>(FormulaKind::kAnd, std::move(lhs),
+                                         std::move(rhs));
+}
+
+inline FormulaPtr Or(FormulaPtr lhs, FormulaPtr rhs) {
+  return std::make_shared<BinaryFormula>(FormulaKind::kOr, std::move(lhs),
+                                         std::move(rhs));
+}
+
+inline FormulaPtr Implies(FormulaPtr lhs, FormulaPtr rhs) {
+  return std::make_shared<BinaryFormula>(FormulaKind::kImplies,
+                                         std::move(lhs), std::move(rhs));
+}
+
+inline FormulaPtr Iff(FormulaPtr lhs, FormulaPtr rhs) {
+  return std::make_shared<BinaryFormula>(FormulaKind::kIff, std::move(lhs),
+                                         std::move(rhs));
+}
+
+/// Conjunction of a list; True() if empty.
+FormulaPtr AndAll(std::vector<FormulaPtr> fs);
+/// Disjunction of a list; False() if empty.
+FormulaPtr OrAll(std::vector<FormulaPtr> fs);
+
+inline FormulaPtr Exists(std::size_t var, FormulaPtr body) {
+  return std::make_shared<QuantFormula>(FormulaKind::kExists, var,
+                                        std::move(body));
+}
+
+inline FormulaPtr ForAll(std::size_t var, FormulaPtr body) {
+  return std::make_shared<QuantFormula>(FormulaKind::kForAll, var,
+                                        std::move(body));
+}
+
+inline FormulaPtr Lfp(std::string rel_var, std::vector<std::size_t> bound_vars,
+                      FormulaPtr body, std::vector<std::size_t> apply_args) {
+  return std::make_shared<FixpointFormula>(
+      FixpointKind::kLeast, std::move(rel_var), std::move(bound_vars),
+      std::move(body), std::move(apply_args));
+}
+
+inline FormulaPtr Gfp(std::string rel_var, std::vector<std::size_t> bound_vars,
+                      FormulaPtr body, std::vector<std::size_t> apply_args) {
+  return std::make_shared<FixpointFormula>(
+      FixpointKind::kGreatest, std::move(rel_var), std::move(bound_vars),
+      std::move(body), std::move(apply_args));
+}
+
+inline FormulaPtr Pfp(std::string rel_var, std::vector<std::size_t> bound_vars,
+                      FormulaPtr body, std::vector<std::size_t> apply_args) {
+  return std::make_shared<FixpointFormula>(
+      FixpointKind::kPartial, std::move(rel_var), std::move(bound_vars),
+      std::move(body), std::move(apply_args));
+}
+
+inline FormulaPtr Ifp(std::string rel_var, std::vector<std::size_t> bound_vars,
+                      FormulaPtr body, std::vector<std::size_t> apply_args) {
+  return std::make_shared<FixpointFormula>(
+      FixpointKind::kInflationary, std::move(rel_var), std::move(bound_vars),
+      std::move(body), std::move(apply_args));
+}
+
+inline FormulaPtr SoExists(std::string rel_var, std::size_t arity,
+                           FormulaPtr body) {
+  return std::make_shared<SoExistsFormula>(std::move(rel_var), arity,
+                                           std::move(body));
+}
+
+/// Substitutes every atom `pred(...)` whose predicate equals `pred` by the
+/// replacement formula applied at the atom's arguments: `replacement` must
+/// be a formula whose free variables are among `params`, and each occurrence
+/// pred(u̅) becomes replacement with params renamed to u̅ *via bounded
+/// variable re-binding*: exists params'(params' = u̅ and replacement)?
+///
+/// We implement the simple special case used by the paper's reductions
+/// (Proposition 3.2): `params` must equal the atom's argument tuple
+/// syntactically for every occurrence, so the replacement can be spliced
+/// in directly. Returns nullptr if some occurrence has different arguments.
+FormulaPtr SubstitutePredicate(const FormulaPtr& formula,
+                               const std::string& pred,
+                               const std::vector<std::size_t>& params,
+                               const FormulaPtr& replacement);
+
+}  // namespace bvq
+
+#endif  // BVQ_LOGIC_BUILDER_H_

@@ -1,0 +1,213 @@
+#ifndef BVQ_LOGIC_FORMULA_H_
+#define BVQ_LOGIC_FORMULA_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace bvq {
+
+/// Node kinds of the shared formula AST.
+///
+/// One AST covers all four languages the paper studies (Section 2.2):
+///  - FO: the first eleven kinds;
+///  - FP: adds kFixpoint with kLeast/kGreatest operators (bodies must use
+///    the recursion variable positively);
+///  - PFP: adds kFixpoint with kPartial (no positivity requirement);
+///  - ESO: adds kSecondOrderExists over an FO (or FP) matrix.
+enum class FormulaKind {
+  kTrue,
+  kFalse,
+  kAtom,        // R(x_{i1},...,x_{im}) — database relation, recursion
+                // variable, or second-order variable, resolved at eval time
+  kEquals,      // x_i = x_j
+  kNot,
+  kAnd,
+  kOr,
+  kImplies,
+  kIff,
+  kExists,      // exists x_i . phi
+  kForAll,      // forall x_i . phi
+  kFixpoint,    // [lfp/gfp/pfp S(x̄). phi](z̄)
+  kSecondOrderExists,  // exists S/m . phi
+};
+
+/// Which fixpoint a kFixpoint node denotes.
+enum class FixpointKind {
+  kLeast,     // mu: limit of the increasing sequence from the empty relation
+  kGreatest,  // nu: limit of the decreasing sequence from D^m
+  kPartial,   // pfp: limit of the (not necessarily monotone) sequence from
+              // the empty relation; the empty relation if no limit exists
+  kInflationary,  // ifp: limit of X_{i+1} = X_i union phi(X_i) from the
+                  // empty relation; always converges within n^m stages and
+                  // needs no positivity. Section 3.2 of the paper notes
+                  // that FP = IFP in expressive power [GS86] but that the
+                  // Theorem 3.5 technique does not apply to IFP^k, whose
+                  // best known combined-complexity bound is the PSPACE of
+                  // PFP^k — which is what this implementation delivers.
+};
+
+class Formula;
+/// Formulas are immutable and shared; subtrees may appear in multiple
+/// parents (the Path-Systems family of Proposition 3.2 relies on sharing to
+/// stay linear-size).
+using FormulaPtr = std::shared_ptr<const Formula>;
+
+/// An immutable formula AST node.
+///
+/// First-order variables are identified by 0-based indices; the surface
+/// syntax x1, x2, ... maps to indices 0, 1, .... A formula of the
+/// bounded-variable language L^k uses only indices < k.
+class Formula {
+ public:
+  virtual ~Formula() = default;
+
+  FormulaKind kind() const { return kind_; }
+
+  /// Number of AST nodes (shared subtrees counted once per occurrence in
+  /// the tree, i.e., this is the size of the *expression*, matching the
+  /// paper's |e|). Computed on demand.
+  std::size_t Size() const;
+
+ protected:
+  explicit Formula(FormulaKind kind) : kind_(kind) {}
+
+ private:
+  FormulaKind kind_;
+};
+
+/// true / false constants.
+class ConstFormula : public Formula {
+ public:
+  explicit ConstFormula(bool value)
+      : Formula(value ? FormulaKind::kTrue : FormulaKind::kFalse) {}
+  bool value() const { return kind() == FormulaKind::kTrue; }
+};
+
+/// R(x_{args[0]+1}, ..., x_{args[m-1]+1}). The predicate name is resolved
+/// during evaluation against, in order: enclosing fixpoint recursion
+/// variables, enclosing second-order variables, then database relations.
+class AtomFormula : public Formula {
+ public:
+  AtomFormula(std::string pred, std::vector<std::size_t> args)
+      : Formula(FormulaKind::kAtom),
+        pred_(std::move(pred)),
+        args_(std::move(args)) {}
+  const std::string& pred() const { return pred_; }
+  const std::vector<std::size_t>& args() const { return args_; }
+
+ private:
+  std::string pred_;
+  std::vector<std::size_t> args_;
+};
+
+/// x_i = x_j.
+class EqualsFormula : public Formula {
+ public:
+  EqualsFormula(std::size_t lhs, std::size_t rhs)
+      : Formula(FormulaKind::kEquals), lhs_(lhs), rhs_(rhs) {}
+  std::size_t lhs() const { return lhs_; }
+  std::size_t rhs() const { return rhs_; }
+
+ private:
+  std::size_t lhs_;
+  std::size_t rhs_;
+};
+
+/// Negation.
+class NotFormula : public Formula {
+ public:
+  explicit NotFormula(FormulaPtr sub)
+      : Formula(FormulaKind::kNot), sub_(std::move(sub)) {}
+  const FormulaPtr& sub() const { return sub_; }
+
+ private:
+  FormulaPtr sub_;
+};
+
+/// And / Or / Implies / Iff, determined by kind().
+class BinaryFormula : public Formula {
+ public:
+  BinaryFormula(FormulaKind kind, FormulaPtr lhs, FormulaPtr rhs)
+      : Formula(kind), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+  const FormulaPtr& lhs() const { return lhs_; }
+  const FormulaPtr& rhs() const { return rhs_; }
+
+ private:
+  FormulaPtr lhs_;
+  FormulaPtr rhs_;
+};
+
+/// Exists / ForAll over a first-order variable, determined by kind().
+class QuantFormula : public Formula {
+ public:
+  QuantFormula(FormulaKind kind, std::size_t var, FormulaPtr body)
+      : Formula(kind), var_(var), body_(std::move(body)) {}
+  std::size_t var() const { return var_; }
+  const FormulaPtr& body() const { return body_; }
+
+ private:
+  std::size_t var_;
+  FormulaPtr body_;
+};
+
+/// [op S(x̄). body](z̄): the m-ary fixpoint of body viewed as an operator on
+/// m-ary relations (Section 2.2), applied to the argument variables z̄.
+/// Variables of body outside x̄ act as parameters y of the fixpoint.
+class FixpointFormula : public Formula {
+ public:
+  FixpointFormula(FixpointKind op, std::string rel_var,
+                  std::vector<std::size_t> bound_vars, FormulaPtr body,
+                  std::vector<std::size_t> apply_args)
+      : Formula(FormulaKind::kFixpoint),
+        op_(op),
+        rel_var_(std::move(rel_var)),
+        bound_vars_(std::move(bound_vars)),
+        body_(std::move(body)),
+        apply_args_(std::move(apply_args)) {}
+  FixpointKind op() const { return op_; }
+  const std::string& rel_var() const { return rel_var_; }
+  /// The distinct variables x̄ the recursion relation abstracts over.
+  const std::vector<std::size_t>& bound_vars() const { return bound_vars_; }
+  const FormulaPtr& body() const { return body_; }
+  /// The variables z̄ the fixpoint is applied to (|z̄| = |x̄|).
+  const std::vector<std::size_t>& apply_args() const { return apply_args_; }
+
+ private:
+  FixpointKind op_;
+  std::string rel_var_;
+  std::vector<std::size_t> bound_vars_;
+  FormulaPtr body_;
+  std::vector<std::size_t> apply_args_;
+};
+
+/// exists S/arity . body — existential second-order quantification (ESO).
+class SoExistsFormula : public Formula {
+ public:
+  SoExistsFormula(std::string rel_var, std::size_t arity, FormulaPtr body)
+      : Formula(FormulaKind::kSecondOrderExists),
+        rel_var_(std::move(rel_var)),
+        arity_(arity),
+        body_(std::move(body)) {}
+  const std::string& rel_var() const { return rel_var_; }
+  std::size_t arity() const { return arity_; }
+  const FormulaPtr& body() const { return body_; }
+
+ private:
+  std::string rel_var_;
+  std::size_t arity_;
+  FormulaPtr body_;
+};
+
+/// A query (y̅)phi(y̅) per Section 2.2: a formula together with the tuple of
+/// answer variables. Evaluating it over a database B yields
+/// { t in D^{|y̅|} : B |= phi(t) }.
+struct Query {
+  std::vector<std::size_t> answer_vars;
+  FormulaPtr formula;
+};
+
+}  // namespace bvq
+
+#endif  // BVQ_LOGIC_FORMULA_H_

@@ -1,0 +1,187 @@
+#include "logic/nnf.h"
+
+#include <set>
+#include <string>
+
+#include "logic/builder.h"
+
+namespace bvq {
+
+namespace {
+
+// flipped: relation variables S currently standing for their complement
+// (introduced when a fixpoint is dualized); each atom S(u̅) with S flipped
+// is emitted negated.
+Result<FormulaPtr> Nnf(const FormulaPtr& f, bool negate,
+                       std::set<std::string>& flipped) {
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+      return negate ? False() : f;
+    case FormulaKind::kFalse:
+      return negate ? True() : f;
+    case FormulaKind::kAtom: {
+      const auto& atom = static_cast<const AtomFormula&>(*f);
+      const bool flip = flipped.count(atom.pred()) > 0;
+      return (negate != flip) ? Not(f) : f;
+    }
+    case FormulaKind::kEquals:
+      return negate ? Not(f) : f;
+    case FormulaKind::kNot:
+      return Nnf(static_cast<const NotFormula&>(*f).sub(), !negate, flipped);
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      const auto& b = static_cast<const BinaryFormula&>(*f);
+      auto lhs = Nnf(b.lhs(), negate, flipped);
+      if (!lhs.ok()) return lhs;
+      auto rhs = Nnf(b.rhs(), negate, flipped);
+      if (!rhs.ok()) return rhs;
+      const bool as_and = (f->kind() == FormulaKind::kAnd) != negate;
+      return as_and ? And(std::move(*lhs), std::move(*rhs))
+                    : Or(std::move(*lhs), std::move(*rhs));
+    }
+    case FormulaKind::kImplies: {
+      // a -> b  ==  !a | b
+      const auto& b = static_cast<const BinaryFormula&>(*f);
+      auto na = Nnf(b.lhs(), !negate, flipped);
+      if (!na.ok()) return na;
+      auto rb = Nnf(b.rhs(), negate, flipped);
+      if (!rb.ok()) return rb;
+      // negate: !(a -> b) == a & !b; otherwise !a | b. In both cases the
+      // left piece is Nnf(a, !negate) and the right Nnf(b, negate); only
+      // the connective differs.
+      return negate ? And(std::move(*na), std::move(*rb))
+                    : Or(std::move(*na), std::move(*rb));
+    }
+    case FormulaKind::kIff: {
+      // a <-> b == (a & b) | (!a & !b); negation gives (a & !b) | (!a & b).
+      const auto& b = static_cast<const BinaryFormula&>(*f);
+      auto pa = Nnf(b.lhs(), false, flipped);
+      if (!pa.ok()) return pa;
+      auto pb = Nnf(b.rhs(), negate, flipped);
+      if (!pb.ok()) return pb;
+      auto na = Nnf(b.lhs(), true, flipped);
+      if (!na.ok()) return na;
+      auto nb = Nnf(b.rhs(), !negate, flipped);
+      if (!nb.ok()) return nb;
+      return Or(And(std::move(*pa), std::move(*pb)),
+                And(std::move(*na), std::move(*nb)));
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForAll: {
+      const auto& q = static_cast<const QuantFormula&>(*f);
+      auto body = Nnf(q.body(), negate, flipped);
+      if (!body.ok()) return body;
+      const bool as_exists = (f->kind() == FormulaKind::kExists) != negate;
+      return as_exists ? Exists(q.var(), std::move(*body))
+                       : ForAll(q.var(), std::move(*body));
+    }
+    case FormulaKind::kFixpoint: {
+      const auto& fp = static_cast<const FixpointFormula&>(*f);
+      const bool was_flipped = flipped.count(fp.rel_var()) > 0;
+      if (fp.op() == FixpointKind::kPartial ||
+          fp.op() == FixpointKind::kInflationary) {
+        // pfp/ifp have no dual; normalize the body without flipping the
+        // binder and keep an outer negation if required.
+        if (was_flipped) flipped.erase(fp.rel_var());
+        auto body = Nnf(fp.body(), false, flipped);
+        if (was_flipped) flipped.insert(fp.rel_var());
+        if (!body.ok()) return body;
+        FormulaPtr node = std::make_shared<FixpointFormula>(
+            fp.op(), fp.rel_var(), fp.bound_vars(), std::move(*body),
+            fp.apply_args());
+        return negate ? Not(std::move(node)) : node;
+      }
+      // not [lfp S. phi](z) == [gfp S. not phi[S := not S]](z), i.e. the
+      // dualized body is Nnf(phi, !false -> negate, flipped +- S).
+      const bool dualize = negate;
+      if (dualize) {
+        flipped.insert(fp.rel_var());
+      } else if (was_flipped) {
+        flipped.erase(fp.rel_var());
+      }
+      auto body = Nnf(fp.body(), negate, flipped);
+      // Restore the flipped-set for the enclosing scope.
+      if (dualize) {
+        if (!was_flipped) flipped.erase(fp.rel_var());
+      } else if (was_flipped) {
+        flipped.insert(fp.rel_var());
+      }
+      if (!body.ok()) return body;
+      FixpointKind op = fp.op();
+      if (dualize) {
+        op = (op == FixpointKind::kLeast) ? FixpointKind::kGreatest
+                                          : FixpointKind::kLeast;
+      }
+      return FormulaPtr(std::make_shared<FixpointFormula>(
+          op, fp.rel_var(), fp.bound_vars(), std::move(*body),
+          fp.apply_args()));
+    }
+    case FormulaKind::kSecondOrderExists: {
+      const auto& so = static_cast<const SoExistsFormula&>(*f);
+      if (negate) {
+        return Status::Unsupported(
+            "negation of a second-order quantifier has no NNF in this AST");
+      }
+      const bool was_flipped = flipped.count(so.rel_var()) > 0;
+      if (was_flipped) flipped.erase(so.rel_var());
+      auto body = Nnf(so.body(), false, flipped);
+      if (was_flipped) flipped.insert(so.rel_var());
+      if (!body.ok()) return body;
+      return SoExists(so.rel_var(), so.arity(), std::move(*body));
+    }
+  }
+  return Status::Internal("unreachable formula kind");
+}
+
+bool IsNnf(const FormulaPtr& f) {
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+    case FormulaKind::kAtom:
+    case FormulaKind::kEquals:
+      return true;
+    case FormulaKind::kNot: {
+      const auto& sub = static_cast<const NotFormula&>(*f).sub();
+      if (sub->kind() == FormulaKind::kAtom ||
+          sub->kind() == FormulaKind::kEquals) {
+        return true;
+      }
+      if (sub->kind() == FormulaKind::kFixpoint) {
+        const auto& fp = static_cast<const FixpointFormula&>(*sub);
+        return (fp.op() == FixpointKind::kPartial ||
+                fp.op() == FixpointKind::kInflationary) &&
+               IsNnf(fp.body());
+      }
+      return false;
+    }
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      const auto& b = static_cast<const BinaryFormula&>(*f);
+      return IsNnf(b.lhs()) && IsNnf(b.rhs());
+    }
+    case FormulaKind::kImplies:
+    case FormulaKind::kIff:
+      return false;
+    case FormulaKind::kExists:
+    case FormulaKind::kForAll:
+      return IsNnf(static_cast<const QuantFormula&>(*f).body());
+    case FormulaKind::kFixpoint:
+      return IsNnf(static_cast<const FixpointFormula&>(*f).body());
+    case FormulaKind::kSecondOrderExists:
+      return IsNnf(static_cast<const SoExistsFormula&>(*f).body());
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<FormulaPtr> NegationNormalForm(const FormulaPtr& formula) {
+  std::set<std::string> flipped;
+  return Nnf(formula, false, flipped);
+}
+
+bool IsNegationNormalForm(const FormulaPtr& formula) {
+  return IsNnf(formula);
+}
+
+}  // namespace bvq

@@ -1,0 +1,29 @@
+#ifndef BVQ_LOGIC_NNF_H_
+#define BVQ_LOGIC_NNF_H_
+
+#include "common/status.h"
+#include "logic/formula.h"
+
+namespace bvq {
+
+/// Rewrites a formula into negation normal form: negations appear only on
+/// atoms and equalities (and on pfp subformulas, which have no clean dual),
+/// implications and equivalences are expanded, and negated least/greatest
+/// fixpoints are dualized via
+///
+///   not [lfp S(x̄). phi](z̄)  ==  [gfp S(x̄). not phi[S := not S]](z̄)
+///
+/// (and symmetrically), which preserves the positivity of recursion
+/// variables. The result is equivalent to the input on every database.
+///
+/// In NNF every lfp/gfp subformula occurs positively, the precondition of
+/// the certificate system implementing Theorem 3.5.
+Result<FormulaPtr> NegationNormalForm(const FormulaPtr& formula);
+
+/// True iff negations appear only immediately above atoms, equalities, or
+/// pfp subformulas, and no kImplies/kIff nodes remain.
+bool IsNegationNormalForm(const FormulaPtr& formula);
+
+}  // namespace bvq
+
+#endif  // BVQ_LOGIC_NNF_H_

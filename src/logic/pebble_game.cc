@@ -1,0 +1,181 @@
+#include "logic/pebble_game.h"
+
+#include <map>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/index.h"
+#include "common/strings.h"
+
+namespace bvq {
+
+namespace {
+
+// The atomic type of a total assignment ā: for every relation R and every
+// argument pattern over the pebbles, whether R(ā[pattern]) holds, plus the
+// equality pattern among pebbles. Encoded as a vector<bool> and interned
+// to small ids.
+class TypeTable {
+ public:
+  TypeTable(const Database& db, std::size_t k) : db_(&db), k_(k) {
+    for (const auto& [name, rel] : db.relations()) {
+      TupleIndexer patterns(k, rel.arity());
+      for (std::size_t p = 0; p < patterns.NumTuples(); ++p) {
+        patterns_.push_back({&rel, patterns.Unrank(p)});
+      }
+    }
+  }
+
+  // Computes the interned type id of the assignment with digits from
+  // `idx`/`rank`, using `intern` shared between both structures so equal
+  // types get equal ids.
+  int TypeOf(const TupleIndexer& idx, std::size_t rank,
+             std::map<std::vector<bool>, int>& intern) const {
+    std::vector<bool> sig;
+    sig.reserve(patterns_.size() + k_ * k_);
+    Tuple point;
+    for (const auto& [rel, pattern] : patterns_) {
+      point.resize(pattern.size());
+      for (std::size_t j = 0; j < pattern.size(); ++j) {
+        point[j] = idx.Digit(rank, pattern[j]);
+      }
+      sig.push_back(rel->Contains(point));
+    }
+    for (std::size_t i = 0; i < k_; ++i) {
+      for (std::size_t j = i + 1; j < k_; ++j) {
+        sig.push_back(idx.Digit(rank, i) == idx.Digit(rank, j));
+      }
+    }
+    auto [it, inserted] =
+        intern.try_emplace(std::move(sig), static_cast<int>(intern.size()));
+    return it->second;
+  }
+
+ private:
+  const Database* db_;
+  std::size_t k_;
+  std::vector<std::pair<const Relation*, std::vector<uint32_t>>> patterns_;
+};
+
+}  // namespace
+
+Result<PebbleGameResult> PebbleGameEquivalence(const Database& a,
+                                               const Database& b,
+                                               std::size_t num_pebbles,
+                                               std::size_t max_pairs) {
+  if (num_pebbles == 0) {
+    return Status::InvalidArgument("the game needs at least one pebble");
+  }
+  // Schemas must agree.
+  for (const auto& [name, rel] : a.relations()) {
+    auto other = b.GetRelation(name);
+    if (!other.ok() || (*other)->arity() != rel.arity()) {
+      return Status::InvalidArgument(
+          StrCat("schemas differ at relation ", name));
+    }
+  }
+  for (const auto& [name, rel] : b.relations()) {
+    if (!a.HasRelation(name)) {
+      return Status::InvalidArgument(
+          StrCat("schemas differ at relation ", name));
+    }
+  }
+
+  const std::size_t na = a.domain_size();
+  const std::size_t nb = b.domain_size();
+  PebbleGameResult result;
+  if (na == 0 || nb == 0) {
+    // "exists x1 (x1 = x1)" distinguishes empty from nonempty.
+    result.equivalent = (na == 0 && nb == 0);
+    return result;
+  }
+  if (TupleIndexer::Exceeds(na, num_pebbles, max_pairs) ||
+      TupleIndexer::Exceeds(nb, num_pebbles, max_pairs)) {
+    return Status::ResourceExhausted("pebble game state space too large");
+  }
+  TupleIndexer ia(na, num_pebbles);
+  TupleIndexer ib(nb, num_pebbles);
+  const std::size_t ca = ia.NumTuples();
+  const std::size_t cb = ib.NumTuples();
+  if (ca > max_pairs / cb) {
+    return Status::ResourceExhausted("pebble game state space too large");
+  }
+
+  // E_0 via interned atomic types.
+  std::map<std::vector<bool>, int> intern;
+  TypeTable ta(a, num_pebbles);
+  TypeTable tb(b, num_pebbles);
+  std::vector<int> type_a(ca), type_b(cb);
+  for (std::size_t r = 0; r < ca; ++r) type_a[r] = ta.TypeOf(ia, r, intern);
+  for (std::size_t r = 0; r < cb; ++r) type_b[r] = tb.TypeOf(ib, r, intern);
+
+  DynamicBitset related(ca * cb);
+  for (std::size_t ra = 0; ra < ca; ++ra) {
+    for (std::size_t rb = 0; rb < cb; ++rb) {
+      if (type_a[ra] == type_b[rb]) related.Set(ra * cb + rb);
+    }
+  }
+
+  // Refinement rounds: a related pair survives iff for every pebble j,
+  // every repositioning on one side can be matched on the other.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++result.rounds;
+    DynamicBitset next = related;
+    for (std::size_t ra = 0; ra < ca; ++ra) {
+      for (std::size_t rb = 0; rb < cb; ++rb) {
+        if (!related.Test(ra * cb + rb)) continue;
+        bool survive = true;
+        for (std::size_t j = 0; j < num_pebbles && survive; ++j) {
+          // Spoiler moves pebble j in A; duplicator must answer in B.
+          for (std::size_t va = 0; va < na && survive; ++va) {
+            const std::size_t ra2 =
+                ia.WithDigit(ra, j, static_cast<uint32_t>(va));
+            bool matched = false;
+            for (std::size_t vb = 0; vb < nb; ++vb) {
+              const std::size_t rb2 =
+                  ib.WithDigit(rb, j, static_cast<uint32_t>(vb));
+              if (related.Test(ra2 * cb + rb2)) {
+                matched = true;
+                break;
+              }
+            }
+            if (!matched) survive = false;
+          }
+          // And symmetrically in B.
+          for (std::size_t vb = 0; vb < nb && survive; ++vb) {
+            const std::size_t rb2 =
+                ib.WithDigit(rb, j, static_cast<uint32_t>(vb));
+            bool matched = false;
+            for (std::size_t va = 0; va < na; ++va) {
+              const std::size_t ra2 =
+                  ia.WithDigit(ra, j, static_cast<uint32_t>(va));
+              if (related.Test(ra2 * cb + rb2)) {
+                matched = true;
+                break;
+              }
+            }
+            if (!matched) survive = false;
+          }
+        }
+        if (!survive) {
+          next.Reset(ra * cb + rb);
+          changed = true;
+        }
+      }
+    }
+    related = std::move(next);
+  }
+
+  result.surviving_pairs = related.Count();
+  // One surviving pair means some ā in A and b̄ in B share their full
+  // L^k type; in particular A and B agree on every FO^k sentence.
+  // Conversely, FO^k-equivalent structures realize each other's types
+  // (each type is FO^k-definable on finite structures), so some pair
+  // survives.
+  result.equivalent = result.surviving_pairs > 0;
+  return result;
+}
+
+}  // namespace bvq

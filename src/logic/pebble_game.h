@@ -1,0 +1,51 @@
+#ifndef BVQ_LOGIC_PEBBLE_GAME_H_
+#define BVQ_LOGIC_PEBBLE_GAME_H_
+
+#include <cstddef>
+
+#include "common/status.h"
+#include "db/database.h"
+
+namespace bvq {
+
+/// The k-pebble game, deciding FO^k-equivalence of finite structures.
+///
+/// The paper's Section 2.2 points to [IK89] and [Hod93] for the expressive
+/// power of bounded-variable logics; the k-pebble (Barwise/Immerman) game
+/// is the standard tool there. Two databases over the same schema satisfy
+/// exactly the same FO^k sentences iff the duplicator wins the k-pebble
+/// game, which on finite structures reduces to a greatest-fixpoint
+/// computation over pebble configurations:
+///
+///   E_0(ā, b̄)     = ā and b̄ satisfy the same atomic formulas with
+///                    arguments among the pebbles,
+///   E_{i+1}(ā, b̄) = E_i(ā, b̄) and for every pebble j:
+///                    for every a' in A there is b' in B with
+///                      E_i(ā[j→a'], b̄[j→b']), and symmetrically.
+///
+/// The limit E_∞ (reached after finitely many refinement rounds) relates
+/// exactly the configurations with the same L^k_{∞ω} type — which on
+/// finite structures coincides with having the same FO^k type, since each
+/// refinement stage is FO^k-definable.
+struct PebbleGameResult {
+  /// Duplicator wins from every initial placement iff the structures are
+  /// FO^k-equivalent (agree on all FO^k sentences).
+  bool equivalent = false;
+  /// Number of refinement rounds until the partition stabilized; a
+  /// non-equivalent pair is distinguished by a formula of quantifier
+  /// depth about this many rounds.
+  std::size_t rounds = 0;
+  /// Number of configuration pairs related by E_infinity.
+  std::size_t surviving_pairs = 0;
+};
+
+/// Decides FO^k-equivalence of `a` and `b` (which must have the same
+/// relation names and arities). Cost is O((|A|·|B|)^k · k · (|A|+|B|))
+/// per round; gated by `max_pairs` on (|A|·|B|)^k.
+Result<PebbleGameResult> PebbleGameEquivalence(
+    const Database& a, const Database& b, std::size_t num_pebbles,
+    std::size_t max_pairs = std::size_t{1} << 24);
+
+}  // namespace bvq
+
+#endif  // BVQ_LOGIC_PEBBLE_GAME_H_

@@ -1,0 +1,188 @@
+#include "logic/random_formula.h"
+
+#include "logic/builder.h"
+
+namespace bvq {
+
+namespace {
+
+struct Scope {
+  std::string name;
+  std::size_t arity;
+  bool must_be_positive;   // lfp/gfp recursion variable
+  bool polarity_at_binder;  // running polarity when the body started
+};
+
+class Generator {
+ public:
+  Generator(const RandomFormulaOptions& options, Rng& rng)
+      : opts_(options), rng_(rng) {}
+
+  FormulaPtr Gen(std::size_t budget, bool positive) {
+    if (budget <= 1) return Leaf(positive);
+    // Pick a connective; weights keep trees bushy but varied.
+    enum {
+      kNot,
+      kAnd,
+      kOr,
+      kImplies,
+      kIff,
+      kExists,
+      kForAll,
+      kFix,
+      kLeafAnyway
+    };
+    std::vector<int> choices = {kNot, kAnd, kAnd, kOr,     kOr,
+                                kImplies, kExists, kExists, kForAll,
+                                kLeafAnyway};
+    if (opts_.allow_iff && !InPositivityScope()) choices.push_back(kIff);
+    if ((opts_.allow_fixpoints || opts_.allow_pfp || opts_.allow_ifp) &&
+        budget >= 4) {
+      choices.push_back(kFix);
+      choices.push_back(kFix);
+    }
+    switch (choices[rng_.Below(choices.size())]) {
+      case kNot:
+        return Not(Gen(budget - 1, !positive));
+      case kAnd: {
+        const std::size_t left = 1 + rng_.Below(budget - 1);
+        return And(Gen(left, positive), Gen(budget - left, positive));
+      }
+      case kOr: {
+        const std::size_t left = 1 + rng_.Below(budget - 1);
+        return Or(Gen(left, positive), Gen(budget - left, positive));
+      }
+      case kImplies: {
+        const std::size_t left = 1 + rng_.Below(budget - 1);
+        return Implies(Gen(left, !positive), Gen(budget - left, positive));
+      }
+      case kIff: {
+        const std::size_t left = 1 + rng_.Below(budget - 1);
+        return Iff(Gen(left, positive), Gen(budget - left, positive));
+      }
+      case kExists:
+        return Exists(RandomVar(), Gen(budget - 1, positive));
+      case kForAll:
+        return ForAll(RandomVar(), Gen(budget - 1, positive));
+      case kFix:
+        return GenFixpoint(budget, positive);
+      default:
+        return Leaf(positive);
+    }
+  }
+
+ private:
+  bool InPositivityScope() const {
+    for (const Scope& s : scopes_) {
+      if (s.must_be_positive) return true;
+    }
+    return false;
+  }
+
+  std::size_t RandomVar() { return rng_.Below(opts_.num_vars); }
+
+  std::vector<std::size_t> RandomVars(std::size_t count) {
+    std::vector<std::size_t> out(count);
+    for (auto& v : out) v = RandomVar();
+    return out;
+  }
+
+  std::vector<std::size_t> RandomDistinctVars(std::size_t count) {
+    std::vector<std::size_t> pool(opts_.num_vars);
+    for (std::size_t j = 0; j < pool.size(); ++j) pool[j] = j;
+    // Fisher-Yates prefix shuffle.
+    for (std::size_t j = 0; j < count; ++j) {
+      const std::size_t pick = j + rng_.Below(pool.size() - j);
+      std::swap(pool[j], pool[pick]);
+    }
+    pool.resize(count);
+    return pool;
+  }
+
+  FormulaPtr Leaf(bool positive) {
+    // Candidate atoms: database predicates always; scope variables only in
+    // allowed polarity.
+    struct Candidate {
+      const std::string* name;
+      std::size_t arity;
+    };
+    std::vector<Candidate> atoms;
+    for (const auto& [name, arity] : opts_.predicates) {
+      atoms.push_back({&name, arity});
+    }
+    for (const Scope& s : scopes_) {
+      // A recursion variable may be emitted only when the number of
+      // negations since its binder is even, i.e., the running polarity
+      // equals the polarity at the binder.
+      if (!s.must_be_positive || positive == s.polarity_at_binder) {
+        atoms.push_back({&s.name, s.arity});
+      }
+    }
+    // 0 = true/false, 1 = equality, else atom.
+    const uint64_t pick = rng_.Below(atoms.empty() ? 2 : 6);
+    if (pick == 0 || atoms.empty()) {
+      switch (rng_.Below(3)) {
+        case 0:
+          return rng_.Bernoulli(0.5) ? True() : False();
+        default:
+          return Eq(RandomVar(), RandomVar());
+      }
+    }
+    if (pick == 1) return Eq(RandomVar(), RandomVar());
+    const Candidate& c = atoms[rng_.Below(atoms.size())];
+    return Atom(*c.name, RandomVars(c.arity));
+  }
+
+  FormulaPtr GenFixpoint(std::size_t budget, bool positive) {
+    const std::size_t max_arity =
+        std::min(opts_.max_fixpoint_arity, opts_.num_vars);
+    const std::size_t arity = 1 + rng_.Below(max_arity);
+    std::vector<std::size_t> bound = RandomDistinctVars(arity);
+    std::vector<std::size_t> args = RandomVars(arity);
+    const std::string name = "S" + std::to_string(next_rel_id_++);
+
+    std::vector<FixpointKind> ops;
+    if (opts_.allow_fixpoints) {
+      ops.push_back(FixpointKind::kLeast);
+      ops.push_back(FixpointKind::kGreatest);
+    }
+    if (opts_.allow_pfp) ops.push_back(FixpointKind::kPartial);
+    if (opts_.allow_ifp) ops.push_back(FixpointKind::kInflationary);
+    const FixpointKind op = ops[rng_.Below(ops.size())];
+
+    // Inside a pfp body the operator is arbitrary, so occurrences of outer
+    // lfp/gfp variables would make *their* operators non-monotone even
+    // with even negation parity; mask them out for the body.
+    const bool non_monotone = op == FixpointKind::kPartial ||
+                              op == FixpointKind::kInflationary;
+    std::vector<Scope> saved_scopes;
+    if (non_monotone) {
+      saved_scopes = scopes_;
+      std::vector<Scope> kept;
+      for (const Scope& s : scopes_) {
+        if (!s.must_be_positive) kept.push_back(s);
+      }
+      scopes_ = std::move(kept);
+    }
+    scopes_.push_back({name, arity, !non_monotone, positive});
+    FormulaPtr body = Gen(budget - 3, positive);
+    scopes_.pop_back();
+    if (non_monotone) scopes_ = std::move(saved_scopes);
+    return std::make_shared<FixpointFormula>(op, name, std::move(bound),
+                                             std::move(body), std::move(args));
+  }
+
+  const RandomFormulaOptions& opts_;
+  Rng& rng_;
+  std::vector<Scope> scopes_;
+  int next_rel_id_ = 0;
+};
+
+}  // namespace
+
+FormulaPtr RandomFormula(const RandomFormulaOptions& options, Rng& rng) {
+  Generator gen(options, rng);
+  return gen.Gen(options.max_size, true);
+}
+
+}  // namespace bvq

@@ -1,0 +1,43 @@
+#ifndef BVQ_LOGIC_RANDOM_FORMULA_H_
+#define BVQ_LOGIC_RANDOM_FORMULA_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "logic/formula.h"
+
+namespace bvq {
+
+/// Knobs for RandomFormula.
+struct RandomFormulaOptions {
+  /// Variables x1..x_{num_vars} may appear (the k of L^k).
+  std::size_t num_vars = 3;
+  /// Approximate node-count budget.
+  std::size_t max_size = 25;
+  /// Database predicates available to atoms: (name, arity).
+  std::vector<std::pair<std::string, std::size_t>> predicates;
+  /// Allow lfp/gfp subformulas (recursion variables are used positively by
+  /// construction, so results are well-formed FP).
+  bool allow_fixpoints = false;
+  /// Allow pfp subformulas.
+  bool allow_pfp = false;
+  /// Allow ifp (inflationary) subformulas.
+  bool allow_ifp = false;
+  /// Maximum arity of generated fixpoint relations.
+  std::size_t max_fixpoint_arity = 2;
+  /// Allow <-> nodes (disabled automatically inside fixpoint bodies, where
+  /// they would break positivity).
+  bool allow_iff = true;
+};
+
+/// Generates a random well-formed formula for property tests: every
+/// generated formula type-checks against a database providing the listed
+/// predicates, uses only variables < num_vars, and satisfies the lfp/gfp
+/// positivity requirement.
+FormulaPtr RandomFormula(const RandomFormulaOptions& options, Rng& rng);
+
+}  // namespace bvq
+
+#endif  // BVQ_LOGIC_RANDOM_FORMULA_H_

@@ -1,0 +1,140 @@
+#include "mucalc/kripke.h"
+
+#include "common/strings.h"
+
+namespace bvq {
+namespace mucalc {
+
+Status KripkeStructure::AddTransition(std::size_t from, std::size_t to) {
+  if (from >= num_states_ || to >= num_states_) {
+    return Status::InvalidArgument(
+        StrCat("transition ", from, "->", to, " out of range"));
+  }
+  transitions_.emplace_back(from, to);
+  return Status::OK();
+}
+
+Status KripkeStructure::AddLabel(const std::string& prop, std::size_t state) {
+  if (state >= num_states_) {
+    return Status::InvalidArgument(StrCat("state ", state, " out of range"));
+  }
+  labels_[prop].push_back(state);
+  return Status::OK();
+}
+
+std::vector<std::size_t> KripkeStructure::Successors(
+    std::size_t state) const {
+  std::vector<std::size_t> out;
+  for (const auto& [from, to] : transitions_) {
+    if (from == state) out.push_back(to);
+  }
+  return out;
+}
+
+bool KripkeStructure::HasLabel(const std::string& prop,
+                               std::size_t state) const {
+  auto it = labels_.find(prop);
+  if (it == labels_.end()) return false;
+  for (std::size_t s : it->second) {
+    if (s == state) return true;
+  }
+  return false;
+}
+
+Database KripkeStructure::ToDatabase() const {
+  Database db(num_states_);
+  RelationBuilder edges(2);
+  for (const auto& [from, to] : transitions_) {
+    Value row[2] = {static_cast<Value>(from), static_cast<Value>(to)};
+    edges.Add(row);
+  }
+  Status s = db.AddRelation("E", edges.Build());
+  assert(s.ok());
+  for (const auto& [prop, states] : labels_) {
+    RelationBuilder b(1);
+    for (std::size_t state : states) {
+      Value v = static_cast<Value>(state);
+      b.Add(&v);
+    }
+    s = db.AddRelation(prop, b.Build());
+    assert(s.ok());
+  }
+  (void)s;
+  return db;
+}
+
+KripkeStructure RandomKripke(std::size_t num_states, double edge_prob,
+                             const std::vector<std::string>& props,
+                             Rng& rng) {
+  KripkeStructure k(num_states);
+  for (std::size_t u = 0; u < num_states; ++u) {
+    bool any = false;
+    for (std::size_t v = 0; v < num_states; ++v) {
+      if (rng.Bernoulli(edge_prob)) {
+        Status s = k.AddTransition(u, v);
+        assert(s.ok());
+        (void)s;
+        any = true;
+      }
+    }
+    if (!any) {
+      // Keep the structure total so mu-calculus box/diamond behave
+      // interestingly.
+      Status s = k.AddTransition(u, rng.Below(num_states));
+      assert(s.ok());
+      (void)s;
+    }
+  }
+  for (const std::string& p : props) {
+    for (std::size_t u = 0; u < num_states; ++u) {
+      if (rng.Bernoulli(0.5)) {
+        Status s = k.AddLabel(p, u);
+        assert(s.ok());
+        (void)s;
+      }
+    }
+  }
+  return k;
+}
+
+KripkeStructure MutexProtocol() {
+  // Locations per process: 0 = idle, 1 = trying, 2 = critical.
+  // Joint state id = 3*loc1 + loc2.
+  auto id = [](int l1, int l2) { return static_cast<std::size_t>(3 * l1 + l2); };
+  KripkeStructure k(9);
+  const char* names1[] = {"i1", "t1", "c1"};
+  const char* names2[] = {"i2", "t2", "c2"};
+  for (int l1 = 0; l1 < 3; ++l1) {
+    for (int l2 = 0; l2 < 3; ++l2) {
+      Status s = k.AddLabel(names1[l1], id(l1, l2));
+      assert(s.ok());
+      s = k.AddLabel(names2[l2], id(l1, l2));
+      assert(s.ok());
+      (void)s;
+      // Process 1 moves: idle->trying always; trying->critical unless the
+      // other process is critical; critical->idle.
+      int next1 = -1;
+      if (l1 == 0) next1 = 1;
+      if (l1 == 1 && l2 != 2) next1 = 2;
+      if (l1 == 2) next1 = 0;
+      if (next1 >= 0) {
+        s = k.AddTransition(id(l1, l2), id(next1, l2));
+        assert(s.ok());
+        (void)s;
+      }
+      int next2 = -1;
+      if (l2 == 0) next2 = 1;
+      if (l2 == 1 && l1 != 2) next2 = 2;
+      if (l2 == 2) next2 = 0;
+      if (next2 >= 0) {
+        s = k.AddTransition(id(l1, l2), id(l1, next2));
+        assert(s.ok());
+        (void)s;
+      }
+    }
+  }
+  return k;
+}
+
+}  // namespace mucalc
+}  // namespace bvq

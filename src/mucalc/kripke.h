@@ -1,0 +1,70 @@
+#ifndef BVQ_MUCALC_KRIPKE_H_
+#define BVQ_MUCALC_KRIPKE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "db/database.h"
+
+namespace bvq {
+namespace mucalc {
+
+/// A finite-state transition system with propositional labels: the
+/// "finite-state program viewed as a relational database consisting of
+/// unary and binary relations" of the paper's introduction.
+class KripkeStructure {
+ public:
+  explicit KripkeStructure(std::size_t num_states = 0)
+      : num_states_(num_states) {}
+
+  std::size_t num_states() const { return num_states_; }
+
+  Status AddTransition(std::size_t from, std::size_t to);
+  /// Marks proposition `prop` true in `state`.
+  Status AddLabel(const std::string& prop, std::size_t state);
+
+  const std::vector<std::pair<std::size_t, std::size_t>>& transitions()
+      const {
+    return transitions_;
+  }
+  const std::map<std::string, std::vector<std::size_t>>& labels() const {
+    return labels_;
+  }
+
+  /// Successors of a state.
+  std::vector<std::size_t> Successors(std::size_t state) const;
+
+  /// True iff `prop` holds in `state`.
+  bool HasLabel(const std::string& prop, std::size_t state) const;
+
+  /// The database view: domain = states, binary relation E = transitions,
+  /// one unary relation per proposition. Model checking is then query
+  /// evaluation over this database (Section 1 of the paper).
+  Database ToDatabase() const;
+
+ private:
+  std::size_t num_states_;
+  std::vector<std::pair<std::size_t, std::size_t>> transitions_;
+  std::map<std::string, std::vector<std::size_t>> labels_;
+};
+
+/// Random Kripke structure: each edge present with `edge_prob`, each
+/// proposition true in each state with probability 1/2.
+KripkeStructure RandomKripke(std::size_t num_states, double edge_prob,
+                             const std::vector<std::string>& props, Rng& rng);
+
+/// A two-process mutual-exclusion protocol (each process cycles
+/// idle -> trying -> critical, a scheduler picks one enabled move at a
+/// time, entry to the critical section is blocked while the other process
+/// is critical). States are the 9 joint locations; propositions:
+/// c1, c2 (process i critical), t1, t2 (trying), i1, i2 (idle).
+/// The standard example workload for the model-checking application.
+KripkeStructure MutexProtocol();
+
+}  // namespace mucalc
+}  // namespace bvq
+
+#endif  // BVQ_MUCALC_KRIPKE_H_

@@ -1,0 +1,512 @@
+#include "mucalc/mucalc.h"
+
+#include <cctype>
+#include <set>
+
+#include "common/strings.h"
+#include "logic/analysis.h"
+#include "logic/builder.h"
+
+namespace bvq {
+namespace mucalc {
+
+namespace {
+
+MuFormulaPtr Make(MuKind kind, std::string name, MuFormulaPtr lhs,
+                  MuFormulaPtr rhs) {
+  return std::make_shared<MuFormula>(kind, std::move(name), std::move(lhs),
+                                     std::move(rhs));
+}
+
+}  // namespace
+
+MuFormulaPtr MuTrue() { return Make(MuKind::kTrue, "", nullptr, nullptr); }
+MuFormulaPtr MuFalse() { return Make(MuKind::kFalse, "", nullptr, nullptr); }
+MuFormulaPtr MuName(std::string name) {
+  return Make(MuKind::kName, std::move(name), nullptr, nullptr);
+}
+MuFormulaPtr MuNot(MuFormulaPtr f) {
+  return Make(MuKind::kNot, "", std::move(f), nullptr);
+}
+MuFormulaPtr MuAnd(MuFormulaPtr a, MuFormulaPtr b) {
+  return Make(MuKind::kAnd, "", std::move(a), std::move(b));
+}
+MuFormulaPtr MuOr(MuFormulaPtr a, MuFormulaPtr b) {
+  return Make(MuKind::kOr, "", std::move(a), std::move(b));
+}
+MuFormulaPtr MuDiamond(MuFormulaPtr f) {
+  return Make(MuKind::kDiamond, "", std::move(f), nullptr);
+}
+MuFormulaPtr MuBox(MuFormulaPtr f) {
+  return Make(MuKind::kBox, "", std::move(f), nullptr);
+}
+MuFormulaPtr Mu(std::string var, MuFormulaPtr body) {
+  return Make(MuKind::kMu, std::move(var), std::move(body), nullptr);
+}
+MuFormulaPtr Nu(std::string var, MuFormulaPtr body) {
+  return Make(MuKind::kNu, std::move(var), std::move(body), nullptr);
+}
+
+std::size_t MuFormula::Size() const {
+  std::size_t s = 1;
+  if (lhs_) s += lhs_->Size();
+  if (rhs_) s += rhs_->Size();
+  return s;
+}
+
+std::string MuFormula::ToString() const {
+  switch (kind_) {
+    case MuKind::kTrue:
+      return "true";
+    case MuKind::kFalse:
+      return "false";
+    case MuKind::kName:
+      return name_;
+    case MuKind::kNot:
+      return "!(" + lhs_->ToString() + ")";
+    case MuKind::kAnd:
+      return "(" + lhs_->ToString() + " & " + rhs_->ToString() + ")";
+    case MuKind::kOr:
+      return "(" + lhs_->ToString() + " | " + rhs_->ToString() + ")";
+    case MuKind::kDiamond:
+      return "<>(" + lhs_->ToString() + ")";
+    case MuKind::kBox:
+      return "[](" + lhs_->ToString() + ")";
+    case MuKind::kMu:
+      return "mu " + name_ + " . (" + lhs_->ToString() + ")";
+    case MuKind::kNu:
+      return "nu " + name_ + " . (" + lhs_->ToString() + ")";
+  }
+  return "?";
+}
+
+// --- parser ------------------------------------------------------------------
+
+namespace {
+
+class MuParser {
+ public:
+  explicit MuParser(const std::string& text) : text_(text) {}
+
+  Result<MuFormulaPtr> Parse() {
+    auto f = ParseOr();
+    if (!f.ok()) return f;
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Status::ParseError(StrCat("trailing input at offset ", pos_));
+    }
+    return f;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Accept(const char* tok) {
+    SkipWs();
+    const std::size_t len = std::string(tok).size();
+    if (text_.compare(pos_, len, tok) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  std::string Ident() {
+    SkipWs();
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  Result<MuFormulaPtr> ParseOr() {
+    auto lhs = ParseAnd();
+    if (!lhs.ok()) return lhs;
+    MuFormulaPtr out = std::move(*lhs);
+    while (Accept("|")) {
+      auto rhs = ParseAnd();
+      if (!rhs.ok()) return rhs;
+      out = MuOr(std::move(out), std::move(*rhs));
+    }
+    return out;
+  }
+
+  Result<MuFormulaPtr> ParseAnd() {
+    auto lhs = ParseUnary();
+    if (!lhs.ok()) return lhs;
+    MuFormulaPtr out = std::move(*lhs);
+    while (Accept("&")) {
+      auto rhs = ParseUnary();
+      if (!rhs.ok()) return rhs;
+      out = MuAnd(std::move(out), std::move(*rhs));
+    }
+    return out;
+  }
+
+  Result<MuFormulaPtr> ParseUnary() {
+    if (Accept("!")) {
+      auto sub = ParseUnary();
+      if (!sub.ok()) return sub;
+      return MuNot(std::move(*sub));
+    }
+    if (Accept("<>")) {
+      auto sub = ParseUnary();
+      if (!sub.ok()) return sub;
+      return MuDiamond(std::move(*sub));
+    }
+    if (Accept("[]")) {
+      auto sub = ParseUnary();
+      if (!sub.ok()) return sub;
+      return MuBox(std::move(*sub));
+    }
+    SkipWs();
+    if (text_.compare(pos_, 3, "mu ") == 0 ||
+        text_.compare(pos_, 3, "nu ") == 0) {
+      const bool is_mu = text_[pos_] == 'm';
+      pos_ += 3;
+      std::string var = Ident();
+      if (var.empty()) {
+        return Status::ParseError(
+            StrCat("expected variable at offset ", pos_));
+      }
+      if (!Accept(".")) {
+        return Status::ParseError(StrCat("expected '.' at offset ", pos_));
+      }
+      auto body = ParseOr();
+      if (!body.ok()) return body;
+      return is_mu ? Mu(std::move(var), std::move(*body))
+                   : Nu(std::move(var), std::move(*body));
+    }
+    if (Accept("(")) {
+      auto f = ParseOr();
+      if (!f.ok()) return f;
+      if (!Accept(")")) {
+        return Status::ParseError(StrCat("expected ')' at offset ", pos_));
+      }
+      return f;
+    }
+    std::string name = Ident();
+    if (name.empty()) {
+      return Status::ParseError(StrCat("expected formula at offset ", pos_));
+    }
+    if (name == "true") return MuTrue();
+    if (name == "false") return MuFalse();
+    return MuName(std::move(name));
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+bool CheckPositive(const MuFormulaPtr& f, const std::string& var,
+                   bool positive) {
+  switch (f->kind()) {
+    case MuKind::kTrue:
+    case MuKind::kFalse:
+      return true;
+    case MuKind::kName:
+      return f->name() != var || positive;
+    case MuKind::kNot:
+      return CheckPositive(f->lhs(), var, !positive);
+    case MuKind::kAnd:
+    case MuKind::kOr:
+      return CheckPositive(f->lhs(), var, positive) &&
+             CheckPositive(f->rhs(), var, positive);
+    case MuKind::kDiamond:
+    case MuKind::kBox:
+      return CheckPositive(f->lhs(), var, positive);
+    case MuKind::kMu:
+    case MuKind::kNu:
+      if (f->name() == var) return true;  // shadowed
+      return CheckPositive(f->lhs(), var, positive);
+  }
+  return false;
+}
+
+bool CheckAllBindersPositive(const MuFormulaPtr& f) {
+  switch (f->kind()) {
+    case MuKind::kTrue:
+    case MuKind::kFalse:
+    case MuKind::kName:
+      return true;
+    case MuKind::kNot:
+    case MuKind::kDiamond:
+    case MuKind::kBox:
+      return CheckAllBindersPositive(f->lhs());
+    case MuKind::kAnd:
+    case MuKind::kOr:
+      return CheckAllBindersPositive(f->lhs()) &&
+             CheckAllBindersPositive(f->rhs());
+    case MuKind::kMu:
+    case MuKind::kNu:
+      return CheckPositive(f->lhs(), f->name(), true) &&
+             CheckAllBindersPositive(f->lhs());
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<MuFormulaPtr> ParseMuFormula(const std::string& text) {
+  MuParser parser(text);
+  return parser.Parse();
+}
+
+bool IsWellFormedMu(const MuFormulaPtr& f) {
+  return CheckAllBindersPositive(f);
+}
+
+// --- CTL sugar ---------------------------------------------------------------
+
+namespace {
+std::string FreshVar() {
+  static int counter = 0;
+  return "Zctl" + std::to_string(counter++);
+}
+}  // namespace
+
+MuFormulaPtr CtlEX(MuFormulaPtr f) { return MuDiamond(std::move(f)); }
+MuFormulaPtr CtlAX(MuFormulaPtr f) { return MuBox(std::move(f)); }
+MuFormulaPtr CtlEF(MuFormulaPtr f) {
+  std::string z = FreshVar();
+  return Mu(z, MuOr(std::move(f), MuDiamond(MuName(z))));
+}
+MuFormulaPtr CtlAF(MuFormulaPtr f) {
+  std::string z = FreshVar();
+  return Mu(z, MuOr(std::move(f), MuBox(MuName(z))));
+}
+MuFormulaPtr CtlEG(MuFormulaPtr f) {
+  std::string z = FreshVar();
+  return Nu(z, MuAnd(std::move(f), MuDiamond(MuName(z))));
+}
+MuFormulaPtr CtlAG(MuFormulaPtr f) {
+  std::string z = FreshVar();
+  return Nu(z, MuAnd(std::move(f), MuBox(MuName(z))));
+}
+MuFormulaPtr CtlEU(MuFormulaPtr a, MuFormulaPtr b) {
+  std::string z = FreshVar();
+  return Mu(z, MuOr(std::move(b), MuAnd(std::move(a), MuDiamond(MuName(z)))));
+}
+MuFormulaPtr CtlAU(MuFormulaPtr a, MuFormulaPtr b) {
+  std::string z = FreshVar();
+  return Mu(z, MuOr(std::move(b), MuAnd(std::move(a), MuBox(MuName(z)))));
+}
+
+// --- translation to FP^2 ------------------------------------------------------
+
+namespace {
+
+// cur is the variable index (0 or 1) holding "the current state"; bound
+// mu-calculus variables remember nothing about cur because the fixpoint
+// relation is unary and our atom remapping adjusts coordinates.
+Result<FormulaPtr> Translate(const MuFormulaPtr& f, std::size_t cur,
+                             std::set<std::string>& bound) {
+  const std::size_t other = 1 - cur;
+  switch (f->kind()) {
+    case MuKind::kTrue:
+      return True();
+    case MuKind::kFalse:
+      return False();
+    case MuKind::kName:
+      // Proposition or fixpoint variable: either way a unary atom at the
+      // current state.
+      return Atom(f->name(), {cur});
+    case MuKind::kNot: {
+      auto sub = Translate(f->lhs(), cur, bound);
+      if (!sub.ok()) return sub;
+      return Not(std::move(*sub));
+    }
+    case MuKind::kAnd:
+    case MuKind::kOr: {
+      auto lhs = Translate(f->lhs(), cur, bound);
+      if (!lhs.ok()) return lhs;
+      auto rhs = Translate(f->rhs(), cur, bound);
+      if (!rhs.ok()) return rhs;
+      return f->kind() == MuKind::kAnd ? And(std::move(*lhs), std::move(*rhs))
+                                       : Or(std::move(*lhs), std::move(*rhs));
+    }
+    case MuKind::kDiamond: {
+      auto sub = Translate(f->lhs(), other, bound);
+      if (!sub.ok()) return sub;
+      return Exists(other, And(Atom("E", {cur, other}), std::move(*sub)));
+    }
+    case MuKind::kBox: {
+      auto sub = Translate(f->lhs(), other, bound);
+      if (!sub.ok()) return sub;
+      return ForAll(other, Implies(Atom("E", {cur, other}), std::move(*sub)));
+    }
+    case MuKind::kMu:
+    case MuKind::kNu: {
+      if (!CheckPositive(f->lhs(), f->name(), true)) {
+        return Status::TypeError(
+            StrCat("variable ", f->name(), " must occur positively"));
+      }
+      const bool fresh = bound.insert(f->name()).second;
+      auto body = Translate(f->lhs(), cur, bound);
+      if (fresh) bound.erase(f->name());
+      if (!body.ok()) return body;
+      return f->kind() == MuKind::kMu
+                 ? Lfp(f->name(), {cur}, std::move(*body), {cur})
+                 : Gfp(f->name(), {cur}, std::move(*body), {cur});
+    }
+  }
+  return Status::Internal("unreachable mu-calculus kind");
+}
+
+}  // namespace
+
+Result<FormulaPtr> TranslateToFp2(const MuFormulaPtr& f) {
+  std::set<std::string> bound;
+  return Translate(f, 0, bound);
+}
+
+// --- model checker -------------------------------------------------------------
+
+ModelChecker::ModelChecker(const KripkeStructure& kripke)
+    : kripke_(&kripke), db_(kripke.ToDatabase()) {
+  succ_.resize(kripke.num_states());
+  for (const auto& [from, to] : kripke.transitions()) {
+    succ_[from].push_back(to);
+  }
+}
+
+Result<DynamicBitset> ModelChecker::EvalDirect(
+    const MuFormulaPtr& f, std::map<std::string, DynamicBitset>& env) {
+  const std::size_t n = kripke_->num_states();
+  switch (f->kind()) {
+    case MuKind::kTrue:
+      return DynamicBitset(n, true);
+    case MuKind::kFalse:
+      return DynamicBitset(n, false);
+    case MuKind::kName: {
+      auto it = env.find(f->name());
+      if (it != env.end()) return it->second;
+      DynamicBitset out(n);
+      auto label = kripke_->labels().find(f->name());
+      if (label != kripke_->labels().end()) {
+        for (std::size_t s : label->second) out.Set(s);
+      }
+      return out;
+    }
+    case MuKind::kNot: {
+      auto sub = EvalDirect(f->lhs(), env);
+      if (!sub.ok()) return sub;
+      sub->FlipAll();
+      return sub;
+    }
+    case MuKind::kAnd:
+    case MuKind::kOr: {
+      auto lhs = EvalDirect(f->lhs(), env);
+      if (!lhs.ok()) return lhs;
+      auto rhs = EvalDirect(f->rhs(), env);
+      if (!rhs.ok()) return rhs;
+      if (f->kind() == MuKind::kAnd) {
+        *lhs &= *rhs;
+      } else {
+        *lhs |= *rhs;
+      }
+      return lhs;
+    }
+    case MuKind::kDiamond:
+    case MuKind::kBox: {
+      auto sub = EvalDirect(f->lhs(), env);
+      if (!sub.ok()) return sub;
+      DynamicBitset out(n);
+      for (std::size_t s = 0; s < n; ++s) {
+        bool any = false, all = true;
+        for (std::size_t t : succ_[s]) {
+          if (sub->Test(t)) {
+            any = true;
+          } else {
+            all = false;
+          }
+        }
+        if (f->kind() == MuKind::kDiamond ? any : all) out.Set(s);
+      }
+      return out;
+    }
+    case MuKind::kMu:
+    case MuKind::kNu: {
+      if (!CheckPositive(f->lhs(), f->name(), true)) {
+        return Status::TypeError(
+            StrCat("variable ", f->name(), " must occur positively"));
+      }
+      DynamicBitset x(n, f->kind() == MuKind::kNu);
+      auto saved = env.find(f->name());
+      std::optional<DynamicBitset> outer;
+      if (saved != env.end()) outer = saved->second;
+      for (;;) {
+        env[f->name()] = x;
+        ++stats_.direct_iterations;
+        auto next = EvalDirect(f->lhs(), env);
+        if (!next.ok()) {
+          if (outer) {
+            env[f->name()] = *outer;
+          } else {
+            env.erase(f->name());
+          }
+          return next;
+        }
+        if (*next == x) break;
+        x = std::move(*next);
+      }
+      if (outer) {
+        env[f->name()] = *outer;
+      } else {
+        env.erase(f->name());
+      }
+      return x;
+    }
+  }
+  return Status::Internal("unreachable mu-calculus kind");
+}
+
+Result<DynamicBitset> ModelChecker::CheckDirect(const MuFormulaPtr& f) {
+  std::map<std::string, DynamicBitset> env;
+  return EvalDirect(f, env);
+}
+
+Result<DynamicBitset> ModelChecker::CheckViaFp2(const MuFormulaPtr& f,
+                                                FixpointStrategy strategy) {
+  auto translated = TranslateToFp2(f);
+  if (!translated.ok()) return translated.status();
+  // Propositions that label no state have no relation in the database
+  // view; register them as empty unary relations.
+  Database db = db_;
+  auto preds = FreePredicates(*translated);
+  if (!preds.ok()) return preds.status();
+  for (const auto& [name, arity] : *preds) {
+    if (!db.HasRelation(name)) {
+      if (arity != 1) {
+        return Status::TypeError(
+            StrCat("unexpected free predicate ", name, "/", arity));
+      }
+      BVQ_RETURN_IF_ERROR(db.AddRelation(name, Relation(1)));
+    }
+  }
+  BoundedEvalOptions opts;
+  opts.fixpoint_strategy = strategy;
+  BoundedEvaluator eval(db, 2, opts);
+  auto set = eval.Evaluate(*translated);
+  if (!set.ok()) return set.status();
+  stats_.fp2 = eval.stats();
+  DynamicBitset out(kripke_->num_states());
+  // A state satisfies the formula iff some assignment with x1 = state is
+  // in the set (the formula's only free variable is x1).
+  for (std::size_t s = 0; s < kripke_->num_states(); ++s) {
+    std::vector<Value> a = {static_cast<Value>(s), 0};
+    if (set->TestAssignment(a)) out.Set(s);
+  }
+  return out;
+}
+
+}  // namespace mucalc
+}  // namespace bvq

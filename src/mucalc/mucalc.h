@@ -1,0 +1,140 @@
+#ifndef BVQ_MUCALC_MUCALC_H_
+#define BVQ_MUCALC_MUCALC_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/bitset.h"
+#include "common/status.h"
+#include "eval/bounded_eval.h"
+#include "logic/formula.h"
+#include "mucalc/kripke.h"
+
+namespace bvq {
+namespace mucalc {
+
+/// Node kinds of propositional mu-calculus formulas (Kozen's L_mu, the
+/// specification language the paper's introduction reduces to FP^2).
+enum class MuKind {
+  kTrue,
+  kFalse,
+  kName,     // proposition or fixpoint variable, resolved by scoping
+  kNot,
+  kAnd,
+  kOr,
+  kDiamond,  // <> phi: some successor satisfies phi
+  kBox,      // [] phi: every successor satisfies phi
+  kMu,       // mu Z . phi (least fixpoint; Z must occur positively)
+  kNu,       // nu Z . phi (greatest fixpoint)
+};
+
+class MuFormula;
+using MuFormulaPtr = std::shared_ptr<const MuFormula>;
+
+/// An immutable mu-calculus formula. A kName leaf is a fixpoint variable
+/// if some enclosing mu/nu binds the name, otherwise a proposition.
+class MuFormula {
+ public:
+  MuFormula(MuKind kind, std::string name, MuFormulaPtr lhs, MuFormulaPtr rhs)
+      : kind_(kind),
+        name_(std::move(name)),
+        lhs_(std::move(lhs)),
+        rhs_(std::move(rhs)) {}
+
+  MuKind kind() const { return kind_; }
+  const std::string& name() const { return name_; }  // kName/kMu/kNu
+  const MuFormulaPtr& lhs() const { return lhs_; }
+  const MuFormulaPtr& rhs() const { return rhs_; }
+
+  std::size_t Size() const;
+  std::string ToString() const;
+
+ private:
+  MuKind kind_;
+  std::string name_;
+  MuFormulaPtr lhs_;
+  MuFormulaPtr rhs_;
+};
+
+// Builders.
+MuFormulaPtr MuTrue();
+MuFormulaPtr MuFalse();
+MuFormulaPtr MuName(std::string name);
+MuFormulaPtr MuNot(MuFormulaPtr f);
+MuFormulaPtr MuAnd(MuFormulaPtr a, MuFormulaPtr b);
+MuFormulaPtr MuOr(MuFormulaPtr a, MuFormulaPtr b);
+MuFormulaPtr MuDiamond(MuFormulaPtr f);
+MuFormulaPtr MuBox(MuFormulaPtr f);
+MuFormulaPtr Mu(std::string var, MuFormulaPtr body);
+MuFormulaPtr Nu(std::string var, MuFormulaPtr body);
+
+/// Parses mu-calculus syntax:
+///   phi := or ; or := and ('|' and)* ; and := un ('&' un)*
+///   un  := '!' un | '<>' un | '[]' un | ('mu'|'nu') IDENT '.' phi | prim
+///   prim := 'true' | 'false' | IDENT | '(' phi ')'
+Result<MuFormulaPtr> ParseMuFormula(const std::string& text);
+
+/// True iff every mu/nu variable occurs positively in its body (required
+/// for well-defined fixpoints).
+bool IsWellFormedMu(const MuFormulaPtr& f);
+
+/// CTL operators as mu-calculus sugar (assumes a total transition
+/// relation, the usual convention for Kripke structures).
+MuFormulaPtr CtlEX(MuFormulaPtr f);
+MuFormulaPtr CtlAX(MuFormulaPtr f);
+MuFormulaPtr CtlEF(MuFormulaPtr f);
+MuFormulaPtr CtlAF(MuFormulaPtr f);
+MuFormulaPtr CtlEG(MuFormulaPtr f);
+MuFormulaPtr CtlAG(MuFormulaPtr f);
+MuFormulaPtr CtlEU(MuFormulaPtr a, MuFormulaPtr b);
+MuFormulaPtr CtlAU(MuFormulaPtr a, MuFormulaPtr b);
+
+/// The paper's Section 1 claim, executably: L_mu is a fragment of FP^2.
+/// Translates a mu-calculus formula into a fixpoint-logic formula with two
+/// individual variables (x1 holds the current state; x2 is the scratch
+/// variable for successor quantification) whose satisfying assignments
+/// over the Kripke database are exactly the satisfying states.
+///
+/// The translated formula is in FP^2: NumVariables == 2, lfp/gfp only.
+Result<FormulaPtr> TranslateToFp2(const MuFormulaPtr& f);
+
+/// Statistics for the harness.
+struct ModelCheckStats {
+  std::size_t direct_iterations = 0;  // fixpoint body evaluations (direct)
+  EvalStats fp2;                      // evaluator counters (via-FP^2 path)
+};
+
+/// Model checker with two independent engines: a conventional direct
+/// state-set evaluator, and evaluation through the FP^2 translation and
+/// the bounded-variable query engine. Agreement between them exercises the
+/// paper's reduction in both directions.
+class ModelChecker {
+ public:
+  explicit ModelChecker(const KripkeStructure& kripke);
+
+  /// States satisfying `f`, by direct fixpoint computation on state sets.
+  Result<DynamicBitset> CheckDirect(const MuFormulaPtr& f);
+
+  /// States satisfying `f`, by FP^2 query evaluation over the database
+  /// view (optionally with the monotone-reuse strategy).
+  Result<DynamicBitset> CheckViaFp2(
+      const MuFormulaPtr& f,
+      FixpointStrategy strategy = FixpointStrategy::kNaiveNested);
+
+  const ModelCheckStats& stats() const { return stats_; }
+
+ private:
+  Result<DynamicBitset> EvalDirect(
+      const MuFormulaPtr& f, std::map<std::string, DynamicBitset>& env);
+
+  const KripkeStructure* kripke_;
+  Database db_;
+  std::vector<std::vector<std::size_t>> succ_;
+  ModelCheckStats stats_;
+};
+
+}  // namespace mucalc
+}  // namespace bvq
+
+#endif  // BVQ_MUCALC_MUCALC_H_

@@ -1,0 +1,157 @@
+#include "optimizer/acyclic.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+
+namespace bvq {
+namespace optimizer {
+
+namespace {
+
+std::set<std::size_t> VarsOf(const CqAtom& a) {
+  return std::set<std::size_t>(a.vars.begin(), a.vars.end());
+}
+
+// Projects a VarRelation onto a subset of its variables (sorted).
+VarRelation ProjectTo(const VarRelation& r,
+                      const std::set<std::size_t>& keep) {
+  VarRelation out = r;
+  for (std::size_t v : r.vars) {
+    if (!keep.count(v)) out = ProjectOut(out, v);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<JoinTree> GyoJoinTree(const ConjunctiveQuery& cq) {
+  const std::size_t m = cq.atoms.size();
+  std::vector<std::set<std::size_t>> edges(m);
+  for (std::size_t i = 0; i < m; ++i) edges[i] = VarsOf(cq.atoms[i]);
+  std::vector<bool> alive(m, true);
+  JoinTree tree;
+  tree.parent.assign(m, -1);
+
+  std::size_t remaining = m;
+  bool progress = true;
+  while (remaining > 1 && progress) {
+    progress = false;
+    for (std::size_t e = 0; e < m && remaining > 1; ++e) {
+      if (!alive[e]) continue;
+      // Variables of e shared with some other alive edge.
+      std::set<std::size_t> shared;
+      for (std::size_t v : edges[e]) {
+        for (std::size_t w = 0; w < m; ++w) {
+          if (w != e && alive[w] && edges[w].count(v)) {
+            shared.insert(v);
+            break;
+          }
+        }
+      }
+      // An ear needs a witness containing all its shared variables.
+      for (std::size_t w = 0; w < m; ++w) {
+        if (w == e || !alive[w]) continue;
+        if (std::includes(edges[w].begin(), edges[w].end(), shared.begin(),
+                          shared.end())) {
+          alive[e] = false;
+          tree.parent[e] = static_cast<std::ptrdiff_t>(w);
+          tree.elimination_order.push_back(e);
+          --remaining;
+          progress = true;
+          break;
+        }
+      }
+    }
+  }
+  if (remaining > 1) {
+    return Status::NotFound("query hypergraph is cyclic (GYO got stuck)");
+  }
+  for (std::size_t e = 0; e < m; ++e) {
+    if (alive[e]) tree.elimination_order.push_back(e);
+  }
+  return tree;
+}
+
+bool IsAcyclic(const ConjunctiveQuery& cq) {
+  return GyoJoinTree(cq).ok();
+}
+
+Result<Relation> EvaluateYannakakis(const ConjunctiveQuery& cq,
+                                    const Database& db,
+                                    YannakakisStats* stats) {
+  auto tree = GyoJoinTree(cq);
+  if (!tree.ok()) return tree.status();
+
+  const std::size_t m = cq.atoms.size();
+  std::vector<VarRelation> rel(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    auto r = db.GetRelation(cq.atoms[i].pred);
+    if (!r.ok()) return r.status();
+    if ((*r)->arity() != cq.atoms[i].vars.size()) {
+      return Status::TypeError(
+          StrCat("arity mismatch for ", cq.atoms[i].pred));
+    }
+    rel[i] = FromAtom(**r, cq.atoms[i].vars);
+  }
+
+  auto record = [&](const VarRelation& r) {
+    if (stats == nullptr) return;
+    stats->max_intermediate_tuples =
+        std::max(stats->max_intermediate_tuples, r.rel.size());
+    stats->max_intermediate_arity =
+        std::max(stats->max_intermediate_arity, r.vars.size());
+  };
+
+  // Upward semijoin pass (leaves toward the root), then downward: after
+  // both passes every relation is globally consistent (the full reducer).
+  for (std::size_t i : tree->elimination_order) {
+    const std::ptrdiff_t p = tree->parent[i];
+    if (p < 0) continue;
+    rel[p] = Semijoin(rel[p], rel[i]);
+    record(rel[p]);
+    if (stats) ++stats->semijoins;
+  }
+  for (std::size_t idx = tree->elimination_order.size(); idx-- > 0;) {
+    const std::size_t i = tree->elimination_order[idx];
+    const std::ptrdiff_t p = tree->parent[i];
+    if (p < 0) continue;
+    rel[i] = Semijoin(rel[i], rel[p]);
+    record(rel[i]);
+    if (stats) ++stats->semijoins;
+  }
+
+  // Join pass: fold children into parents, projecting away variables that
+  // are neither head variables nor connectors to the parent.
+  const std::set<std::size_t> head(cq.head_vars.begin(), cq.head_vars.end());
+  std::vector<VarRelation> joined = rel;
+  std::vector<VarRelation> roots;
+  for (std::size_t i : tree->elimination_order) {
+    const std::ptrdiff_t p = tree->parent[i];
+    if (p < 0) {
+      // Root of its component: project to head variables only.
+      joined[i] = ProjectTo(joined[i], head);
+      record(joined[i]);
+      roots.push_back(joined[i]);
+      continue;
+    }
+    std::set<std::size_t> keep;
+    for (std::size_t v : joined[i].vars) {
+      if (head.count(v)) keep.insert(v);
+    }
+    for (std::size_t v : cq.atoms[p].vars) keep.insert(v);
+    VarRelation projected = ProjectTo(joined[i], keep);
+    joined[p] = Join(joined[p], projected);
+    record(joined[p]);
+  }
+  VarRelation acc{{}, Relation::Proposition(true)};
+  for (const VarRelation& r : roots) {
+    acc = Join(acc, r);
+    record(acc);
+  }
+  return AnswerTuple(acc, cq.head_vars, db.domain_size());
+}
+
+}  // namespace optimizer
+}  // namespace bvq

@@ -1,0 +1,48 @@
+#ifndef BVQ_OPTIMIZER_ACYCLIC_H_
+#define BVQ_OPTIMIZER_ACYCLIC_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "optimizer/conjunctive_query.h"
+
+namespace bvq {
+namespace optimizer {
+
+/// A join tree over the atoms of an acyclic conjunctive query: node i is
+/// atom i; parent[i] is the atom it hangs under (or -1 for roots). The
+/// connectedness property holds: for every variable, the atoms containing
+/// it form a connected subtree.
+struct JoinTree {
+  std::vector<std::ptrdiff_t> parent;
+  /// Atom indices in a leaves-first elimination order (each node appears
+  /// before its parent).
+  std::vector<std::size_t> elimination_order;
+};
+
+/// GYO ear removal: computes a join tree iff the query's hypergraph is
+/// acyclic (alpha-acyclicity, [BFMY83] in the paper's references — the
+/// reason acyclic joins avoid large intermediates, per the paper's
+/// introduction). Returns NotFound for cyclic queries.
+Result<JoinTree> GyoJoinTree(const ConjunctiveQuery& cq);
+
+/// True iff the query hypergraph is alpha-acyclic.
+bool IsAcyclic(const ConjunctiveQuery& cq);
+
+/// Yannakakis' algorithm [Yan81]: evaluates an acyclic CQ with a full
+/// semijoin reducer pass followed by joins along the tree, keeping every
+/// intermediate no larger than (input + output). Fails with NotFound on
+/// cyclic queries.
+struct YannakakisStats {
+  std::size_t semijoins = 0;
+  std::size_t max_intermediate_tuples = 0;
+  std::size_t max_intermediate_arity = 0;
+};
+Result<Relation> EvaluateYannakakis(const ConjunctiveQuery& cq,
+                                    const Database& db,
+                                    YannakakisStats* stats = nullptr);
+
+}  // namespace optimizer
+}  // namespace bvq
+
+#endif  // BVQ_OPTIMIZER_ACYCLIC_H_

@@ -1,0 +1,240 @@
+#include "optimizer/conjunctive_query.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/strings.h"
+#include "logic/builder.h"
+
+namespace bvq {
+namespace optimizer {
+
+std::string ConjunctiveQuery::ToString() const {
+  std::ostringstream os;
+  auto var_name = [](std::size_t v) { return "X" + std::to_string(v); };
+  os << "Q(";
+  for (std::size_t j = 0; j < head_vars.size(); ++j) {
+    if (j > 0) os << ",";
+    os << var_name(head_vars[j]);
+  }
+  os << ") :- ";
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << atoms[i].pred << "(";
+    for (std::size_t j = 0; j < atoms[i].vars.size(); ++j) {
+      if (j > 0) os << ",";
+      os << var_name(atoms[i].vars[j]);
+    }
+    os << ")";
+  }
+  os << ".";
+  return os.str();
+}
+
+FormulaPtr ConjunctiveQuery::ToFormula() const {
+  std::vector<FormulaPtr> conjuncts;
+  conjuncts.reserve(atoms.size());
+  for (const CqAtom& a : atoms) {
+    conjuncts.push_back(Atom(a.pred, a.vars));
+  }
+  FormulaPtr body = AndAll(std::move(conjuncts));
+  std::set<std::size_t> head(head_vars.begin(), head_vars.end());
+  for (std::size_t v = num_vars; v-- > 0;) {
+    if (!head.count(v)) body = Exists(v, std::move(body));
+  }
+  return body;
+}
+
+Result<ConjunctiveQuery> ParseCq(const std::string& text) {
+  ConjunctiveQuery cq;
+  std::map<std::string, std::size_t> var_ids;
+  std::size_t pos = 0;
+  auto skip_ws = [&]() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  };
+  auto parse_atom = [&](bool is_head) -> Result<CqAtom> {
+    skip_ws();
+    std::size_t start = pos;
+    while (pos < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '_')) {
+      ++pos;
+    }
+    if (start == pos) {
+      return Status::ParseError(StrCat("expected name at offset ", pos));
+    }
+    CqAtom atom;
+    atom.pred = text.substr(start, pos - start);
+    skip_ws();
+    if (pos >= text.size() || text[pos] != '(') {
+      return Status::ParseError(StrCat("expected '(' after ", atom.pred));
+    }
+    ++pos;
+    skip_ws();
+    if (pos < text.size() && text[pos] == ')') {
+      ++pos;
+      return atom;
+    }
+    for (;;) {
+      skip_ws();
+      std::size_t vstart = pos;
+      while (pos < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[pos])) ||
+              text[pos] == '_')) {
+        ++pos;
+      }
+      if (vstart == pos) {
+        return Status::ParseError(StrCat("expected variable at offset ", pos));
+      }
+      std::string name = text.substr(vstart, pos - vstart);
+      if (!std::isupper(static_cast<unsigned char>(name[0]))) {
+        return Status::ParseError(
+            StrCat("variable ", name, " must be capitalized"));
+      }
+      auto [it, inserted] = var_ids.try_emplace(name, var_ids.size());
+      atom.vars.push_back(it->second);
+      skip_ws();
+      if (pos < text.size() && text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      if (pos < text.size() && text[pos] == ')') {
+        ++pos;
+        return atom;
+      }
+      return Status::ParseError(StrCat("expected ',' or ')' at offset ", pos));
+    }
+    (void)is_head;
+  };
+
+  auto head = parse_atom(true);
+  if (!head.ok()) return head.status();
+  cq.head_vars = head->vars;
+  skip_ws();
+  if (pos + 1 >= text.size() || text[pos] != ':' || text[pos + 1] != '-') {
+    return Status::ParseError(StrCat("expected ':-' at offset ", pos));
+  }
+  pos += 2;
+  for (;;) {
+    auto atom = parse_atom(false);
+    if (!atom.ok()) return atom.status();
+    cq.atoms.push_back(std::move(*atom));
+    skip_ws();
+    if (pos < text.size() && text[pos] == ',') {
+      ++pos;
+      continue;
+    }
+    break;
+  }
+  skip_ws();
+  if (pos < text.size() && text[pos] == '.') ++pos;
+  skip_ws();
+  if (pos != text.size()) {
+    return Status::ParseError(StrCat("trailing input at offset ", pos));
+  }
+  cq.num_vars = var_ids.size();
+  // Safety: every head variable must occur in the body.
+  std::set<std::size_t> body_vars;
+  for (const CqAtom& a : cq.atoms) {
+    body_vars.insert(a.vars.begin(), a.vars.end());
+  }
+  for (std::size_t v : cq.head_vars) {
+    if (!body_vars.count(v)) {
+      return Status::TypeError("head variable does not occur in the body");
+    }
+  }
+  return cq;
+}
+
+Result<Relation> EvaluateCqNaive(const ConjunctiveQuery& cq,
+                                 const Database& db, CqEvalStats* stats) {
+  VarRelation acc{{}, Relation::Proposition(true)};
+  auto record = [&](const VarRelation& r) {
+    if (stats == nullptr) return;
+    stats->max_intermediate_arity =
+        std::max(stats->max_intermediate_arity, r.vars.size());
+    stats->max_intermediate_tuples =
+        std::max(stats->max_intermediate_tuples, r.rel.size());
+    stats->total_intermediate_tuples += r.rel.size();
+  };
+  for (const CqAtom& a : cq.atoms) {
+    auto rel = db.GetRelation(a.pred);
+    if (!rel.ok()) return rel.status();
+    if ((*rel)->arity() != a.vars.size()) {
+      return Status::TypeError(StrCat("arity mismatch for ", a.pred));
+    }
+    acc = Join(acc, FromAtom(**rel, a.vars));
+    record(acc);
+  }
+  return AnswerTuple(acc, cq.head_vars, db.domain_size());
+}
+
+ConjunctiveQuery ChainQuery(std::size_t length, const std::string& pred) {
+  ConjunctiveQuery cq;
+  cq.num_vars = length + 1;
+  for (std::size_t i = 0; i < length; ++i) {
+    cq.atoms.push_back({pred, {i, i + 1}});
+  }
+  cq.head_vars = {0, length};
+  return cq;
+}
+
+ConjunctiveQuery StarQuery(std::size_t rays, const std::string& pred) {
+  ConjunctiveQuery cq;
+  cq.num_vars = rays + 1;
+  for (std::size_t i = 0; i < rays; ++i) {
+    cq.atoms.push_back({pred, {0, i + 1}});
+  }
+  cq.head_vars = {0};
+  return cq;
+}
+
+ConjunctiveQuery CycleQuery(std::size_t length, const std::string& pred) {
+  ConjunctiveQuery cq;
+  cq.num_vars = length;
+  for (std::size_t i = 0; i < length; ++i) {
+    cq.atoms.push_back({pred, {i, (i + 1) % length}});
+  }
+  cq.head_vars = {0};
+  return cq;
+}
+
+ConjunctiveQuery RandomCq(std::size_t num_vars, std::size_t num_atoms,
+                          std::size_t num_head, const std::string& pred,
+                          Rng& rng) {
+  ConjunctiveQuery cq;
+  cq.num_vars = num_vars;
+  std::set<std::size_t> used;
+  for (std::size_t i = 0; i < num_atoms; ++i) {
+    const std::size_t a = rng.Below(num_vars);
+    const std::size_t b = rng.Below(num_vars);
+    cq.atoms.push_back({pred, {a, b}});
+    used.insert(a);
+    used.insert(b);
+  }
+  // Ensure every variable occurs somewhere (pad with self-loops).
+  for (std::size_t v = 0; v < num_vars; ++v) {
+    if (!used.count(v)) cq.atoms.push_back({pred, {v, v}});
+  }
+  std::vector<std::size_t> pool(used.begin(), used.end());
+  for (std::size_t v = 0; v < num_vars; ++v) {
+    if (!used.count(v)) pool.push_back(v);
+  }
+  for (std::size_t j = 0; j < num_head && j < pool.size(); ++j) {
+    cq.head_vars.push_back(pool[rng.Below(pool.size())]);
+  }
+  std::sort(cq.head_vars.begin(), cq.head_vars.end());
+  cq.head_vars.erase(std::unique(cq.head_vars.begin(), cq.head_vars.end()),
+                     cq.head_vars.end());
+  if (cq.head_vars.empty()) cq.head_vars.push_back(cq.atoms[0].vars[0]);
+  return cq;
+}
+
+}  // namespace optimizer
+}  // namespace bvq

@@ -1,0 +1,70 @@
+#ifndef BVQ_OPTIMIZER_CONJUNCTIVE_QUERY_H_
+#define BVQ_OPTIMIZER_CONJUNCTIVE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "db/database.h"
+#include "db/relalg.h"
+#include "logic/formula.h"
+
+namespace bvq {
+namespace optimizer {
+
+/// One atom of a conjunctive query: pred(v_1, ..., v_m) over query
+/// variables (indices local to the query).
+struct CqAtom {
+  std::string pred;
+  std::vector<std::size_t> vars;
+};
+
+/// A conjunctive query  head(y̅) :- A_1, ..., A_r  — the select-project-join
+/// queries whose evaluation strategy the paper's introduction discusses
+/// (EMP/MGR/SCY/SAL) and whose variable count the conclusion proposes to
+/// minimize.
+struct ConjunctiveQuery {
+  std::vector<std::size_t> head_vars;
+  std::vector<CqAtom> atoms;
+  std::size_t num_vars = 0;
+
+  std::string ToString() const;
+
+  /// The query as an FO formula: existential closure of the conjunction
+  /// over the non-head variables, using one *distinct* variable per query
+  /// variable (the naive, many-variable form).
+  FormulaPtr ToFormula() const;
+};
+
+/// Parses "Q(X,Y) :- R(X,Z), S(Z,Y)." (variables are capitalized
+/// identifiers; no constants).
+Result<ConjunctiveQuery> ParseCq(const std::string& text);
+
+/// Left-to-right join evaluation with VarRelation intermediates; fills the
+/// same blow-up counters as the naive evaluator.
+struct CqEvalStats {
+  std::size_t max_intermediate_arity = 0;
+  std::size_t max_intermediate_tuples = 0;
+  std::size_t total_intermediate_tuples = 0;
+};
+Result<Relation> EvaluateCqNaive(const ConjunctiveQuery& cq,
+                                 const Database& db,
+                                 CqEvalStats* stats = nullptr);
+
+/// Random chain query R(x0,x1), R(x1,x2), ..., head = endpoints.
+ConjunctiveQuery ChainQuery(std::size_t length, const std::string& pred);
+/// Random star query R(x0,x1), R(x0,x2), ..., head = center.
+ConjunctiveQuery StarQuery(std::size_t rays, const std::string& pred);
+/// Cycle query R(x0,x1), ..., R(x_{m-1},x0) (cyclic hypergraph!).
+ConjunctiveQuery CycleQuery(std::size_t length, const std::string& pred);
+/// Random CQ over binary atoms: `num_atoms` atoms over `num_vars`
+/// variables, `num_head` random head variables.
+ConjunctiveQuery RandomCq(std::size_t num_vars, std::size_t num_atoms,
+                          std::size_t num_head, const std::string& pred,
+                          Rng& rng);
+
+}  // namespace optimizer
+}  // namespace bvq
+
+#endif  // BVQ_OPTIMIZER_CONJUNCTIVE_QUERY_H_

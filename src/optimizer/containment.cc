@@ -1,0 +1,143 @@
+#include "optimizer/containment.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+
+namespace bvq {
+namespace optimizer {
+
+namespace {
+
+constexpr std::size_t kUnbound = ~std::size_t{0};
+
+// Backtracking over q2's atoms: try to map each onto some q1 atom with
+// consistent variable bindings.
+bool Extend(const ConjunctiveQuery& q2, const ConjunctiveQuery& q1,
+            std::size_t atom_index, std::vector<std::size_t>& binding) {
+  if (atom_index == q2.atoms.size()) return true;
+  const CqAtom& atom = q2.atoms[atom_index];
+  for (const CqAtom& target : q1.atoms) {
+    if (target.pred != atom.pred || target.vars.size() != atom.vars.size()) {
+      continue;
+    }
+    // Tentatively unify.
+    std::vector<std::pair<std::size_t, std::size_t>> undo;
+    bool ok = true;
+    for (std::size_t j = 0; j < atom.vars.size(); ++j) {
+      const std::size_t v2 = atom.vars[j];
+      const std::size_t v1 = target.vars[j];
+      if (binding[v2] == kUnbound) {
+        binding[v2] = v1;
+        undo.emplace_back(v2, kUnbound);
+      } else if (binding[v2] != v1) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok && Extend(q2, q1, atom_index + 1, binding)) return true;
+    for (auto& [var, old] : undo) binding[var] = old;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<std::optional<Homomorphism>> FindHomomorphism(
+    const ConjunctiveQuery& q2, const ConjunctiveQuery& q1) {
+  if (q2.head_vars.size() != q1.head_vars.size()) {
+    return Status::InvalidArgument(
+        "homomorphisms require equal head lengths");
+  }
+  std::vector<std::size_t> binding(q2.num_vars, kUnbound);
+  // Head preservation seeds the binding.
+  for (std::size_t j = 0; j < q2.head_vars.size(); ++j) {
+    const std::size_t v2 = q2.head_vars[j];
+    const std::size_t v1 = q1.head_vars[j];
+    if (binding[v2] != kUnbound && binding[v2] != v1) {
+      return std::optional<Homomorphism>();  // head forces a conflict
+    }
+    binding[v2] = v1;
+  }
+  if (!Extend(q2, q1, 0, binding)) {
+    return std::optional<Homomorphism>();
+  }
+  // Variables of q2 in no atom (degenerate) map anywhere; pick 0.
+  for (auto& b : binding) {
+    if (b == kUnbound) b = 0;
+  }
+  return std::optional<Homomorphism>(std::move(binding));
+}
+
+Result<bool> IsContainedIn(const ConjunctiveQuery& q1,
+                           const ConjunctiveQuery& q2) {
+  auto hom = FindHomomorphism(q2, q1);
+  if (!hom.ok()) return hom.status();
+  return hom->has_value();
+}
+
+Result<bool> AreEquivalent(const ConjunctiveQuery& q1,
+                           const ConjunctiveQuery& q2) {
+  auto fwd = IsContainedIn(q1, q2);
+  if (!fwd.ok()) return fwd;
+  if (!*fwd) return false;
+  return IsContainedIn(q2, q1);
+}
+
+Result<ConjunctiveQuery> MinimizeQuery(const ConjunctiveQuery& cq) {
+  ConjunctiveQuery current = cq;
+  bool changed = true;
+  while (changed && current.atoms.size() > 1) {
+    changed = false;
+    for (std::size_t i = 0; i < current.atoms.size(); ++i) {
+      ConjunctiveQuery candidate = current;
+      candidate.atoms.erase(candidate.atoms.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+      // Every head variable must still occur in the body.
+      std::set<std::size_t> body_vars;
+      for (const CqAtom& a : candidate.atoms) {
+        body_vars.insert(a.vars.begin(), a.vars.end());
+      }
+      bool head_ok = true;
+      for (std::size_t h : candidate.head_vars) {
+        if (!body_vars.count(h)) {
+          head_ok = false;
+          break;
+        }
+      }
+      if (!head_ok) continue;
+      // Dropping an atom only weakens the query, so candidate contains
+      // current for free; equivalence needs candidate contained in
+      // current, i.e., a homomorphism current -> candidate.
+      auto hom = FindHomomorphism(current, candidate);
+      if (!hom.ok()) return hom.status();
+      if (hom->has_value()) {
+        current = std::move(candidate);
+        changed = true;
+        break;
+      }
+    }
+  }
+  // Compact variable numbering.
+  std::map<std::size_t, std::size_t> remap;
+  auto touch = [&remap](std::size_t v) {
+    remap.try_emplace(v, remap.size());
+  };
+  for (std::size_t h : current.head_vars) touch(h);
+  for (const CqAtom& a : current.atoms) {
+    for (std::size_t v : a.vars) touch(v);
+  }
+  ConjunctiveQuery out;
+  out.num_vars = remap.size();
+  for (std::size_t h : current.head_vars) out.head_vars.push_back(remap[h]);
+  for (const CqAtom& a : current.atoms) {
+    CqAtom na{a.pred, {}};
+    for (std::size_t v : a.vars) na.vars.push_back(remap[v]);
+    out.atoms.push_back(std::move(na));
+  }
+  return out;
+}
+
+}  // namespace optimizer
+}  // namespace bvq

@@ -1,0 +1,50 @@
+#ifndef BVQ_OPTIMIZER_CONTAINMENT_H_
+#define BVQ_OPTIMIZER_CONTAINMENT_H_
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "optimizer/conjunctive_query.h"
+
+namespace bvq {
+namespace optimizer {
+
+/// Chandra–Merlin machinery ([CM77], the paper's opening citation):
+/// containment and minimization of conjunctive queries via homomorphisms.
+///
+/// A homomorphism from q2 to q1 is a mapping h of q2's variables to q1's
+/// variables that preserves every atom (h applied to an atom of q2 yields
+/// an atom of q1) and fixes the head: h(head(q2)) = head(q1). Its
+/// existence is equivalent to q1 being contained in q2 on all databases.
+
+/// A variable mapping (index in q2 -> index in q1).
+using Homomorphism = std::vector<std::size_t>;
+
+/// Finds a head-preserving homomorphism q2 -> q1, or nullopt. Backtracking
+/// search (the problem is NP-complete; queries here are small).
+/// Fails with InvalidArgument if the heads have different lengths.
+Result<std::optional<Homomorphism>> FindHomomorphism(
+    const ConjunctiveQuery& q2, const ConjunctiveQuery& q1);
+
+/// q1 is contained in q2 (q1's answers are a subset of q2's on every
+/// database) iff a homomorphism q2 -> q1 exists [CM77].
+Result<bool> IsContainedIn(const ConjunctiveQuery& q1,
+                           const ConjunctiveQuery& q2);
+
+/// Queries are equivalent iff they contain each other.
+Result<bool> AreEquivalent(const ConjunctiveQuery& q1,
+                           const ConjunctiveQuery& q2);
+
+/// The core of the query: a minimal equivalent subquery, obtained by
+/// repeatedly dropping atoms whose removal preserves equivalence (folding
+/// the query into itself). The [CM77] "optimal implementation": the core
+/// is unique up to isomorphism and has the fewest atoms (hence fewest
+/// joins) of any equivalent CQ.
+Result<ConjunctiveQuery> MinimizeQuery(const ConjunctiveQuery& cq);
+
+}  // namespace optimizer
+}  // namespace bvq
+
+#endif  // BVQ_OPTIMIZER_CONTAINMENT_H_

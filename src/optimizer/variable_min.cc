@@ -1,0 +1,361 @@
+#include "optimizer/variable_min.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+#include "logic/analysis.h"
+#include "logic/builder.h"
+
+namespace bvq {
+namespace optimizer {
+
+namespace {
+
+// Primal (Gaifman) graph of the query as adjacency sets. Eliminating a
+// variable v turns its neighborhood into a clique and removes v; the bag
+// of the step is {v} + N(v). This matches the bucket-elimination bags of
+// the formula construction below.
+using Graph = std::vector<std::set<std::size_t>>;
+
+Graph PrimalGraph(const ConjunctiveQuery& cq) {
+  Graph g(cq.num_vars);
+  for (const CqAtom& a : cq.atoms) {
+    for (std::size_t x : a.vars) {
+      for (std::size_t y : a.vars) {
+        if (x != y) g[x].insert(y);
+      }
+    }
+  }
+  return g;
+}
+
+std::size_t EliminateVar(Graph& g, std::size_t v) {
+  const std::set<std::size_t> neighbors = g[v];
+  for (std::size_t x : neighbors) {
+    g[x].erase(v);
+    for (std::size_t y : neighbors) {
+      if (x != y) g[x].insert(y);
+    }
+  }
+  g[v].clear();
+  return neighbors.size() + 1;  // bag size
+}
+
+std::set<std::size_t> NonHeadVars(const ConjunctiveQuery& cq) {
+  std::set<std::size_t> out;
+  for (std::size_t v = 0; v < cq.num_vars; ++v) out.insert(v);
+  for (std::size_t h : cq.head_vars) out.erase(h);
+  return out;
+}
+
+std::size_t DistinctHeadCount(const ConjunctiveQuery& cq) {
+  std::set<std::size_t> h(cq.head_vars.begin(), cq.head_vars.end());
+  return h.size();
+}
+
+}  // namespace
+
+std::size_t OrderWidth(const ConjunctiveQuery& cq,
+                       const std::vector<std::size_t>& order) {
+  Graph g = PrimalGraph(cq);
+  std::size_t width = DistinctHeadCount(cq);
+  for (std::size_t v : order) {
+    width = std::max(width, EliminateVar(g, v));
+  }
+  return width;
+}
+
+EliminationPlan MinDegreeOrder(const ConjunctiveQuery& cq) {
+  Graph g = PrimalGraph(cq);
+  std::set<std::size_t> remaining = NonHeadVars(cq);
+  EliminationPlan plan;
+  plan.width = DistinctHeadCount(cq);
+  while (!remaining.empty()) {
+    std::size_t best = *remaining.begin();
+    std::size_t best_degree = g[best].size();
+    for (std::size_t v : remaining) {
+      if (g[v].size() < best_degree) {
+        best = v;
+        best_degree = g[v].size();
+      }
+    }
+    plan.width = std::max(plan.width, EliminateVar(g, best));
+    plan.order.push_back(best);
+    remaining.erase(best);
+  }
+  return plan;
+}
+
+namespace {
+
+struct ExactSearch {
+  const std::vector<std::size_t>* vars;  // eliminable variables
+  const ConjunctiveQuery* cq;
+  std::map<uint32_t, std::pair<std::size_t, std::size_t>> memo;
+  // memo: mask -> (best width of completing the elimination, best first var
+  // index within *vars*)
+
+  // Rebuilds the elimination graph for a prefix set (graph after
+  // eliminating `mask` depends only on the set, not the order).
+  Graph GraphFor(uint32_t mask) const {
+    Graph g = PrimalGraph(*cq);
+    for (std::size_t i = 0; i < vars->size(); ++i) {
+      if ((mask >> i) & 1) EliminateVar(g, (*vars)[i]);
+    }
+    return g;
+  }
+
+  std::size_t Solve(uint32_t mask) {
+    if (mask == (uint32_t{1} << vars->size()) - 1) return 0;
+    auto it = memo.find(mask);
+    if (it != memo.end()) return it->second.first;
+    Graph g = GraphFor(mask);
+    std::size_t best = ~std::size_t{0};
+    std::size_t best_choice = 0;
+    for (std::size_t i = 0; i < vars->size(); ++i) {
+      if ((mask >> i) & 1) continue;
+      const std::size_t bag = g[(*vars)[i]].size() + 1;
+      const std::size_t rest = Solve(mask | (uint32_t{1} << i));
+      const std::size_t width = std::max(bag, rest);
+      if (width < best) {
+        best = width;
+        best_choice = i;
+      }
+    }
+    memo[mask] = {best, best_choice};
+    return best;
+  }
+};
+
+}  // namespace
+
+Result<EliminationPlan> ExactMinWidthOrder(const ConjunctiveQuery& cq,
+                                           std::size_t max_vars) {
+  std::set<std::size_t> non_head = NonHeadVars(cq);
+  if (non_head.size() > max_vars || non_head.size() > 20) {
+    return Status::ResourceExhausted(
+        StrCat("exact width search gated to ", max_vars, " variables; got ",
+               non_head.size()));
+  }
+  std::vector<std::size_t> vars(non_head.begin(), non_head.end());
+  ExactSearch search{&vars, &cq, {}};
+  search.Solve(0);
+  EliminationPlan plan;
+  uint32_t mask = 0;
+  const uint32_t full = (uint32_t{1} << vars.size()) - 1;
+  while (mask != full) {
+    const std::size_t choice = search.memo.at(mask).second;
+    plan.order.push_back(vars[choice]);
+    mask |= uint32_t{1} << choice;
+  }
+  plan.width = std::max(OrderWidth(cq, plan.order), DistinctHeadCount(cq));
+  return plan;
+}
+
+namespace {
+
+struct Item {
+  std::set<std::size_t> vars;
+  FormulaPtr formula;
+};
+
+// Top-down register renaming: `reg` maps the original variables free in
+// `f` to registers < k; bound variables pick any register unused by the
+// (pruned) map, which exists because every live set has size <= k.
+Result<FormulaPtr> Rename(const FormulaPtr& f,
+                          const std::map<std::size_t, std::size_t>& reg,
+                          std::size_t k) {
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+      return f;
+    case FormulaKind::kAtom: {
+      const auto& atom = static_cast<const AtomFormula&>(*f);
+      std::vector<std::size_t> args;
+      args.reserve(atom.args().size());
+      for (std::size_t v : atom.args()) {
+        auto it = reg.find(v);
+        if (it == reg.end()) {
+          return Status::Internal("unmapped variable during renaming");
+        }
+        args.push_back(it->second);
+      }
+      return Atom(atom.pred(), std::move(args));
+    }
+    case FormulaKind::kAnd: {
+      const auto& b = static_cast<const BinaryFormula&>(*f);
+      auto lhs = Rename(b.lhs(), reg, k);
+      if (!lhs.ok()) return lhs;
+      auto rhs = Rename(b.rhs(), reg, k);
+      if (!rhs.ok()) return rhs;
+      return And(std::move(*lhs), std::move(*rhs));
+    }
+    case FormulaKind::kExists: {
+      const auto& q = static_cast<const QuantFormula&>(*f);
+      // Prune the map to variables actually free in the body, then pick a
+      // register unused by the pruned image for the bound variable.
+      std::set<std::size_t> free = FreeVars(q.body());
+      std::map<std::size_t, std::size_t> pruned;
+      std::set<std::size_t> used;
+      for (std::size_t v : free) {
+        if (v == q.var()) continue;
+        auto it = reg.find(v);
+        if (it == reg.end()) {
+          return Status::Internal("free variable missing from register map");
+        }
+        pruned.emplace(v, it->second);
+        used.insert(it->second);
+      }
+      std::size_t r = 0;
+      while (r < k && used.count(r)) ++r;
+      if (r >= k) {
+        return Status::Internal(
+            "register allocation failed: live set exceeds the bag width");
+      }
+      pruned[q.var()] = r;
+      auto body = Rename(q.body(), pruned, k);
+      if (!body.ok()) return body;
+      return Exists(r, std::move(*body));
+    }
+    default:
+      return Status::Internal("unexpected node in bucket-elimination tree");
+  }
+}
+
+}  // namespace
+
+Result<FewVariableRewrite> RewriteWithFewVariables(
+    const ConjunctiveQuery& cq, const std::vector<std::size_t>& order) {
+  // The order must cover exactly the non-head variables.
+  std::set<std::size_t> expected = NonHeadVars(cq);
+  std::set<std::size_t> given(order.begin(), order.end());
+  if (expected != given || given.size() != order.size()) {
+    return Status::InvalidArgument(
+        "elimination order must list each non-head variable exactly once");
+  }
+
+  // Bucket elimination, building the formula tree under original names.
+  std::vector<Item> items;
+  items.reserve(cq.atoms.size());
+  for (const CqAtom& a : cq.atoms) {
+    items.push_back(
+        {std::set<std::size_t>(a.vars.begin(), a.vars.end()),
+         Atom(a.pred, a.vars)});
+  }
+  std::size_t width = DistinctHeadCount(cq);
+  for (std::size_t v : order) {
+    std::vector<Item> bucket;
+    std::vector<Item> rest;
+    for (auto& item : items) {
+      if (item.vars.count(v)) {
+        bucket.push_back(std::move(item));
+      } else {
+        rest.push_back(std::move(item));
+      }
+    }
+    if (bucket.empty()) {
+      items = std::move(rest);
+      continue;  // variable does not occur (defensive)
+    }
+    Item merged;
+    std::vector<FormulaPtr> fs;
+    for (auto& item : bucket) {
+      merged.vars.insert(item.vars.begin(), item.vars.end());
+      fs.push_back(std::move(item.formula));
+    }
+    width = std::max(width, merged.vars.size());
+    merged.vars.erase(v);
+    merged.formula = Exists(v, AndAll(std::move(fs)));
+    rest.push_back(std::move(merged));
+    items = std::move(rest);
+  }
+  std::vector<FormulaPtr> top;
+  top.reserve(items.size());
+  for (auto& item : items) top.push_back(std::move(item.formula));
+  FormulaPtr formula = AndAll(std::move(top));
+
+  // Register allocation: distinct head variables get the low registers.
+  std::set<std::size_t> head_set(cq.head_vars.begin(), cq.head_vars.end());
+  std::map<std::size_t, std::size_t> reg;
+  std::size_t next = 0;
+  for (std::size_t h : head_set) reg[h] = next++;
+  const std::size_t k = std::max(width, head_set.size());
+
+  auto renamed = Rename(formula, reg, k);
+  if (!renamed.ok()) return renamed.status();
+
+  FewVariableRewrite out;
+  out.num_vars = k;
+  out.query.formula = std::move(*renamed);
+  out.query.answer_vars.reserve(cq.head_vars.size());
+  for (std::size_t h : cq.head_vars) {
+    out.query.answer_vars.push_back(reg.at(h));
+  }
+  return out;
+}
+
+Result<Relation> EvaluateByElimination(const ConjunctiveQuery& cq,
+                                       const std::vector<std::size_t>& order,
+                                       const Database& db,
+                                       CqEvalStats* stats) {
+  std::set<std::size_t> expected = NonHeadVars(cq);
+  std::set<std::size_t> given(order.begin(), order.end());
+  if (expected != given || given.size() != order.size()) {
+    return Status::InvalidArgument(
+        "elimination order must list each non-head variable exactly once");
+  }
+  auto record = [&](const VarRelation& r) {
+    if (stats == nullptr) return;
+    stats->max_intermediate_arity =
+        std::max(stats->max_intermediate_arity, r.vars.size());
+    stats->max_intermediate_tuples =
+        std::max(stats->max_intermediate_tuples, r.rel.size());
+    stats->total_intermediate_tuples += r.rel.size();
+  };
+
+  std::vector<VarRelation> items;
+  items.reserve(cq.atoms.size());
+  for (const CqAtom& a : cq.atoms) {
+    auto rel = db.GetRelation(a.pred);
+    if (!rel.ok()) return rel.status();
+    if ((*rel)->arity() != a.vars.size()) {
+      return Status::TypeError(StrCat("arity mismatch for ", a.pred));
+    }
+    items.push_back(FromAtom(**rel, a.vars));
+  }
+
+  for (std::size_t v : order) {
+    std::vector<VarRelation> bucket;
+    std::vector<VarRelation> rest;
+    for (auto& item : items) {
+      const bool has =
+          std::binary_search(item.vars.begin(), item.vars.end(), v);
+      (has ? bucket : rest).push_back(std::move(item));
+    }
+    if (bucket.empty()) {
+      items = std::move(rest);
+      continue;
+    }
+    VarRelation merged = std::move(bucket[0]);
+    for (std::size_t i = 1; i < bucket.size(); ++i) {
+      merged = Join(merged, bucket[i]);
+      record(merged);
+    }
+    merged = ProjectOut(merged, v);
+    record(merged);
+    rest.push_back(std::move(merged));
+    items = std::move(rest);
+  }
+
+  VarRelation acc{{}, Relation::Proposition(true)};
+  for (VarRelation& item : items) {
+    acc = Join(acc, item);
+    record(acc);
+  }
+  return AnswerTuple(acc, cq.head_vars, db.domain_size());
+}
+
+}  // namespace optimizer
+}  // namespace bvq

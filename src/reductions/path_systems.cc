@@ -1,0 +1,136 @@
+#include "reductions/path_systems.h"
+
+#include "logic/builder.h"
+
+namespace bvq {
+
+Database PathSystem::ToDatabase() const {
+  Database db(num_elements);
+  Status st = db.AddRelation("Q", q);
+  assert(st.ok());
+  st = db.AddRelation("S", s);
+  assert(st.ok());
+  st = db.AddRelation("T", t);
+  assert(st.ok());
+  (void)st;
+  return db;
+}
+
+Relation PathSystem::Reachable() const {
+  std::vector<bool> reachable(num_elements, false);
+  s.ForEach([&](const Value* t_) { reachable[t_[0]] = true; });
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    q.ForEach([&](const Value* t_) {
+      if (!reachable[t_[0]] && reachable[t_[1]] && reachable[t_[2]]) {
+        reachable[t_[0]] = true;
+        changed = true;
+      }
+    });
+  }
+  RelationBuilder out(1);
+  for (std::size_t i = 0; i < num_elements; ++i) {
+    if (reachable[i]) {
+      Value v = static_cast<Value>(i);
+      out.Add(&v);
+    }
+  }
+  return out.Build();
+}
+
+bool PathSystem::Accepts() const {
+  Relation reach = Reachable();
+  bool found = false;
+  t.ForEach([&](const Value* t_) {
+    if (reach.Contains(t_)) found = true;
+  });
+  return found;
+}
+
+const char* PathSystemDatalogProgram() {
+  return "P(X) :- S(X).\n"
+         "P(X) :- Q(X,Y,Z), P(Y), P(Z).\n"
+         "Goal(X) :- T(X), P(X).\n";
+}
+
+FormulaPtr PathSystemUnfoldedFormula(std::size_t m) {
+  // Level 0: P interpreted as false.
+  FormulaPtr phi = False();
+  // phi(x1) with P replaced by the previous level at argument x1:
+  // S(x1) | exists x2 exists x3 (Q(x1,x2,x3) &
+  //   forall x1 ((x1 = x2 | x1 = x3) -> prev(x1))).
+  for (std::size_t level = 0; level < m; ++level) {
+    FormulaPtr guard =
+        ForAll(0, Implies(Or(Eq(0, 1), Eq(0, 2)), phi));
+    phi = Or(Atom("S", {0}),
+             Exists(1, Exists(2, And(Atom("Q", {0, 1, 2}), guard))));
+  }
+  return phi;
+}
+
+FormulaPtr PathSystemSentence(std::size_t m) {
+  return Exists(0, And(Atom("T", {0}), PathSystemUnfoldedFormula(m)));
+}
+
+PathSystem RandomPathSystem(std::size_t num_elements, double density,
+                            std::size_t num_sources, std::size_t num_targets,
+                            Rng& rng) {
+  PathSystem ps;
+  ps.num_elements = num_elements;
+  RelationBuilder qb(3);
+  // Expected `density * n` triples per element keeps instances sparse and
+  // interesting.
+  const std::size_t triples =
+      static_cast<std::size_t>(density * static_cast<double>(num_elements));
+  for (std::size_t x = 0; x < num_elements; ++x) {
+    for (std::size_t i = 0; i < triples; ++i) {
+      Value row[3] = {static_cast<Value>(x),
+                      static_cast<Value>(rng.Below(num_elements)),
+                      static_cast<Value>(rng.Below(num_elements))};
+      qb.Add(row);
+    }
+  }
+  ps.q = qb.Build();
+  RelationBuilder sb(1), tb(1);
+  for (std::size_t i = 0; i < num_sources && i < num_elements; ++i) {
+    Value v = static_cast<Value>(i);
+    sb.Add(&v);
+  }
+  for (std::size_t i = 0; i < num_targets && i < num_elements; ++i) {
+    Value v = static_cast<Value>(num_elements - 1 - i);
+    tb.Add(&v);
+  }
+  ps.s = sb.Build();
+  ps.t = tb.Build();
+  return ps;
+}
+
+PathSystem TreePathSystem(std::size_t num_leaves) {
+  // Elements 0..num_leaves-1 are sources; element i >= num_leaves follows
+  // from children 2*(i - num_leaves) and 2*(i - num_leaves) + 1 (a
+  // complete binary reduction); the last element is the target.
+  PathSystem ps;
+  const std::size_t total = 2 * num_leaves - 1;
+  ps.num_elements = total;
+  RelationBuilder qb(3);
+  for (std::size_t i = num_leaves; i < total; ++i) {
+    const std::size_t base = 2 * (i - num_leaves);
+    Value row[3] = {static_cast<Value>(i), static_cast<Value>(base),
+                    static_cast<Value>(base + 1)};
+    qb.Add(row);
+  }
+  ps.q = qb.Build();
+  RelationBuilder sb(1), tb(1);
+  for (std::size_t i = 0; i < num_leaves; ++i) {
+    Value v = static_cast<Value>(i);
+    sb.Add(&v);
+  }
+  Value root = static_cast<Value>(total - 1);
+  tb.Add(&root);
+  ps.s = sb.Build();
+  ps.t = tb.Build();
+  return ps;
+}
+
+}  // namespace bvq

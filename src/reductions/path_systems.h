@@ -1,0 +1,69 @@
+#ifndef BVQ_REDUCTIONS_PATH_SYSTEMS_H_
+#define BVQ_REDUCTIONS_PATH_SYSTEMS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "db/database.h"
+#include "logic/formula.h"
+
+namespace bvq {
+
+/// A Path System instance (Cook 1974): elements {0..n-1}, a ternary
+/// inference relation Q, source elements S (axioms), target elements T.
+/// An element is *reachable* if it is in S or follows by some Q(x,y,z)
+/// from two reachable elements y, z. The decision problem — does T contain
+/// a reachable element? — is PTIME-complete, and Proposition 3.2 reduces
+/// it to FO^3 combined-complexity evaluation.
+struct PathSystem {
+  std::size_t num_elements = 0;
+  Relation q{3};  // Q(x, y, z): x follows from y and z
+  Relation s{1};  // sources
+  Relation t{1};  // targets
+
+  /// The database view (relations Q, S, T over {0..n-1}).
+  Database ToDatabase() const;
+
+  /// Reachable elements, by direct iteration (the definitional solver).
+  Relation Reachable() const;
+
+  /// Does T contain a reachable element?
+  bool Accepts() const;
+};
+
+/// The Datalog program for path systems:
+///   P(X) :- S(X).   P(X) :- Q(X,Y,Z), P(Y), P(Z).
+///   Goal(X) :- T(X), P(X).
+/// Cross-checked against Reachable() in tests; the query accepts iff the
+/// Goal relation is nonempty.
+const char* PathSystemDatalogProgram();
+
+/// Proposition 3.2's FO^3 formula family: phi_m(x1) with
+///   phi(x) = S(x) | exists y exists z (Q(x,y,z) &
+///            forall x ((x = y | x = z) -> P(x)))
+/// iterated m times by substituting phi_{m-1} for P. Variables: x = x1,
+/// y = x2, z = x3. The formula has size O(m) thanks to subtree sharing.
+FormulaPtr PathSystemUnfoldedFormula(std::size_t m);
+
+/// The full reduction: a closed FO^3 sentence psi_m = exists x1 (T(x1) &
+/// phi_m(x1)) that holds in the instance's database iff the instance
+/// accepts, where m = number of elements.
+FormulaPtr PathSystemSentence(std::size_t m);
+
+/// Random instance: `density` controls how many Q-triples exist. With
+/// sources fixed to the first `num_sources` elements and targets to the
+/// last `num_targets`.
+PathSystem RandomPathSystem(std::size_t num_elements, double density,
+                            std::size_t num_sources, std::size_t num_targets,
+                            Rng& rng);
+
+/// A deterministically accepting instance shaped like a binary-tree proof:
+/// element i (for i >= num_leaves) follows from 2 smaller elements; the
+/// root is the target. Reachability needs the full derivation depth, which
+/// exercises the iteration count of the FO^3 family.
+PathSystem TreePathSystem(std::size_t num_leaves);
+
+}  // namespace bvq
+
+#endif  // BVQ_REDUCTIONS_PATH_SYSTEMS_H_

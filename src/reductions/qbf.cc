@@ -1,0 +1,210 @@
+#include "reductions/qbf.h"
+
+#include <sstream>
+
+#include "common/strings.h"
+#include "logic/analysis.h"
+#include "logic/builder.h"
+#include "logic/parser.h"
+
+namespace bvq {
+
+namespace {
+
+Result<bool> EvalProp(const FormulaPtr& f,
+                      const std::map<std::string, bool>& env) {
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+      return true;
+    case FormulaKind::kFalse:
+      return false;
+    case FormulaKind::kAtom: {
+      const auto& atom = static_cast<const AtomFormula&>(*f);
+      if (!atom.args().empty()) {
+        return Status::TypeError(
+            StrCat("QBF matrix atom ", atom.pred(), " is not propositional"));
+      }
+      auto it = env.find(atom.pred());
+      if (it == env.end()) {
+        return Status::TypeError(
+            StrCat("unquantified proposition ", atom.pred()));
+      }
+      return it->second;
+    }
+    case FormulaKind::kNot: {
+      auto sub = EvalProp(static_cast<const NotFormula&>(*f).sub(), env);
+      if (!sub.ok()) return sub;
+      return !*sub;
+    }
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+    case FormulaKind::kImplies:
+    case FormulaKind::kIff: {
+      const auto& b = static_cast<const BinaryFormula&>(*f);
+      auto lhs = EvalProp(b.lhs(), env);
+      if (!lhs.ok()) return lhs;
+      auto rhs = EvalProp(b.rhs(), env);
+      if (!rhs.ok()) return rhs;
+      switch (f->kind()) {
+        case FormulaKind::kAnd:
+          return *lhs && *rhs;
+        case FormulaKind::kOr:
+          return *lhs || *rhs;
+        case FormulaKind::kImplies:
+          return !*lhs || *rhs;
+        default:
+          return *lhs == *rhs;
+      }
+    }
+    default:
+      return Status::TypeError("QBF matrix must be propositional");
+  }
+}
+
+Result<bool> SolveQbfRec(const Qbf& qbf, std::size_t level,
+                         std::map<std::string, bool>& env) {
+  if (level == qbf.prefix.size()) {
+    return EvalProp(qbf.matrix, env);
+  }
+  const QbfQuantifier& q = qbf.prefix[level];
+  for (bool value : {false, true}) {
+    env[q.var] = value;
+    auto sub = SolveQbfRec(qbf, level + 1, env);
+    if (!sub.ok()) return sub;
+    if (q.is_exists && *sub) return true;
+    if (!q.is_exists && !*sub) return false;
+  }
+  env.erase(q.var);
+  return !q.is_exists;
+}
+
+}  // namespace
+
+std::string Qbf::ToString() const {
+  std::ostringstream os;
+  for (const QbfQuantifier& q : prefix) {
+    os << (q.is_exists ? "E " : "A ") << q.var << " ";
+  }
+  os << ": " << FormulaToString(matrix);
+  return os.str();
+}
+
+Result<Qbf> ParseQbf(const std::string& text) {
+  auto colon = text.find(':');
+  if (colon == std::string::npos) {
+    return Status::ParseError("expected ':' separating prefix and matrix");
+  }
+  Qbf qbf;
+  std::istringstream prefix_stream(text.substr(0, colon));
+  std::string tok;
+  while (prefix_stream >> tok) {
+    if (tok != "E" && tok != "A") {
+      return Status::ParseError(
+          StrCat("expected quantifier E or A, got ", tok));
+    }
+    QbfQuantifier q;
+    q.is_exists = tok == "E";
+    if (!(prefix_stream >> q.var)) {
+      return Status::ParseError("quantifier without variable");
+    }
+    qbf.prefix.push_back(std::move(q));
+  }
+  auto matrix = ParseFormula(text.substr(colon + 1));
+  if (!matrix.ok()) return matrix.status();
+  qbf.matrix = std::move(*matrix);
+  // All matrix propositions must be quantified and 0-ary.
+  auto preds = FreePredicates(qbf.matrix);
+  if (!preds.ok()) return preds.status();
+  for (const auto& [name, arity] : *preds) {
+    if (arity != 0) {
+      return Status::TypeError(
+          StrCat("matrix predicate ", name, " must be propositional"));
+    }
+    bool quantified = false;
+    for (const QbfQuantifier& q : qbf.prefix) {
+      if (q.var == name) quantified = true;
+    }
+    if (!quantified) {
+      return Status::TypeError(StrCat("proposition ", name,
+                                      " is not quantified in the prefix"));
+    }
+  }
+  return qbf;
+}
+
+Result<bool> SolveQbf(const Qbf& qbf) {
+  std::map<std::string, bool> env;
+  return SolveQbfRec(qbf, 0, env);
+}
+
+Database QbfFixedDatabase() {
+  Database db(2);
+  Status s = db.AddRelation("P", Relation::FromTuples(1, {{0}}));
+  assert(s.ok());
+  (void)s;
+  return db;
+}
+
+Result<FormulaPtr> QbfToPfp(const Qbf& qbf) {
+  FormulaPtr theta = qbf.matrix;
+  // Innermost quantifier first.
+  for (std::size_t i = qbf.prefix.size(); i-- > 0;) {
+    const QbfQuantifier& q = qbf.prefix[i];
+    const std::string x_rel = "Xq" + std::to_string(i);
+    // Y_i becomes "the stage relation is nonempty".
+    FormulaPtr y_as_stage = Exists(0, Atom(x_rel, {0}));
+    FormulaPtr substituted =
+        SubstitutePredicate(theta, q.var, {}, y_as_stage);
+    if (substituted == nullptr) {
+      return Status::Internal(
+          StrCat("proposition ", q.var, " used with arguments"));
+    }
+    if (q.is_exists) {
+      FormulaPtr body = And(Atom("P", {0}), Not(substituted));
+      FormulaPtr pfp = Pfp(x_rel, {0}, std::move(body), {0});
+      theta = Not(Exists(0, And(Atom("P", {0}), std::move(pfp))));
+    } else {
+      FormulaPtr body = And(Atom("P", {0}), substituted);
+      FormulaPtr pfp = Pfp(x_rel, {0}, std::move(body), {0});
+      theta = Exists(0, And(Atom("P", {0}), std::move(pfp)));
+    }
+  }
+  return theta;
+}
+
+Qbf ParityQbf(std::size_t prefix_length) {
+  Qbf qbf;
+  for (std::size_t i = 0; i < prefix_length; ++i) {
+    qbf.prefix.push_back({i % 2 == 1, "Y" + std::to_string(i + 1)});
+  }
+  // XOR chain: xor(a, b) == !(a <-> b).
+  FormulaPtr matrix = Atom("Y1", {});
+  for (std::size_t i = 1; i < prefix_length; ++i) {
+    matrix = Not(Iff(std::move(matrix), Atom("Y" + std::to_string(i + 1), {})));
+  }
+  qbf.matrix = std::move(matrix);
+  return qbf;
+}
+
+Qbf RandomQbf(std::size_t prefix_length, std::size_t num_clauses, Rng& rng) {
+  Qbf qbf;
+  for (std::size_t i = 0; i < prefix_length; ++i) {
+    qbf.prefix.push_back(
+        {rng.Bernoulli(0.5), "Y" + std::to_string(i + 1)});
+  }
+  std::vector<FormulaPtr> clauses;
+  for (std::size_t c = 0; c < num_clauses; ++c) {
+    std::vector<FormulaPtr> lits;
+    for (int j = 0; j < 3; ++j) {
+      FormulaPtr atom = Atom(
+          "Y" + std::to_string(1 + rng.Below(prefix_length)), {});
+      lits.push_back(rng.Bernoulli(0.5) ? Not(std::move(atom))
+                                        : std::move(atom));
+    }
+    clauses.push_back(OrAll(std::move(lits)));
+  }
+  qbf.matrix = AndAll(std::move(clauses));
+  return qbf;
+}
+
+}  // namespace bvq

@@ -1,0 +1,79 @@
+#ifndef BVQ_REDUCTIONS_QBF_H_
+#define BVQ_REDUCTIONS_QBF_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "db/database.h"
+#include "logic/formula.h"
+
+namespace bvq {
+
+/// A prenex quantified Boolean formula Q_1 Y_1 ... Q_l Y_l . matrix.
+/// The matrix is a propositional formula represented as a logic Formula
+/// whose atoms are the 0-ary propositions Y_i (reusing the library's
+/// parser and printer).
+struct QbfQuantifier {
+  bool is_exists;
+  std::string var;
+};
+
+struct Qbf {
+  std::vector<QbfQuantifier> prefix;
+  FormulaPtr matrix;
+
+  std::string ToString() const;
+};
+
+/// Parses "E Y1 A Y2 E Y3 : <propositional formula>"; all propositions in
+/// the matrix must be quantified.
+Result<Qbf> ParseQbf(const std::string& text);
+
+/// Definitional recursive QBF solver (the ground truth for tests and
+/// benchmarks).
+Result<bool> SolveQbf(const Qbf& qbf);
+
+/// Theorem 4.6: the fixed database B0 with domain {0,1} and the unary
+/// relation P = {0}.
+Database QbfFixedDatabase();
+
+/// Theorem 4.6's reduction: a PFP^1 formula (one individual variable!)
+/// over QbfFixedDatabase() that is satisfiable (holds for some/any x1) iff
+/// the QBF is true. Construction: each quantifier Q_i Y_i becomes a
+/// partial fixpoint over a unary relation X_i whose stage sequence walks
+/// the two truth values of Y_i —
+///
+///   exists Y theta  ==  !(exists x1 (P(x1) & [pfp X(x1). P(x1) &
+///                        !theta'](x1)))
+///   forall Y theta  ==  exists x1 (P(x1) & [pfp X(x1). P(x1) &
+///                        theta'](x1))
+///
+/// where theta' replaces the proposition Y by "exists x1 . X(x1)". The
+/// pfp sequence from the empty set either stabilizes immediately
+/// (detecting theta at Y = false), stabilizes at {0} (theta fails at both
+/// values / holds at both values respectively), or cycles (no limit,
+/// empty relation) — exactly implementing the two-valued search with a
+/// single individual variable.
+///
+/// The output formula is closed (a sentence): evaluate it and test
+/// non-emptiness of the satisfying-assignment set.
+Result<FormulaPtr> QbfToPfp(const Qbf& qbf);
+
+/// Random QBF with the given prefix length over `num_clauses` random
+/// 3-literal clauses (matrix in CNF shape).
+Qbf RandomQbf(std::size_t prefix_length, std::size_t num_clauses, Rng& rng);
+
+/// A structurally hard family: alternating prefix A Y1 E Y2 A Y3 ... over
+/// the parity matrix Y1 xor Y2 xor ... xor Yl. Every subgame's value
+/// depends on all remaining variables, so solvers (and the Theorem 4.6
+/// PFP evaluation) must explore both branches at every level — the
+/// exponential worst case. The formula is true iff the innermost
+/// quantifier is existential.
+Qbf ParityQbf(std::size_t prefix_length);
+
+}  // namespace bvq
+
+#endif  // BVQ_REDUCTIONS_QBF_H_

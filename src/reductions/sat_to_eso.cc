@@ -1,0 +1,51 @@
+#include "reductions/sat_to_eso.h"
+
+#include <set>
+
+#include "common/strings.h"
+#include "logic/analysis.h"
+#include "logic/builder.h"
+
+namespace bvq {
+
+Result<FormulaPtr> PropositionalToEso(const FormulaPtr& phi) {
+  LanguageClass c = ClassifyLanguage(phi);
+  if (!c.first_order) {
+    return Status::TypeError("input must be propositional (first-order)");
+  }
+  auto preds = FreePredicates(phi);
+  if (!preds.ok()) return preds.status();
+  for (const auto& [name, arity] : *preds) {
+    if (arity != 0) {
+      return Status::TypeError(
+          StrCat("atom ", name, " has arity ", arity, "; expected 0"));
+    }
+  }
+  if (!FreeVars(phi).empty()) {
+    return Status::TypeError("input must have no individual variables");
+  }
+  FormulaPtr out = phi;
+  for (const auto& [name, arity] : *preds) {
+    out = SoExists(name, 0, std::move(out));
+  }
+  return out;
+}
+
+FormulaPtr CnfToFormula(const sat::Cnf& cnf) {
+  std::vector<FormulaPtr> clauses;
+  clauses.reserve(cnf.clauses.size());
+  for (const sat::Clause& clause : cnf.clauses) {
+    std::vector<FormulaPtr> lits;
+    lits.reserve(clause.size());
+    for (sat::Lit lit : clause) {
+      FormulaPtr atom = Atom("P" + std::to_string(lit.var() + 1), {});
+      lits.push_back(lit.negated() ? Not(std::move(atom)) : std::move(atom));
+    }
+    clauses.push_back(OrAll(std::move(lits)));
+  }
+  return AndAll(std::move(clauses));
+}
+
+Database TrivialDatabase() { return Database(1); }
+
+}  // namespace bvq

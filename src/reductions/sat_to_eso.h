@@ -1,0 +1,34 @@
+#ifndef BVQ_REDUCTIONS_SAT_TO_ESO_H_
+#define BVQ_REDUCTIONS_SAT_TO_ESO_H_
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "db/database.h"
+#include "logic/formula.h"
+#include "sat/cnf.h"
+
+namespace bvq {
+
+/// Theorem 4.5: propositional satisfiability reduces to ESO^k expression
+/// complexity over *any* fixed database. A propositional formula phi over
+/// propositions P_1..P_l maps to the sentence
+///
+///   exists2 P_1/0 ... exists2 P_l/0 . phi
+///
+/// (0-ary second-order quantifiers are propositional quantifiers), which
+/// holds in every database iff phi is satisfiable — no individual
+/// variables needed at all, so this witnesses NP-hardness of ESO^k
+/// expression complexity for every k >= 0.
+///
+/// `phi` must be propositional: atoms are 0-ary, connectives only.
+Result<FormulaPtr> PropositionalToEso(const FormulaPtr& phi);
+
+/// Converts a CNF into the propositional formula AST (atoms "P1".."Pn").
+FormulaPtr CnfToFormula(const sat::Cnf& cnf);
+
+/// A fixed one-element database usable as the B of Theorem 4.5.
+Database TrivialDatabase();
+
+}  // namespace bvq
+
+#endif  // BVQ_REDUCTIONS_SAT_TO_ESO_H_

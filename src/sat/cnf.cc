@@ -1,0 +1,84 @@
+#include "sat/cnf.h"
+
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace bvq {
+namespace sat {
+
+std::string Cnf::ToDimacs() const {
+  std::ostringstream os;
+  os << "p cnf " << num_vars << " " << clauses.size() << "\n";
+  for (const Clause& c : clauses) {
+    for (Lit l : c) os << l.ToDimacs() << " ";
+    os << "0\n";
+  }
+  return os.str();
+}
+
+Result<Cnf> ParseDimacs(const std::string& text) {
+  Cnf cnf;
+  std::istringstream is(text);
+  std::string line;
+  bool saw_header = false;
+  Clause current;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::string_view sv = StripAsciiWhitespace(line);
+    if (sv.empty() || sv[0] == 'c') continue;
+    if (sv[0] == 'p') {
+      std::istringstream ls{std::string(sv)};
+      std::string p, kind;
+      int v = 0, c = 0;
+      if (!(ls >> p >> kind >> v >> c) || kind != "cnf") {
+        return Status::ParseError(
+            StrCat("line ", line_no, ": bad DIMACS header"));
+      }
+      cnf.num_vars = v;
+      saw_header = true;
+      continue;
+    }
+    if (!saw_header) {
+      return Status::ParseError("clause before DIMACS header");
+    }
+    std::istringstream ls{std::string(sv)};
+    int x = 0;
+    while (ls >> x) {
+      if (x == 0) {
+        cnf.AddClause(current);
+        current.clear();
+      } else {
+        if (std::abs(x) > cnf.num_vars) {
+          return Status::ParseError(
+              StrCat("line ", line_no, ": literal ", x, " out of range"));
+        }
+        current.push_back(Lit::FromDimacs(x));
+      }
+    }
+  }
+  if (!current.empty()) {
+    return Status::ParseError("unterminated clause at end of input");
+  }
+  if (!saw_header) return Status::ParseError("missing DIMACS header");
+  return cnf;
+}
+
+bool Satisfies(const Cnf& cnf, const std::vector<bool>& model) {
+  for (const Clause& c : cnf.clauses) {
+    bool sat = false;
+    for (Lit l : c) {
+      if (l.var() >= static_cast<int>(model.size())) return false;
+      if (model[l.var()] != l.negated()) {
+        sat = true;
+        break;
+      }
+    }
+    if (!sat) return false;
+  }
+  return true;
+}
+
+}  // namespace sat
+}  // namespace bvq

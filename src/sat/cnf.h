@@ -1,0 +1,75 @@
+#ifndef BVQ_SAT_CNF_H_
+#define BVQ_SAT_CNF_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace bvq {
+namespace sat {
+
+/// A literal: variable index (0-based) with sign, packed as 2*var + neg.
+/// Invalid/undefined literal is kLitUndef.
+class Lit {
+ public:
+  Lit() : code_(-1) {}
+  Lit(int var, bool negated) : code_(2 * var + (negated ? 1 : 0)) {}
+
+  static Lit FromCode(int code) {
+    Lit l;
+    l.code_ = code;
+    return l;
+  }
+  /// DIMACS-style: +v (1-based) positive, -v negative; 0 invalid.
+  static Lit FromDimacs(int dimacs) {
+    return Lit(std::abs(dimacs) - 1, dimacs < 0);
+  }
+
+  int var() const { return code_ >> 1; }
+  bool negated() const { return code_ & 1; }
+  Lit Negation() const { return FromCode(code_ ^ 1); }
+  int code() const { return code_; }
+  int ToDimacs() const { return negated() ? -(var() + 1) : (var() + 1); }
+  bool IsValid() const { return code_ >= 0; }
+
+  bool operator==(const Lit& o) const { return code_ == o.code_; }
+  bool operator!=(const Lit& o) const { return code_ != o.code_; }
+
+ private:
+  int code_;
+};
+
+using Clause = std::vector<Lit>;
+
+/// A CNF formula over variables 0..num_vars-1.
+struct Cnf {
+  int num_vars = 0;
+  std::vector<Clause> clauses;
+
+  /// Allocates a fresh variable and returns its index.
+  int NewVar() { return num_vars++; }
+  void AddClause(Clause c) { clauses.push_back(std::move(c)); }
+  void AddUnit(Lit a) { clauses.push_back({a}); }
+  void AddBinary(Lit a, Lit b) { clauses.push_back({a, b}); }
+  void AddTernary(Lit a, Lit b, Lit c) { clauses.push_back({a, b, c}); }
+
+  /// DIMACS "p cnf" text.
+  std::string ToDimacs() const;
+};
+
+/// Parses DIMACS CNF ("c" comments, "p cnf V C" header, 0-terminated
+/// clauses).
+Result<Cnf> ParseDimacs(const std::string& text);
+
+/// A (possibly partial) assignment: one entry per variable.
+enum class Assignment : uint8_t { kFalse = 0, kTrue = 1, kUndef = 2 };
+
+/// True iff `model` satisfies every clause of `cnf`.
+bool Satisfies(const Cnf& cnf, const std::vector<bool>& model);
+
+}  // namespace sat
+}  // namespace bvq
+
+#endif  // BVQ_SAT_CNF_H_

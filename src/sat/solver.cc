@@ -1,0 +1,335 @@
+#include "sat/solver.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bvq {
+namespace sat {
+
+namespace {
+
+// Value of literal l under assignment a.
+Assignment LitValue(const std::vector<Assignment>& assign, Lit l) {
+  Assignment v = assign[l.var()];
+  if (v == Assignment::kUndef) return Assignment::kUndef;
+  const bool val = (v == Assignment::kTrue) != l.negated();
+  return val ? Assignment::kTrue : Assignment::kFalse;
+}
+
+}  // namespace
+
+Solver::Solver(SolverOptions options) : options_(options) {}
+
+void Solver::Init(const Cnf& cnf) {
+  num_vars_ = cnf.num_vars;
+  clauses_.clear();
+  watches_.assign(2 * static_cast<std::size_t>(num_vars_), {});
+  assign_.assign(num_vars_, Assignment::kUndef);
+  phase_.assign(num_vars_, false);
+  level_.assign(num_vars_, 0);
+  reason_.assign(num_vars_, kNoReason);
+  trail_.clear();
+  trail_lim_.clear();
+  prop_head_ = 0;
+  activity_.assign(num_vars_, 0.0);
+  var_inc_ = 1.0;
+  seen_.assign(num_vars_, false);
+  ok_ = true;
+  stats_ = SolverStats();
+}
+
+bool Solver::AttachInitialClauses(const Cnf& cnf) {
+  for (const Clause& c : cnf.clauses) {
+    // Simplify: drop duplicate literals; detect tautologies.
+    std::vector<Lit> lits = c;
+    std::sort(lits.begin(), lits.end(),
+              [](Lit a, Lit b) { return a.code() < b.code(); });
+    lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+    bool tautology = false;
+    for (std::size_t i = 0; i + 1 < lits.size(); ++i) {
+      if (lits[i].var() == lits[i + 1].var()) {
+        tautology = true;
+        break;
+      }
+    }
+    if (tautology) continue;
+    // Remove already-false unit simplifications at level 0.
+    std::vector<Lit> active;
+    bool satisfied = false;
+    for (Lit l : lits) {
+      Assignment v = LitValue(assign_, l);
+      if (v == Assignment::kTrue) {
+        satisfied = true;
+        break;
+      }
+      if (v == Assignment::kUndef) active.push_back(l);
+    }
+    if (satisfied) continue;
+    if (active.empty()) return false;  // conflict at level 0
+    if (active.size() == 1) {
+      if (LitValue(assign_, active[0]) == Assignment::kFalse) return false;
+      if (LitValue(assign_, active[0]) == Assignment::kUndef) {
+        Enqueue(active[0], kNoReason);
+        if (Propagate() != kNoReason) return false;
+      }
+      continue;
+    }
+    clauses_.push_back({std::move(active), 0.0, false});
+    AttachClause(static_cast<int>(clauses_.size()) - 1);
+  }
+  return Propagate() == kNoReason;
+}
+
+void Solver::AttachClause(int ci) {
+  const auto& lits = clauses_[ci].lits;
+  assert(lits.size() >= 2);
+  watches_[lits[0].code()].push_back(ci);
+  watches_[lits[1].code()].push_back(ci);
+}
+
+void Solver::Enqueue(Lit l, int reason) {
+  assert(assign_[l.var()] == Assignment::kUndef);
+  assign_[l.var()] = l.negated() ? Assignment::kFalse : Assignment::kTrue;
+  level_[l.var()] = static_cast<int>(trail_lim_.size());
+  reason_[l.var()] = reason;
+  trail_.push_back(l);
+}
+
+int Solver::Propagate() {
+  while (prop_head_ < trail_.size()) {
+    const Lit p = trail_[prop_head_++];
+    ++stats_.propagations;
+    // Clauses watching ~p must find a new watch or propagate/conflict.
+    const Lit false_lit = p.Negation();
+    std::vector<int>& watch_list = watches_[false_lit.code()];
+    std::size_t keep = 0;
+    for (std::size_t wi = 0; wi < watch_list.size(); ++wi) {
+      const int ci = watch_list[wi];
+      auto& lits = clauses_[ci].lits;
+      // Normalize: watched literal being falsified at position 1.
+      if (lits[0] == false_lit) std::swap(lits[0], lits[1]);
+      assert(lits[1] == false_lit);
+      // If the other watch is true the clause is satisfied.
+      if (LitValue(assign_, lits[0]) == Assignment::kTrue) {
+        watch_list[keep++] = ci;
+        continue;
+      }
+      // Look for a non-false literal to watch instead.
+      bool found = false;
+      for (std::size_t j = 2; j < lits.size(); ++j) {
+        if (LitValue(assign_, lits[j]) != Assignment::kFalse) {
+          std::swap(lits[1], lits[j]);
+          watches_[lits[1].code()].push_back(ci);
+          found = true;
+          break;
+        }
+      }
+      if (found) continue;  // watch moved; drop from this list
+      // Unit or conflicting.
+      watch_list[keep++] = ci;
+      if (LitValue(assign_, lits[0]) == Assignment::kFalse) {
+        // Conflict: compact the remaining entries and return.
+        for (std::size_t wj = wi + 1; wj < watch_list.size(); ++wj) {
+          watch_list[keep++] = watch_list[wj];
+        }
+        watch_list.resize(keep);
+        prop_head_ = trail_.size();
+        return ci;
+      }
+      Enqueue(lits[0], ci);
+    }
+    watch_list.resize(keep);
+  }
+  return kNoReason;
+}
+
+void Solver::BumpVar(int var) {
+  activity_[var] += var_inc_;
+  if (activity_[var] > 1e100) {
+    for (double& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+}
+
+void Solver::DecayVarActivities() { var_inc_ /= options_.var_decay; }
+
+void Solver::Analyze(int conflict, std::vector<Lit>* learnt,
+                     int* backjump_level) {
+  // First-UIP scheme.
+  learnt->clear();
+  learnt->push_back(Lit());  // slot for the asserting literal
+  int counter = 0;
+  Lit p;
+  int reason = conflict;
+  std::size_t index = trail_.size();
+  const int current_level = static_cast<int>(trail_lim_.size());
+
+  do {
+    const auto& lits = clauses_[reason].lits;
+    // For the conflict clause consider all literals; for reason clauses
+    // skip the propagated literal itself (lits[0] == p).
+    for (std::size_t j = (p.IsValid() ? 1 : 0); j < lits.size(); ++j) {
+      const Lit q = lits[j];
+      if (seen_[q.var()] || level_[q.var()] == 0) continue;
+      seen_[q.var()] = true;
+      BumpVar(q.var());
+      if (level_[q.var()] >= current_level) {
+        ++counter;
+      } else {
+        learnt->push_back(q);
+      }
+    }
+    // Find the next marked literal on the trail.
+    while (!seen_[trail_[index - 1].var()]) --index;
+    --index;
+    p = trail_[index];
+    seen_[p.var()] = false;
+    reason = reason_[p.var()];
+    --counter;
+  } while (counter > 0);
+  (*learnt)[0] = p.Negation();
+
+  // Compute the backjump level: the highest level among the other
+  // literals.
+  int bj = 0;
+  std::size_t max_pos = 1;
+  for (std::size_t j = 1; j < learnt->size(); ++j) {
+    if (level_[(*learnt)[j].var()] > bj) {
+      bj = level_[(*learnt)[j].var()];
+      max_pos = j;
+    }
+  }
+  if (learnt->size() > 1) std::swap((*learnt)[1], (*learnt)[max_pos]);
+  *backjump_level = learnt->size() == 1 ? 0 : bj;
+
+  for (Lit l : *learnt) seen_[l.var()] = false;
+}
+
+void Solver::Backtrack(int target_level) {
+  if (static_cast<int>(trail_lim_.size()) <= target_level) return;
+  const std::size_t bound = trail_lim_[target_level];
+  for (std::size_t i = trail_.size(); i-- > bound;) {
+    const int v = trail_[i].var();
+    phase_[v] = assign_[v] == Assignment::kTrue;
+    assign_[v] = Assignment::kUndef;
+    reason_[v] = kNoReason;
+  }
+  trail_.resize(bound);
+  trail_lim_.resize(target_level);
+  prop_head_ = trail_.size();
+}
+
+Lit Solver::PickBranchLit() {
+  int best = -1;
+  double best_act = -1.0;
+  for (int v = 0; v < num_vars_; ++v) {
+    if (assign_[v] == Assignment::kUndef && activity_[v] > best_act) {
+      best = v;
+      best_act = activity_[v];
+    }
+  }
+  if (best < 0) return Lit();
+  return Lit(best, !phase_[best]);
+}
+
+uint64_t Solver::LubyRestartLimit(uint64_t i) const {
+  // Luby sequence 1,1,2,1,1,2,4,... (i is 0-based), MiniSat-style.
+  uint64_t size = 1;
+  int seq = 0;
+  while (size < i + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != i) {
+    size = (size - 1) >> 1;
+    --seq;
+    i %= size;
+  }
+  return (uint64_t{1} << seq) * options_.restart_unit;
+}
+
+SolveResult Solver::Solve(const Cnf& cnf) {
+  Init(cnf);
+  SolveResult result;
+  if (!AttachInitialClauses(cnf)) {
+    result.status = SolveStatus::kUnsat;
+    return result;
+  }
+
+  uint64_t restart_index = 0;
+  uint64_t conflicts_since_restart = 0;
+  uint64_t restart_limit = LubyRestartLimit(restart_index);
+
+  std::vector<Lit> learnt;
+  for (;;) {
+    const int conflict = Propagate();
+    if (conflict != kNoReason) {
+      ++stats_.conflicts;
+      ++conflicts_since_restart;
+      if (trail_lim_.empty()) {
+        result.status = SolveStatus::kUnsat;
+        return result;
+      }
+      int backjump = 0;
+      Analyze(conflict, &learnt, &backjump);
+      Backtrack(backjump);
+      if (learnt.size() == 1) {
+        Enqueue(learnt[0], kNoReason);
+      } else {
+        clauses_.push_back({learnt, 0.0, true});
+        ++stats_.learned_clauses;
+        const int ci = static_cast<int>(clauses_.size()) - 1;
+        AttachClause(ci);
+        Enqueue(learnt[0], ci);
+      }
+      DecayVarActivities();
+      if (options_.max_conflicts != 0 &&
+          stats_.conflicts >= options_.max_conflicts) {
+        result.status = SolveStatus::kUnknown;
+        return result;
+      }
+      continue;
+    }
+    if (conflicts_since_restart >= restart_limit) {
+      ++stats_.restarts;
+      conflicts_since_restart = 0;
+      restart_limit = LubyRestartLimit(++restart_index);
+      Backtrack(0);
+      continue;
+    }
+    const Lit decision = PickBranchLit();
+    if (!decision.IsValid()) {
+      result.status = SolveStatus::kSat;
+      result.model.resize(num_vars_);
+      for (int v = 0; v < num_vars_; ++v) {
+        result.model[v] = assign_[v] == Assignment::kTrue;
+      }
+      return result;
+    }
+    ++stats_.decisions;
+    trail_lim_.push_back(static_cast<int>(trail_.size()));
+    Enqueue(decision, kNoReason);
+  }
+}
+
+Result<SolveResult> SolveBruteForce(const Cnf& cnf) {
+  if (cnf.num_vars > 24) {
+    return Status::ResourceExhausted("brute force limited to 24 variables");
+  }
+  SolveResult result;
+  const uint64_t total = uint64_t{1} << cnf.num_vars;
+  for (uint64_t mask = 0; mask < total; ++mask) {
+    std::vector<bool> model(cnf.num_vars);
+    for (int v = 0; v < cnf.num_vars; ++v) model[v] = (mask >> v) & 1;
+    if (Satisfies(cnf, model)) {
+      result.status = SolveStatus::kSat;
+      result.model = std::move(model);
+      return result;
+    }
+  }
+  result.status = SolveStatus::kUnsat;
+  return result;
+}
+
+}  // namespace sat
+}  // namespace bvq

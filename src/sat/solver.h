@@ -1,0 +1,108 @@
+#ifndef BVQ_SAT_SOLVER_H_
+#define BVQ_SAT_SOLVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "sat/cnf.h"
+
+namespace bvq {
+namespace sat {
+
+/// Result of a solver run.
+enum class SolveStatus {
+  kSat,
+  kUnsat,
+  kUnknown,  // budget exceeded
+};
+
+struct SolveResult {
+  SolveStatus status = SolveStatus::kUnknown;
+  /// Total assignment when status == kSat.
+  std::vector<bool> model;
+};
+
+struct SolverStats {
+  uint64_t decisions = 0;
+  uint64_t propagations = 0;
+  uint64_t conflicts = 0;
+  uint64_t learned_clauses = 0;
+  uint64_t restarts = 0;
+};
+
+struct SolverOptions {
+  /// Give up after this many conflicts (0 = unlimited).
+  uint64_t max_conflicts = 0;
+  /// VSIDS activity decay factor.
+  double var_decay = 0.95;
+  /// Luby restart unit (conflicts).
+  uint64_t restart_unit = 128;
+};
+
+/// A conflict-driven clause learning SAT solver: two-watched-literal
+/// propagation, VSIDS branching with phase saving, first-UIP clause
+/// learning with non-chronological backjumping, and Luby restarts.
+///
+/// This is the NP-engine substrate behind ESO^k evaluation (Corollary 3.7):
+/// after Lemma 3.6's arity reduction, a bounded-variable ESO query grounds
+/// to a polynomially sized CNF whose satisfiability this solver decides.
+class Solver {
+ public:
+  explicit Solver(SolverOptions options = {});
+
+  /// Solves `cnf`. The cnf is copied into the solver's internal clause
+  /// database.
+  SolveResult Solve(const Cnf& cnf);
+
+  const SolverStats& stats() const { return stats_; }
+
+ private:
+  struct InternalClause {
+    std::vector<Lit> lits;
+    double activity = 0.0;
+    bool learned = false;
+  };
+
+  // Clause reference: index into clauses_. kNoReason for decisions.
+  static constexpr int kNoReason = -1;
+
+  void Init(const Cnf& cnf);
+  bool AttachInitialClauses(const Cnf& cnf);
+  void Enqueue(Lit l, int reason);
+  int Propagate();  // returns conflicting clause index or kNoReason
+  void Analyze(int conflict, std::vector<Lit>* learnt, int* backjump_level);
+  void Backtrack(int level);
+  Lit PickBranchLit();
+  void BumpVar(int var);
+  void DecayVarActivities();
+  void AttachClause(int ci);
+  uint64_t LubyRestartLimit(uint64_t i) const;
+
+  SolverOptions options_;
+  SolverStats stats_;
+
+  int num_vars_ = 0;
+  std::vector<InternalClause> clauses_;
+  std::vector<std::vector<int>> watches_;  // per literal code
+  std::vector<Assignment> assign_;
+  std::vector<bool> phase_;       // saved phase per var
+  std::vector<int> level_;        // decision level per var
+  std::vector<int> reason_;       // reason clause per var
+  std::vector<Lit> trail_;
+  std::vector<int> trail_lim_;    // trail index per decision level
+  std::size_t prop_head_ = 0;
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  std::vector<bool> seen_;        // scratch for Analyze
+  bool ok_ = true;                // false once UNSAT at level 0
+};
+
+/// Exhaustive truth-table check, for cross-validating the CDCL solver on
+/// small instances (num_vars <= 24).
+Result<SolveResult> SolveBruteForce(const Cnf& cnf);
+
+}  // namespace sat
+}  // namespace bvq
+
+#endif  // BVQ_SAT_SOLVER_H_

@@ -1,0 +1,59 @@
+#include "sat/tseitin.h"
+
+#include <algorithm>
+
+namespace bvq {
+namespace sat {
+
+CircuitBuilder::CircuitBuilder(Cnf* cnf) : cnf_(cnf) {
+  true_lit_ = Lit(cnf_->NewVar(), false);
+  cnf_->AddUnit(true_lit_);
+}
+
+Lit CircuitBuilder::MakeAnd(Lit a, Lit b) {
+  // Constant folding and idempotence.
+  if (a == true_lit_) return b;
+  if (b == true_lit_) return a;
+  if (a == true_lit_.Negation() || b == true_lit_.Negation()) {
+    return true_lit_.Negation();
+  }
+  if (a == b) return a;
+  if (a == b.Negation()) return true_lit_.Negation();
+  std::pair<int, int> key(std::min(a.code(), b.code()),
+                          std::max(a.code(), b.code()));
+  auto it = and_cache_.find(key);
+  if (it != and_cache_.end()) return it->second;
+  const Lit g(cnf_->NewVar(), false);
+  // g <-> a & b
+  cnf_->AddBinary(g.Negation(), a);
+  cnf_->AddBinary(g.Negation(), b);
+  cnf_->AddTernary(a.Negation(), b.Negation(), g);
+  and_cache_[key] = g;
+  return g;
+}
+
+Lit CircuitBuilder::And(Lit a, Lit b) { return MakeAnd(a, b); }
+
+Lit CircuitBuilder::Or(Lit a, Lit b) {
+  return MakeAnd(a.Negation(), b.Negation()).Negation();
+}
+
+Lit CircuitBuilder::Iff(Lit a, Lit b) {
+  // (a & b) | (!a & !b)
+  return Or(And(a, b), And(a.Negation(), b.Negation()));
+}
+
+Lit CircuitBuilder::AndAll(const std::vector<Lit>& xs) {
+  Lit acc = True();
+  for (Lit x : xs) acc = And(acc, x);
+  return acc;
+}
+
+Lit CircuitBuilder::OrAll(const std::vector<Lit>& xs) {
+  Lit acc = False();
+  for (Lit x : xs) acc = Or(acc, x);
+  return acc;
+}
+
+}  // namespace sat
+}  // namespace bvq

@@ -1,0 +1,53 @@
+#ifndef BVQ_SAT_TSEITIN_H_
+#define BVQ_SAT_TSEITIN_H_
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "sat/cnf.h"
+
+namespace bvq {
+namespace sat {
+
+/// Builds a CNF via the Tseitin transformation: every gate gets a fresh
+/// definition variable and defining clauses, so CNF size stays linear in
+/// circuit size. Gates are structurally hashed (same inputs, same op ->
+/// same output literal), which keeps grounded ESO^k formulas compact when
+/// subformulas repeat across assignments.
+///
+/// Constant inputs are folded; negation is free (literal flip).
+class CircuitBuilder {
+ public:
+  /// Gates are appended to `cnf` (not owned).
+  explicit CircuitBuilder(Cnf* cnf);
+
+  /// Literal for constant true/false.
+  Lit True() const { return true_lit_; }
+  Lit False() const { return true_lit_.Negation(); }
+
+  Lit Not(Lit a) const { return a.Negation(); }
+  Lit And(Lit a, Lit b);
+  Lit Or(Lit a, Lit b);
+  Lit Implies(Lit a, Lit b) { return Or(a.Negation(), b); }
+  Lit Iff(Lit a, Lit b);
+  Lit AndAll(const std::vector<Lit>& xs);
+  Lit OrAll(const std::vector<Lit>& xs);
+
+  /// Adds the unit clause asserting `a`.
+  void AssertTrue(Lit a) { cnf_->AddUnit(a); }
+
+ private:
+  Lit MakeAnd(Lit a, Lit b);
+
+  Cnf* cnf_;
+  Lit true_lit_;
+  // Structural hash over AND gates only (OR/IFF are expressed through AND
+  // and negation): key is the ordered pair of literal codes.
+  std::map<std::pair<int, int>, Lit> and_cache_;
+};
+
+}  // namespace sat
+}  // namespace bvq
+
+#endif  // BVQ_SAT_TSEITIN_H_

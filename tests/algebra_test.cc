@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "algebra/boolean_value.h"
+#include "algebra/parenthesis_grammar.h"
+#include "algebra/word_algebra.h"
+#include "common/rng.h"
+#include "db/generators.h"
+#include "eval/bounded_eval.h"
+#include "logic/analysis.h"
+#include "logic/parser.h"
+#include "logic/random_formula.h"
+
+namespace bvq {
+namespace {
+
+Database SmallGraphDb() {
+  Database db(2);
+  Status s = db.AddRelation("E", Relation::FromTuples(2, {{0, 1}, {1, 1}}));
+  EXPECT_TRUE(s.ok());
+  s = db.AddRelation("P", Relation::FromTuples(1, {{1}}));
+  EXPECT_TRUE(s.ok());
+  return db;
+}
+
+TEST(WordAlgebraTest, RejectsLargeCubes) {
+  Database db(10);
+  EXPECT_FALSE(WordAlgebraEvaluator::Create(db, 3).ok());  // 1000 > 64
+  EXPECT_TRUE(WordAlgebraEvaluator::Create(db, 1).ok());
+}
+
+TEST(WordAlgebraTest, BasicEvaluation) {
+  Database db = SmallGraphDb();
+  auto algebra = WordAlgebraEvaluator::Create(db, 2);
+  ASSERT_TRUE(algebra.ok());
+  auto mask = algebra->Evaluate(*ParseFormula("E(x1,x2) & P(x2)"));
+  ASSERT_TRUE(mask.ok());
+  Relation rel = algebra->MaskToRelation(*mask, {0, 1});
+  EXPECT_EQ(rel, Relation::FromTuples(2, {{0, 1}, {1, 1}}));
+}
+
+TEST(WordAlgebraTest, MatchesBoundedEvaluatorOnRandomFormulas) {
+  Rng rng(606);
+  RandomFormulaOptions opts;
+  opts.num_vars = 2;
+  opts.max_size = 20;
+  opts.predicates = {{"E", 2}, {"P", 1}};
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t n = 2 + rng.Below(2);  // n^2 <= 9 <= 64
+    Database db(n);
+    ASSERT_TRUE(db.AddRelation("E", RandomRelation(n, 2, 0.4, rng)).ok());
+    ASSERT_TRUE(db.AddRelation("P", RandomRelation(n, 1, 0.5, rng)).ok());
+    FormulaPtr f = RandomFormula(opts, rng);
+
+    auto algebra = WordAlgebraEvaluator::Create(db, 2);
+    ASSERT_TRUE(algebra.ok());
+    auto mask = algebra->Evaluate(f);
+    ASSERT_TRUE(mask.ok()) << FormulaToString(f);
+
+    BoundedEvaluator eval(db, 2);
+    auto set = eval.Evaluate(f);
+    ASSERT_TRUE(set.ok());
+    EXPECT_EQ(algebra->MaskToRelation(*mask, {0, 1}),
+              set->ToRelation({0, 1}))
+        << FormulaToString(f);
+  }
+}
+
+TEST(WordAlgebraTest, RejectsFixpoints) {
+  Database db = SmallGraphDb();
+  auto algebra = WordAlgebraEvaluator::Create(db, 2);
+  ASSERT_TRUE(algebra.ok());
+  EXPECT_FALSE(
+      algebra->Evaluate(*ParseFormula("[lfp T(x1) . T(x1)](x1)")).ok());
+}
+
+// --- parenthesis grammar (Lemma 4.2) -----------------------------------------
+
+TEST(ParenthesisGrammarTest, BuildsForTinyDatabase) {
+  Database db(2);
+  ASSERT_TRUE(db.AddRelation("P", Relation::FromTuples(1, {{1}})).ok());
+  auto g = ParenthesisGrammar::Build(db, 1, {{"P", {0}}});
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->NumNonterminals(), 5u);  // 2^(2^1) + start
+  EXPECT_GT(g->NumProductions(), 16u);
+  EXPECT_NE(g->ToString().find("S -> ("), std::string::npos);
+}
+
+TEST(ParenthesisGrammarTest, GateOnLargeDatabases) {
+  Database db(3);
+  EXPECT_FALSE(ParenthesisGrammar::Build(db, 2, {}).ok());  // 3^2 = 9 > 6
+}
+
+TEST(ParenthesisGrammarTest, RecognizeAgreesWithEvaluation) {
+  Database db(2);
+  ASSERT_TRUE(db.AddRelation("P", Relation::FromTuples(1, {{1}})).ok());
+  ASSERT_TRUE(
+      db.AddRelation("E", Relation::FromTuples(2, {{0, 1}})).ok());
+  auto g = ParenthesisGrammar::Build(db, 2,
+                                     {{"P", {0}}, {"P", {1}}, {"E", {0, 1}}});
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+
+  auto algebra = WordAlgebraEvaluator::Create(db, 2);
+  ASSERT_TRUE(algebra.ok());
+
+  const char* formulas[] = {
+      "P(x1)",
+      "P(x1) & E(x1,x2)",
+      "!(P(x2)) | P(x1)",
+      "exists x1 . E(x1,x2)",
+      "forall x2 . (E(x1,x2) -> P(x2))",
+      "x1 = x2 <-> P(x1)",
+  };
+  for (const char* text : formulas) {
+    auto f = ParseFormula(text);
+    ASSERT_TRUE(f.ok());
+    auto expr = ParenthesisGrammar::FormulaToExpressionString(*f);
+    ASSERT_TRUE(expr.ok()) << text;
+    auto value = g->EvaluateExpression(*expr);
+    ASSERT_TRUE(value.ok()) << text << " => " << *expr << " : "
+                            << value.status().ToString();
+    auto direct = algebra->Evaluate(*f);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(*value, *direct) << text;
+    // Membership "(expr @ r<mask>)" holds exactly for the right mask.
+    auto yes = g->Recognize(*expr + " @ r" + std::to_string(*direct));
+    ASSERT_TRUE(yes.ok());
+    EXPECT_TRUE(*yes) << text;
+    auto no = g->Recognize(*expr + " @ r" +
+                           std::to_string(*direct ^ uint64_t{1}));
+    ASSERT_TRUE(no.ok());
+    EXPECT_FALSE(*no) << text;
+  }
+}
+
+TEST(ParenthesisGrammarTest, RecognizeRejectsMalformedWords) {
+  Database db(2);
+  ASSERT_TRUE(db.AddRelation("P", Relation::FromTuples(1, {{1}})).ok());
+  auto g = ParenthesisGrammar::Build(db, 1, {{"P", {0}}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(g->Recognize("( P[1] )").ok());          // no claim
+  EXPECT_FALSE(g->Recognize("( P[1] ) @ q3").ok());     // bad nonterminal
+  EXPECT_FALSE(g->Recognize("( P[1] ( ) @ r1").ok());   // bad expr
+  EXPECT_FALSE(g->Recognize("( Q[1] ) @ r1").ok());     // unknown atom
+}
+
+// --- Boolean formula value (Theorem 4.4) --------------------------------------
+
+TEST(BooleanValueTest, DirectEvaluation) {
+  EXPECT_TRUE(*EvalBooleanFormula(*ParseFormula("true & !(false)")));
+  EXPECT_FALSE(*EvalBooleanFormula(*ParseFormula("true -> false")));
+  EXPECT_TRUE(*EvalBooleanFormula(*ParseFormula("false <-> false")));
+  EXPECT_FALSE(EvalBooleanFormula(*ParseFormula("P(x1)")).ok());
+}
+
+TEST(BooleanValueTest, ReductionToFixedDatabase) {
+  Rng rng(8);
+  Database b = BooleanValueDatabase();
+  BoundedEvaluator eval(b, 1);
+  for (int trial = 0; trial < 100; ++trial) {
+    FormulaPtr f = RandomBooleanFormula(1 + rng.Below(30), rng);
+    auto expected = EvalBooleanFormula(f);
+    ASSERT_TRUE(expected.ok());
+    auto sentence = BooleanFormulaToFoSentence(f);
+    ASSERT_TRUE(sentence.ok());
+    EXPECT_LE(NumVariables(*sentence), 1u);
+    auto result = eval.Evaluate(*sentence);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->Empty() || result->IsFull());
+    EXPECT_EQ(!result->Empty(), *expected) << FormulaToString(f);
+  }
+}
+
+TEST(BooleanValueTest, ReductionIsLinear) {
+  Rng rng(9);
+  FormulaPtr f = RandomBooleanFormula(50, rng);
+  auto sentence = BooleanFormulaToFoSentence(f);
+  ASSERT_TRUE(sentence.ok());
+  // Each constant becomes 2 nodes (quantifier + atom): at most 2x + same
+  // connective count.
+  EXPECT_LE((*sentence)->Size(), 2 * f->Size());
+}
+
+}  // namespace
+}  // namespace bvq

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "db/assignment_set.h"
+#include "db/generators.h"
+
+namespace bvq {
+namespace {
+
+TEST(AssignmentSetTest, EmptyAndFull) {
+  AssignmentSet e(3, 2);
+  EXPECT_TRUE(e.Empty());
+  EXPECT_EQ(e.Count(), 0u);
+  AssignmentSet f = AssignmentSet::Full(3, 2);
+  EXPECT_TRUE(f.IsFull());
+  EXPECT_EQ(f.Count(), 9u);
+}
+
+TEST(AssignmentSetTest, BooleanOps) {
+  AssignmentSet a(2, 2), b(2, 2);
+  a.SetAssignment({0, 0});
+  a.SetAssignment({1, 1});
+  b.SetAssignment({1, 1});
+  b.SetAssignment({0, 1});
+  AssignmentSet i = a;
+  i.AndWith(b);
+  EXPECT_EQ(i.Count(), 1u);
+  EXPECT_TRUE(i.TestAssignment({1, 1}));
+  AssignmentSet u = a;
+  u.OrWith(b);
+  EXPECT_EQ(u.Count(), 3u);
+  AssignmentSet c = a;
+  c.Complement();
+  EXPECT_EQ(c.Count(), 2u);
+  EXPECT_TRUE(c.TestAssignment({1, 0}));
+}
+
+TEST(AssignmentSetTest, ExistsVarCylindrifies) {
+  // phi(x1,x2) = {(0,1)}; exists x1 . phi == {(*,1)}.
+  AssignmentSet a(3, 2);
+  a.SetAssignment({0, 1});
+  AssignmentSet ex = a.ExistsVar(0);
+  EXPECT_EQ(ex.Count(), 3u);
+  EXPECT_TRUE(ex.TestAssignment({2, 1}));
+  EXPECT_FALSE(ex.TestAssignment({0, 0}));
+}
+
+TEST(AssignmentSetTest, ForAllVar) {
+  // phi = {(v,1) : all v}; forall x1 . phi == {(*,1)}.
+  AssignmentSet a(3, 2);
+  for (Value v = 0; v < 3; ++v) a.SetAssignment({v, 1});
+  a.SetAssignment({0, 2});
+  AssignmentSet fa = a.ForAllVar(0);
+  EXPECT_EQ(fa.Count(), 3u);
+  EXPECT_TRUE(fa.TestAssignment({1, 1}));
+  EXPECT_FALSE(fa.TestAssignment({0, 2}));
+}
+
+TEST(AssignmentSetTest, ExistsForAllDuality) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    AssignmentSet a(3, 3);
+    for (std::size_t r = 0; r < 27; ++r) {
+      if (rng.Bernoulli(0.4)) a.Set(r);
+    }
+    for (std::size_t var = 0; var < 3; ++var) {
+      // forall x . a == !(exists x . !a)
+      AssignmentSet lhs = a.ForAllVar(var);
+      AssignmentSet rhs = a;
+      rhs.Complement();
+      rhs = rhs.ExistsVar(var);
+      rhs.Complement();
+      EXPECT_EQ(lhs, rhs);
+    }
+  }
+}
+
+TEST(AssignmentSetTest, Equality) {
+  AssignmentSet eq = AssignmentSet::Equality(3, 2, 0, 1);
+  EXPECT_EQ(eq.Count(), 3u);
+  EXPECT_TRUE(eq.TestAssignment({2, 2}));
+  EXPECT_FALSE(eq.TestAssignment({2, 1}));
+  AssignmentSet self = AssignmentSet::Equality(3, 2, 1, 1);
+  EXPECT_TRUE(self.IsFull());
+}
+
+TEST(AssignmentSetTest, VarEqualsConst) {
+  AssignmentSet s = AssignmentSet::VarEqualsConst(3, 2, 1, 2);
+  EXPECT_EQ(s.Count(), 3u);
+  EXPECT_TRUE(s.TestAssignment({0, 2}));
+  EXPECT_FALSE(s.TestAssignment({2, 0}));
+}
+
+TEST(AssignmentSetTest, FromAtomBinaryRelation) {
+  Relation e = Relation::FromTuples(2, {{0, 1}, {1, 2}});
+  // E(x2, x1) over 3 vars.
+  AssignmentSet a = AssignmentSet::FromAtom(3, 3, e, {1, 0});
+  // Satisfied iff (x2,x1) in E; x3 free.
+  EXPECT_EQ(a.Count(), 6u);
+  EXPECT_TRUE(a.TestAssignment({1, 0, 0}));
+  EXPECT_TRUE(a.TestAssignment({2, 1, 2}));
+  EXPECT_FALSE(a.TestAssignment({0, 1, 0}));
+}
+
+TEST(AssignmentSetTest, FromAtomRepeatedVariable) {
+  Relation r = Relation::FromTuples(2, {{0, 0}, {0, 1}, {2, 2}});
+  // R(x1, x1): diagonal selection.
+  AssignmentSet a = AssignmentSet::FromAtom(3, 2, r, {0, 0});
+  EXPECT_TRUE(a.TestAssignment({0, 0}));
+  EXPECT_TRUE(a.TestAssignment({2, 1}));
+  EXPECT_FALSE(a.TestAssignment({1, 0}));
+}
+
+TEST(AssignmentSetTest, FromAtomZeroArity) {
+  AssignmentSet t =
+      AssignmentSet::FromAtom(3, 2, Relation::Proposition(true), {});
+  EXPECT_TRUE(t.IsFull());
+  AssignmentSet f =
+      AssignmentSet::FromAtom(3, 2, Relation::Proposition(false), {});
+  EXPECT_TRUE(f.Empty());
+}
+
+TEST(AssignmentSetTest, RemapReadsThroughSubstitution) {
+  // Cube over (x1,x2) domain 3: contains iff x1 == 2.
+  AssignmentSet cube = AssignmentSet::VarEqualsConst(3, 2, 0, 2);
+  // Remap target x1 <- source x2: result[a] = cube[a with x1 := a.x2],
+  // i.e., contains iff a.x2 == 2.
+  AssignmentSet out = cube.Remap({0}, {1});
+  EXPECT_EQ(out, AssignmentSet::VarEqualsConst(3, 2, 1, 2));
+}
+
+TEST(AssignmentSetTest, RemapSwapIsSimultaneous) {
+  // Cube contains single point (0, 1). Remap targets (x1,x2) <- (x2,x1)
+  // must read both sources from the original assignment: the result
+  // contains exactly (1, 0).
+  AssignmentSet cube(2, 2);
+  cube.SetAssignment({0, 1});
+  AssignmentSet out = cube.Remap({0, 1}, {1, 0});
+  EXPECT_EQ(out.Count(), 1u);
+  EXPECT_TRUE(out.TestAssignment({1, 0}));
+}
+
+TEST(AssignmentSetTest, ToRelationProjects) {
+  AssignmentSet a(3, 3);
+  a.SetAssignment({0, 1, 2});
+  a.SetAssignment({0, 1, 1});
+  Relation r = a.ToRelation({0, 1});
+  EXPECT_EQ(r, Relation::FromTuples(2, {{0, 1}}));
+  Relation full = a.ToRelation({2, 0});
+  EXPECT_EQ(full, Relation::FromTuples(2, {{1, 0}, {2, 0}}));
+}
+
+TEST(AssignmentSetTest, FromAtomToRelationRoundTrip) {
+  Rng rng(11);
+  Relation r = RandomRelation(4, 2, 0.3, rng);
+  AssignmentSet a = AssignmentSet::FromAtom(4, 2, r, {0, 1});
+  EXPECT_EQ(a.ToRelation({0, 1}), r);
+}
+
+TEST(AssignmentSetTest, HashChangesWithContent) {
+  AssignmentSet a(3, 2), b(3, 2);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  b.SetAssignment({1, 1});
+  EXPECT_NE(a.Hash(), b.Hash());
+}
+
+}  // namespace
+}  // namespace bvq

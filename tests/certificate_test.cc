@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "db/generators.h"
+#include "eval/bounded_eval.h"
+#include "eval/certificate.h"
+#include "logic/builder.h"
+#include "logic/nnf.h"
+#include "logic/parser.h"
+#include "logic/random_formula.h"
+
+namespace bvq {
+namespace {
+
+Database GraphDb(std::size_t n, const Relation& edges) {
+  Database db(n);
+  Status s = db.AddRelation("E", edges);
+  EXPECT_TRUE(s.ok());
+  return db;
+}
+
+FormulaPtr TransitiveClosure() {
+  return *ParseFormula(
+      "[lfp T(x1,x2) . E(x1,x2) | exists x3 . (E(x1,x3) & exists x1 . "
+      "(x1 = x3 & T(x1,x2)))](x1,x2)");
+}
+
+TEST(ImmediateFixpointsTest, FindsOutermostOnly) {
+  auto f = ParseFormula(
+      "[lfp T(x1) . [gfp U(x1) . U(x1)](x1) | T(x1)](x1) & "
+      "[gfp V(x1) . V(x1)](x1)");
+  auto nodes = ImmediateFixpoints(*f);
+  ASSERT_EQ(nodes.size(), 2u);
+  EXPECT_EQ(nodes[0]->rel_var(), "T");
+  EXPECT_EQ(nodes[1]->rel_var(), "V");
+}
+
+TEST(CertificateTest, RequiresNnf) {
+  Database db = GraphDb(3, PathGraph(3));
+  CertificateSystem sys(db, 3);
+  auto f = ParseFormula("!([lfp T(x1) . T(x1) | E(x1,x1)](x1))");
+  EXPECT_FALSE(sys.Generate(*f).ok());
+  auto nnf = NegationNormalForm(*f);
+  ASSERT_TRUE(nnf.ok());
+  EXPECT_TRUE(sys.Generate(*nnf).ok());
+}
+
+TEST(CertificateTest, RejectsPfp) {
+  Database db(2);
+  CertificateSystem sys(db, 1);
+  auto f = ParseFormula("[pfp X(x1) . !(X(x1))](x1)");
+  auto r = sys.Generate(*f);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(CertificateTest, GenerateThenVerifyLfp) {
+  Database db = GraphDb(5, PathGraph(5));
+  CertificateSystem sys(db, 3);
+  FormulaPtr f = TransitiveClosure();
+  auto cert = sys.Generate(f);
+  ASSERT_TRUE(cert.ok()) << cert.status().ToString();
+  auto verified = sys.Verify(f, *cert);
+  ASSERT_TRUE(verified.ok()) << verified.status().ToString();
+
+  BoundedEvaluator eval(db, 3);
+  auto direct = eval.Evaluate(f);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(*verified, *direct);
+}
+
+TEST(CertificateTest, GfpWitnessIsSingleSet) {
+  Database db = GraphDb(4, CycleGraph(4));
+  CertificateSystem sys(db, 1);
+  auto f = ParseFormula("[gfp S(x1) . exists x1 . S(x1)](x1)");
+  // NOTE: body re-binds x1 inside exists; gfp = D (every element,
+  // since S = D is a fixpoint).
+  auto cert = sys.Generate(*f);
+  ASSERT_TRUE(cert.ok()) << cert.status().ToString();
+  ASSERT_EQ(cert->roots.size(), 1u);
+  EXPECT_EQ(cert->roots[0].chain.size(), 1u);
+  auto verified = sys.Verify(*f, *cert);
+  ASSERT_TRUE(verified.ok());
+  EXPECT_TRUE(verified->IsFull());
+}
+
+TEST(CertificateTest, MembershipDecision) {
+  Database db = GraphDb(5, PathGraph(5));
+  CertificateSystem sys(db, 3);
+  FormulaPtr f = TransitiveClosure();
+  auto cert = sys.Generate(f);
+  ASSERT_TRUE(cert.ok());
+  auto yes = sys.VerifyMembership(f, *cert, {0, 4, 0});
+  ASSERT_TRUE(yes.ok());
+  EXPECT_TRUE(*yes);
+  auto no = sys.VerifyMembership(f, *cert, {4, 0, 0});
+  ASSERT_TRUE(no.ok());
+  EXPECT_FALSE(*no);
+}
+
+TEST(CertificateTest, TamperedChainIsRejected) {
+  Database db = GraphDb(5, PathGraph(5));
+  CertificateSystem sys(db, 3);
+  FormulaPtr f = TransitiveClosure();
+  auto cert = sys.Generate(f);
+  ASSERT_TRUE(cert.ok());
+  ASSERT_FALSE(cert->roots.empty());
+  ASSERT_FALSE(cert->roots[0].chain.empty());
+  // Claim an extra pair (4,0) in the first stage: (4,0) is not an edge,
+  // so stage 1 is no longer contained in Phi(empty).
+  FormulaCertificate tampered = *cert;
+  AssignmentSet& q1 = tampered.roots[0].chain[0];
+  AssignmentSet bogus = AssignmentSet::VarEqualsConst(5, 3, 0, 4);
+  bogus.AndWith(AssignmentSet::VarEqualsConst(5, 3, 1, 0));
+  q1.OrWith(bogus);
+  auto r = sys.Verify(f, tampered);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CertificateTest, NonIncreasingChainIsRejected) {
+  Database db = GraphDb(4, PathGraph(4));
+  CertificateSystem sys(db, 3);
+  FormulaPtr f = TransitiveClosure();
+  auto cert = sys.Generate(f);
+  ASSERT_TRUE(cert.ok());
+  FormulaCertificate tampered = *cert;
+  ASSERT_GE(tampered.roots[0].chain.size(), 2u);
+  // Swap two chain elements: no longer increasing.
+  std::swap(tampered.roots[0].chain[0], tampered.roots[0].chain[1]);
+  EXPECT_FALSE(sys.Verify(f, tampered).ok());
+}
+
+TEST(CertificateTest, WrongShapeIsRejected) {
+  Database db = GraphDb(3, PathGraph(3));
+  CertificateSystem sys(db, 3);
+  FormulaPtr f = TransitiveClosure();
+  FormulaCertificate empty_cert;
+  EXPECT_FALSE(sys.Verify(f, empty_cert).ok());
+}
+
+TEST(CertificateTest, SoundnessNeverOverclaims) {
+  // Whatever we put in a certificate, if Verify succeeds then every
+  // verified assignment truly satisfies the formula. Fuzz with random
+  // mutations; verified => subset of truth.
+  Rng rng(5150);
+  Database db = GraphDb(4, PathGraph(4));
+  CertificateSystem sys(db, 3);
+  FormulaPtr f = TransitiveClosure();
+  BoundedEvaluator eval(db, 3);
+  auto truth = eval.Evaluate(f);
+  ASSERT_TRUE(truth.ok());
+  auto cert = sys.Generate(f);
+  ASSERT_TRUE(cert.ok());
+  for (int trial = 0; trial < 50; ++trial) {
+    FormulaCertificate mutated = *cert;
+    // Flip a few random bits in random chain elements.
+    for (int flip = 0; flip < 3; ++flip) {
+      auto& chain = mutated.roots[0].chain;
+      AssignmentSet& set = chain[rng.Below(chain.size())];
+      const std::size_t bit = rng.Below(set.indexer().NumTuples());
+      if (set.Test(bit)) {
+        set.mutable_bits().Reset(bit);
+      } else {
+        set.Set(bit);
+      }
+    }
+    auto verified = sys.Verify(f, mutated);
+    if (verified.ok()) {
+      EXPECT_TRUE(verified->IsSubsetOf(*truth));
+    }
+  }
+}
+
+TEST(CertificateTest, NpAndCoNpSidesComposeToExactAnswer) {
+  // Theorem 3.5's NP cap co-NP character, executably: certify phi and
+  // not-phi; the two verified sets must be complementary.
+  Database db = GraphDb(4, CycleGraph(4));
+  ASSERT_TRUE(db.AddRelation("P", Relation::FromTuples(1, {{0}, {2}})).ok());
+  auto raw = ParseFormula(
+      "[gfp S(x1) . [lfp T(x2) . forall x3 . (E(x2,x3) -> "
+      "(S(x3) | P(x3) & T(x3)))](x1)](x1)");
+  ASSERT_TRUE(raw.ok());
+  auto phi_nnf = NegationNormalForm(*raw);
+  ASSERT_TRUE(phi_nnf.ok());
+  FormulaPtr phi = *phi_nnf;
+  auto nphi = NegationNormalForm(Not(phi));
+  ASSERT_TRUE(nphi.ok());
+
+  CertificateSystem sys(db, 3);
+  auto cert_pos = sys.Generate(phi);
+  ASSERT_TRUE(cert_pos.ok()) << cert_pos.status().ToString();
+  auto pos = sys.Verify(phi, *cert_pos);
+  ASSERT_TRUE(pos.ok());
+
+  auto cert_neg = sys.Generate(*nphi);
+  ASSERT_TRUE(cert_neg.ok()) << cert_neg.status().ToString();
+  auto neg = sys.Verify(*nphi, *cert_neg);
+  ASSERT_TRUE(neg.ok());
+
+  AssignmentSet complement = *neg;
+  complement.Complement();
+  EXPECT_EQ(*pos, complement);
+}
+
+TEST(CertificateTest, RandomFormulasGenerateAndVerifyExactly) {
+  Rng rng(808);
+  RandomFormulaOptions opts;
+  opts.num_vars = 2;
+  opts.max_size = 16;
+  opts.predicates = {{"E", 2}, {"P", 1}};
+  opts.allow_fixpoints = true;
+  opts.allow_iff = false;
+  int attempted = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t n = 2 + rng.Below(2);
+    Database db(n);
+    ASSERT_TRUE(db.AddRelation("E", RandomRelation(n, 2, 0.4, rng)).ok());
+    ASSERT_TRUE(db.AddRelation("P", RandomRelation(n, 1, 0.5, rng)).ok());
+    auto f = NegationNormalForm(RandomFormula(opts, rng));
+    ASSERT_TRUE(f.ok());
+
+    CertificateSystem sys(db, 2);
+    auto cert = sys.Generate(*f);
+    ASSERT_TRUE(cert.ok()) << FormulaToString(*f) << ": "
+                           << cert.status().ToString();
+    auto verified = sys.Verify(*f, *cert);
+    ASSERT_TRUE(verified.ok()) << FormulaToString(*f);
+
+    BoundedEvaluator eval(db, 2);
+    auto direct = eval.Evaluate(*f);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(*verified, *direct) << FormulaToString(*f);
+    ++attempted;
+  }
+  EXPECT_EQ(attempted, 60);
+}
+
+TEST(CertificateTest, VerificationIterationBound) {
+  // Theorem 3.5: verification performs at most (alternation depth) * n^k
+  // body evaluations plus one per formula. Check the l*n^k bound on an
+  // alternating formula.
+  Database db = GraphDb(5, CycleGraph(5));
+  ASSERT_TRUE(db.AddRelation("P", Relation::FromTuples(1, {{0}})).ok());
+  auto raw = ParseFormula(
+      "[gfp S(x1) . [lfp T(x2) . forall x3 . (E(x2,x3) -> "
+      "(S(x3) | P(x3) & T(x3)))](x1)](x1)");
+  auto f = NegationNormalForm(*raw);
+  ASSERT_TRUE(f.ok());
+  CertificateSystem sys(db, 3);
+  auto cert = sys.Generate(*f);
+  ASSERT_TRUE(cert.ok()) << cert.status().ToString();
+  sys.ResetStats();
+  ASSERT_TRUE(sys.Verify(*f, *cert).ok());
+  const std::size_t n_to_k = 5 * 5 * 5;
+  // l = 2 alternation levels; +1 for the top-level formula evaluation.
+  EXPECT_LE(sys.stats().body_evals, 2 * n_to_k + 1);
+}
+
+}  // namespace
+}  // namespace bvq

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bitset.h"
+#include "common/index.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace bvq {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.message(), "bad token");
+  EXPECT_EQ(s.ToString(), "ParseError: bad token");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("x");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Result<int> SumOfTwo(int a, int b) {
+  int va = 0;
+  BVQ_ASSIGN_OR_RETURN(va, ParsePositive(a));
+  int vb = 0;
+  BVQ_ASSIGN_OR_RETURN(vb, ParsePositive(b));  // second use, same scope
+  return va + vb;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto ok = SumOfTwo(2, 3);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 5);
+  auto bad = SumOfTwo(2, -1);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, ReturnIfErrorMacro) {
+  auto fn = [](bool fail) -> Status {
+    BVQ_RETURN_IF_ERROR(fail ? Status::Internal("boom") : Status::OK());
+    return Status::OK();
+  };
+  EXPECT_TRUE(fn(false).ok());
+  EXPECT_EQ(fn(true).code(), StatusCode::kInternal);
+}
+
+TEST(BitsetTest, SetTestReset) {
+  DynamicBitset b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_EQ(b.Count(), 0u);
+  b.Set(0);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(129));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_EQ(b.Count(), 3u);
+  b.Reset(64);
+  EXPECT_FALSE(b.Test(64));
+  EXPECT_EQ(b.Count(), 2u);
+}
+
+TEST(BitsetTest, FlipAllRespectsPadding) {
+  DynamicBitset b(70);
+  b.FlipAll();
+  EXPECT_EQ(b.Count(), 70u);
+  b.FlipAll();
+  EXPECT_EQ(b.Count(), 0u);
+}
+
+TEST(BitsetTest, FullConstructor) {
+  DynamicBitset b(100, true);
+  EXPECT_EQ(b.Count(), 100u);
+}
+
+TEST(BitsetTest, SetOperations) {
+  DynamicBitset a(80), b(80);
+  a.Set(1);
+  a.Set(40);
+  a.Set(79);
+  b.Set(40);
+  b.Set(50);
+  DynamicBitset i = a & b;
+  EXPECT_EQ(i.Count(), 1u);
+  EXPECT_TRUE(i.Test(40));
+  DynamicBitset u = a | b;
+  EXPECT_EQ(u.Count(), 4u);
+  DynamicBitset d = a;
+  d.SubtractInPlace(b);
+  EXPECT_EQ(d.Count(), 2u);
+  EXPECT_FALSE(d.Test(40));
+  EXPECT_TRUE(a.IsSubsetOf(u));
+  EXPECT_TRUE(i.IsSubsetOf(a));
+  EXPECT_FALSE(u.IsSubsetOf(a));
+  DynamicBitset e(80);
+  e.Set(0);
+  EXPECT_TRUE(e.IsDisjointFrom(a));
+  EXPECT_FALSE(a.IsDisjointFrom(b));
+}
+
+TEST(BitsetTest, FindNext) {
+  DynamicBitset b(200);
+  b.Set(3);
+  b.Set(64);
+  b.Set(199);
+  EXPECT_EQ(b.FindFirst(), 3u);
+  EXPECT_EQ(b.FindNext(4), 64u);
+  EXPECT_EQ(b.FindNext(65), 199u);
+  EXPECT_EQ(b.FindNext(200), 200u);
+  DynamicBitset empty(10);
+  EXPECT_EQ(empty.FindFirst(), 10u);
+}
+
+TEST(BitsetTest, HashDistinguishesContent) {
+  DynamicBitset a(64), b(64);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  b.Set(10);
+  EXPECT_NE(a.Hash(), b.Hash());
+}
+
+TEST(TupleIndexerTest, RankUnrankRoundTrip) {
+  TupleIndexer idx(5, 3);
+  EXPECT_EQ(idx.NumTuples(), 125u);
+  for (std::size_t r = 0; r < idx.NumTuples(); ++r) {
+    std::vector<uint32_t> t = idx.Unrank(r);
+    EXPECT_EQ(idx.Rank(t), r);
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(idx.Digit(r, j), t[j]);
+    }
+  }
+}
+
+TEST(TupleIndexerTest, WithDigit) {
+  TupleIndexer idx(4, 3);
+  const std::size_t r = idx.Rank(std::vector<uint32_t>{1, 2, 3});
+  const std::size_t r2 = idx.WithDigit(r, 1, 0);
+  EXPECT_EQ(idx.Unrank(r2), (std::vector<uint32_t>{1, 0, 3}));
+}
+
+TEST(TupleIndexerTest, ZeroArity) {
+  TupleIndexer idx(7, 0);
+  EXPECT_EQ(idx.NumTuples(), 1u);
+}
+
+TEST(TupleIndexerTest, ExceedsDetectsOverflow) {
+  EXPECT_TRUE(TupleIndexer::Exceeds(1000, 20, std::size_t{1} << 40));
+  EXPECT_FALSE(TupleIndexer::Exceeds(10, 3, 1000));
+  EXPECT_TRUE(TupleIndexer::Exceeds(10, 4, 1000));
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next64(), b.Next64());
+  }
+}
+
+TEST(RngTest, BelowInRange) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.Below(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all values hit
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    const int64_t v = rng.Range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(StringsTest, StrCat) {
+  EXPECT_EQ(StrCat("a", 1, "b", 2.5), "a1b2.5");
+}
+
+TEST(StringsTest, StrJoin) {
+  std::vector<int> xs = {1, 2, 3};
+  EXPECT_EQ(StrJoin(xs, ","), "1,2,3");
+  EXPECT_EQ(StrJoin(std::vector<int>{}, ","), "");
+}
+
+TEST(StringsTest, StrSplitDropsEmpty) {
+  auto parts = StrSplit("a,,b,c,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringsTest, Strip) {
+  EXPECT_EQ(StripAsciiWhitespace("  hi \t\n"), "hi");
+  EXPECT_EQ(StripAsciiWhitespace("   "), "");
+}
+
+}  // namespace
+}  // namespace bvq

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "db/generators.h"
+#include "optimizer/containment.h"
+
+namespace bvq {
+namespace optimizer {
+namespace {
+
+ConjunctiveQuery Q(const char* text) {
+  auto cq = ParseCq(text);
+  EXPECT_TRUE(cq.ok()) << text << ": " << cq.status().ToString();
+  return *cq;
+}
+
+TEST(HomomorphismTest, IdentityAlwaysExists) {
+  ConjunctiveQuery q = Q("Q(X,Y) :- R(X,Z), S(Z,Y).");
+  auto hom = FindHomomorphism(q, q);
+  ASSERT_TRUE(hom.ok());
+  ASSERT_TRUE(hom->has_value());
+}
+
+TEST(HomomorphismTest, HeadMismatchIsError) {
+  auto r = FindHomomorphism(Q("Q(X) :- R(X,X)."), Q("Q(X,Y) :- R(X,Y)."));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ContainmentTest, LongerPathsAreContainedInShorter) {
+  // "x has a 2-path" is contained in "x has an edge": hom from the
+  // 1-edge query into the 2-path query maps its edge onto the first hop.
+  ConjunctiveQuery one = Q("Q(X) :- R(X,Y).");
+  ConjunctiveQuery two = Q("Q(X) :- R(X,Y), R(Y,Z).");
+  EXPECT_TRUE(*IsContainedIn(two, one));
+  EXPECT_FALSE(*IsContainedIn(one, two));
+}
+
+TEST(ContainmentTest, SelfLoopIsContainedInEverything) {
+  // Q(X) :- R(X,X) maps every pattern onto the loop.
+  ConjunctiveQuery loop = Q("Q(X) :- R(X,X).");
+  ConjunctiveQuery path3 = Q("Q(X) :- R(X,Y), R(Y,Z), R(Z,W).");
+  EXPECT_TRUE(*IsContainedIn(loop, path3));
+  EXPECT_FALSE(*IsContainedIn(path3, loop));
+}
+
+TEST(ContainmentTest, EquivalenceOfRenamedQueries) {
+  ConjunctiveQuery a = Q("Q(X) :- R(X,Y), S(Y).");
+  ConjunctiveQuery b = Q("Q(A) :- R(A,B), S(B).");
+  EXPECT_TRUE(*AreEquivalent(a, b));
+}
+
+// Containment is sound: check against evaluation on random databases.
+TEST(ContainmentTest, AgreesWithEvaluationOnRandomDatabases) {
+  struct Pair {
+    const char* q1;
+    const char* q2;
+  };
+  const Pair pairs[] = {
+      {"Q(X) :- R(X,Y), R(Y,Z).", "Q(X) :- R(X,Y)."},
+      {"Q(X) :- R(X,X).", "Q(X) :- R(X,Y), R(Y,X)."},
+      {"Q(X,Y) :- R(X,Y), R(Y,X).", "Q(X,Y) :- R(X,Y)."},
+      {"Q(X) :- R(X,Y), S(Y).", "Q(X) :- R(X,Y)."},
+  };
+  Rng rng(7);
+  for (const Pair& p : pairs) {
+    ConjunctiveQuery q1 = Q(p.q1);
+    ConjunctiveQuery q2 = Q(p.q2);
+    const bool claimed = *IsContainedIn(q1, q2);
+    for (int trial = 0; trial < 15; ++trial) {
+      const std::size_t n = 3 + rng.Below(3);
+      Database db(n);
+      ASSERT_TRUE(db.AddRelation("R", RandomRelation(n, 2, 0.35, rng)).ok());
+      ASSERT_TRUE(db.AddRelation("S", RandomRelation(n, 1, 0.5, rng)).ok());
+      auto a1 = EvaluateCqNaive(q1, db);
+      auto a2 = EvaluateCqNaive(q2, db);
+      ASSERT_TRUE(a1.ok());
+      ASSERT_TRUE(a2.ok());
+      bool subset = true;
+      a1->ForEach([&](const Value* t) {
+        if (!a2->Contains(t)) subset = false;
+      });
+      if (claimed) {
+        EXPECT_TRUE(subset) << p.q1 << " vs " << p.q2;
+      }
+      if (!subset) {
+        EXPECT_FALSE(claimed) << p.q1 << " vs " << p.q2;
+      }
+    }
+  }
+}
+
+TEST(MinimizeTest, RemovesRedundantAtom) {
+  // R(X,Z) folds onto R(X,Y).
+  ConjunctiveQuery cq = Q("Q(X) :- R(X,Y), R(X,Z).");
+  auto core = MinimizeQuery(cq);
+  ASSERT_TRUE(core.ok());
+  EXPECT_EQ(core->atoms.size(), 1u);
+  EXPECT_TRUE(*AreEquivalent(cq, *core));
+}
+
+TEST(MinimizeTest, KeepsIrredundantChain) {
+  ConjunctiveQuery cq = Q("Q(X) :- R(X,Y), R(Y,Z).");
+  auto core = MinimizeQuery(cq);
+  ASSERT_TRUE(core.ok());
+  EXPECT_EQ(core->atoms.size(), 2u);
+}
+
+TEST(MinimizeTest, CollapsesOntoSelfLoop) {
+  // A triangle pattern with a self-loop present folds onto the loop.
+  ConjunctiveQuery cq = Q("Q(X) :- R(X,X), R(X,Y), R(Y,X), R(Y,Y).");
+  auto core = MinimizeQuery(cq);
+  ASSERT_TRUE(core.ok());
+  EXPECT_EQ(core->atoms.size(), 1u);
+  EXPECT_EQ(core->atoms[0].vars[0], core->atoms[0].vars[1]);  // R(X,X)
+}
+
+TEST(MinimizeTest, PreservesSemanticsOnRandomQueriesAndDatabases) {
+  Rng rng(42424);
+  for (int trial = 0; trial < 25; ++trial) {
+    ConjunctiveQuery cq = RandomCq(4, 5, 1, "R", rng);
+    auto core = MinimizeQuery(cq);
+    ASSERT_TRUE(core.ok()) << cq.ToString();
+    EXPECT_LE(core->atoms.size(), cq.atoms.size());
+    for (int db_trial = 0; db_trial < 5; ++db_trial) {
+      const std::size_t n = 3 + rng.Below(3);
+      Database db(n);
+      ASSERT_TRUE(db.AddRelation("R", RandomRelation(n, 2, 0.4, rng)).ok());
+      auto a = EvaluateCqNaive(cq, db);
+      auto b = EvaluateCqNaive(*core, db);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok()) << core->ToString();
+      EXPECT_EQ(*a, *b) << cq.ToString() << " vs core "
+                        << core->ToString();
+    }
+  }
+}
+
+TEST(MinimizeTest, CompactsVariableNumbering) {
+  ConjunctiveQuery cq = Q("Q(X) :- R(X,Y), R(X,Z).");
+  auto core = MinimizeQuery(cq);
+  ASSERT_TRUE(core.ok());
+  EXPECT_EQ(core->num_vars, 2u);
+}
+
+}  // namespace
+}  // namespace optimizer
+}  // namespace bvq

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "db/database.h"
+#include "db/generators.h"
+
+namespace bvq {
+namespace {
+
+TEST(DatabaseTest, AddAndGet) {
+  Database db(5);
+  ASSERT_TRUE(db.AddRelation("E", Relation::FromTuples(2, {{0, 1}})).ok());
+  auto e = db.GetRelation("E");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->size(), 1u);
+  EXPECT_FALSE(db.GetRelation("F").ok());
+  EXPECT_TRUE(db.HasRelation("E"));
+  EXPECT_FALSE(db.HasRelation("F"));
+}
+
+TEST(DatabaseTest, RejectsOutOfDomainValues) {
+  Database db(2);
+  Status s = db.AddRelation("E", Relation::FromTuples(2, {{0, 5}}));
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatabaseTest, TotalTuples) {
+  Database db(4);
+  ASSERT_TRUE(db.AddRelation("A", Relation::FromTuples(1, {{0}, {1}})).ok());
+  ASSERT_TRUE(db.AddRelation("B", Relation::FromTuples(2, {{0, 0}})).ok());
+  EXPECT_EQ(db.TotalTuples(), 3u);
+}
+
+TEST(DatabaseTest, TextRoundTrip) {
+  Database db(4);
+  ASSERT_TRUE(
+      db.AddRelation("E", Relation::FromTuples(2, {{0, 1}, {1, 2}})).ok());
+  ASSERT_TRUE(db.AddRelation("P", Relation::FromTuples(1, {{3}})).ok());
+  ASSERT_TRUE(db.AddRelation("flag", Relation::Proposition(true)).ok());
+  auto parsed = ParseDatabase(db.ToString());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, db);
+}
+
+TEST(DatabaseTest, ParseWithComments) {
+  auto db = ParseDatabase(
+      "# a graph\n"
+      "domain 3\n"
+      "rel E/2 0 1 ; 1 2 ;\n"
+      "rel P/1 0 ;\n");
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ(db->domain_size(), 3u);
+  EXPECT_EQ((*db->GetRelation("E"))->size(), 2u);
+}
+
+TEST(DatabaseTest, ParseErrors) {
+  EXPECT_FALSE(ParseDatabase("rel E/2 0 1 ;\n").ok());  // missing domain
+  EXPECT_FALSE(ParseDatabase("domain 3\nrel E 0 1 ;\n").ok());  // no arity
+  EXPECT_FALSE(ParseDatabase("domain 3\nrel E/2 0 ;\n").ok());  // short tuple
+  EXPECT_FALSE(ParseDatabase("domain 3\nrel E/2 0 1\n").ok());  // no ';'
+  EXPECT_FALSE(ParseDatabase("domain 2\nrel E/2 0 7 ;\n").ok());  // range
+  EXPECT_FALSE(ParseDatabase("domain 3\nfoo bar\n").ok());  // directive
+}
+
+TEST(DatabaseTest, RandomDatabaseHasRequestedShape) {
+  Rng rng(3);
+  Database db = RandomDatabase(4, 3, 2, 0.5, rng);
+  EXPECT_EQ(db.relations().size(), 3u);
+  ASSERT_TRUE(db.GetRelation("R0").ok());
+  ASSERT_TRUE(db.GetRelation("R2").ok());
+}
+
+}  // namespace
+}  // namespace bvq

@@ -1,0 +1,151 @@
+// Differential fuzzing: one wide randomized sweep where every applicable
+// engine evaluates the same formula on the same database and all answers
+// must coincide. This is the repository's strongest single guarantee:
+// the engines share no evaluation code with the reference semantics
+// (and little with each other), so agreement across hundreds of random
+// (formula, database) pairs pins the semantics down tightly.
+//
+// Engines compared per formula, depending on its fragment:
+//   - ReferenceEvaluator (definitional ground truth, always)
+//   - BoundedEvaluator, naive nested fixpoints (always)
+//   - BoundedEvaluator, monotone-reuse strategy (always)
+//   - BoundedEvaluator, Floyd PFP mode (when the formula has a pfp)
+//   - NaiveEvaluator (FO only)
+//   - WordAlgebraEvaluator (FO only, n^k <= 64)
+//   - NNF-rewritten formula through BoundedEvaluator (no ESO)
+//   - CertificateSystem generate+verify (NNF, lfp/gfp only)
+
+#include <gtest/gtest.h>
+
+#include "algebra/word_algebra.h"
+#include "common/rng.h"
+#include "db/generators.h"
+#include "eval/bounded_eval.h"
+#include "eval/certificate.h"
+#include "eval/naive_eval.h"
+#include "eval/reference_eval.h"
+#include "logic/analysis.h"
+#include "logic/nnf.h"
+#include "logic/parser.h"
+#include "logic/random_formula.h"
+
+namespace bvq {
+namespace {
+
+struct FuzzCase {
+  std::size_t num_vars;
+  bool fixpoints;
+  bool pfp;
+  bool ifp;
+  uint64_t seed;
+};
+
+class DifferentialFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(DifferentialFuzz, AllEnginesAgree) {
+  const FuzzCase param = GetParam();
+  Rng rng(param.seed);
+  RandomFormulaOptions opts;
+  opts.num_vars = param.num_vars;
+  opts.max_size = 18;
+  opts.predicates = {{"E", 2}, {"P", 1}};
+  opts.allow_fixpoints = param.fixpoints;
+  opts.allow_pfp = param.pfp;
+  opts.allow_ifp = param.ifp;
+
+  std::vector<std::size_t> all_vars(param.num_vars);
+  for (std::size_t j = 0; j < param.num_vars; ++j) all_vars[j] = j;
+
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 2 + rng.Below(3);
+    Database db(n);
+    ASSERT_TRUE(db.AddRelation("E", RandomRelation(n, 2, 0.35, rng)).ok());
+    ASSERT_TRUE(db.AddRelation("P", RandomRelation(n, 1, 0.5, rng)).ok());
+    FormulaPtr f = RandomFormula(opts, rng);
+    const std::string dump = FormulaToString(f) + "\n" + db.ToString();
+    LanguageClass cls = ClassifyLanguage(f);
+
+    // Ground truth.
+    ReferenceEvaluator ref(db, param.num_vars);
+    auto truth = ref.EvaluateQuery(Query{all_vars, f});
+    ASSERT_TRUE(truth.ok()) << dump;
+
+    // Bounded, both fixpoint strategies.
+    BoundedEvaluator naive_fp(db, param.num_vars);
+    auto b1 = naive_fp.EvaluateQuery(Query{all_vars, f});
+    ASSERT_TRUE(b1.ok()) << dump;
+    EXPECT_EQ(*b1, *truth) << "bounded/naive differs\n" << dump;
+
+    BoundedEvalOptions mono;
+    mono.fixpoint_strategy = FixpointStrategy::kMonotoneReuse;
+    BoundedEvaluator reuse(db, param.num_vars, mono);
+    auto b2 = reuse.EvaluateQuery(Query{all_vars, f});
+    ASSERT_TRUE(b2.ok()) << dump;
+    EXPECT_EQ(*b2, *truth) << "bounded/reuse differs\n" << dump;
+
+    // Floyd PFP mode.
+    if (param.pfp) {
+      BoundedEvalOptions floyd;
+      floyd.pfp_cycle_detection = PfpCycleDetection::kFloyd;
+      BoundedEvaluator fe(db, param.num_vars, floyd);
+      auto b3 = fe.EvaluateQuery(Query{all_vars, f});
+      ASSERT_TRUE(b3.ok()) << dump;
+      EXPECT_EQ(*b3, *truth) << "bounded/floyd differs\n" << dump;
+    }
+
+    // Classical evaluator and word algebra on the FO fragment.
+    if (cls.first_order) {
+      NaiveEvaluator nv(db);
+      auto c = nv.EvaluateQuery(Query{all_vars, f});
+      ASSERT_TRUE(c.ok()) << dump;
+      EXPECT_EQ(*c, *truth) << "classical differs\n" << dump;
+
+      auto algebra = WordAlgebraEvaluator::Create(db, param.num_vars);
+      if (algebra.ok()) {
+        auto mask = algebra->Evaluate(f);
+        ASSERT_TRUE(mask.ok()) << dump;
+        EXPECT_EQ(algebra->MaskToRelation(*mask, all_vars), *truth)
+            << "word algebra differs\n"
+            << dump;
+      }
+    }
+
+    // NNF preserves the answer.
+    auto nnf = NegationNormalForm(f);
+    ASSERT_TRUE(nnf.ok()) << dump;
+    auto b4 = naive_fp.EvaluateQuery(Query{all_vars, *nnf});
+    ASSERT_TRUE(b4.ok()) << dump;
+    EXPECT_EQ(*b4, *truth) << "NNF differs\n" << dump;
+
+    // Certificates reproduce the exact answer on the certifiable
+    // fragment (lfp/gfp only).
+    if (cls.fixpoint || cls.first_order) {
+      LanguageClass nnf_cls = ClassifyLanguage(*nnf);
+      if (nnf_cls.fixpoint || nnf_cls.first_order) {
+        CertificateSystem sys(db, param.num_vars);
+        auto cert = sys.Generate(*nnf);
+        if (cert.ok()) {
+          auto verified = sys.Verify(*nnf, *cert);
+          ASSERT_TRUE(verified.ok()) << dump;
+          EXPECT_EQ(verified->ToRelation(all_vars), *truth)
+              << "certificate differs\n"
+              << dump;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DifferentialFuzz,
+    ::testing::Values(FuzzCase{2, false, false, false, 11},
+                      FuzzCase{3, false, false, false, 12},
+                      FuzzCase{2, true, false, false, 13},
+                      FuzzCase{3, true, false, false, 14},
+                      FuzzCase{2, true, true, false, 15},
+                      FuzzCase{2, true, false, true, 16},
+                      FuzzCase{2, true, true, true, 17},
+                      FuzzCase{3, true, true, true, 18}));
+
+}  // namespace
+}  // namespace bvq

@@ -1,0 +1,329 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "db/generators.h"
+#include "eval/bounded_eval.h"
+#include "eval/reference_eval.h"
+#include "logic/builder.h"
+#include "logic/parser.h"
+#include "logic/random_formula.h"
+
+namespace bvq {
+namespace {
+
+Database GraphDb(std::size_t n, const Relation& edges) {
+  Database db(n);
+  Status s = db.AddRelation("E", edges);
+  EXPECT_TRUE(s.ok());
+  return db;
+}
+
+// Transitive closure in FP^3 (binary fixpoint + one auxiliary variable).
+FormulaPtr TransitiveClosure() {
+  return *ParseFormula(
+      "[lfp T(x1,x2) . E(x1,x2) | exists x3 . (E(x1,x3) & exists x1 . "
+      "(x1 = x3 & T(x1,x2)))](x1,x2)");
+}
+
+TEST(FixpointTest, TransitiveClosureOnPath) {
+  Database db = GraphDb(5, PathGraph(5));
+  BoundedEvaluator eval(db, 3);
+  auto r = eval.Evaluate(TransitiveClosure());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  Relation tc = r->ToRelation({0, 1});
+  EXPECT_EQ(tc.size(), 10u);  // pairs i < j
+  EXPECT_TRUE(tc.Contains(Tuple{0, 4}));
+  EXPECT_FALSE(tc.Contains(Tuple{4, 0}));
+  EXPECT_FALSE(tc.Contains(Tuple{2, 2}));
+}
+
+TEST(FixpointTest, TransitiveClosureOnCycle) {
+  Database db = GraphDb(4, CycleGraph(4));
+  BoundedEvaluator eval(db, 3);
+  auto r = eval.Evaluate(TransitiveClosure());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->ToRelation({0, 1}).size(), 16u);  // everything reaches all
+}
+
+TEST(FixpointTest, GfpIsDualOfLfp) {
+  // gfp S(x1). E(x1,x1) & S(x1): greatest set of self-loop nodes (the
+  // operator is a filter, so gfp = its fixpoint = self-loop nodes).
+  Database db = GraphDb(3, Relation::FromTuples(2, {{0, 0}, {1, 2}}));
+  BoundedEvaluator eval(db, 1);
+  auto r = eval.Evaluate(*ParseFormula("[gfp S(x1) . E(x1,x1) & S(x1)](x1)"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->ToRelation({0}), Relation::FromTuples(1, {{0}}));
+  // lfp of the same operator is empty.
+  auto l = eval.Evaluate(*ParseFormula("[lfp S(x1) . E(x1,x1) & S(x1)](x1)"));
+  ASSERT_TRUE(l.ok());
+  EXPECT_TRUE(l->Empty());
+}
+
+TEST(FixpointTest, FixpointWithParameter) {
+  // T(x1) with parameter x2: reachable-from-x2 via lfp
+  // [lfp T(x1). x1 = x2 | exists x3 (E(x3,x1) & ... T(x3))](x1).
+  Database db = GraphDb(4, PathGraph(4));
+  BoundedEvaluator eval(db, 3);
+  auto f = ParseFormula(
+      "[lfp T(x1) . x1 = x2 | exists x3 . (E(x3,x1) & exists x1 . "
+      "(x1 = x3 & T(x1)))](x1)");
+  auto r = eval.Evaluate(*f);
+  ASSERT_TRUE(r.ok());
+  // For parameter x2 = 1: reachable = {1,2,3}.
+  Relation pairs = r->ToRelation({1, 0});  // (param, member)
+  EXPECT_TRUE(pairs.Contains(Tuple{1, 1}));
+  EXPECT_TRUE(pairs.Contains(Tuple{1, 3}));
+  EXPECT_FALSE(pairs.Contains(Tuple{1, 0}));
+  EXPECT_TRUE(pairs.Contains(Tuple{3, 3}));
+  EXPECT_FALSE(pairs.Contains(Tuple{3, 0}));
+}
+
+TEST(FixpointTest, PaperAlternatingExampleMatchesReference) {
+  // Section 2.2's alternating example shape: nu S(x). [mu T(z).
+  // forall y (E(z,y) -> (S(y) | (P(y) & T(y))))](x). We validate the
+  // evaluator against the definition-following reference semantics on a
+  // spread of graphs (the paper's informal path gloss is not what we
+  // test; the Tarski–Knaster semantics is).
+  auto f = ParseFormula(
+      "[gfp S(x1) . [lfp T(x2) . forall x3 . (E(x2,x3) -> "
+      "(S(x3) | P(x3) & T(x3)))](x1)](x1)");
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+
+  Rng rng(2025);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 3;
+    Database db(n);
+    ASSERT_TRUE(db.AddRelation("E", RandomRelation(n, 2, 0.4, rng)).ok());
+    ASSERT_TRUE(db.AddRelation("P", RandomRelation(n, 1, 0.5, rng)).ok());
+    ReferenceEvaluator ref(db, 3);
+    auto expected = ref.SatisfyingAssignments(*f);
+    ASSERT_TRUE(expected.ok());
+    BoundedEvaluator eval(db, 3);
+    auto r = eval.Evaluate(*f);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->ToRelation({0, 1, 2}), *expected) << db.ToString();
+  }
+}
+
+TEST(FixpointTest, BuchiExampleExistsPathVisitingPInfinitelyOften) {
+  // nu S(x). mu T(z). <>((P & S) | T): there is a path along which P
+  // holds infinitely often. In FP^3:
+  auto f = ParseFormula(
+      "[gfp S(x1) . [lfp T(x2) . exists x3 . (E(x2,x3) & "
+      "(P(x3) & S(x3) | T(x3)))](x1)](x1)");
+  ASSERT_TRUE(f.ok());
+  {
+    // Path graph (no cycles): no infinite paths at all => false
+    // everywhere.
+    Database db = GraphDb(4, PathGraph(4));
+    ASSERT_TRUE(
+        db.AddRelation("P", Relation::FromTuples(1, {{1}, {3}})).ok());
+    BoundedEvaluator eval(db, 3);
+    auto r = eval.Evaluate(*f);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r->Empty());
+  }
+  {
+    // Cycle with P somewhere on it: true everywhere on the cycle.
+    Database db = GraphDb(3, CycleGraph(3));
+    ASSERT_TRUE(db.AddRelation("P", Relation::FromTuples(1, {{1}})).ok());
+    BoundedEvaluator eval(db, 3);
+    auto r = eval.Evaluate(*f);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->ToRelation({0}).size(), 3u);
+  }
+  {
+    // Cycle with P only off-cycle: 0 -> 1 -> 0 and 1 -> 2 (sink with P).
+    // The only infinite path alternates 0,1 and never sees P infinitely
+    // often.
+    Database db =
+        GraphDb(3, Relation::FromTuples(2, {{0, 1}, {1, 0}, {1, 2}}));
+    ASSERT_TRUE(db.AddRelation("P", Relation::FromTuples(1, {{2}})).ok());
+    BoundedEvaluator eval(db, 3);
+    auto r = eval.Evaluate(*f);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r->Empty());
+  }
+}
+
+TEST(FixpointTest, MonotoneReuseMatchesNaive) {
+  Rng rng(7);
+  RandomFormulaOptions opts;
+  opts.num_vars = 3;
+  opts.max_size = 20;
+  opts.predicates = {{"E", 2}, {"P", 1}};
+  opts.allow_fixpoints = true;
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 2 + rng.Below(3);
+    Database db(n);
+    ASSERT_TRUE(db.AddRelation("E", RandomRelation(n, 2, 0.3, rng)).ok());
+    ASSERT_TRUE(db.AddRelation("P", RandomRelation(n, 1, 0.5, rng)).ok());
+    FormulaPtr f = RandomFormula(opts, rng);
+
+    BoundedEvaluator naive(db, 3);
+    auto a = naive.Evaluate(f);
+    ASSERT_TRUE(a.ok());
+
+    BoundedEvalOptions mono_opts;
+    mono_opts.fixpoint_strategy = FixpointStrategy::kMonotoneReuse;
+    BoundedEvaluator mono(db, 3, mono_opts);
+    auto b = mono.Evaluate(f);
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(*a, *b) << FormulaToString(f);
+    // Reuse must never perform more fixpoint iterations than naive
+    // nesting.
+    EXPECT_LE(mono.stats().fixpoint_iterations,
+              naive.stats().fixpoint_iterations)
+        << FormulaToString(f);
+  }
+}
+
+TEST(FixpointTest, MonotoneReuseSavesIterationsOnMonotoneNesting) {
+  // Footnote 5 of the paper: when all nested fixpoints have the same
+  // polarity, the inner computations can resume from their previous
+  // values, reducing the naive n^{kl} iterations to about l*n^k. Here the
+  // outer lfp S grows one node per iteration along a long path, and the
+  // inner lfp U ("x1 reaches S") is recomputed from scratch by the naive
+  // strategy but warm-started by kMonotoneReuse.
+  const std::size_t n = 12;
+  Database db = GraphDb(n, PathGraph(n));
+  ASSERT_TRUE(db.AddRelation(
+                    "P", Relation::FromTuples(1, {{static_cast<Value>(n - 1)}}))
+                  .ok());
+  auto f = ParseFormula(
+      "[lfp S(x1) . P(x1) | (exists x2 . (E(x1,x2) & S(x2))) & "
+      "[lfp U(x2) . S(x2) | exists x3 . (E(x2,x3) & U(x3))](x1)](x1)");
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+
+  BoundedEvaluator naive(db, 3);
+  auto a = naive.Evaluate(*f);
+  ASSERT_TRUE(a.ok());
+  BoundedEvalOptions mono_opts;
+  mono_opts.fixpoint_strategy = FixpointStrategy::kMonotoneReuse;
+  BoundedEvaluator mono(db, 3, mono_opts);
+  auto b = mono.Evaluate(*f);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+  // The answer is reach-to-P (everything on the path).
+  EXPECT_EQ(b->ToRelation({0}).size(), n);
+  EXPECT_GT(mono.stats().warm_starts, 0u);
+  EXPECT_LT(mono.stats().fixpoint_iterations,
+            naive.stats().fixpoint_iterations / 2);
+}
+
+// --- partial fixpoints -------------------------------------------------------
+
+TEST(PfpTest, ConvergentPfpBehavesLikeLfp) {
+  // pfp of a monotone operator converges to the lfp.
+  Database db = GraphDb(5, PathGraph(5));
+  BoundedEvaluator eval(db, 3);
+  auto pfp = ParseFormula(
+      "[pfp T(x1,x2) . E(x1,x2) | exists x3 . (E(x1,x3) & exists x1 . "
+      "(x1 = x3 & T(x1,x2)))](x1,x2)");
+  auto lfp = TransitiveClosure();
+  auto a = eval.Evaluate(*pfp);
+  auto b = eval.Evaluate(lfp);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(PfpTest, CyclingPfpIsEmpty) {
+  // X -> complement(X) flips between {} and D: no limit, so empty.
+  Database db(3);
+  BoundedEvaluator eval(db, 1);
+  auto f = ParseFormula("[pfp X(x1) . !(X(x1))](x1)");
+  auto r = eval.Evaluate(*f);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->Empty());
+}
+
+TEST(PfpTest, PerParameterCycleDetection) {
+  // The operator cycles for parameter values in P and converges
+  // otherwise: pfp X(x1) . (P(x2) & !X(x1)) | (!P(x2) & x1 = x1 ... )
+  // For x2 in P: stage alternates {} <-> D (cycle, empty limit).
+  // For x2 not in P: first stage reaches D and stays (limit D).
+  Database db(3);
+  ASSERT_TRUE(db.AddRelation("P", Relation::FromTuples(1, {{1}})).ok());
+  BoundedEvaluator eval(db, 2);
+  auto f = ParseFormula(
+      "[pfp X(x1) . P(x2) & !(X(x1)) | !(P(x2)) & x1 = x1](x1)");
+  auto r = eval.Evaluate(*f);
+  ASSERT_TRUE(r.ok());
+  // Satisfied iff x2 not in P (then every x1 qualifies).
+  for (Value x1 = 0; x1 < 3; ++x1) {
+    EXPECT_FALSE(r->TestAssignment({x1, 1}));
+    EXPECT_TRUE(r->TestAssignment({x1, 0}));
+    EXPECT_TRUE(r->TestAssignment({x1, 2}));
+  }
+}
+
+TEST(PfpTest, FloydMatchesHashHistory) {
+  Rng rng(99);
+  RandomFormulaOptions opts;
+  opts.num_vars = 2;
+  opts.max_size = 14;
+  opts.predicates = {{"E", 2}, {"P", 1}};
+  opts.allow_pfp = true;
+  opts.allow_fixpoints = false;
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 2 + rng.Below(2);
+    Database db(n);
+    ASSERT_TRUE(db.AddRelation("E", RandomRelation(n, 2, 0.4, rng)).ok());
+    ASSERT_TRUE(db.AddRelation("P", RandomRelation(n, 1, 0.5, rng)).ok());
+    FormulaPtr f = RandomFormula(opts, rng);
+
+    BoundedEvaluator hash_eval(db, 2);
+    auto a = hash_eval.Evaluate(f);
+    ASSERT_TRUE(a.ok()) << FormulaToString(f);
+
+    BoundedEvalOptions floyd_opts;
+    floyd_opts.pfp_cycle_detection = PfpCycleDetection::kFloyd;
+    BoundedEvaluator floyd_eval(db, 2, floyd_opts);
+    auto b = floyd_eval.Evaluate(f);
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(*a, *b) << FormulaToString(f);
+  }
+}
+
+TEST(PfpTest, PfpMatchesReference) {
+  Rng rng(31337);
+  RandomFormulaOptions opts;
+  opts.num_vars = 2;
+  opts.max_size = 12;
+  opts.predicates = {{"E", 2}, {"P", 1}};
+  opts.allow_pfp = true;
+  opts.allow_fixpoints = true;
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 2 + rng.Below(2);
+    Database db(n);
+    ASSERT_TRUE(db.AddRelation("E", RandomRelation(n, 2, 0.4, rng)).ok());
+    ASSERT_TRUE(db.AddRelation("P", RandomRelation(n, 1, 0.5, rng)).ok());
+    FormulaPtr f = RandomFormula(opts, rng);
+
+    ReferenceEvaluator ref(db, 2);
+    auto expected = ref.SatisfyingAssignments(f);
+    ASSERT_TRUE(expected.ok()) << FormulaToString(f);
+
+    BoundedEvaluator eval(db, 2);
+    auto actual = eval.Evaluate(f);
+    ASSERT_TRUE(actual.ok()) << FormulaToString(f);
+    EXPECT_EQ(actual->ToRelation({0, 1}), *expected)
+        << FormulaToString(f) << "\n"
+        << db.ToString();
+  }
+}
+
+TEST(FixpointTest, StatsCountIterations) {
+  Database db = GraphDb(5, PathGraph(5));
+  BoundedEvaluator eval(db, 3);
+  ASSERT_TRUE(eval.Evaluate(TransitiveClosure()).ok());
+  // Path of 5 nodes: TC converges in <= 5 stages (+1 to detect).
+  EXPECT_GE(eval.stats().fixpoint_iterations, 3u);
+  EXPECT_LE(eval.stats().fixpoint_iterations, 7u);
+  eval.ResetStats();
+  EXPECT_EQ(eval.stats().fixpoint_iterations, 0u);
+}
+
+}  // namespace
+}  // namespace bvq

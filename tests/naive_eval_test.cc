@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "db/generators.h"
+#include "eval/bounded_eval.h"
+#include "eval/naive_eval.h"
+#include "eval/reference_eval.h"
+#include "logic/builder.h"
+#include "logic/parser.h"
+#include "logic/random_formula.h"
+
+namespace bvq {
+namespace {
+
+TEST(NaiveEvalTest, AtomsAndJoins) {
+  Database db(4);
+  ASSERT_TRUE(
+      db.AddRelation("E", Relation::FromTuples(2, {{0, 1}, {1, 2}, {2, 3}}))
+          .ok());
+  NaiveEvaluator eval(db);
+  // Path of length 2: exists x2 (E(x1,x2) & E(x2,x3)).
+  auto f = ParseFormula("exists x2 . E(x1,x2) & E(x2,x3)");
+  auto r = eval.Evaluate(*f);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->vars, (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(r->rel, Relation::FromTuples(2, {{0, 2}, {1, 3}}));
+}
+
+TEST(NaiveEvalTest, RecordsIntermediateArity) {
+  Database db(3);
+  ASSERT_TRUE(db.AddRelation("E", Relation::FromTuples(2, {{0, 1}})).ok());
+  NaiveEvaluator eval(db);
+  // Conjunction over disjoint variables: cross product of arity 4.
+  auto f = ParseFormula("E(x1,x2) & E(x3,x4)");
+  auto r = eval.Evaluate(*f);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(eval.stats().max_intermediate_arity, 4u);
+}
+
+TEST(NaiveEvalTest, RejectsFixpoints) {
+  Database db(2);
+  NaiveEvaluator eval(db);
+  auto f = ParseFormula("[lfp T(x1) . T(x1)](x1)");
+  auto r = eval.Evaluate(*f);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(NaiveEvalTest, TupleLimitGuard) {
+  Database db(6);
+  Rng rng(1);
+  ASSERT_TRUE(db.AddRelation("E", RandomRelation(6, 2, 1.0, rng)).ok());
+  NaiveEvaluator eval(db, /*max_tuples=*/100);
+  // 4 disjoint atoms: 36^2 = 1296 tuples at the second join.
+  auto f = ParseFormula("E(x1,x2) & E(x3,x4) & E(x5,x6)");
+  auto r = eval.Evaluate(*f);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(NaiveEvalTest, QueryAnswer) {
+  Database db(3);
+  ASSERT_TRUE(db.AddRelation("P", Relation::FromTuples(1, {{1}})).ok());
+  NaiveEvaluator eval(db);
+  Query q = *ParseQuery("(x1,x2) P(x1)");
+  auto r = eval.EvaluateQuery(q);
+  ASSERT_TRUE(r.ok());
+  // x2 unconstrained.
+  EXPECT_EQ(*r, Relation::FromTuples(2, {{1, 0}, {1, 1}, {1, 2}}));
+}
+
+// Property: on random FO formulas, naive evaluation agrees with both the
+// reference semantics and the bounded-variable evaluator.
+TEST(NaiveEvalTest, AgreesWithReferenceAndBounded) {
+  Rng rng(42);
+  RandomFormulaOptions opts;
+  opts.num_vars = 3;
+  opts.max_size = 16;
+  opts.predicates = {{"E", 2}, {"P", 1}};
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t n = 2 + rng.Below(3);
+    Database db(n);
+    ASSERT_TRUE(db.AddRelation("E", RandomRelation(n, 2, 0.35, rng)).ok());
+    ASSERT_TRUE(db.AddRelation("P", RandomRelation(n, 1, 0.5, rng)).ok());
+    FormulaPtr f = RandomFormula(opts, rng);
+
+    Query q;
+    q.formula = f;
+    q.answer_vars = {0, 1, 2};
+
+    ReferenceEvaluator ref(db, 3);
+    auto expected = ref.EvaluateQuery(q);
+    ASSERT_TRUE(expected.ok());
+
+    NaiveEvaluator naive(db);
+    auto got_naive = naive.EvaluateQuery(q);
+    ASSERT_TRUE(got_naive.ok()) << got_naive.status().ToString();
+    EXPECT_EQ(*got_naive, *expected) << FormulaToString(f);
+
+    BoundedEvaluator bounded(db, 3);
+    auto got_bounded = bounded.EvaluateQuery(q);
+    ASSERT_TRUE(got_bounded.ok());
+    EXPECT_EQ(*got_bounded, *expected) << FormulaToString(f);
+  }
+}
+
+// The paper's core observation, as a test: on chain queries, the naive
+// evaluator's intermediate arity grows with the chain length, while the
+// 3-variable rewriting keeps every intermediate at arity <= 3 and both
+// agree on the answer.
+TEST(NaiveEvalTest, ChainQueryBlowupVersusReuse) {
+  const std::size_t length = 6;
+  Database db(8);
+  ASSERT_TRUE(db.AddRelation("E", PathGraph(8)).ok());
+
+  // Naive formula: exists x2..x_{length} E(x1,x2) & ... using fresh
+  // variables.
+  FormulaPtr chain = Atom("E", {0, 1});
+  for (std::size_t i = 1; i < length; ++i) {
+    chain = And(chain, Atom("E", {i, i + 1}));
+  }
+  for (std::size_t i = length; i >= 1; --i) {
+    chain = Exists(i, chain);
+  }
+  NaiveEvaluator naive(db);
+  auto naive_result = naive.Evaluate(chain);
+  ASSERT_TRUE(naive_result.ok());
+  EXPECT_GE(naive.stats().max_intermediate_arity, 3u);
+
+  // FO^3 rewriting per Section 2.2: phi_1(x1,x2) = E(x1,x2),
+  // phi_{n+1}(x1,x2) = exists x3 (E(x1,x3) & exists x1 (x1 = x3 &
+  // phi_n(x1,x2))).
+  FormulaPtr phi = Atom("E", {0, 1});
+  for (std::size_t i = 1; i < length; ++i) {
+    phi = Exists(2, And(Atom("E", {0, 2}),
+                        Exists(0, And(Eq(0, 2), phi))));
+  }
+  // Answer: nodes x1 with a length-`length` path to some x2.
+  FormulaPtr reach = Exists(1, phi);
+  BoundedEvaluator bounded(db, 3);
+  auto bounded_result = bounded.Evaluate(reach);
+  ASSERT_TRUE(bounded_result.ok());
+
+  // Sources with a length-6 path in an 8-path: nodes 0 and 1.
+  Relation expect = Relation::FromTuples(1, {{0}, {1}});
+  EXPECT_EQ(bounded_result->ToRelation({0}), expect);
+  VarRelation nv = *naive_result;
+  EXPECT_EQ(nv.rel, expect);
+}
+
+}  // namespace
+}  // namespace bvq

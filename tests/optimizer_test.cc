@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "db/generators.h"
+#include "eval/bounded_eval.h"
+#include "eval/naive_eval.h"
+#include "logic/analysis.h"
+#include "logic/parser.h"
+#include "optimizer/acyclic.h"
+#include "optimizer/conjunctive_query.h"
+#include "optimizer/variable_min.h"
+
+namespace bvq {
+namespace optimizer {
+namespace {
+
+TEST(CqParserTest, ParsesQuery) {
+  auto cq = ParseCq("Q(X,Y) :- R(X,Z), S(Z,Y).");
+  ASSERT_TRUE(cq.ok()) << cq.status().ToString();
+  EXPECT_EQ(cq->head_vars.size(), 2u);
+  EXPECT_EQ(cq->atoms.size(), 2u);
+  EXPECT_EQ(cq->num_vars, 3u);
+  EXPECT_EQ(cq->ToString(), "Q(X0,X1) :- R(X0,X2), S(X2,X1).");
+}
+
+TEST(CqParserTest, Errors) {
+  EXPECT_FALSE(ParseCq("Q(X)").ok());
+  EXPECT_FALSE(ParseCq("Q(X) :- R(lower).").ok());
+  EXPECT_FALSE(ParseCq("Q(Y) :- R(X,X).").ok());  // unbound head var
+}
+
+TEST(CqTest, ToFormulaQuantifiesNonHeadVars) {
+  auto cq = ParseCq("Q(X) :- R(X,Z), R(Z,W).");
+  ASSERT_TRUE(cq.ok());
+  FormulaPtr f = cq->ToFormula();
+  EXPECT_EQ(FreeVars(f), std::set<std::size_t>{0});
+  EXPECT_EQ(NumVariables(f), 3u);
+}
+
+TEST(CqEvalTest, NaiveMatchesFormulaEvaluation) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 3 + rng.Below(3);
+    Database db(n);
+    ASSERT_TRUE(db.AddRelation("R", RandomRelation(n, 2, 0.35, rng)).ok());
+    ConjunctiveQuery cq = RandomCq(4, 4, 2, "R", rng);
+
+    auto direct = EvaluateCqNaive(cq, db);
+    ASSERT_TRUE(direct.ok()) << cq.ToString();
+
+    NaiveEvaluator naive(db);
+    Query q{cq.head_vars, cq.ToFormula()};
+    auto via_formula = naive.EvaluateQuery(q);
+    ASSERT_TRUE(via_formula.ok());
+    EXPECT_EQ(*direct, *via_formula) << cq.ToString();
+  }
+}
+
+// --- acyclicity and Yannakakis ------------------------------------------------
+
+TEST(AcyclicTest, ChainIsAcyclicCycleIsNot) {
+  EXPECT_TRUE(IsAcyclic(ChainQuery(5, "R")));
+  EXPECT_TRUE(IsAcyclic(StarQuery(4, "R")));
+  EXPECT_FALSE(IsAcyclic(CycleQuery(3, "R")));
+  EXPECT_FALSE(IsAcyclic(CycleQuery(5, "R")));
+}
+
+TEST(AcyclicTest, TriangleWithCoveringEdgeIsAcyclic) {
+  // R(x,y), R(y,z), R(z,x), T(x,y,z): the ternary atom covers the cycle.
+  ConjunctiveQuery cq = CycleQuery(3, "R");
+  cq.atoms.push_back({"T", {0, 1, 2}});
+  EXPECT_TRUE(IsAcyclic(cq));
+}
+
+TEST(AcyclicTest, JoinTreeShape) {
+  auto tree = GyoJoinTree(ChainQuery(4, "R"));
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->parent.size(), 4u);
+  EXPECT_EQ(tree->elimination_order.size(), 4u);
+  // Exactly one root.
+  int roots = 0;
+  for (std::ptrdiff_t p : tree->parent) {
+    if (p < 0) ++roots;
+  }
+  EXPECT_EQ(roots, 1);
+}
+
+TEST(YannakakisTest, MatchesNaiveOnAcyclicQueries) {
+  Rng rng(555);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 4 + rng.Below(4);
+    Database db(n);
+    ASSERT_TRUE(db.AddRelation("R", RandomRelation(n, 2, 0.3, rng)).ok());
+    ConjunctiveQuery cq =
+        rng.Bernoulli(0.5) ? ChainQuery(2 + rng.Below(4), "R")
+                           : StarQuery(2 + rng.Below(4), "R");
+    auto naive = EvaluateCqNaive(cq, db);
+    ASSERT_TRUE(naive.ok());
+    YannakakisStats stats;
+    auto yan = EvaluateYannakakis(cq, db, &stats);
+    ASSERT_TRUE(yan.ok()) << yan.status().ToString();
+    EXPECT_EQ(*naive, *yan) << cq.ToString();
+    EXPECT_GT(stats.semijoins, 0u);
+  }
+}
+
+TEST(YannakakisTest, RejectsCyclicQueries) {
+  Database db(3);
+  ASSERT_TRUE(db.AddRelation("R", CycleGraph(3)).ok());
+  auto r = EvaluateYannakakis(CycleQuery(3, "R"), db);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(YannakakisTest, BoundedIntermediates) {
+  // On a selective chain, the semijoin reducer keeps intermediates small
+  // while the naive plan's first join explodes.
+  const std::size_t n = 40;
+  Database db(n);
+  Rng rng(77);
+  ASSERT_TRUE(db.AddRelation("R", RandomRelation(n, 2, 0.25, rng)).ok());
+  ConjunctiveQuery cq = ChainQuery(4, "R");
+  // Make the query selective: the endpoint is restricted by a sparse
+  // unary relation (keeping the hypergraph acyclic).
+  RelationBuilder sparse(1);
+  Value v = 0;
+  sparse.Add(&v);
+  ASSERT_TRUE(db.AddRelation("Rare", sparse.Build()).ok());
+  cq.atoms.push_back({"Rare", {4}});
+
+  CqEvalStats naive_stats;
+  auto naive = EvaluateCqNaive(cq, db, &naive_stats);
+  ASSERT_TRUE(naive.ok());
+  YannakakisStats yan_stats;
+  auto yan = EvaluateYannakakis(cq, db, &yan_stats);
+  ASSERT_TRUE(yan.ok());
+  EXPECT_EQ(*naive, *yan);
+  EXPECT_LT(yan_stats.max_intermediate_tuples,
+            naive_stats.max_intermediate_tuples);
+}
+
+// --- variable minimization ------------------------------------------------------
+
+TEST(VariableMinTest, ChainWidthIsThree) {
+  ConjunctiveQuery cq = ChainQuery(8, "R");
+  auto exact = ExactMinWidthOrder(cq);
+  ASSERT_TRUE(exact.ok());
+  // Paths have treewidth 1, but the endpoints are head variables kept
+  // live throughout, so the bag maxes at 3 = the paper's FO^3.
+  EXPECT_EQ(exact->width, 3u);
+  EliminationPlan greedy = MinDegreeOrder(cq);
+  EXPECT_EQ(greedy.width, 3u);
+}
+
+TEST(VariableMinTest, BooleanChainWidthIsTwo) {
+  ConjunctiveQuery cq = ChainQuery(8, "R");
+  cq.head_vars = {0};  // only the start is exported
+  auto exact = ExactMinWidthOrder(cq);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(exact->width, 2u);
+}
+
+TEST(VariableMinTest, CycleNeedsMoreThanTree) {
+  ConjunctiveQuery cq = CycleQuery(6, "R");
+  auto exact = ExactMinWidthOrder(cq);
+  ASSERT_TRUE(exact.ok());
+  // Cycles have treewidth 2: bags of size 3.
+  EXPECT_EQ(exact->width, 3u);
+}
+
+TEST(VariableMinTest, OrderWidthMatchesPlanWidth) {
+  Rng rng(31415);
+  for (int trial = 0; trial < 20; ++trial) {
+    ConjunctiveQuery cq = RandomCq(6, 7, 1, "R", rng);
+    EliminationPlan plan = MinDegreeOrder(cq);
+    EXPECT_EQ(OrderWidth(cq, plan.order), plan.width) << cq.ToString();
+    auto exact = ExactMinWidthOrder(cq);
+    ASSERT_TRUE(exact.ok());
+    EXPECT_LE(exact->width, plan.width) << cq.ToString();
+  }
+}
+
+TEST(VariableMinTest, RewriteUsesPlannedWidth) {
+  ConjunctiveQuery cq = ChainQuery(9, "R");
+  auto plan = ExactMinWidthOrder(cq);
+  ASSERT_TRUE(plan.ok());
+  auto rewrite = RewriteWithFewVariables(cq, plan->order);
+  ASSERT_TRUE(rewrite.ok()) << rewrite.status().ToString();
+  EXPECT_EQ(rewrite->num_vars, 3u);
+  EXPECT_LE(NumVariables(rewrite->query.formula), 3u);
+}
+
+TEST(VariableMinTest, RewriteRejectsBadOrders) {
+  ConjunctiveQuery cq = ChainQuery(3, "R");
+  EXPECT_FALSE(RewriteWithFewVariables(cq, {}).ok());           // missing
+  EXPECT_FALSE(RewriteWithFewVariables(cq, {0, 1, 2}).ok());    // head var
+  EXPECT_FALSE(RewriteWithFewVariables(cq, {1, 1, 2}).ok());    // repeat
+}
+
+TEST(VariableMinTest, RewritePreservesSemantics) {
+  Rng rng(2718);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 3 + rng.Below(3);
+    Database db(n);
+    ASSERT_TRUE(db.AddRelation("R", RandomRelation(n, 2, 0.35, rng)).ok());
+    ConjunctiveQuery cq = RandomCq(5, 5, 1 + rng.Below(2), "R", rng);
+
+    auto expected = EvaluateCqNaive(cq, db);
+    ASSERT_TRUE(expected.ok());
+
+    for (const auto& plan :
+         {MinDegreeOrder(cq), *ExactMinWidthOrder(cq)}) {
+      auto rewrite = RewriteWithFewVariables(cq, plan.order);
+      ASSERT_TRUE(rewrite.ok())
+          << cq.ToString() << ": " << rewrite.status().ToString();
+      EXPECT_LE(NumVariables(rewrite->query.formula), rewrite->num_vars);
+      BoundedEvaluator eval(db, rewrite->num_vars);
+      auto got = eval.EvaluateQuery(rewrite->query);
+      ASSERT_TRUE(got.ok()) << cq.ToString();
+      EXPECT_EQ(*got, *expected)
+          << cq.ToString() << "\nrewritten: "
+          << FormulaToString(rewrite->query.formula);
+    }
+  }
+}
+
+TEST(VariableMinTest, EliminationEngineMatchesNaive) {
+  Rng rng(161803);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 3 + rng.Below(4);
+    Database db(n);
+    ASSERT_TRUE(db.AddRelation("R", RandomRelation(n, 2, 0.35, rng)).ok());
+    ConjunctiveQuery cq = RandomCq(5, 5, 1 + rng.Below(2), "R", rng);
+
+    auto expected = EvaluateCqNaive(cq, db);
+    ASSERT_TRUE(expected.ok());
+    EliminationPlan plan = MinDegreeOrder(cq);
+    CqEvalStats stats;
+    auto got = EvaluateByElimination(cq, plan.order, db, &stats);
+    ASSERT_TRUE(got.ok()) << cq.ToString() << ": "
+                          << got.status().ToString();
+    EXPECT_EQ(*got, *expected) << cq.ToString();
+    // The bounded-arity discipline holds: no intermediate exceeds the
+    // plan width.
+    EXPECT_LE(stats.max_intermediate_arity, plan.width) << cq.ToString();
+  }
+}
+
+TEST(VariableMinTest, EliminationEngineRejectsBadOrders) {
+  Database db(2);
+  ASSERT_TRUE(db.AddRelation("R", Relation(2)).ok());
+  ConjunctiveQuery cq = ChainQuery(3, "R");
+  EXPECT_FALSE(EvaluateByElimination(cq, {}, db).ok());
+}
+
+TEST(VariableMinTest, IntroExampleManagerSecretary) {
+  // The paper's introduction: employees earning less than their manager's
+  // secretary. Query:
+  //   Q(E) :- EMP(E,D), MGR(D,M), SCY(M,C), SAL(E,S1), SAL(C,S2),
+  //           LT(S1,S2).
+  auto cq = ParseCq(
+      "Q(E) :- EMP(E,D), MGR(D,M), SCY(M,C), SAL(E,S1), SAL(C,S2), "
+      "LT(S1,S2).");
+  ASSERT_TRUE(cq.ok()) << cq.status().ToString();
+  // The query's hypergraph closes a 6-cycle through the schema
+  // (E-D-M-C-S2-S1-E), so it is *not* acyclic — which is exactly why the
+  // paper argues via bounded intermediate arity rather than acyclicity.
+  EXPECT_FALSE(IsAcyclic(*cq));
+  auto plan = ExactMinWidthOrder(*cq);
+  ASSERT_TRUE(plan.ok());
+  // The paper reports maximal intermediate arity 4 for the good plan.
+  EXPECT_LE(plan->width, 4u);
+
+  Rng rng(1);
+  Database db = EmployeeDatabase(12, 3, 6, rng);
+  auto expected = EvaluateCqNaive(*cq, db);
+  ASSERT_TRUE(expected.ok());
+  auto rewrite = RewriteWithFewVariables(*cq, plan->order);
+  ASSERT_TRUE(rewrite.ok());
+  BoundedEvaluator eval(db, rewrite->num_vars);
+  auto got = eval.EvaluateQuery(rewrite->query);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(*got, *expected);
+}
+
+}  // namespace
+}  // namespace optimizer
+}  // namespace bvq

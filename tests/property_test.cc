@@ -1,0 +1,228 @@
+// Cross-cutting randomized property tests: algebraic laws of the
+// relational kernel, semantic equivalence of formula transformations, and
+// printer/parser round trips over generated formulas.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "db/generators.h"
+#include "db/relalg.h"
+#include "eval/bounded_eval.h"
+#include "eval/eso_eval.h"
+#include "eval/reference_eval.h"
+#include "logic/analysis.h"
+#include "logic/builder.h"
+#include "logic/nnf.h"
+#include "logic/parser.h"
+#include "logic/random_formula.h"
+
+namespace bvq {
+namespace {
+
+// --- relational algebra laws ---------------------------------------------------
+
+VarRelation RandomVarRelation(std::size_t domain, Rng& rng) {
+  // 1-3 variables out of {0,1,2,3}.
+  std::vector<std::size_t> vars;
+  for (std::size_t v = 0; v < 4; ++v) {
+    if (rng.Bernoulli(0.5)) vars.push_back(v);
+  }
+  if (vars.empty()) vars.push_back(rng.Below(4));
+  return {vars, RandomRelation(domain, vars.size(), 0.4, rng)};
+}
+
+TEST(RelalgLawsTest, JoinIsCommutative) {
+  Rng rng(123);
+  for (int trial = 0; trial < 50; ++trial) {
+    VarRelation a = RandomVarRelation(3, rng);
+    VarRelation b = RandomVarRelation(3, rng);
+    EXPECT_EQ(Join(a, b), Join(b, a));
+  }
+}
+
+TEST(RelalgLawsTest, JoinIsAssociative) {
+  Rng rng(124);
+  for (int trial = 0; trial < 50; ++trial) {
+    VarRelation a = RandomVarRelation(3, rng);
+    VarRelation b = RandomVarRelation(3, rng);
+    VarRelation c = RandomVarRelation(3, rng);
+    EXPECT_EQ(Join(Join(a, b), c), Join(a, Join(b, c)));
+  }
+}
+
+TEST(RelalgLawsTest, JoinIsIdempotent) {
+  Rng rng(125);
+  for (int trial = 0; trial < 30; ++trial) {
+    VarRelation a = RandomVarRelation(3, rng);
+    EXPECT_EQ(Join(a, a), a);
+  }
+}
+
+TEST(RelalgLawsTest, SemijoinIsJoinThenProject) {
+  Rng rng(126);
+  for (int trial = 0; trial < 50; ++trial) {
+    VarRelation a = RandomVarRelation(3, rng);
+    VarRelation b = RandomVarRelation(3, rng);
+    VarRelation joined = Join(a, b);
+    const std::vector<std::size_t> joined_vars = joined.vars;
+    for (std::size_t v : joined_vars) {
+      bool in_a = std::find(a.vars.begin(), a.vars.end(), v) != a.vars.end();
+      if (!in_a) joined = ProjectOut(joined, v);
+    }
+    EXPECT_EQ(Semijoin(a, b), joined);
+  }
+}
+
+TEST(RelalgLawsTest, DoubleComplementIsIdentity) {
+  Rng rng(127);
+  for (int trial = 0; trial < 30; ++trial) {
+    VarRelation a = RandomVarRelation(3, rng);
+    EXPECT_EQ(Complement(Complement(a, 3), 3), a);
+  }
+}
+
+TEST(RelalgLawsTest, UnionIsCommutativeAndIdempotent) {
+  Rng rng(128);
+  for (int trial = 0; trial < 30; ++trial) {
+    VarRelation a = RandomVarRelation(3, rng);
+    VarRelation b = RandomVarRelation(3, rng);
+    EXPECT_EQ(Union(a, b, 3), Union(b, a, 3));
+    EXPECT_EQ(Union(a, a, 3), a);
+  }
+}
+
+// --- AssignmentSet laws ---------------------------------------------------------
+
+TEST(AssignmentSetLawsTest, RemapIdentityIsNoop) {
+  Rng rng(129);
+  for (int trial = 0; trial < 20; ++trial) {
+    AssignmentSet a(3, 3);
+    for (std::size_t r = 0; r < 27; ++r) {
+      if (rng.Bernoulli(0.5)) a.Set(r);
+    }
+    EXPECT_EQ(a.Remap({0, 1, 2}, {0, 1, 2}), a);
+  }
+}
+
+TEST(AssignmentSetLawsTest, ExistsIsMonotoneAndExtensive) {
+  Rng rng(130);
+  for (int trial = 0; trial < 20; ++trial) {
+    AssignmentSet a(3, 2);
+    for (std::size_t r = 0; r < 9; ++r) {
+      if (rng.Bernoulli(0.4)) a.Set(r);
+    }
+    for (std::size_t var = 0; var < 2; ++var) {
+      AssignmentSet ex = a.ExistsVar(var);
+      EXPECT_TRUE(a.IsSubsetOf(ex));            // extensive
+      EXPECT_EQ(ex.ExistsVar(var), ex);         // idempotent
+      EXPECT_TRUE(a.ForAllVar(var).IsSubsetOf(a));  // forall is reductive
+    }
+  }
+}
+
+// --- NNF preserves semantics ----------------------------------------------------
+
+TEST(NnfSemanticsTest, NnfIsEquivalentOnRandomFormulas) {
+  Rng rng(131);
+  RandomFormulaOptions opts;
+  opts.num_vars = 2;
+  opts.max_size = 16;
+  opts.predicates = {{"E", 2}, {"P", 1}};
+  opts.allow_fixpoints = true;
+  opts.allow_pfp = true;
+  opts.allow_ifp = true;
+  for (int trial = 0; trial < 80; ++trial) {
+    const std::size_t n = 2 + rng.Below(2);
+    Database db(n);
+    ASSERT_TRUE(db.AddRelation("E", RandomRelation(n, 2, 0.4, rng)).ok());
+    ASSERT_TRUE(db.AddRelation("P", RandomRelation(n, 1, 0.5, rng)).ok());
+    FormulaPtr f = RandomFormula(opts, rng);
+    // Also exercise the dualization path by negating half the time.
+    if (rng.Bernoulli(0.5)) f = Not(f);
+
+    auto nnf = NegationNormalForm(f);
+    ASSERT_TRUE(nnf.ok()) << FormulaToString(f);
+    EXPECT_TRUE(IsNegationNormalForm(*nnf)) << FormulaToString(*nnf);
+
+    BoundedEvaluator eval(db, 2);
+    auto a = eval.Evaluate(f);
+    auto b = eval.Evaluate(*nnf);
+    ASSERT_TRUE(a.ok()) << FormulaToString(f);
+    ASSERT_TRUE(b.ok()) << FormulaToString(*nnf);
+    EXPECT_EQ(*a, *b) << FormulaToString(f) << "\n=> "
+                      << FormulaToString(*nnf);
+  }
+}
+
+// --- printer round trips ---------------------------------------------------------
+
+TEST(PrinterRoundTripTest, RandomFormulasSurviveParsePrintParse) {
+  Rng rng(132);
+  RandomFormulaOptions opts;
+  opts.num_vars = 3;
+  opts.max_size = 24;
+  opts.predicates = {{"E", 2}, {"P", 1}, {"flag", 0}};
+  opts.allow_fixpoints = true;
+  opts.allow_pfp = true;
+  opts.allow_ifp = true;
+  for (int trial = 0; trial < 200; ++trial) {
+    FormulaPtr f = RandomFormula(opts, rng);
+    const std::string printed = FormulaToString(f);
+    auto parsed = ParseFormula(printed);
+    ASSERT_TRUE(parsed.ok()) << printed << ": "
+                             << parsed.status().ToString();
+    EXPECT_EQ(FormulaToString(*parsed), printed);
+  }
+}
+
+// --- random ESO sentences agree across engines -----------------------------------
+
+TEST(EsoPropertyTest, RandomEsoMatricesAgreeWithReference) {
+  Rng rng(133);
+  RandomFormulaOptions opts;
+  opts.num_vars = 2;
+  opts.max_size = 12;
+  opts.predicates = {{"E", 2}, {"P", 1}, {"S", 1}, {"S2", 2}};
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 2;
+    Database db(n);
+    ASSERT_TRUE(db.AddRelation("E", RandomRelation(n, 2, 0.4, rng)).ok());
+    ASSERT_TRUE(db.AddRelation("P", RandomRelation(n, 1, 0.5, rng)).ok());
+    // Random FO matrix over E, P and the to-be-quantified S, S2.
+    FormulaPtr matrix = RandomFormula(opts, rng);
+    FormulaPtr eso = SoExists("S", 1, SoExists("S2", 2, matrix));
+
+    ReferenceEvaluator ref(db, 2);
+    auto expected = ref.SatisfyingAssignments(eso);
+    ASSERT_TRUE(expected.ok()) << FormulaToString(eso);
+
+    EsoEvaluator eval(db, 2);
+    auto actual = eval.Evaluate(eso);
+    ASSERT_TRUE(actual.ok()) << FormulaToString(eso) << ": "
+                             << actual.status().ToString();
+    EXPECT_EQ(actual->ToRelation({0, 1}), *expected)
+        << FormulaToString(eso) << "\n"
+        << db.ToString();
+  }
+}
+
+// --- query parser/printer --------------------------------------------------------
+
+TEST(QueryRoundTripTest, QueriesSurvive) {
+  const char* samples[] = {
+      "(x1,x2) E(x1,x2)",
+      "(x2) exists x1 . E(x1,x2)",
+      "(x1,x1,x2) P(x1)",
+      "() flag",
+  };
+  for (const char* text : samples) {
+    auto q = ParseQuery(text);
+    ASSERT_TRUE(q.ok()) << text;
+    auto again = ParseQuery(QueryToString(*q));
+    ASSERT_TRUE(again.ok()) << QueryToString(*q);
+    EXPECT_EQ(QueryToString(*again), QueryToString(*q)) << text;
+  }
+}
+
+}  // namespace
+}  // namespace bvq

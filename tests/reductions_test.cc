@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datalog/datalog.h"
+#include "eval/bounded_eval.h"
+#include "eval/eso_eval.h"
+#include "logic/analysis.h"
+#include "logic/parser.h"
+#include "reductions/path_systems.h"
+#include "reductions/qbf.h"
+#include "reductions/sat_to_eso.h"
+#include "sat/solver.h"
+
+namespace bvq {
+namespace {
+
+// --- Path Systems (Proposition 3.2) ------------------------------------------
+
+TEST(PathSystemTest, TreeInstanceAccepts) {
+  PathSystem ps = TreePathSystem(4);
+  EXPECT_EQ(ps.num_elements, 7u);
+  EXPECT_TRUE(ps.Accepts());
+  EXPECT_EQ(ps.Reachable().size(), 7u);
+}
+
+TEST(PathSystemTest, UnreachableTargetRejects) {
+  PathSystem ps = TreePathSystem(4);
+  // Retarget to a fresh element with no derivation.
+  ps.num_elements += 1;
+  ps.t = Relation::FromTuples(1, {{static_cast<Value>(ps.num_elements - 1)}});
+  EXPECT_FALSE(ps.Accepts());
+}
+
+TEST(PathSystemTest, DatalogCrossCheck) {
+  Rng rng(7);
+  auto program = datalog::ParseProgram(PathSystemDatalogProgram());
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  for (int trial = 0; trial < 20; ++trial) {
+    PathSystem ps = RandomPathSystem(4 + rng.Below(8), 0.8, 2, 2, rng);
+    Database db = ps.ToDatabase();  // engine holds a reference
+    datalog::DatalogEngine engine(db);
+    auto out = engine.Evaluate(*program);
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    auto p = out->GetRelation("P");
+    ASSERT_TRUE(p.ok());
+    EXPECT_EQ(**p, ps.Reachable());
+    auto goal = out->GetRelation("Goal");
+    ASSERT_TRUE(goal.ok());
+    EXPECT_EQ(!(*goal)->empty(), ps.Accepts());
+  }
+}
+
+TEST(PathSystemTest, Fo3FormulaFamilyIsLinearAndThreeVariable) {
+  FormulaPtr phi = PathSystemSentence(10);
+  EXPECT_LE(NumVariables(phi), 3u);
+  const std::size_t s10 = phi->Size();
+  const std::size_t s20 = PathSystemSentence(20)->Size();
+  // Size grows linearly in the iteration count.
+  EXPECT_EQ(s20 - s10, 10 * (PathSystemSentence(2)->Size() -
+                             PathSystemSentence(1)->Size()));
+}
+
+TEST(PathSystemTest, Fo3ReductionMatchesSolver) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    PathSystem ps = RandomPathSystem(3 + rng.Below(5), 0.7, 1, 2, rng);
+    Database db = ps.ToDatabase();
+    BoundedEvaluator eval(db, 3);
+    auto result = eval.Evaluate(PathSystemSentence(ps.num_elements));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    // The sentence is closed: satisfied by all assignments or none.
+    EXPECT_TRUE(result->Empty() || result->IsFull());
+    EXPECT_EQ(!result->Empty(), ps.Accepts()) << db.ToString();
+  }
+}
+
+TEST(PathSystemTest, IterationCountMatters) {
+  // With too few unfoldings the formula misses deep derivations.
+  PathSystem ps = TreePathSystem(8);  // depth ~ 3 inferences on the spine
+  Database db = ps.ToDatabase();
+  BoundedEvaluator eval(db, 3);
+  auto full = eval.Evaluate(PathSystemSentence(ps.num_elements));
+  ASSERT_TRUE(full.ok());
+  EXPECT_FALSE(full->Empty());
+  auto shallow = eval.Evaluate(PathSystemSentence(1));
+  ASSERT_TRUE(shallow.ok());
+  EXPECT_TRUE(shallow->Empty());
+}
+
+// --- QBF -> PFP^1 (Theorem 4.6) -----------------------------------------------
+
+TEST(QbfTest, ParseAndSolve) {
+  auto t = ParseQbf("A Y1 E Y2 : Y1 <-> Y2");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  auto r = SolveQbf(*t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+
+  auto f = ParseQbf("E Y1 A Y2 : Y1 <-> Y2");
+  ASSERT_TRUE(f.ok());
+  r = SolveQbf(*f);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+}
+
+TEST(QbfTest, ParseErrors) {
+  EXPECT_FALSE(ParseQbf("E Y1 Y1 & Y2").ok());          // missing ':'
+  EXPECT_FALSE(ParseQbf("X Y1 : Y1").ok());             // bad quantifier
+  EXPECT_FALSE(ParseQbf("E Y1 : Y1 & Y2").ok());        // unquantified Y2
+  EXPECT_FALSE(ParseQbf("E Y1 : Y1(x1)").ok());         // non-propositional
+}
+
+TEST(QbfTest, FixedDatabaseShape) {
+  Database b0 = QbfFixedDatabase();
+  EXPECT_EQ(b0.domain_size(), 2u);
+  EXPECT_EQ(**b0.GetRelation("P"), Relation::FromTuples(1, {{0}}));
+}
+
+TEST(QbfTest, ReductionUsesOneVariable) {
+  auto qbf = ParseQbf("A Y1 E Y2 : Y1 <-> Y2");
+  ASSERT_TRUE(qbf.ok());
+  auto pfp = QbfToPfp(*qbf);
+  ASSERT_TRUE(pfp.ok()) << pfp.status().ToString();
+  EXPECT_EQ(NumVariables(*pfp), 1u);  // PFP^1!
+  LanguageClass c = ClassifyLanguage(*pfp);
+  EXPECT_TRUE(c.partial_fixpoint);
+  EXPECT_FALSE(c.fixpoint);
+}
+
+TEST(QbfTest, ReductionIsLinearSize) {
+  Rng rng(5);
+  Qbf q8 = RandomQbf(8, 10, rng);
+  Qbf q16 = RandomQbf(16, 10, rng);
+  auto p8 = QbfToPfp(q8);
+  auto p16 = QbfToPfp(q16);
+  ASSERT_TRUE(p8.ok());
+  ASSERT_TRUE(p16.ok());
+  // Prefix handling adds a constant number of nodes per quantifier.
+  EXPECT_LE((*p16)->Size(),
+            (*p8)->Size() + 8 * 20 + (q16.matrix->Size() - q8.matrix->Size()));
+}
+
+TEST(QbfTest, ReductionAgreesWithSolverHandPicked) {
+  const char* cases[] = {
+      "E Y1 : Y1",
+      "A Y1 : Y1",
+      "E Y1 : ! Y1",
+      "A Y1 : Y1 | ! Y1",
+      "A Y1 E Y2 : Y1 <-> Y2",
+      "E Y1 A Y2 : Y1 <-> Y2",
+      "E Y1 E Y2 : Y1 & ! Y2",
+      "A Y1 A Y2 : Y1 | ! Y1 | Y2",
+      "A Y1 E Y2 A Y3 : (Y1 | Y2 | Y3) & (! Y1 | ! Y2 | ! Y3) | Y2 <-> Y2",
+  };
+  Database b0 = QbfFixedDatabase();
+  for (const char* text : cases) {
+    auto qbf = ParseQbf(text);
+    ASSERT_TRUE(qbf.ok()) << text;
+    auto expected = SolveQbf(*qbf);
+    ASSERT_TRUE(expected.ok());
+    auto pfp = QbfToPfp(*qbf);
+    ASSERT_TRUE(pfp.ok()) << text;
+    BoundedEvaluator eval(b0, 1);
+    auto result = eval.Evaluate(*pfp);
+    ASSERT_TRUE(result.ok()) << text << ": " << result.status().ToString();
+    EXPECT_TRUE(result->Empty() || result->IsFull()) << text;
+    EXPECT_EQ(!result->Empty(), *expected) << text;
+  }
+}
+
+TEST(QbfTest, ReductionAgreesWithSolverRandom) {
+  Rng rng(31);
+  Database b0 = QbfFixedDatabase();
+  for (int trial = 0; trial < 40; ++trial) {
+    Qbf qbf = RandomQbf(2 + rng.Below(5), 2 + rng.Below(6), rng);
+    auto expected = SolveQbf(qbf);
+    ASSERT_TRUE(expected.ok());
+    auto pfp = QbfToPfp(qbf);
+    ASSERT_TRUE(pfp.ok());
+    BoundedEvaluator eval(b0, 1);
+    auto result = eval.Evaluate(*pfp);
+    ASSERT_TRUE(result.ok()) << qbf.ToString();
+    EXPECT_EQ(!result->Empty(), *expected) << qbf.ToString();
+    // Floyd-mode cycle detection agrees too (Theorem 3.8 polynomial
+    // space).
+    BoundedEvalOptions floyd;
+    floyd.pfp_cycle_detection = PfpCycleDetection::kFloyd;
+    BoundedEvaluator eval_floyd(b0, 1, floyd);
+    auto result_floyd = eval_floyd.Evaluate(*pfp);
+    ASSERT_TRUE(result_floyd.ok());
+    EXPECT_EQ(*result, *result_floyd) << qbf.ToString();
+  }
+}
+
+// --- SAT -> ESO (Theorem 4.5) --------------------------------------------------
+
+TEST(SatToEsoTest, ReductionShape) {
+  auto phi = ParseFormula("(P1 | ! P2) & (P2 | P3)");
+  ASSERT_TRUE(phi.ok());
+  auto eso = PropositionalToEso(*phi);
+  ASSERT_TRUE(eso.ok()) << eso.status().ToString();
+  EXPECT_TRUE(ClassifyLanguage(*eso).eso);
+  EXPECT_EQ(NumVariables(*eso), 0u);
+}
+
+TEST(SatToEsoTest, RejectsNonPropositional) {
+  EXPECT_FALSE(PropositionalToEso(*ParseFormula("P(x1)")).ok());
+  EXPECT_FALSE(
+      PropositionalToEso(*ParseFormula("[lfp T(x1) . T(x1)](x1)")).ok());
+}
+
+TEST(SatToEsoTest, AgreesWithSatSolverOnRandomCnf) {
+  Rng rng(2025);
+  for (int trial = 0; trial < 30; ++trial) {
+    sat::Cnf cnf;
+    cnf.num_vars = 6;
+    const std::size_t clauses = 10 + rng.Below(20);
+    for (std::size_t c = 0; c < clauses; ++c) {
+      sat::Clause clause;
+      for (int j = 0; j < 3; ++j) {
+        clause.push_back(
+            sat::Lit(static_cast<int>(rng.Below(6)), rng.Bernoulli(0.5)));
+      }
+      cnf.AddClause(clause);
+    }
+    sat::Solver solver;
+    const bool expected =
+        solver.Solve(cnf).status == sat::SolveStatus::kSat;
+
+    auto eso = PropositionalToEso(CnfToFormula(cnf));
+    ASSERT_TRUE(eso.ok());
+    // Theorem 4.5: the database does not matter; try two.
+    for (Database db : {TrivialDatabase(), QbfFixedDatabase()}) {
+      EsoEvaluator eval(db, 1);
+      auto holds = eval.HoldsSentence(*eso);
+      ASSERT_TRUE(holds.ok()) << holds.status().ToString();
+      EXPECT_EQ(*holds, expected);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bvq

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sat/cnf.h"
+#include "sat/solver.h"
+#include "sat/tseitin.h"
+
+namespace bvq {
+namespace sat {
+namespace {
+
+Cnf Pigeonhole(int pigeons, int holes) {
+  // Variable p*holes + h: pigeon p sits in hole h.
+  Cnf cnf;
+  cnf.num_vars = pigeons * holes;
+  for (int p = 0; p < pigeons; ++p) {
+    Clause c;
+    for (int h = 0; h < holes; ++h) c.push_back(Lit(p * holes + h, false));
+    cnf.AddClause(c);
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        cnf.AddBinary(Lit(p1 * holes + h, true), Lit(p2 * holes + h, true));
+      }
+    }
+  }
+  return cnf;
+}
+
+Cnf RandomCnf(int num_vars, int num_clauses, int clause_len, Rng& rng) {
+  Cnf cnf;
+  cnf.num_vars = num_vars;
+  for (int c = 0; c < num_clauses; ++c) {
+    Clause clause;
+    for (int j = 0; j < clause_len; ++j) {
+      clause.push_back(Lit(static_cast<int>(rng.Below(num_vars)),
+                           rng.Bernoulli(0.5)));
+    }
+    cnf.AddClause(clause);
+  }
+  return cnf;
+}
+
+TEST(LitTest, Encoding) {
+  Lit a(3, false);
+  EXPECT_EQ(a.var(), 3);
+  EXPECT_FALSE(a.negated());
+  EXPECT_EQ(a.Negation().var(), 3);
+  EXPECT_TRUE(a.Negation().negated());
+  EXPECT_EQ(a.ToDimacs(), 4);
+  EXPECT_EQ(a.Negation().ToDimacs(), -4);
+  EXPECT_EQ(Lit::FromDimacs(-4), a.Negation());
+}
+
+TEST(CnfTest, DimacsRoundTrip) {
+  Cnf cnf;
+  cnf.num_vars = 3;
+  cnf.AddBinary(Lit(0, false), Lit(1, true));
+  cnf.AddUnit(Lit(2, false));
+  auto parsed = ParseDimacs(cnf.ToDimacs());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->num_vars, 3);
+  ASSERT_EQ(parsed->clauses.size(), 2u);
+  EXPECT_EQ(parsed->clauses[0][1], Lit(1, true));
+}
+
+TEST(CnfTest, DimacsErrors) {
+  EXPECT_FALSE(ParseDimacs("1 2 0\n").ok());
+  EXPECT_FALSE(ParseDimacs("p cnf 2 1\n1 5 0\n").ok());
+  EXPECT_FALSE(ParseDimacs("p cnf 2 1\n1 2\n").ok());
+}
+
+TEST(SolverTest, TrivialSat) {
+  Cnf cnf;
+  cnf.num_vars = 1;
+  cnf.AddUnit(Lit(0, false));
+  Solver solver;
+  auto r = solver.Solve(cnf);
+  ASSERT_EQ(r.status, SolveStatus::kSat);
+  EXPECT_TRUE(r.model[0]);
+}
+
+TEST(SolverTest, TrivialUnsat) {
+  Cnf cnf;
+  cnf.num_vars = 1;
+  cnf.AddUnit(Lit(0, false));
+  cnf.AddUnit(Lit(0, true));
+  Solver solver;
+  EXPECT_EQ(solver.Solve(cnf).status, SolveStatus::kUnsat);
+}
+
+TEST(SolverTest, EmptyClauseUnsat) {
+  Cnf cnf;
+  cnf.num_vars = 2;
+  cnf.AddClause({});
+  Solver solver;
+  EXPECT_EQ(solver.Solve(cnf).status, SolveStatus::kUnsat);
+}
+
+TEST(SolverTest, NoClausesSat) {
+  Cnf cnf;
+  cnf.num_vars = 3;
+  Solver solver;
+  EXPECT_EQ(solver.Solve(cnf).status, SolveStatus::kSat);
+}
+
+TEST(SolverTest, PropagationChain) {
+  // (x0) (!x0 | x1) (!x1 | x2) ... all forced true.
+  Cnf cnf;
+  cnf.num_vars = 50;
+  cnf.AddUnit(Lit(0, false));
+  for (int v = 0; v + 1 < 50; ++v) {
+    cnf.AddBinary(Lit(v, true), Lit(v + 1, false));
+  }
+  Solver solver;
+  auto r = solver.Solve(cnf);
+  ASSERT_EQ(r.status, SolveStatus::kSat);
+  for (int v = 0; v < 50; ++v) EXPECT_TRUE(r.model[v]);
+  EXPECT_EQ(solver.stats().decisions, 0u);
+}
+
+TEST(SolverTest, PigeonholeUnsat) {
+  for (int holes = 2; holes <= 5; ++holes) {
+    Solver solver;
+    EXPECT_EQ(solver.Solve(Pigeonhole(holes + 1, holes)).status,
+              SolveStatus::kUnsat)
+        << holes;
+  }
+}
+
+TEST(SolverTest, PigeonholeSatWhenEnoughHoles) {
+  Solver solver;
+  auto r = solver.Solve(Pigeonhole(4, 4));
+  EXPECT_EQ(r.status, SolveStatus::kSat);
+}
+
+TEST(SolverTest, ModelsSatisfyFormula) {
+  Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    Cnf cnf = RandomCnf(20, 60, 3, rng);
+    Solver solver;
+    auto r = solver.Solve(cnf);
+    if (r.status == SolveStatus::kSat) {
+      EXPECT_TRUE(Satisfies(cnf, r.model));
+    }
+  }
+}
+
+TEST(SolverTest, AgreesWithBruteForce) {
+  Rng rng(123);
+  int sat_count = 0, unsat_count = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    // Near the phase transition for 3-SAT (ratio ~4.3) to get both
+    // outcomes.
+    Cnf cnf = RandomCnf(12, 52, 3, rng);
+    Solver solver;
+    auto fast = solver.Solve(cnf);
+    auto slow = SolveBruteForce(cnf);
+    ASSERT_TRUE(slow.ok());
+    EXPECT_EQ(fast.status, slow->status) << cnf.ToDimacs();
+    if (fast.status == SolveStatus::kSat) {
+      ++sat_count;
+      EXPECT_TRUE(Satisfies(cnf, fast.model));
+    } else {
+      ++unsat_count;
+    }
+  }
+  EXPECT_GT(sat_count, 10);
+  EXPECT_GT(unsat_count, 10);
+}
+
+TEST(SolverTest, ConflictBudget) {
+  SolverOptions opts;
+  opts.max_conflicts = 1;
+  Solver solver(opts);
+  auto r = solver.Solve(Pigeonhole(7, 6));
+  EXPECT_EQ(r.status, SolveStatus::kUnknown);
+}
+
+TEST(TseitinTest, AndGate) {
+  Cnf cnf;
+  CircuitBuilder b(&cnf);
+  const Lit x(cnf.NewVar(), false);
+  const Lit y(cnf.NewVar(), false);
+  const Lit g = b.And(x, y);
+  b.AssertTrue(g);
+  Solver solver;
+  auto r = solver.Solve(cnf);
+  ASSERT_EQ(r.status, SolveStatus::kSat);
+  EXPECT_TRUE(r.model[x.var()]);
+  EXPECT_TRUE(r.model[y.var()]);
+}
+
+TEST(TseitinTest, ConstantFolding) {
+  Cnf cnf;
+  CircuitBuilder b(&cnf);
+  const Lit x(cnf.NewVar(), false);
+  EXPECT_EQ(b.And(b.True(), x), x);
+  EXPECT_EQ(b.And(b.False(), x), b.False());
+  EXPECT_EQ(b.Or(b.True(), x), b.True());
+  EXPECT_EQ(b.And(x, x), x);
+  EXPECT_EQ(b.And(x, x.Negation()), b.False());
+  EXPECT_EQ(b.Or(x, x.Negation()), b.True());
+}
+
+TEST(TseitinTest, StructuralSharing) {
+  Cnf cnf;
+  CircuitBuilder b(&cnf);
+  const Lit x(cnf.NewVar(), false);
+  const Lit y(cnf.NewVar(), false);
+  const Lit g1 = b.And(x, y);
+  const Lit g2 = b.And(y, x);  // commuted: same gate
+  EXPECT_EQ(g1, g2);
+}
+
+TEST(TseitinTest, XorViaIffUnsat) {
+  // Assert (x <-> y) and x and !y: unsat.
+  Cnf cnf;
+  CircuitBuilder b(&cnf);
+  const Lit x(cnf.NewVar(), false);
+  const Lit y(cnf.NewVar(), false);
+  b.AssertTrue(b.Iff(x, y));
+  b.AssertTrue(x);
+  b.AssertTrue(y.Negation());
+  Solver solver;
+  EXPECT_EQ(solver.Solve(cnf).status, SolveStatus::kUnsat);
+}
+
+TEST(TseitinTest, BigConjunction) {
+  Cnf cnf;
+  CircuitBuilder b(&cnf);
+  std::vector<Lit> xs;
+  for (int i = 0; i < 30; ++i) xs.push_back(Lit(cnf.NewVar(), false));
+  b.AssertTrue(b.AndAll(xs));
+  Solver solver;
+  auto r = solver.Solve(cnf);
+  ASSERT_EQ(r.status, SolveStatus::kSat);
+  for (Lit x : xs) EXPECT_TRUE(r.model[x.var()]);
+}
+
+}  // namespace
+}  // namespace sat
+}  // namespace bvq

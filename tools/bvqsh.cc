@@ -1,0 +1,288 @@
+// bvqsh — an interactive shell for bounded-variable query evaluation.
+//
+// Reads commands from stdin (or a script named on the command line):
+//
+//   help                        this text
+//   domain <n>                  start a fresh database over {0..n-1}
+//   rel <name>/<arity> v.. ; ..  add a relation (values then ';' per tuple)
+//   load <file>                 load a database file (see README format)
+//   show                        print the current database
+//   k <n>                       set the variable bound (default 3)
+//   strategy naive|reuse        fixpoint strategy (default naive)
+//   pfp hash|floyd              PFP cycle detection (default hash)
+//   eval <query>                evaluate with the bounded-variable engine
+//   naive <query>               evaluate with the classical engine (FO only)
+//   eso <sentence>              evaluate an ESO sentence via grounding+SAT
+//   datalog <file>              run a Datalog program against the database
+//   quit
+//
+// Queries use the library syntax, e.g.
+//   eval (x1,x2) [lfp T(x1,x2) . E(x1,x2) | exists x3 . (E(x1,x3) &
+//        exists x1 . (x1 = x3 & T(x1,x2)))](x1,x2)
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "datalog/datalog.h"
+#include "db/database.h"
+#include "eval/bounded_eval.h"
+#include "eval/eso_eval.h"
+#include "eval/naive_eval.h"
+#include "logic/analysis.h"
+#include "logic/parser.h"
+
+namespace {
+
+using namespace bvq;
+
+struct ShellState {
+  Database db{0};
+  std::size_t num_vars = 3;
+  BoundedEvalOptions options;
+  std::string pending_rel_lines;  // accumulated "rel" lines for ParseDatabase
+};
+
+void PrintRelation(const Relation& rel, std::size_t limit = 20) {
+  std::printf("  %zu tuple(s), arity %zu\n", rel.size(), rel.arity());
+  for (std::size_t i = 0; i < rel.size() && i < limit; ++i) {
+    std::printf("    (");
+    for (std::size_t j = 0; j < rel.arity(); ++j) {
+      std::printf("%s%u", j ? "," : "", rel.tuple(i)[j]);
+    }
+    std::printf(")\n");
+  }
+  if (rel.size() > limit) std::printf("    ... (%zu more)\n", rel.size() - limit);
+}
+
+void Help() {
+  std::printf(
+      "commands: help | domain <n> | rel <name>/<arity> t.. ; | load <f> | "
+      "show | k <n> |\n          strategy naive|reuse | pfp hash|floyd | "
+      "eval <q> | naive <q> | eso <q> | datalog <f> | quit\n");
+}
+
+bool HandleLine(ShellState& state, const std::string& line) {
+  std::istringstream is(line);
+  std::string cmd;
+  if (!(is >> cmd)) return true;
+  std::string rest;
+  std::getline(is, rest);
+
+  auto now = []() { return std::chrono::steady_clock::now(); };
+  auto ms = [](auto a, auto b) {
+    return std::chrono::duration<double, std::milli>(b - a).count();
+  };
+
+  if (cmd == "quit" || cmd == "exit") return false;
+  if (cmd == "help") {
+    Help();
+    return true;
+  }
+  if (cmd == "domain") {
+    std::size_t n = 0;
+    std::istringstream(rest) >> n;
+    state.db = Database(n);
+    std::printf("new database over {0..%zu}\n", n == 0 ? 0 : n - 1);
+    return true;
+  }
+  if (cmd == "rel") {
+    // Delegate to the database parser for one line.
+    auto parsed = ParseDatabase("domain " + std::to_string(state.db.domain_size()) +
+                                "\nrel " + rest + "\n");
+    if (!parsed.ok()) {
+      std::printf("error: %s\n", parsed.status().ToString().c_str());
+      return true;
+    }
+    for (const auto& [name, rel] : parsed->relations()) {
+      Status s = state.db.AddRelation(name, rel);
+      if (!s.ok()) {
+        std::printf("error: %s\n", s.ToString().c_str());
+        return true;
+      }
+      std::printf("added %s/%zu (%zu tuples)\n", name.c_str(), rel.arity(),
+                  rel.size());
+    }
+    return true;
+  }
+  if (cmd == "load") {
+    std::string path = rest;
+    while (!path.empty() && path.front() == ' ') path.erase(path.begin());
+    std::ifstream in(path);
+    if (!in) {
+      std::printf("error: cannot open %s\n", path.c_str());
+      return true;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    auto parsed = ParseDatabase(buffer.str());
+    if (!parsed.ok()) {
+      std::printf("error: %s\n", parsed.status().ToString().c_str());
+      return true;
+    }
+    state.db = std::move(*parsed);
+    std::printf("loaded: domain %zu, %zu relations, %zu tuples\n",
+                state.db.domain_size(), state.db.relations().size(),
+                state.db.TotalTuples());
+    return true;
+  }
+  if (cmd == "show") {
+    std::printf("%s", state.db.ToString().c_str());
+    return true;
+  }
+  if (cmd == "k") {
+    std::istringstream(rest) >> state.num_vars;
+    std::printf("k = %zu\n", state.num_vars);
+    return true;
+  }
+  if (cmd == "strategy") {
+    if (rest.find("reuse") != std::string::npos) {
+      state.options.fixpoint_strategy = FixpointStrategy::kMonotoneReuse;
+      std::printf("fixpoint strategy: monotone reuse\n");
+    } else {
+      state.options.fixpoint_strategy = FixpointStrategy::kNaiveNested;
+      std::printf("fixpoint strategy: naive nested\n");
+    }
+    return true;
+  }
+  if (cmd == "pfp") {
+    if (rest.find("floyd") != std::string::npos) {
+      state.options.pfp_cycle_detection = PfpCycleDetection::kFloyd;
+      std::printf("pfp cycle detection: floyd\n");
+    } else {
+      state.options.pfp_cycle_detection = PfpCycleDetection::kHashHistory;
+      std::printf("pfp cycle detection: hash history\n");
+    }
+    return true;
+  }
+  if (cmd == "eval" || cmd == "naive" || cmd == "eso") {
+    auto query = ParseQuery(rest);
+    if (!query.ok()) {
+      std::printf("parse error: %s\n", query.status().ToString().c_str());
+      return true;
+    }
+    const std::size_t needed = NumVariables(query->formula);
+    if (needed > state.num_vars) {
+      std::printf("note: query uses %zu variables; raising k from %zu\n",
+                  needed, state.num_vars);
+      state.num_vars = needed;
+    }
+    const auto start = now();
+    if (cmd == "eval") {
+      BoundedEvaluator eval(state.db, state.num_vars, state.options);
+      auto result = eval.EvaluateQuery(*query);
+      const auto stop = now();
+      if (!result.ok()) {
+        std::printf("error: %s\n", result.status().ToString().c_str());
+        return true;
+      }
+      PrintRelation(*result);
+      std::printf("  [%0.2f ms, %zu fixpoint iterations, %zu node evals]\n",
+                  ms(start, stop), eval.stats().fixpoint_iterations,
+                  eval.stats().node_evals);
+    } else if (cmd == "naive") {
+      NaiveEvaluator eval(state.db);
+      auto result = eval.EvaluateQuery(*query);
+      const auto stop = now();
+      if (!result.ok()) {
+        std::printf("error: %s\n", result.status().ToString().c_str());
+        return true;
+      }
+      PrintRelation(*result);
+      std::printf("  [%0.2f ms, max intermediate arity %zu (%zu tuples)]\n",
+                  ms(start, stop), eval.stats().max_intermediate_arity,
+                  eval.stats().max_intermediate_tuples);
+    } else {
+      EsoEvaluator eval(state.db, state.num_vars);
+      EsoWitness witness;
+      auto result = eval.Holds(query->formula,
+                               std::vector<Value>(state.num_vars, 0),
+                               &witness);
+      const auto stop = now();
+      if (!result.ok()) {
+        std::printf("error: %s\n", result.status().ToString().c_str());
+        return true;
+      }
+      std::printf("  %s  [%0.2f ms, CNF %zu vars / %zu clauses, "
+                  "%llu conflicts]\n",
+                  *result ? "true" : "false", ms(start, stop),
+                  eval.stats().cnf_vars, eval.stats().cnf_clauses,
+                  static_cast<unsigned long long>(
+                      eval.stats().solver.conflicts));
+      for (const auto& [name, rel] : witness) {
+        std::printf("  witness %s:\n", name.c_str());
+        PrintRelation(rel, 10);
+      }
+    }
+    return true;
+  }
+  if (cmd == "datalog") {
+    std::string path = rest;
+    while (!path.empty() && path.front() == ' ') path.erase(path.begin());
+    std::ifstream in(path);
+    if (!in) {
+      std::printf("error: cannot open %s\n", path.c_str());
+      return true;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    auto program = datalog::ParseProgram(buffer.str());
+    if (!program.ok()) {
+      std::printf("parse error: %s\n", program.status().ToString().c_str());
+      return true;
+    }
+    datalog::DatalogEngine engine(state.db);
+    const auto start = now();
+    auto result = engine.Evaluate(*program);
+    const auto stop = now();
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      return true;
+    }
+    for (const std::string& pred : program->IdbPredicates()) {
+      auto rel = result->GetRelation(pred);
+      if (rel.ok()) {
+        std::printf("%s:\n", pred.c_str());
+        PrintRelation(**rel, 10);
+      }
+    }
+    std::printf("  [%0.2f ms, %zu rounds, %zu derived tuples]\n",
+                ms(start, stop), engine.stats().rounds,
+                engine.stats().derived_tuples);
+    return true;
+  }
+  std::printf("unknown command '%s' (try: help)\n", cmd.c_str());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ShellState state;
+  std::istream* input = &std::cin;
+  std::ifstream script;
+  if (argc > 1) {
+    script.open(argv[1]);
+    if (!script) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    input = &script;
+  }
+  const bool interactive = (input == &std::cin);
+  if (interactive) {
+    std::printf("bvq shell — bounded-variable query evaluation "
+                "(type 'help')\n");
+  }
+  std::string line;
+  while (true) {
+    if (interactive) std::printf("bvq> ");
+    if (!std::getline(*input, line)) break;
+    if (!line.empty() && line[0] == '#') continue;
+    if (!HandleLine(state, line)) break;
+  }
+  return 0;
+}
