@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fixpoint.dir/bench_ablation_fixpoint.cpp.o"
+  "CMakeFiles/bench_ablation_fixpoint.dir/bench_ablation_fixpoint.cpp.o.d"
+  "bench_ablation_fixpoint"
+  "bench_ablation_fixpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fixpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_varmin.dir/bench_ablation_varmin.cpp.o"
+  "CMakeFiles/bench_ablation_varmin.dir/bench_ablation_varmin.cpp.o.d"
+  "bench_ablation_varmin"
+  "bench_ablation_varmin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_varmin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_unbounded_gap.dir/bench_table1_unbounded_gap.cpp.o"
+  "CMakeFiles/bench_table1_unbounded_gap.dir/bench_table1_unbounded_gap.cpp.o.d"
+  "bench_table1_unbounded_gap"
+  "bench_table1_unbounded_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_unbounded_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

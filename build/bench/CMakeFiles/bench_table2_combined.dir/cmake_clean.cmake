@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_combined.dir/bench_table2_combined.cpp.o"
+  "CMakeFiles/bench_table2_combined.dir/bench_table2_combined.cpp.o.d"
+  "bench_table2_combined"
+  "bench_table2_combined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_combined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_expression.dir/bench_table3_expression.cpp.o"
+  "CMakeFiles/bench_table3_expression.dir/bench_table3_expression.cpp.o.d"
+  "bench_table3_expression"
+  "bench_table3_expression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_expression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/graph_reachability.cpp" "examples/CMakeFiles/graph_reachability.dir/graph_reachability.cpp.o" "gcc" "examples/CMakeFiles/graph_reachability.dir/graph_reachability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/optimizer/CMakeFiles/bvq_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/reductions/CMakeFiles/bvq_reductions.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/bvq_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/mucalc/CMakeFiles/bvq_mucalc.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/bvq_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/bvq_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/bvq_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/bvq_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/bvq_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bvq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_reachability.dir/graph_reachability.cpp.o"
+  "CMakeFiles/graph_reachability.dir/graph_reachability.cpp.o.d"
+  "graph_reachability"
+  "graph_reachability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_reachability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_systems.dir/path_systems.cpp.o"
+  "CMakeFiles/path_systems.dir/path_systems.cpp.o.d"
+  "path_systems"
+  "path_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

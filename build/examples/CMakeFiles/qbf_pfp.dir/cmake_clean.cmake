@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qbf_pfp.dir/qbf_pfp.cpp.o"
+  "CMakeFiles/qbf_pfp.dir/qbf_pfp.cpp.o.d"
+  "qbf_pfp"
+  "qbf_pfp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qbf_pfp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

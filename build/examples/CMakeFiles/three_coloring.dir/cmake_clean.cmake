@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/three_coloring.dir/three_coloring.cpp.o"
+  "CMakeFiles/three_coloring.dir/three_coloring.cpp.o.d"
+  "three_coloring"
+  "three_coloring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/three_coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;11;bvq_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_model_checking "/root/repo/build/examples/model_checking")
+set_tests_properties(example_model_checking PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;12;bvq_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_graph_reachability "/root/repo/build/examples/graph_reachability")
+set_tests_properties(example_graph_reachability PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;13;bvq_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_three_coloring "/root/repo/build/examples/three_coloring")
+set_tests_properties(example_three_coloring PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;14;bvq_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_qbf_pfp "/root/repo/build/examples/qbf_pfp")
+set_tests_properties(example_qbf_pfp PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;15;bvq_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_path_systems "/root/repo/build/examples/path_systems")
+set_tests_properties(example_path_systems PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;16;bvq_example;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebra/boolean_value.cc" "src/algebra/CMakeFiles/bvq_algebra.dir/boolean_value.cc.o" "gcc" "src/algebra/CMakeFiles/bvq_algebra.dir/boolean_value.cc.o.d"
+  "/root/repo/src/algebra/parenthesis_grammar.cc" "src/algebra/CMakeFiles/bvq_algebra.dir/parenthesis_grammar.cc.o" "gcc" "src/algebra/CMakeFiles/bvq_algebra.dir/parenthesis_grammar.cc.o.d"
+  "/root/repo/src/algebra/word_algebra.cc" "src/algebra/CMakeFiles/bvq_algebra.dir/word_algebra.cc.o" "gcc" "src/algebra/CMakeFiles/bvq_algebra.dir/word_algebra.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bvq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/bvq_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/bvq_logic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

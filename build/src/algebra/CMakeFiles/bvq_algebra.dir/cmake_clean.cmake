@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bvq_algebra.dir/boolean_value.cc.o"
+  "CMakeFiles/bvq_algebra.dir/boolean_value.cc.o.d"
+  "CMakeFiles/bvq_algebra.dir/parenthesis_grammar.cc.o"
+  "CMakeFiles/bvq_algebra.dir/parenthesis_grammar.cc.o.d"
+  "CMakeFiles/bvq_algebra.dir/word_algebra.cc.o"
+  "CMakeFiles/bvq_algebra.dir/word_algebra.cc.o.d"
+  "libbvq_algebra.a"
+  "libbvq_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bvq_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

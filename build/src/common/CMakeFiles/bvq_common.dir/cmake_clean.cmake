@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bvq_common.dir/bitset.cc.o"
+  "CMakeFiles/bvq_common.dir/bitset.cc.o.d"
+  "CMakeFiles/bvq_common.dir/index.cc.o"
+  "CMakeFiles/bvq_common.dir/index.cc.o.d"
+  "CMakeFiles/bvq_common.dir/status.cc.o"
+  "CMakeFiles/bvq_common.dir/status.cc.o.d"
+  "CMakeFiles/bvq_common.dir/strings.cc.o"
+  "CMakeFiles/bvq_common.dir/strings.cc.o.d"
+  "libbvq_common.a"
+  "libbvq_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bvq_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

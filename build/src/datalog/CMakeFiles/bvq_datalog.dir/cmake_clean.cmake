@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bvq_datalog.dir/datalog.cc.o"
+  "CMakeFiles/bvq_datalog.dir/datalog.cc.o.d"
+  "libbvq_datalog.a"
+  "libbvq_datalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bvq_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

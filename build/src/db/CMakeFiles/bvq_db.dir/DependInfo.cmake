@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/assignment_set.cc" "src/db/CMakeFiles/bvq_db.dir/assignment_set.cc.o" "gcc" "src/db/CMakeFiles/bvq_db.dir/assignment_set.cc.o.d"
+  "/root/repo/src/db/database.cc" "src/db/CMakeFiles/bvq_db.dir/database.cc.o" "gcc" "src/db/CMakeFiles/bvq_db.dir/database.cc.o.d"
+  "/root/repo/src/db/generators.cc" "src/db/CMakeFiles/bvq_db.dir/generators.cc.o" "gcc" "src/db/CMakeFiles/bvq_db.dir/generators.cc.o.d"
+  "/root/repo/src/db/relalg.cc" "src/db/CMakeFiles/bvq_db.dir/relalg.cc.o" "gcc" "src/db/CMakeFiles/bvq_db.dir/relalg.cc.o.d"
+  "/root/repo/src/db/relation.cc" "src/db/CMakeFiles/bvq_db.dir/relation.cc.o" "gcc" "src/db/CMakeFiles/bvq_db.dir/relation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bvq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

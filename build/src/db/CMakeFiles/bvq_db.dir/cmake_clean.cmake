@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bvq_db.dir/assignment_set.cc.o"
+  "CMakeFiles/bvq_db.dir/assignment_set.cc.o.d"
+  "CMakeFiles/bvq_db.dir/database.cc.o"
+  "CMakeFiles/bvq_db.dir/database.cc.o.d"
+  "CMakeFiles/bvq_db.dir/generators.cc.o"
+  "CMakeFiles/bvq_db.dir/generators.cc.o.d"
+  "CMakeFiles/bvq_db.dir/relalg.cc.o"
+  "CMakeFiles/bvq_db.dir/relalg.cc.o.d"
+  "CMakeFiles/bvq_db.dir/relation.cc.o"
+  "CMakeFiles/bvq_db.dir/relation.cc.o.d"
+  "libbvq_db.a"
+  "libbvq_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bvq_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

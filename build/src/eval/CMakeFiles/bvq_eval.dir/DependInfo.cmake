@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/bounded_eval.cc" "src/eval/CMakeFiles/bvq_eval.dir/bounded_eval.cc.o" "gcc" "src/eval/CMakeFiles/bvq_eval.dir/bounded_eval.cc.o.d"
+  "/root/repo/src/eval/certificate.cc" "src/eval/CMakeFiles/bvq_eval.dir/certificate.cc.o" "gcc" "src/eval/CMakeFiles/bvq_eval.dir/certificate.cc.o.d"
+  "/root/repo/src/eval/eso_eval.cc" "src/eval/CMakeFiles/bvq_eval.dir/eso_eval.cc.o" "gcc" "src/eval/CMakeFiles/bvq_eval.dir/eso_eval.cc.o.d"
+  "/root/repo/src/eval/naive_eval.cc" "src/eval/CMakeFiles/bvq_eval.dir/naive_eval.cc.o" "gcc" "src/eval/CMakeFiles/bvq_eval.dir/naive_eval.cc.o.d"
+  "/root/repo/src/eval/reference_eval.cc" "src/eval/CMakeFiles/bvq_eval.dir/reference_eval.cc.o" "gcc" "src/eval/CMakeFiles/bvq_eval.dir/reference_eval.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bvq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/bvq_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/bvq_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/bvq_sat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

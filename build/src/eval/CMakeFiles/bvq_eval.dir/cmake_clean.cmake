@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bvq_eval.dir/bounded_eval.cc.o"
+  "CMakeFiles/bvq_eval.dir/bounded_eval.cc.o.d"
+  "CMakeFiles/bvq_eval.dir/certificate.cc.o"
+  "CMakeFiles/bvq_eval.dir/certificate.cc.o.d"
+  "CMakeFiles/bvq_eval.dir/eso_eval.cc.o"
+  "CMakeFiles/bvq_eval.dir/eso_eval.cc.o.d"
+  "CMakeFiles/bvq_eval.dir/naive_eval.cc.o"
+  "CMakeFiles/bvq_eval.dir/naive_eval.cc.o.d"
+  "CMakeFiles/bvq_eval.dir/reference_eval.cc.o"
+  "CMakeFiles/bvq_eval.dir/reference_eval.cc.o.d"
+  "libbvq_eval.a"
+  "libbvq_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bvq_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logic/analysis.cc" "src/logic/CMakeFiles/bvq_logic.dir/analysis.cc.o" "gcc" "src/logic/CMakeFiles/bvq_logic.dir/analysis.cc.o.d"
+  "/root/repo/src/logic/builder.cc" "src/logic/CMakeFiles/bvq_logic.dir/builder.cc.o" "gcc" "src/logic/CMakeFiles/bvq_logic.dir/builder.cc.o.d"
+  "/root/repo/src/logic/nnf.cc" "src/logic/CMakeFiles/bvq_logic.dir/nnf.cc.o" "gcc" "src/logic/CMakeFiles/bvq_logic.dir/nnf.cc.o.d"
+  "/root/repo/src/logic/parser.cc" "src/logic/CMakeFiles/bvq_logic.dir/parser.cc.o" "gcc" "src/logic/CMakeFiles/bvq_logic.dir/parser.cc.o.d"
+  "/root/repo/src/logic/pebble_game.cc" "src/logic/CMakeFiles/bvq_logic.dir/pebble_game.cc.o" "gcc" "src/logic/CMakeFiles/bvq_logic.dir/pebble_game.cc.o.d"
+  "/root/repo/src/logic/random_formula.cc" "src/logic/CMakeFiles/bvq_logic.dir/random_formula.cc.o" "gcc" "src/logic/CMakeFiles/bvq_logic.dir/random_formula.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bvq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/bvq_db.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

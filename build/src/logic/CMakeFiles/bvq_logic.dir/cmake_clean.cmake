@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bvq_logic.dir/analysis.cc.o"
+  "CMakeFiles/bvq_logic.dir/analysis.cc.o.d"
+  "CMakeFiles/bvq_logic.dir/builder.cc.o"
+  "CMakeFiles/bvq_logic.dir/builder.cc.o.d"
+  "CMakeFiles/bvq_logic.dir/nnf.cc.o"
+  "CMakeFiles/bvq_logic.dir/nnf.cc.o.d"
+  "CMakeFiles/bvq_logic.dir/parser.cc.o"
+  "CMakeFiles/bvq_logic.dir/parser.cc.o.d"
+  "CMakeFiles/bvq_logic.dir/pebble_game.cc.o"
+  "CMakeFiles/bvq_logic.dir/pebble_game.cc.o.d"
+  "CMakeFiles/bvq_logic.dir/random_formula.cc.o"
+  "CMakeFiles/bvq_logic.dir/random_formula.cc.o.d"
+  "libbvq_logic.a"
+  "libbvq_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bvq_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

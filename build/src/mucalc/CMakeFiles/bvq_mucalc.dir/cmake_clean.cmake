@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bvq_mucalc.dir/kripke.cc.o"
+  "CMakeFiles/bvq_mucalc.dir/kripke.cc.o.d"
+  "CMakeFiles/bvq_mucalc.dir/mucalc.cc.o"
+  "CMakeFiles/bvq_mucalc.dir/mucalc.cc.o.d"
+  "libbvq_mucalc.a"
+  "libbvq_mucalc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bvq_mucalc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

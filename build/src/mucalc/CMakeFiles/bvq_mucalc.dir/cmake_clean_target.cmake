@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbvq_mucalc.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optimizer/acyclic.cc" "src/optimizer/CMakeFiles/bvq_optimizer.dir/acyclic.cc.o" "gcc" "src/optimizer/CMakeFiles/bvq_optimizer.dir/acyclic.cc.o.d"
+  "/root/repo/src/optimizer/conjunctive_query.cc" "src/optimizer/CMakeFiles/bvq_optimizer.dir/conjunctive_query.cc.o" "gcc" "src/optimizer/CMakeFiles/bvq_optimizer.dir/conjunctive_query.cc.o.d"
+  "/root/repo/src/optimizer/containment.cc" "src/optimizer/CMakeFiles/bvq_optimizer.dir/containment.cc.o" "gcc" "src/optimizer/CMakeFiles/bvq_optimizer.dir/containment.cc.o.d"
+  "/root/repo/src/optimizer/variable_min.cc" "src/optimizer/CMakeFiles/bvq_optimizer.dir/variable_min.cc.o" "gcc" "src/optimizer/CMakeFiles/bvq_optimizer.dir/variable_min.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bvq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/bvq_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/bvq_logic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

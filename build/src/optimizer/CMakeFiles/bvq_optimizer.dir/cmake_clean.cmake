@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bvq_optimizer.dir/acyclic.cc.o"
+  "CMakeFiles/bvq_optimizer.dir/acyclic.cc.o.d"
+  "CMakeFiles/bvq_optimizer.dir/conjunctive_query.cc.o"
+  "CMakeFiles/bvq_optimizer.dir/conjunctive_query.cc.o.d"
+  "CMakeFiles/bvq_optimizer.dir/containment.cc.o"
+  "CMakeFiles/bvq_optimizer.dir/containment.cc.o.d"
+  "CMakeFiles/bvq_optimizer.dir/variable_min.cc.o"
+  "CMakeFiles/bvq_optimizer.dir/variable_min.cc.o.d"
+  "libbvq_optimizer.a"
+  "libbvq_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bvq_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

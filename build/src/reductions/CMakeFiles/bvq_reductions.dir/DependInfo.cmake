@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reductions/path_systems.cc" "src/reductions/CMakeFiles/bvq_reductions.dir/path_systems.cc.o" "gcc" "src/reductions/CMakeFiles/bvq_reductions.dir/path_systems.cc.o.d"
+  "/root/repo/src/reductions/qbf.cc" "src/reductions/CMakeFiles/bvq_reductions.dir/qbf.cc.o" "gcc" "src/reductions/CMakeFiles/bvq_reductions.dir/qbf.cc.o.d"
+  "/root/repo/src/reductions/sat_to_eso.cc" "src/reductions/CMakeFiles/bvq_reductions.dir/sat_to_eso.cc.o" "gcc" "src/reductions/CMakeFiles/bvq_reductions.dir/sat_to_eso.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bvq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/bvq_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/bvq_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/bvq_sat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bvq_reductions.dir/path_systems.cc.o"
+  "CMakeFiles/bvq_reductions.dir/path_systems.cc.o.d"
+  "CMakeFiles/bvq_reductions.dir/qbf.cc.o"
+  "CMakeFiles/bvq_reductions.dir/qbf.cc.o.d"
+  "CMakeFiles/bvq_reductions.dir/sat_to_eso.cc.o"
+  "CMakeFiles/bvq_reductions.dir/sat_to_eso.cc.o.d"
+  "libbvq_reductions.a"
+  "libbvq_reductions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bvq_reductions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bvq_sat.dir/cnf.cc.o"
+  "CMakeFiles/bvq_sat.dir/cnf.cc.o.d"
+  "CMakeFiles/bvq_sat.dir/solver.cc.o"
+  "CMakeFiles/bvq_sat.dir/solver.cc.o.d"
+  "CMakeFiles/bvq_sat.dir/tseitin.cc.o"
+  "CMakeFiles/bvq_sat.dir/tseitin.cc.o.d"
+  "libbvq_sat.a"
+  "libbvq_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bvq_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assignment_set_test.dir/assignment_set_test.cc.o"
+  "CMakeFiles/assignment_set_test.dir/assignment_set_test.cc.o.d"
+  "assignment_set_test"
+  "assignment_set_test.pdb"
+  "assignment_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assignment_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bounded_eval_test.dir/bounded_eval_test.cc.o"
+  "CMakeFiles/bounded_eval_test.dir/bounded_eval_test.cc.o.d"
+  "bounded_eval_test"
+  "bounded_eval_test.pdb"
+  "bounded_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bounded_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eso_test.dir/eso_test.cc.o"
+  "CMakeFiles/eso_test.dir/eso_test.cc.o.d"
+  "eso_test"
+  "eso_test.pdb"
+  "eso_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eso_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

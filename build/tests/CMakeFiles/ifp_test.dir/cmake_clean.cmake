@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifp_test.dir/ifp_test.cc.o"
+  "CMakeFiles/ifp_test.dir/ifp_test.cc.o.d"
+  "ifp_test"
+  "ifp_test.pdb"
+  "ifp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

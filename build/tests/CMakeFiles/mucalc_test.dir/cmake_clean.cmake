@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mucalc_test.dir/mucalc_test.cc.o"
+  "CMakeFiles/mucalc_test.dir/mucalc_test.cc.o.d"
+  "mucalc_test"
+  "mucalc_test.pdb"
+  "mucalc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mucalc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

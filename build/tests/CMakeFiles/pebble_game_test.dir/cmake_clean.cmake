@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pebble_game_test.dir/pebble_game_test.cc.o"
+  "CMakeFiles/pebble_game_test.dir/pebble_game_test.cc.o.d"
+  "pebble_game_test"
+  "pebble_game_test.pdb"
+  "pebble_game_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pebble_game_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/relation_test[1]_include.cmake")
+include("/root/repo/build/tests/assignment_set_test[1]_include.cmake")
+include("/root/repo/build/tests/database_test[1]_include.cmake")
+include("/root/repo/build/tests/logic_test[1]_include.cmake")
+include("/root/repo/build/tests/sat_test[1]_include.cmake")
+include("/root/repo/build/tests/bounded_eval_test[1]_include.cmake")
+include("/root/repo/build/tests/naive_eval_test[1]_include.cmake")
+include("/root/repo/build/tests/fixpoint_test[1]_include.cmake")
+include("/root/repo/build/tests/certificate_test[1]_include.cmake")
+include("/root/repo/build/tests/eso_test[1]_include.cmake")
+include("/root/repo/build/tests/ifp_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/containment_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_case_test[1]_include.cmake")
+include("/root/repo/build/tests/pebble_game_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/differential_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/datalog_test[1]_include.cmake")
+include("/root/repo/build/tests/mucalc_test[1]_include.cmake")
+include("/root/repo/build/tests/reductions_test[1]_include.cmake")
+include("/root/repo/build/tests/algebra_test[1]_include.cmake")
+include("/root/repo/build/tests/optimizer_test[1]_include.cmake")

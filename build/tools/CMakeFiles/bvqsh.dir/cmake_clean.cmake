@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bvqsh.dir/bvqsh.cc.o"
+  "CMakeFiles/bvqsh.dir/bvqsh.cc.o.d"
+  "bvqsh"
+  "bvqsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bvqsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
