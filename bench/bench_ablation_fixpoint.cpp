@@ -12,6 +12,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_threads.h"
 #include "common/rng.h"
 #include "db/generators.h"
 #include "eval/bounded_eval.h"
@@ -51,7 +52,7 @@ void BM_Nested_NaiveRecomputation(benchmark::State& state) {
   FormulaPtr f = MonotoneNested();
   std::size_t iters = 0;
   for (auto _ : state) {
-    BoundedEvaluator eval(db, 3);
+    BoundedEvaluator eval(db, 3, bvq_bench::EvalOptions());
     auto r = eval.Evaluate(f);
     if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
     iters = eval.stats().fixpoint_iterations;
@@ -70,7 +71,7 @@ void BM_Nested_MonotoneReuse(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   Database db = LongPathDb(n);
   FormulaPtr f = MonotoneNested();
-  BoundedEvalOptions opts;
+  BoundedEvalOptions opts = bvq_bench::EvalOptions();
   opts.fixpoint_strategy = FixpointStrategy::kMonotoneReuse;
   std::size_t iters = 0, warm = 0;
   for (auto _ : state) {
@@ -103,7 +104,7 @@ void RunPfpMode(benchmark::State& state, PfpCycleDetection mode) {
     return;
   }
   Database b0 = QbfFixedDatabase();
-  BoundedEvalOptions opts;
+  BoundedEvalOptions opts = bvq_bench::EvalOptions();
   opts.pfp_cycle_detection = mode;
   std::size_t stages = 0;
   for (auto _ : state) {
@@ -180,4 +181,4 @@ BENCHMARK(BM_ModelCheck_ViaFp2)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+BVQ_BENCHMARK_MAIN();

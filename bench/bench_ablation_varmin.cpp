@@ -11,6 +11,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_threads.h"
 #include "common/rng.h"
 #include "db/generators.h"
 #include "eval/bounded_eval.h"
@@ -85,7 +86,7 @@ void BM_Chain_VariableMinimized(benchmark::State& state) {
     return;
   }
   for (auto _ : state) {
-    BoundedEvaluator eval(db, rewrite->num_vars);
+    BoundedEvaluator eval(db, rewrite->num_vars, bvq_bench::EvalOptions());
     auto r = eval.EvaluateQuery(rewrite->query);
     if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
     benchmark::DoNotOptimize(r);
@@ -175,7 +176,7 @@ void BM_Intro_VariableMinimized(benchmark::State& state) {
     return;
   }
   for (auto _ : state) {
-    BoundedEvaluator eval(db, rewrite->num_vars);
+    BoundedEvaluator eval(db, rewrite->num_vars, bvq_bench::EvalOptions());
     auto r = eval.EvaluateQuery(rewrite->query);
     if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
     benchmark::DoNotOptimize(r);
@@ -247,4 +248,4 @@ BENCHMARK(BM_Planning_MinDegree)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+BVQ_BENCHMARK_MAIN();

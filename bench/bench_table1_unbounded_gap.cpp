@@ -18,6 +18,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_threads.h"
 #include "common/rng.h"
 #include "db/generators.h"
 #include "eval/bounded_eval.h"
@@ -68,7 +69,7 @@ void BM_DataComplexity_FO3(benchmark::State& state) {
   FormulaPtr query = *ParseFormula(
       "exists x3 . E(x1,x3) & exists x2 . (E(x3,x2) & !(E(x1,x2)))");
   for (auto _ : state) {
-    BoundedEvaluator eval(db, 3);
+    BoundedEvaluator eval(db, 3, bvq_bench::EvalOptions());
     auto r = eval.Evaluate(query);
     if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
     benchmark::DoNotOptimize(r);
@@ -89,7 +90,7 @@ void BM_DataComplexity_FP3_TransitiveClosure(benchmark::State& state) {
       "(x1 = x3 & T(x1,x2)))](x1,x2)");
   std::size_t iterations = 0;
   for (auto _ : state) {
-    BoundedEvaluator eval(db, 3);
+    BoundedEvaluator eval(db, 3, bvq_bench::EvalOptions());
     auto r = eval.Evaluate(query);
     if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
     iterations = eval.stats().fixpoint_iterations;
@@ -133,7 +134,7 @@ void BM_ExpressionComplexity_BoundedChain(benchmark::State& state) {
   Database db = RandomGraphDb(5, 0.6, 44);
   FormulaPtr query = ReuseChain(num_vars - 1);  // same hops as FreshChain
   for (auto _ : state) {
-    BoundedEvaluator eval(db, 3);
+    BoundedEvaluator eval(db, 3, bvq_bench::EvalOptions());
     auto r = eval.Evaluate(query);
     if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
     benchmark::DoNotOptimize(r);
@@ -165,4 +166,4 @@ struct SelfCheck {
 
 }  // namespace
 
-BENCHMARK_MAIN();
+BVQ_BENCHMARK_MAIN();

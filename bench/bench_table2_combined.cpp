@@ -17,6 +17,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_threads.h"
 #include "common/rng.h"
 #include "db/generators.h"
 #include "eval/bounded_eval.h"
@@ -42,7 +43,7 @@ void BM_FOk_PathSystems(benchmark::State& state) {
   FormulaPtr sentence = PathSystemSentence(n);
   bool accepted = false;
   for (auto _ : state) {
-    BoundedEvaluator eval(db, 3);
+    BoundedEvaluator eval(db, 3, bvq_bench::EvalOptions());
     auto r = eval.Evaluate(sentence);
     if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
     accepted = !r->Empty();
@@ -54,7 +55,7 @@ void BM_FOk_PathSystems(benchmark::State& state) {
 }
 BENCHMARK(BM_FOk_PathSystems)
     ->RangeMultiplier(2)
-    ->Range(4, 64)
+    ->Range(4, 128)
     ->Complexity()
     ->Unit(benchmark::kMicrosecond);
 
@@ -120,7 +121,7 @@ void BM_FPk_NaiveNestedEvaluation(benchmark::State& state) {
   FormulaPtr f = AlternatingFamily(depth);
   std::size_t iters = 0;
   for (auto _ : state) {
-    BoundedEvaluator eval(db, 3);
+    BoundedEvaluator eval(db, 3, bvq_bench::EvalOptions());
     auto r = eval.Evaluate(f);
     if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
     iters = eval.stats().fixpoint_iterations;
@@ -215,7 +216,7 @@ void BM_PFPk_QbfCombinedHardness(benchmark::State& state) {
   Database b0 = QbfFixedDatabase();
   std::size_t stages = 0;
   for (auto _ : state) {
-    BoundedEvaluator eval(b0, 1);
+    BoundedEvaluator eval(b0, 1, bvq_bench::EvalOptions());
     auto r = eval.Evaluate(*pfp);
     if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
     stages = eval.stats().fixpoint_iterations;
@@ -242,7 +243,7 @@ void BM_PFPk_DataSideIsPolynomial(benchmark::State& state) {
       "[pfp T(x1,x2) . E(x1,x2) | exists x3 . (E(x1,x3) & exists x1 . "
       "(x1 = x3 & T(x1,x2)))](x1,x2)");
   for (auto _ : state) {
-    BoundedEvaluator eval(db, 3);
+    BoundedEvaluator eval(db, 3, bvq_bench::EvalOptions());
     auto r = eval.Evaluate(query);
     if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
     benchmark::DoNotOptimize(r);
@@ -257,4 +258,4 @@ BENCHMARK(BM_PFPk_DataSideIsPolynomial)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+BVQ_BENCHMARK_MAIN();

@@ -19,6 +19,7 @@
 #include <benchmark/benchmark.h>
 
 #include "algebra/boolean_value.h"
+#include "bench_threads.h"
 #include "algebra/word_algebra.h"
 #include "common/rng.h"
 #include "db/generators.h"
@@ -83,7 +84,7 @@ void BM_FOk_FixedDb_GeneralEvaluator(benchmark::State& state) {
   Database db = FixedDb();
   FormulaPtr f = RandomFoFormula(size, size);
   for (auto _ : state) {
-    BoundedEvaluator eval(db, 2);
+    BoundedEvaluator eval(db, 2, bvq_bench::EvalOptions());
     auto r = eval.Evaluate(f);
     if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
     benchmark::DoNotOptimize(r);
@@ -177,7 +178,7 @@ void BM_PFPk_FixedDb_Qbf(benchmark::State& state) {
   }
   Database b0 = QbfFixedDatabase();
   for (auto _ : state) {
-    BoundedEvaluator eval(b0, 1);
+    BoundedEvaluator eval(b0, 1, bvq_bench::EvalOptions());
     auto r = eval.Evaluate(*pfp);
     if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
     benchmark::DoNotOptimize(r);
@@ -191,4 +192,4 @@ BENCHMARK(BM_PFPk_FixedDb_Qbf)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+BVQ_BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Shared --threads=N handling for the benchmark harnesses.
+//
+// google/benchmark rejects flags it does not recognise, so BVQ_BENCHMARK_MAIN
+// strips --threads=N out of argv before handing the rest to the library and
+// records the value for EvalOptions(). The default of 1 runs the exact legacy
+// serial path, so existing series remain comparable; pass --threads=0 for
+// auto (hardware concurrency) or an explicit worker count. Results are
+// byte-identical for every value (see DESIGN.md, "Threading model &
+// determinism") — only the timings move.
+
+#ifndef BVQ_BENCH_BENCH_THREADS_H_
+#define BVQ_BENCH_BENCH_THREADS_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+
+#include "eval/bounded_eval.h"
+
+namespace bvq_bench {
+
+inline std::size_t& ThreadsFlag() {
+  static std::size_t threads = 1;
+  return threads;
+}
+
+inline void ParseThreadsFlag(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      ThreadsFlag() =
+          static_cast<std::size_t>(std::strtoull(argv[i] + 10, nullptr, 10));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
+
+// Evaluator options carrying the --threads value; benches pass this to every
+// BoundedEvaluator so the flag reaches the parallel kernels.
+inline bvq::BoundedEvalOptions EvalOptions() {
+  bvq::BoundedEvalOptions options;
+  options.num_threads = ThreadsFlag();
+  return options;
+}
+
+}  // namespace bvq_bench
+
+#define BVQ_BENCHMARK_MAIN()                                      \
+  int main(int argc, char** argv) {                               \
+    bvq_bench::ParseThreadsFlag(&argc, argv);                     \
+    ::benchmark::Initialize(&argc, argv);                         \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {   \
+      return 1;                                                   \
+    }                                                             \
+    ::benchmark::RunSpecifiedBenchmarks();                        \
+    ::benchmark::Shutdown();                                      \
+    return 0;                                                     \
+  }                                                               \
+  int main(int, char**)
+
+#endif  // BVQ_BENCH_BENCH_THREADS_H_

@@ -93,6 +93,13 @@ class DynamicBitset {
   /// A 64-bit content hash (FNV-1a over the words), for cycle detection.
   uint64_t Hash() const;
 
+  /// Raw word storage (bit i lives at word i/64, bit i%64). Exposed for the
+  /// word-level parallel kernels, which partition the bitset into disjoint
+  /// word ranges; padding bits past size() are always zero.
+  std::size_t num_words() const { return words_.size(); }
+  uint64_t* word_data() { return words_.data(); }
+  const uint64_t* word_data() const { return words_.data(); }
+
  private:
   void ClearPadding();
 

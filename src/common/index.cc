@@ -2,7 +2,20 @@
 
 #include <limits>
 
+#include "common/strings.h"
+
 namespace bvq {
+
+Result<std::size_t> CheckedPow(std::size_t base, std::size_t exp) {
+  std::size_t result = 1;
+  for (std::size_t j = 0; j < exp; ++j) {
+    if (!CheckedMul(result, base, &result)) {
+      return Status::ResourceExhausted(
+          StrCat(base, "^", exp, " overflows the size type"));
+    }
+  }
+  return result;
+}
 
 TupleIndexer::TupleIndexer(std::size_t domain_size, std::size_t arity)
     : domain_size_(domain_size), arity_(arity), strides_(arity) {

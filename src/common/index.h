@@ -6,7 +6,24 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
+
 namespace bvq {
+
+/// a * b without silent wraparound: returns false iff the product overflows
+/// std::size_t (in which case *out is untouched).
+inline bool CheckedMul(std::size_t a, std::size_t b, std::size_t* out) {
+  if (b != 0 && a > static_cast<std::size_t>(-1) / b) return false;
+  *out = a * b;
+  return true;
+}
+
+/// base^exp as a checked product chain. The k-ary kernels size buffers and
+/// loop bounds with domain_size^arity products; on large domains those wrap
+/// silently in plain std::size_t arithmetic, so every sizing computation
+/// that is not already bounded by TupleIndexer::Exceeds must go through
+/// this and surface the failure as a Status.
+Result<std::size_t> CheckedPow(std::size_t base, std::size_t exp);
 
 /// Mixed-radix (base-n) indexing for tuples over a finite domain.
 ///

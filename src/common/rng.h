@@ -33,11 +33,21 @@ class Rng {
     }
   }
 
-  /// Uniform integer in [lo, hi] inclusive.
+  /// Uniform integer in [lo, hi] inclusive. The width is computed in
+  /// uint64_t: the naive `hi - lo` in int64_t overflows (UB) for extreme
+  /// bounds such as Range(INT64_MIN, INT64_MAX), whereas the unsigned
+  /// subtraction wraps to the exact width.
   int64_t Range(int64_t lo, int64_t hi) {
     assert(lo <= hi);
-    return lo + static_cast<int64_t>(
-                    Below(static_cast<uint64_t>(hi - lo) + 1));
+    const uint64_t span =
+        static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo);
+    if (span == ~uint64_t{0}) {
+      // Full 64-bit range: span + 1 would wrap to 0, but every draw is in
+      // range anyway.
+      return static_cast<int64_t>(Next64());
+    }
+    return static_cast<int64_t>(static_cast<uint64_t>(lo) +
+                                Below(span + 1));
   }
 
   /// True with probability p (0 <= p <= 1).

@@ -1,0 +1,150 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+
+namespace bvq {
+
+// One ParallelFor dispatch. Published under the pool mutex and then only
+// touched through its atomics, so late-waking workers from an earlier
+// dispatch can never observe a half-initialized task: they still hold a
+// shared_ptr to their own (exhausted) task and exit immediately.
+struct ThreadPool::Task {
+  const std::function<void(std::size_t, std::size_t, std::size_t)>* fn;
+  std::size_t total;
+  std::size_t grain;
+  std::size_t num_chunks;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> remaining{0};
+};
+
+ThreadPool::ThreadPool(std::size_t num_threads)
+    : num_threads_(num_threads == 0 ? DefaultThreads() : num_threads) {
+  workers_.reserve(num_threads_ > 0 ? num_threads_ - 1 : 0);
+  for (std::size_t i = 0; i + 1 < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+std::size_t ThreadPool::DefaultThreads() {
+  if (const char* env = std::getenv("BVQ_THREADS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::size_t ThreadPool::RunChunks(Task& task) {
+  std::size_t executed = 0;
+  for (;;) {
+    const std::size_t c = task.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= task.num_chunks) return executed;
+    const std::size_t begin = c * task.grain;
+    const std::size_t end = std::min(begin + task.grain, task.total);
+    (*task.fn)(c, begin, end);
+    ++executed;
+    if (task.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::shared_ptr<Task> last;
+  for (;;) {
+    std::shared_ptr<Task> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return shutdown_ || task_ != last; });
+      if (shutdown_) return;
+      task = task_;
+      last = task;
+    }
+    const std::size_t executed = RunChunks(*task);
+    if (executed > 0) {
+      stat_stolen_.fetch_add(executed, std::memory_order_relaxed);
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(
+    std::size_t total, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  assert(grain > 0);
+  if (total == 0) return;
+  const std::size_t chunks = NumChunks(total, grain);
+  if (workers_.empty() || chunks <= 1) {
+    // Inline: same chunk decomposition, executed in order on this thread.
+    for (std::size_t c = 0; c < chunks; ++c) {
+      fn(c, c * grain, std::min((c + 1) * grain, total));
+    }
+    return;
+  }
+  auto task = std::make_shared<Task>();
+  task->fn = &fn;
+  task->total = total;
+  task->grain = grain;
+  task->num_chunks = chunks;
+  task->remaining.store(chunks, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    task_ = task;
+  }
+  work_cv_.notify_all();
+  RunChunks(*task);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] {
+      return task->remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+  stat_loops_.fetch_add(1, std::memory_order_relaxed);
+  stat_chunks_.fetch_add(chunks, std::memory_order_relaxed);
+}
+
+ThreadPoolStats ThreadPool::stats() const {
+  ThreadPoolStats s;
+  s.parallel_loops = stat_loops_.load(std::memory_order_relaxed);
+  s.chunks = stat_chunks_.load(std::memory_order_relaxed);
+  s.chunks_stolen = stat_stolen_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ThreadPool::ResetStats() {
+  stat_loops_.store(0, std::memory_order_relaxed);
+  stat_chunks_.store(0, std::memory_order_relaxed);
+  stat_stolen_.store(0, std::memory_order_relaxed);
+}
+
+std::size_t BitGrain(std::size_t total, std::size_t num_threads) {
+  const std::size_t target_chunks = num_threads * 4;
+  std::size_t grain = total / (target_chunks == 0 ? 1 : target_chunks);
+  if (grain < 1024) grain = 1024;
+  // Round up to a whole number of 64-bit words so chunks own disjoint words.
+  grain = (grain + 63) / 64 * 64;
+  return grain;
+}
+
+std::size_t RowGrain(std::size_t total, std::size_t num_threads,
+                     std::size_t min_rows) {
+  const std::size_t target_chunks = num_threads * 4;
+  std::size_t grain = total / (target_chunks == 0 ? 1 : target_chunks);
+  if (grain < min_rows) grain = min_rows;
+  if (grain == 0) grain = 1;
+  return grain;
+}
+
+}  // namespace bvq

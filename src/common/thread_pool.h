@@ -1,0 +1,115 @@
+#ifndef BVQ_COMMON_THREAD_POOL_H_
+#define BVQ_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bvq {
+
+/// Cumulative counters for ParallelFor dispatches, exposed so evaluators can
+/// surface scheduling behaviour in their stats (EvalStats).
+struct ThreadPoolStats {
+  /// Number of ParallelFor calls that actually fanned out to workers.
+  std::size_t parallel_loops = 0;
+  /// Total chunks executed across all ParallelFor calls.
+  std::size_t chunks = 0;
+  /// Chunks claimed by a pool worker rather than the submitting thread
+  /// (i.e. work that actually migrated off the caller).
+  std::size_t chunks_stolen = 0;
+};
+
+/// A small fixed-size thread pool for data-parallel sweeps over k-ary
+/// assignment sets and relation rows.
+///
+/// Design constraints (see DESIGN.md, "Threading model & determinism"):
+///   - *Deterministic outputs.* ParallelFor splits [0, total) into chunks at
+///     fixed boundaries (multiples of `grain`). Which thread runs a chunk is
+///     racy; what the chunk computes is not. Kernels either write to
+///     chunk-disjoint output ranges (word-aligned bitset spans) or fill a
+///     private per-chunk shard that the caller merges in chunk-index order,
+///     so results are byte-identical for every thread count.
+///   - *No nesting.* ParallelFor must not be called from inside a chunk
+///     callback; the evaluator is a single-threaded orchestrator that fans
+///     out one kernel at a time.
+///   - *No exceptions.* Chunk callbacks must not throw (the library reports
+///     errors via Status, never exceptions, so this is the house style).
+///
+/// The pool spawns num_threads - 1 workers; the thread calling ParallelFor
+/// participates as the num_threads-th lane. num_threads == 1 therefore
+/// spawns nothing and runs every chunk inline.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return num_threads_; }
+
+  /// Thread count used for `num_threads == 0` ("auto"): the BVQ_THREADS
+  /// environment variable if set and positive, else
+  /// std::thread::hardware_concurrency(), else 1.
+  static std::size_t DefaultThreads();
+
+  /// Runs fn(chunk_index, begin, end) for every chunk of [0, total), where
+  /// chunk c covers [c*grain, min((c+1)*grain, total)). grain must be > 0.
+  /// Chunks are claimed dynamically by the caller and the workers; chunk
+  /// *boundaries* are fixed, so callers get deterministic decompositions.
+  void ParallelFor(std::size_t total, std::size_t grain,
+                   const std::function<void(std::size_t, std::size_t,
+                                            std::size_t)>& fn);
+
+  /// Number of chunks ParallelFor(total, grain, ...) will produce.
+  static std::size_t NumChunks(std::size_t total, std::size_t grain) {
+    return grain == 0 ? 0 : (total + grain - 1) / grain;
+  }
+
+  /// Snapshot of cumulative dispatch counters.
+  ThreadPoolStats stats() const;
+  void ResetStats();
+
+ private:
+  struct Task;
+
+  void WorkerLoop();
+  // Claims and runs chunks of `task`; returns how many this thread executed.
+  std::size_t RunChunks(Task& task);
+
+  const std::size_t num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   // workers wait for a new task
+  std::condition_variable done_cv_;   // submitter waits for remaining == 0
+  bool shutdown_ = false;
+  // The latest dispatch; workers compare against the task they last ran so
+  // spurious wakeups and missed dispatches are both harmless.
+  std::shared_ptr<Task> task_;
+
+  std::atomic<std::size_t> stat_loops_{0};
+  std::atomic<std::size_t> stat_chunks_{0};
+  std::atomic<std::size_t> stat_stolen_{0};
+};
+
+/// A word-aligned grain for bitset sweeps: splits `total` bit positions into
+/// roughly 4 chunks per thread, rounded up to a multiple of 64 so chunks
+/// touch disjoint bitset words. Never returns 0.
+std::size_t BitGrain(std::size_t total, std::size_t num_threads);
+
+/// A grain for row sweeps: roughly 4 chunks per thread, at least `min_rows`
+/// per chunk. Never returns 0.
+std::size_t RowGrain(std::size_t total, std::size_t num_threads,
+                     std::size_t min_rows = 256);
+
+}  // namespace bvq
+
+#endif  // BVQ_COMMON_THREAD_POOL_H_

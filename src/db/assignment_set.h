@@ -6,6 +6,7 @@
 
 #include "common/bitset.h"
 #include "common/index.h"
+#include "common/thread_pool.h"
 #include "db/relation.h"
 
 namespace bvq {
@@ -62,13 +63,22 @@ class AssignmentSet {
   /// the result contains assignment a iff some b agreeing with a outside
   /// `var` is in the set. The quantified coordinate becomes "don't care"
   /// (cylindrified), so the result is still a subset of D^k.
-  AssignmentSet ExistsVar(std::size_t var) const;
+  ///
+  /// All kernels taking a `pool` run the exact single-threaded legacy loop
+  /// when pool is null (or has one thread, or the cube is small) and an
+  /// equivalent chunked parallel sweep otherwise. Parallel outputs are
+  /// byte-identical to the serial ones: chunks either own disjoint
+  /// word-aligned spans of the output bitset or fill private shards that
+  /// are merged in chunk-index order (see DESIGN.md, "Threading model &
+  /// determinism").
+  AssignmentSet ExistsVar(std::size_t var, ThreadPool* pool = nullptr) const;
   /// Universal quantification over `var` (the dual of ExistsVar).
-  AssignmentSet ForAllVar(std::size_t var) const;
+  AssignmentSet ForAllVar(std::size_t var, ThreadPool* pool = nullptr) const;
 
   /// The diagonal x_i = x_j.
   static AssignmentSet Equality(std::size_t domain_size, std::size_t num_vars,
-                                std::size_t var_i, std::size_t var_j);
+                                std::size_t var_i, std::size_t var_j,
+                                ThreadPool* pool = nullptr);
   /// The set x_i = constant c.
   static AssignmentSet VarEqualsConst(std::size_t domain_size,
                                       std::size_t num_vars, std::size_t var_i,
@@ -80,7 +90,8 @@ class AssignmentSet {
   /// Variables may repeat in args.
   static AssignmentSet FromAtom(std::size_t domain_size, std::size_t num_vars,
                                 const Relation& relation,
-                                const std::vector<std::size_t>& args);
+                                const std::vector<std::size_t>& args,
+                                ThreadPool* pool = nullptr);
 
   /// Coordinate substitution: result[a] = this[a'] where a' equals a except
   /// a'[targets[i]] = a[sources[i]] for each i. All reads of `sources` use
@@ -92,17 +103,19 @@ class AssignmentSet {
   /// cube over all k variables with the relation's arguments living at
   /// coordinates `targets`, and the atom reads it at positions `sources`.
   AssignmentSet Remap(const std::vector<std::size_t>& targets,
-                      const std::vector<std::size_t>& sources) const;
+                      const std::vector<std::size_t>& sources,
+                      ThreadPool* pool = nullptr) const;
 
   /// Precomputes the rank permutation Remap applies: table[r] is the rank
   /// read for output rank r. Reusing the table across fixpoint iterations
   /// amortizes the per-point digit arithmetic (the evaluator's hot path).
   static std::vector<std::size_t> BuildRemapTable(
       const TupleIndexer& indexer, const std::vector<std::size_t>& targets,
-      const std::vector<std::size_t>& sources);
+      const std::vector<std::size_t>& sources, ThreadPool* pool = nullptr);
 
   /// Applies a table produced by BuildRemapTable: out[r] = this[table[r]].
-  AssignmentSet RemapByTable(const std::vector<std::size_t>& table) const;
+  AssignmentSet RemapByTable(const std::vector<std::size_t>& table,
+                             ThreadPool* pool = nullptr) const;
 
   /// Projects onto the given (distinct) variables, producing a classical
   /// relation of arity vars.size(): the set of value tuples

@@ -1,10 +1,29 @@
 #include "db/database.h"
 
+#include <charconv>
+#include <limits>
 #include <sstream>
 
 #include "common/strings.h"
 
 namespace bvq {
+
+namespace {
+
+// Parses a whole base-10 token into *out. Strict where std::stoul is not:
+// no exceptions, the entire token must be consumed ("12x" and "1 2" are
+// rejected instead of silently truncated), and out-of-range values fail
+// instead of throwing.
+bool ParseSizeT(std::string_view tok, std::size_t* out) {
+  std::size_t value = 0;
+  const char* end = tok.data() + tok.size();
+  auto [ptr, ec] = std::from_chars(tok.data(), end, value, 10);
+  if (ec != std::errc() || ptr != end) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
 
 Status Database::AddRelation(const std::string& name, Relation relation) {
   if (relation.MinDomainSize() > domain_size_) {
@@ -62,8 +81,9 @@ Result<Database> ParseDatabase(const std::string& text) {
     std::string head;
     ls >> head;
     if (head == "domain") {
+      std::string tok;
       std::size_t n = 0;
-      if (!(ls >> n)) {
+      if (!(ls >> tok) || !ParseSizeT(tok, &n)) {
         return Status::ParseError(
             StrCat("line ", line_no, ": expected domain size"));
       }
@@ -82,11 +102,10 @@ Result<Database> ParseDatabase(const std::string& text) {
       }
       const std::string name = decl.substr(0, slash);
       std::size_t arity = 0;
-      try {
-        arity = std::stoul(decl.substr(slash + 1));
-      } catch (...) {
-        return Status::ParseError(
-            StrCat("line ", line_no, ": bad arity in ", decl));
+      if (!ParseSizeT(std::string_view(decl).substr(slash + 1), &arity)) {
+        return Status::ParseError(StrCat("line ", line_no,
+                                         ": bad arity for relation ", name,
+                                         " in ", decl));
       }
       RelationBuilder builder(arity);
       Tuple t;
@@ -101,12 +120,14 @@ Result<Database> ParseDatabase(const std::string& text) {
           builder.Add(t);
           t.clear();
         } else {
-          try {
-            t.push_back(static_cast<Value>(std::stoul(tok)));
-          } catch (...) {
-            return Status::ParseError(
-                StrCat("line ", line_no, ": bad value ", tok));
+          std::size_t value = 0;
+          if (!ParseSizeT(tok, &value) ||
+              value > std::numeric_limits<Value>::max()) {
+            return Status::ParseError(StrCat("line ", line_no, ": bad value '",
+                                             tok, "' in relation ", name, "/",
+                                             arity));
           }
+          t.push_back(static_cast<Value>(value));
         }
       }
       if (!t.empty()) {

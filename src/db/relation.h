@@ -111,6 +111,14 @@ class RelationBuilder {
     Add(t.data());
   }
 
+  /// Appends `num_rows` rows stored flat (num_rows * arity() values). Used
+  /// by the parallel kernels to concatenate per-chunk row buffers in stable
+  /// chunk order before the canonicalizing Build().
+  void AddFlat(const Value* data, std::size_t num_rows) {
+    data_.insert(data_.end(), data, data + num_rows * arity_);
+    num_rows_ += num_rows;
+  }
+
   std::size_t arity() const { return arity_; }
 
   /// Sorts rows lexicographically, removes duplicates, and returns the

@@ -98,11 +98,20 @@ class BlockLayout {
   std::size_t slice_size_;
 };
 
+// Cubes below this many bits never engage the pool (dispatch overhead
+// dominates; mirrors the kernel-level threshold in assignment_set.cc).
+constexpr std::size_t kMinParallelBits = 4096;
+
 }  // namespace
 
 BoundedEvaluator::BoundedEvaluator(const Database& db, std::size_t num_vars,
                                    BoundedEvalOptions options)
-    : db_(&db), num_vars_(num_vars), options_(options) {}
+    : db_(&db), num_vars_(num_vars), options_(options) {
+  const std::size_t threads = options_.num_threads == 0
+                                  ? ThreadPool::DefaultThreads()
+                                  : options_.num_threads;
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+}
 
 Result<AssignmentSet> BoundedEvaluator::Evaluate(const FormulaPtr& formula) {
   Env env;
@@ -122,7 +131,16 @@ Result<AssignmentSet> BoundedEvaluator::EvaluateWithEnv(
   remap_cache_.clear();
   epoch_[0] = epoch_[1] = 0;
   Env working = env;
-  return Eval(formula, working);
+  ThreadPoolStats before;
+  if (pool_) before = pool_->stats();
+  auto result = Eval(formula, working);
+  if (pool_) {
+    const ThreadPoolStats after = pool_->stats();
+    stats_.parallel_loops += after.parallel_loops - before.parallel_loops;
+    stats_.parallel_chunks += after.chunks - before.chunks;
+    stats_.chunks_stolen += after.chunks_stolen - before.chunks_stolen;
+  }
+  return result;
 }
 
 Result<Relation> BoundedEvaluator::EvaluateQuery(const Query& query) {
@@ -155,7 +173,8 @@ const std::vector<std::size_t>& BoundedEvaluator::RemapTable(
   if (it != remap_cache_.end()) return it->second;
   TupleIndexer idx(db_->domain_size(), num_vars_);
   auto [ins, inserted] = remap_cache_.emplace(
-      std::move(key), AssignmentSet::BuildRemapTable(idx, targets, sources));
+      std::move(key),
+      AssignmentSet::BuildRemapTable(idx, targets, sources, pool_.get()));
   return ins->second;
 }
 
@@ -184,8 +203,9 @@ Result<AssignmentSet> BoundedEvaluator::Eval(const FormulaPtr& f, Env& env) {
                      it->second.coords.size(), ", used with ",
                      atom.args().size()));
         }
+        stats_.tuples_scanned += it->second.cube.indexer().NumTuples();
         return it->second.cube.RemapByTable(
-            RemapTable(it->second.coords, atom.args()));
+            RemapTable(it->second.coords, atom.args()), pool_.get());
       }
       auto rel = db_->GetRelation(atom.pred());
       if (!rel.ok()) return rel.status();
@@ -201,8 +221,9 @@ Result<AssignmentSet> BoundedEvaluator::Eval(const FormulaPtr& f, Env& env) {
       }
       auto cached = atom_cache_.find(key);
       if (cached != atom_cache_.end()) return cached->second;
-      AssignmentSet set =
-          AssignmentSet::FromAtom(n, num_vars_, **rel, atom.args());
+      stats_.tuples_scanned += (*rel)->size();
+      AssignmentSet set = AssignmentSet::FromAtom(n, num_vars_, **rel,
+                                                  atom.args(), pool_.get());
       atom_cache_.emplace(std::move(key), set);
       return set;
     }
@@ -215,8 +236,8 @@ Result<AssignmentSet> BoundedEvaluator::Eval(const FormulaPtr& f, Env& env) {
           StrCat("=", eq.lhs(), ",", eq.rhs());
       auto cached = atom_cache_.find(key);
       if (cached != atom_cache_.end()) return cached->second;
-      AssignmentSet set =
-          AssignmentSet::Equality(n, num_vars_, eq.lhs(), eq.rhs());
+      AssignmentSet set = AssignmentSet::Equality(n, num_vars_, eq.lhs(),
+                                                  eq.rhs(), pool_.get());
       atom_cache_.emplace(std::move(key), set);
       return set;
     }
@@ -266,8 +287,10 @@ Result<AssignmentSet> BoundedEvaluator::Eval(const FormulaPtr& f, Env& env) {
       }
       auto body = Eval(q.body(), env);
       if (!body.ok()) return body;
-      return f->kind() == FormulaKind::kExists ? body->ExistsVar(q.var())
-                                               : body->ForAllVar(q.var());
+      stats_.tuples_scanned += body->indexer().NumTuples();
+      return f->kind() == FormulaKind::kExists
+                 ? body->ExistsVar(q.var(), pool_.get())
+                 : body->ForAllVar(q.var(), pool_.get());
     }
     case FormulaKind::kFixpoint: {
       const auto& fp = static_cast<const FixpointFormula&>(*f);
@@ -324,6 +347,7 @@ Result<AssignmentSet> BoundedEvaluator::EvalFixpoint(
   for (std::size_t iter = 0; iter <= max_iters; ++iter) {
     env[fp.rel_var()] = RelVarBinding{x, fp.bound_vars()};
     ++stats_.fixpoint_iterations;
+    stats_.tuples_scanned += x.indexer().NumTuples();
     auto next = Eval(fp.body(), env);
     if (!next.ok()) {
       if (outer) {
@@ -351,7 +375,7 @@ Result<AssignmentSet> BoundedEvaluator::EvalFixpoint(
         StrCat("fixpoint ", fp.rel_var(),
                " did not converge; operator is not monotone"));
   }
-  return x.Remap(fp.bound_vars(), fp.apply_args());
+  return x.Remap(fp.bound_vars(), fp.apply_args(), pool_.get());
 }
 
 Result<AssignmentSet> BoundedEvaluator::EvalMonotoneFixpoint(
@@ -377,6 +401,7 @@ Result<AssignmentSet> BoundedEvaluator::EvalMonotoneFixpoint(
   for (std::size_t iter = 0; iter <= max_iters; ++iter) {
     env[fp.rel_var()] = RelVarBinding{x, fp.bound_vars()};
     ++stats_.fixpoint_iterations;
+    stats_.tuples_scanned += x.indexer().NumTuples();
     auto next = Eval(fp.body(), env);
     if (!next.ok()) {
       if (outer) {
@@ -407,7 +432,7 @@ Result<AssignmentSet> BoundedEvaluator::EvalMonotoneFixpoint(
                " did not converge; operator is not monotone"));
   }
   warm_cache_.insert_or_assign(&fp, CacheEntry{x, epoch_[pol]});
-  return x.Remap(fp.bound_vars(), fp.apply_args());
+  return x.Remap(fp.bound_vars(), fp.apply_args(), pool_.get());
 }
 
 Result<AssignmentSet> BoundedEvaluator::EvalInflationaryFixpoint(
@@ -424,6 +449,7 @@ Result<AssignmentSet> BoundedEvaluator::EvalInflationaryFixpoint(
   for (std::size_t iter = 0; iter <= max_iters; ++iter) {
     env[fp.rel_var()] = RelVarBinding{x, fp.bound_vars()};
     ++stats_.fixpoint_iterations;
+    stats_.tuples_scanned += x.indexer().NumTuples();
     // The arbitrary (possibly non-monotone) body invalidates monotone
     // warm-start caches beneath, like pfp does.
     ++epoch_[0];
@@ -446,7 +472,7 @@ Result<AssignmentSet> BoundedEvaluator::EvalInflationaryFixpoint(
   } else {
     env.erase(fp.rel_var());
   }
-  return x.Remap(fp.bound_vars(), fp.apply_args());
+  return x.Remap(fp.bound_vars(), fp.apply_args(), pool_.get());
 }
 
 Result<AssignmentSet> BoundedEvaluator::EvalPartialFixpoint(
@@ -457,8 +483,22 @@ Result<AssignmentSet> BoundedEvaluator::EvalPartialFixpoint(
 
   AssignmentSet x(n, num_vars_);            // current stage
   AssignmentSet result(n, num_vars_);       // assembled per-block limits
-  std::vector<bool> decided(num_blocks, false);
+  // Byte flags, not vector<bool>: the parallel sweep writes flags of
+  // distinct blocks from different chunks, which must not share storage.
+  std::vector<uint8_t> decided(num_blocks, 0);
   std::size_t num_decided = 0;
+
+  // Parallel per-block detection: SliceHash/SlicesEqual over the blocks of
+  // a stage read shared stages and write only per-block state, so they
+  // fan out cleanly; CopySlice writes are not block-disjoint at word
+  // granularity and stay serial.
+  const bool par = pool_ != nullptr && pool_->num_threads() > 1 &&
+                   num_blocks > 1 &&
+                   x.indexer().NumTuples() >= kMinParallelBits;
+  const std::size_t block_grain =
+      par ? std::max<std::size_t>(
+                1, num_blocks / (pool_->num_threads() * 4))
+          : num_blocks;
 
   // Warm caches of monotone fixpoints nested inside a pfp are unsound (the
   // pfp iterate is not monotone); invalidate on every stage by bumping both
@@ -480,9 +520,13 @@ Result<AssignmentSet> BoundedEvaluator::EvalPartialFixpoint(
     for (std::size_t b = 0; b < num_blocks; ++b) {
       seen[b].insert(layout.SliceHash(x, b));
     }
+    // Per-block stage outcome: 0 = still running, 1 = limit reached (copy
+    // the slice), 2 = cycle detected (slice stays empty).
+    std::vector<uint8_t> outcome(num_blocks, 0);
     while (num_decided < num_blocks) {
       env[fp.rel_var()] = RelVarBinding{x, fp.bound_vars()};
       ++stats_.fixpoint_iterations;
+      stats_.tuples_scanned += x.indexer().NumTuples();
       ++epoch_[0];
       ++epoch_[1];
       auto next = Eval(fp.body(), env);
@@ -490,23 +534,33 @@ Result<AssignmentSet> BoundedEvaluator::EvalPartialFixpoint(
         restore();
         return next;
       }
-      for (std::size_t b = 0; b < num_blocks; ++b) {
-        if (decided[b]) continue;
+      auto classify = [&](std::size_t b) -> uint8_t {
+        if (decided[b]) return 0;
         if (layout.SlicesEqual(x, *next, b)) {
           // Stage repeated immediately: the sequence has a limit here.
-          layout.CopySlice(*next, result, b);
-          decided[b] = true;
-          ++num_decided;
-          continue;
+          return 1;
         }
         const uint64_t h = layout.SliceHash(*next, b);
-        if (!seen[b].insert(h).second) {
-          // Revisited an earlier stage without having converged: the
-          // sequence cycles, so the partial fixpoint is empty (leave the
-          // result slice all-zero).
-          decided[b] = true;
-          ++num_decided;
-        }
+        // Revisiting an earlier stage without having converged means the
+        // sequence cycles, so the partial fixpoint is empty there.
+        return seen[b].insert(h).second ? 0 : 2;
+      };
+      if (par) {
+        pool_->ParallelFor(
+            num_blocks, block_grain,
+            [&](std::size_t /*chunk*/, std::size_t begin, std::size_t end) {
+              for (std::size_t b = begin; b < end; ++b) {
+                outcome[b] = classify(b);
+              }
+            });
+      } else {
+        for (std::size_t b = 0; b < num_blocks; ++b) outcome[b] = classify(b);
+      }
+      for (std::size_t b = 0; b < num_blocks; ++b) {
+        if (decided[b] || outcome[b] == 0) continue;
+        if (outcome[b] == 1) layout.CopySlice(*next, result, b);
+        decided[b] = 1;
+        ++num_decided;
       }
       x = std::move(*next);
     }
@@ -518,29 +572,43 @@ Result<AssignmentSet> BoundedEvaluator::EvalPartialFixpoint(
     AssignmentSet tortoise = x;
     AssignmentSet hare = x;
     // met[b]: slices met, waiting to test whether the meeting point is a
-    // fixpoint (the next tortoise step tells us).
-    std::vector<bool> met(num_blocks, false);
+    // fixpoint (the next tortoise step tells us). Byte flags for the same
+    // reason as `decided`.
+    std::vector<uint8_t> met(num_blocks, 0);
     auto step = [&](const AssignmentSet& from) -> Result<AssignmentSet> {
       env[fp.rel_var()] = RelVarBinding{from, fp.bound_vars()};
       ++stats_.fixpoint_iterations;
+      stats_.tuples_scanned += from.indexer().NumTuples();
       ++epoch_[0];
       ++epoch_[1];
       return Eval(fp.body(), env);
     };
+    std::vector<uint8_t> is_limit(num_blocks, 0);
     while (num_decided < num_blocks) {
       auto t_next = step(tortoise);
       if (!t_next.ok()) {
         restore();
         return t_next;
       }
+      // The meeting point for block b was tortoise's previous slice;
+      // t_next tells us whether it is a fixpoint.
+      auto test_limit = [&](std::size_t b) {
+        is_limit[b] = !decided[b] && met[b] &&
+                      layout.SlicesEqual(tortoise, *t_next, b);
+      };
+      if (par) {
+        pool_->ParallelFor(
+            num_blocks, block_grain,
+            [&](std::size_t /*chunk*/, std::size_t begin, std::size_t end) {
+              for (std::size_t b = begin; b < end; ++b) test_limit(b);
+            });
+      } else {
+        for (std::size_t b = 0; b < num_blocks; ++b) test_limit(b);
+      }
       for (std::size_t b = 0; b < num_blocks; ++b) {
         if (decided[b] || !met[b]) continue;
-        // The meeting point for block b was tortoise's previous slice;
-        // t_next tells us whether it is a fixpoint.
-        if (layout.SlicesEqual(tortoise, *t_next, b)) {
-          layout.CopySlice(tortoise, result, b);
-        }
-        decided[b] = true;
+        if (is_limit[b]) layout.CopySlice(tortoise, result, b);
+        decided[b] = 1;
         ++num_decided;
       }
       auto h_mid = step(hare);
@@ -555,14 +623,25 @@ Result<AssignmentSet> BoundedEvaluator::EvalPartialFixpoint(
       }
       tortoise = std::move(*t_next);
       hare = std::move(*h_next);
-      for (std::size_t b = 0; b < num_blocks; ++b) {
-        if (decided[b] || met[b]) continue;
-        if (layout.SlicesEqual(tortoise, hare, b)) met[b] = true;
+      // met flags of distinct blocks live in distinct bytes, so the
+      // detection loop fans out without a merge step.
+      auto test_met = [&](std::size_t b) {
+        if (decided[b] || met[b]) return;
+        if (layout.SlicesEqual(tortoise, hare, b)) met[b] = 1;
+      };
+      if (par) {
+        pool_->ParallelFor(
+            num_blocks, block_grain,
+            [&](std::size_t /*chunk*/, std::size_t begin, std::size_t end) {
+              for (std::size_t b = begin; b < end; ++b) test_met(b);
+            });
+      } else {
+        for (std::size_t b = 0; b < num_blocks; ++b) test_met(b);
       }
     }
   }
   restore();
-  return result.Remap(fp.bound_vars(), fp.apply_args());
+  return result.Remap(fp.bound_vars(), fp.apply_args(), pool_.get());
 }
 
 Result<AssignmentSet> BoundedEvaluator::EvalSecondOrder(
@@ -607,7 +686,7 @@ Result<AssignmentSet> BoundedEvaluator::EvalSecondOrder(
     }
     Relation rel = rb.Build();
     AssignmentSet cube =
-        AssignmentSet::FromAtom(n, num_vars_, rel, coords);
+        AssignmentSet::FromAtom(n, num_vars_, rel, coords, pool_.get());
     env[so.rel_var()] = RelVarBinding{std::move(cube), coords};
     // Arbitrary witnesses break monotone warm-start assumptions.
     ++epoch_[0];

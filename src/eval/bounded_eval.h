@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "db/assignment_set.h"
 #include "db/database.h"
 #include "logic/formula.h"
@@ -47,6 +49,17 @@ struct EvalStats {
   std::size_t node_evals = 0;
   /// Number of warm starts taken by kMonotoneReuse.
   std::size_t warm_starts = 0;
+  /// Cells/tuples swept by the atom, quantifier, and fixpoint kernels:
+  /// database rows scanned by atom lifts plus assignment-set cells touched
+  /// by quantifier sweeps and fixpoint stages.
+  std::size_t tuples_scanned = 0;
+  /// Kernel dispatches that actually fanned out to the thread pool.
+  std::size_t parallel_loops = 0;
+  /// Chunks executed across those dispatches.
+  std::size_t parallel_chunks = 0;
+  /// Chunks that migrated to a pool worker instead of the submitting
+  /// thread.
+  std::size_t chunks_stolen = 0;
 
   void Reset() { *this = EvalStats(); }
 };
@@ -61,6 +74,12 @@ struct BoundedEvalOptions {
   /// Upper bound on 2^{n^m} enumeration for second-order quantifiers; the
   /// ESO evaluator (SAT-based) should be used beyond toy sizes.
   std::size_t max_so_enumeration_bits = 22;
+  /// Worker lanes for the data-parallel kernels. 0 = auto
+  /// (ThreadPool::DefaultThreads(), i.e. hardware concurrency unless
+  /// BVQ_THREADS overrides it); 1 = the exact single-threaded legacy code
+  /// path, no pool is created. Outputs are byte-identical for every value
+  /// (see DESIGN.md, "Threading model & determinism").
+  std::size_t num_threads = 0;
 };
 
 /// Interpretation of a relation variable during evaluation: the current
@@ -107,6 +126,10 @@ class BoundedEvaluator {
   std::size_t num_vars() const { return num_vars_; }
   const Database& database() const { return *db_; }
 
+  /// The pool backing the parallel kernels, or null when running with one
+  /// thread. Exposed so harnesses can share it (e.g. with NaiveEvaluator).
+  ThreadPool* thread_pool() const { return pool_.get(); }
+
  private:
   using Env = std::map<std::string, RelVarBinding>;
 
@@ -124,6 +147,9 @@ class BoundedEvaluator {
   std::size_t num_vars_;
   BoundedEvalOptions options_;
   EvalStats stats_;
+  // Owned pool for the parallel kernels; null when the resolved thread
+  // count is 1 (the legacy serial path). Joined in the destructor.
+  std::unique_ptr<ThreadPool> pool_;
 
   // kMonotoneReuse state: cached last iterate per fixpoint node, valid only
   // while no enclosing opposite-polarity fixpoint has advanced (tracked via

@@ -23,7 +23,7 @@ Result<VarRelation> NaiveEvaluator::Evaluate(const FormulaPtr& formula) {
 Result<Relation> NaiveEvaluator::EvaluateQuery(const Query& query) {
   auto r = Eval(query.formula);
   if (!r.ok()) return r.status();
-  return AnswerTuple(*r, query.answer_vars, db_->domain_size());
+  return AnswerTuple(*r, query.answer_vars, db_->domain_size(), pool_);
 }
 
 Result<VarRelation> NaiveEvaluator::Eval(const FormulaPtr& f) {
@@ -60,7 +60,7 @@ Result<VarRelation> NaiveEvaluator::Eval(const FormulaPtr& f) {
             StrCat("relation ", atom.pred(), " has arity ", (*rel)->arity(),
                    ", used with ", atom.args().size()));
       }
-      return guard(FromAtom(**rel, atom.args()));
+      return guard(FromAtom(**rel, atom.args(), pool_));
     }
     case FormulaKind::kEquals: {
       const auto& eq = static_cast<const EqualsFormula&>(*f);
@@ -70,7 +70,8 @@ Result<VarRelation> NaiveEvaluator::Eval(const FormulaPtr& f) {
       auto sub = Eval(static_cast<const NotFormula&>(*f).sub());
       if (!sub.ok()) return sub;
       BVQ_RETURN_IF_ERROR(guard_full(sub->vars.size()));
-      return guard(Complement(*sub, n));
+      BVQ_ASSIGN_OR_RETURN(VarRelation neg, Complement(*sub, n, pool_));
+      return guard(std::move(neg));
     }
     case FormulaKind::kAnd: {
       const auto& b = static_cast<const BinaryFormula&>(*f);
@@ -78,7 +79,7 @@ Result<VarRelation> NaiveEvaluator::Eval(const FormulaPtr& f) {
       if (!lhs.ok()) return lhs;
       auto rhs = Eval(b.rhs());
       if (!rhs.ok()) return rhs;
-      return guard(Join(*lhs, *rhs));
+      return guard(Join(*lhs, *rhs, pool_));
     }
     case FormulaKind::kOr: {
       const auto& b = static_cast<const BinaryFormula&>(*f);
@@ -90,7 +91,8 @@ Result<VarRelation> NaiveEvaluator::Eval(const FormulaPtr& f) {
       // product with the domain is the naive evaluator's blow-up point.
       std::size_t out_arity = lhs->vars.size() + rhs->vars.size();
       BVQ_RETURN_IF_ERROR(guard_full(out_arity));
-      return guard(Union(*lhs, *rhs, n));
+      BVQ_ASSIGN_OR_RETURN(VarRelation u, Union(*lhs, *rhs, n, pool_));
+      return guard(std::move(u));
     }
     case FormulaKind::kImplies: {
       const auto& b = static_cast<const BinaryFormula&>(*f);
@@ -99,9 +101,10 @@ Result<VarRelation> NaiveEvaluator::Eval(const FormulaPtr& f) {
       auto rhs = Eval(b.rhs());
       if (!rhs.ok()) return rhs;
       BVQ_RETURN_IF_ERROR(guard_full(lhs->vars.size()));
-      VarRelation neg = Complement(*lhs, n);
+      BVQ_ASSIGN_OR_RETURN(VarRelation neg, Complement(*lhs, n, pool_));
       BVQ_RETURN_IF_ERROR(guard_full(neg.vars.size() + rhs->vars.size()));
-      return guard(Union(neg, *rhs, n));
+      BVQ_ASSIGN_OR_RETURN(VarRelation u, Union(neg, *rhs, n, pool_));
+      return guard(std::move(u));
     }
     case FormulaKind::kIff: {
       const auto& b = static_cast<const BinaryFormula&>(*f);
@@ -111,19 +114,21 @@ Result<VarRelation> NaiveEvaluator::Eval(const FormulaPtr& f) {
       if (!rhs.ok()) return rhs;
       BVQ_RETURN_IF_ERROR(guard_full(lhs->vars.size()));
       BVQ_RETURN_IF_ERROR(guard_full(rhs->vars.size()));
-      VarRelation nl = Complement(*lhs, n);
-      VarRelation nr = Complement(*rhs, n);
-      VarRelation fwd = Union(nl, *rhs, n);   // lhs -> rhs
+      BVQ_ASSIGN_OR_RETURN(VarRelation nl, Complement(*lhs, n, pool_));
+      BVQ_ASSIGN_OR_RETURN(VarRelation nr, Complement(*rhs, n, pool_));
+      BVQ_ASSIGN_OR_RETURN(VarRelation fwd,
+                           Union(nl, *rhs, n, pool_));  // lhs -> rhs
       Record(fwd);
-      VarRelation bwd = Union(nr, *lhs, n);   // rhs -> lhs
+      BVQ_ASSIGN_OR_RETURN(VarRelation bwd,
+                           Union(nr, *lhs, n, pool_));  // rhs -> lhs
       Record(bwd);
-      return guard(Join(fwd, bwd));
+      return guard(Join(fwd, bwd, pool_));
     }
     case FormulaKind::kExists: {
       const auto& q = static_cast<const QuantFormula&>(*f);
       auto body = Eval(q.body());
       if (!body.ok()) return body;
-      return guard(ProjectOut(*body, q.var()));
+      return guard(ProjectOut(*body, q.var(), pool_));
     }
     case FormulaKind::kForAll: {
       const auto& q = static_cast<const QuantFormula&>(*f);
@@ -131,11 +136,12 @@ Result<VarRelation> NaiveEvaluator::Eval(const FormulaPtr& f) {
       if (!body.ok()) return body;
       // forall x . phi == !(exists x . !phi)
       BVQ_RETURN_IF_ERROR(guard_full(body->vars.size()));
-      VarRelation neg = Complement(*body, n);
+      BVQ_ASSIGN_OR_RETURN(VarRelation neg, Complement(*body, n, pool_));
       Record(neg);
-      VarRelation proj = ProjectOut(neg, q.var());
+      VarRelation proj = ProjectOut(neg, q.var(), pool_);
       Record(proj);
-      return guard(Complement(proj, n));
+      BVQ_ASSIGN_OR_RETURN(VarRelation comp, Complement(proj, n, pool_));
+      return guard(std::move(comp));
     }
     case FormulaKind::kFixpoint:
     case FormulaKind::kSecondOrderExists:

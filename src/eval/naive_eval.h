@@ -50,6 +50,11 @@ class NaiveEvaluator {
   /// Evaluates a query (y̅)phi to its answer relation.
   Result<Relation> EvaluateQuery(const Query& query);
 
+  /// Optional thread pool for the relalg kernels; null (the default) keeps
+  /// evaluation fully serial. The pool is borrowed, not owned, and outputs
+  /// are byte-identical with or without it.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+
   const NaiveEvalStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
 
@@ -59,6 +64,7 @@ class NaiveEvaluator {
 
   const Database* db_;
   std::size_t max_tuples_;
+  ThreadPool* pool_ = nullptr;
   NaiveEvalStats stats_;
 };
 

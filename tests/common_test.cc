@@ -138,6 +138,35 @@ TEST(BitsetTest, FindNext) {
   EXPECT_EQ(empty.FindFirst(), 10u);
 }
 
+TEST(BitsetTest, FindNextWordBoundaries) {
+  // Set bits exactly at word edges: last bit of word 0, first of word 1,
+  // last of word 1.
+  DynamicBitset b(256);
+  b.Set(63);
+  b.Set(64);
+  b.Set(127);
+  EXPECT_EQ(b.FindFirst(), 63u);
+  EXPECT_EQ(b.FindNext(63), 63u);  // `from` itself counts
+  EXPECT_EQ(b.FindNext(64), 64u);
+  EXPECT_EQ(b.FindNext(65), 127u);
+  EXPECT_EQ(b.FindNext(127), 127u);
+  EXPECT_EQ(b.FindNext(128), 256u);  // nothing past the last set bit
+
+  // A bitset whose size lands exactly on a word boundary must report
+  // size(), not scan a phantom word.
+  DynamicBitset w(64);
+  EXPECT_EQ(w.FindNext(0), 64u);
+  w.Set(63);
+  EXPECT_EQ(w.FindNext(63), 63u);
+  EXPECT_EQ(w.FindNext(64), 64u);
+
+  // Size one past a boundary: only the first bit of the second word exists.
+  DynamicBitset o(65);
+  o.Set(64);
+  EXPECT_EQ(o.FindFirst(), 64u);
+  EXPECT_EQ(o.FindNext(65), 65u);
+}
+
 TEST(BitsetTest, HashDistinguishesContent) {
   DynamicBitset a(64), b(64);
   EXPECT_EQ(a.Hash(), b.Hash());

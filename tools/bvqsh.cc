@@ -10,11 +10,15 @@
 //   k <n>                       set the variable bound (default 3)
 //   strategy naive|reuse        fixpoint strategy (default naive)
 //   pfp hash|floyd              PFP cycle detection (default hash)
+//   threads <n>                 evaluator thread count (0 = auto, 1 = serial)
 //   eval <query>                evaluate with the bounded-variable engine
 //   naive <query>               evaluate with the classical engine (FO only)
 //   eso <sentence>              evaluate an ESO sentence via grounding+SAT
 //   datalog <file>              run a Datalog program against the database
 //   quit
+//
+// Flags: --threads=N sets the initial thread count (same as the `threads`
+// command; results are byte-identical for every N).
 //
 // Queries use the library syntax, e.g.
 //   eval (x1,x2) [lfp T(x1,x2) . E(x1,x2) | exists x3 . (E(x1,x3) &
@@ -22,10 +26,14 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+
+#include "common/thread_pool.h"
 
 #include "datalog/datalog.h"
 #include "db/database.h"
@@ -62,7 +70,8 @@ void Help() {
   std::printf(
       "commands: help | domain <n> | rel <name>/<arity> t.. ; | load <f> | "
       "show | k <n> |\n          strategy naive|reuse | pfp hash|floyd | "
-      "eval <q> | naive <q> | eso <q> | datalog <f> | quit\n");
+      "threads <n> | eval <q> | naive <q> |\n          eso <q> | "
+      "datalog <f> | quit\n");
 }
 
 bool HandleLine(ShellState& state, const std::string& line) {
@@ -158,6 +167,14 @@ bool HandleLine(ShellState& state, const std::string& line) {
     }
     return true;
   }
+  if (cmd == "threads") {
+    std::size_t n = 0;
+    std::istringstream(rest) >> n;
+    state.options.num_threads = n;
+    std::printf("threads = %zu%s\n", n,
+                n == 0 ? " (auto)" : (n == 1 ? " (serial)" : ""));
+    return true;
+  }
   if (cmd == "eval" || cmd == "naive" || cmd == "eso") {
     auto query = ParseQuery(rest);
     if (!query.ok()) {
@@ -180,11 +197,26 @@ bool HandleLine(ShellState& state, const std::string& line) {
         return true;
       }
       PrintRelation(*result);
-      std::printf("  [%0.2f ms, %zu fixpoint iterations, %zu node evals]\n",
-                  ms(start, stop), eval.stats().fixpoint_iterations,
-                  eval.stats().node_evals);
+      const std::size_t threads =
+          eval.thread_pool() ? eval.thread_pool()->num_threads() : 1;
+      std::printf(
+          "  [%0.2f ms, %zu fixpoint iterations, %zu node evals, "
+          "%zu tuples scanned;\n   %zu threads, %zu parallel loops, "
+          "%zu chunks (%zu stolen)]\n",
+          ms(start, stop), eval.stats().fixpoint_iterations,
+          eval.stats().node_evals, eval.stats().tuples_scanned, threads,
+          eval.stats().parallel_loops, eval.stats().parallel_chunks,
+          eval.stats().chunks_stolen);
     } else if (cmd == "naive") {
       NaiveEvaluator eval(state.db);
+      const std::size_t threads = state.options.num_threads == 0
+                                      ? ThreadPool::DefaultThreads()
+                                      : state.options.num_threads;
+      std::unique_ptr<ThreadPool> pool;
+      if (threads > 1) {
+        pool = std::make_unique<ThreadPool>(threads);
+        eval.set_thread_pool(pool.get());
+      }
       auto result = eval.EvaluateQuery(*query);
       const auto stop = now();
       if (!result.ok()) {
@@ -264,10 +296,26 @@ int main(int argc, char** argv) {
   ShellState state;
   std::istream* input = &std::cin;
   std::ifstream script;
-  if (argc > 1) {
-    script.open(argv[1]);
+  const char* script_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      state.options.num_threads =
+          static_cast<std::size_t>(std::strtoull(arg.c_str() + 10, nullptr, 10));
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: bvqsh [--threads=N] [script]\n");
+      return 0;
+    } else if (script_path == nullptr) {
+      script_path = argv[i];
+    } else {
+      std::fprintf(stderr, "unexpected argument %s\n", argv[i]);
+      return 1;
+    }
+  }
+  if (script_path != nullptr) {
+    script.open(script_path);
     if (!script) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      std::fprintf(stderr, "cannot open %s\n", script_path);
       return 1;
     }
     input = &script;

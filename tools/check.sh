@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build + ctest, plain and under ThreadSanitizer.
+#
+# Usage: tools/check.sh [--tsan-only|--plain-only]
+#
+# The TSan pass builds with -DBVQ_SANITIZE=thread and runs the test suite
+# with BVQ_THREADS=4 so the auto thread count exercises the parallel
+# kernels; any data race in the evaluation layer fails the run.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+ROOT="$PWD"
+
+run_plain=1
+run_tsan=1
+case "${1:-}" in
+  --tsan-only) run_plain=0 ;;
+  --plain-only) run_tsan=0 ;;
+  "") ;;
+  *) echo "usage: tools/check.sh [--tsan-only|--plain-only]" >&2; exit 2 ;;
+esac
+
+if [[ $run_plain -eq 1 ]]; then
+  echo "== plain build + ctest =="
+  cmake -B "$ROOT/build" -S "$ROOT"
+  cmake --build "$ROOT/build" -j"$(nproc)"
+  (cd "$ROOT/build" && ctest --output-on-failure -j"$(nproc)")
+fi
+
+if [[ $run_tsan -eq 1 ]]; then
+  echo "== TSan build + ctest (BVQ_THREADS=4) =="
+  cmake -B "$ROOT/build-tsan" -S "$ROOT" -DBVQ_SANITIZE=thread
+  cmake --build "$ROOT/build-tsan" -j"$(nproc)"
+  (cd "$ROOT/build-tsan" && BVQ_THREADS=4 ctest --output-on-failure -j"$(nproc)")
+fi
+
+echo "check.sh: all requested passes green"
