@@ -50,15 +50,17 @@ void BM_Nested_NaiveRecomputation(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   Database db = LongPathDb(n);
   FormulaPtr f = MonotoneNested();
-  std::size_t iters = 0;
+  std::size_t iters = 0, hoists = 0;
   for (auto _ : state) {
     BoundedEvaluator eval(db, 3, bvq_bench::EvalOptions());
     auto r = eval.Evaluate(f);
     if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
     iters = eval.stats().fixpoint_iterations;
+    hoists = eval.stats().invariant_hoists;
     benchmark::DoNotOptimize(r);
   }
   state.counters["body_evals"] = static_cast<double>(iters);
+  state.counters["invariant_hoists"] = static_cast<double>(hoists);
   state.SetComplexityN(static_cast<int64_t>(n));
 }
 BENCHMARK(BM_Nested_NaiveRecomputation)
@@ -73,17 +75,19 @@ void BM_Nested_MonotoneReuse(benchmark::State& state) {
   FormulaPtr f = MonotoneNested();
   BoundedEvalOptions opts = bvq_bench::EvalOptions();
   opts.fixpoint_strategy = FixpointStrategy::kMonotoneReuse;
-  std::size_t iters = 0, warm = 0;
+  std::size_t iters = 0, warm = 0, hoists = 0;
   for (auto _ : state) {
     BoundedEvaluator eval(db, 3, opts);
     auto r = eval.Evaluate(f);
     if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
     iters = eval.stats().fixpoint_iterations;
     warm = eval.stats().warm_starts;
+    hoists = eval.stats().invariant_hoists;
     benchmark::DoNotOptimize(r);
   }
   state.counters["body_evals"] = static_cast<double>(iters);
   state.counters["warm_starts"] = static_cast<double>(warm);
+  state.counters["invariant_hoists"] = static_cast<double>(hoists);
   state.SetComplexityN(static_cast<int64_t>(n));
 }
 BENCHMARK(BM_Nested_MonotoneReuse)

@@ -1,12 +1,14 @@
-// Shared --threads=N handling for the benchmark harnesses.
+// Shared --threads=N / --memo=0|1 handling for the benchmark harnesses.
 //
 // google/benchmark rejects flags it does not recognise, so BVQ_BENCHMARK_MAIN
-// strips --threads=N out of argv before handing the rest to the library and
-// records the value for EvalOptions(). The default of 1 runs the exact legacy
-// serial path, so existing series remain comparable; pass --threads=0 for
-// auto (hardware concurrency) or an explicit worker count. Results are
-// byte-identical for every value (see DESIGN.md, "Threading model &
-// determinism") — only the timings move.
+// strips --threads=N and --memo=0|1 out of argv before handing the rest to
+// the library and records the values for EvalOptions(). The default of 1
+// thread runs the exact legacy serial path, so existing series remain
+// comparable; pass --threads=0 for auto (hardware concurrency) or an
+// explicit worker count. --memo=0 disables the dependency-aware subformula
+// memo (the ablation switch; default on). Results are byte-identical for
+// every combination (see DESIGN.md, "Threading model & determinism" and
+// "Memoization & invariant hoisting") — only the timings move.
 
 #ifndef BVQ_BENCH_BENCH_THREADS_H_
 #define BVQ_BENCH_BENCH_THREADS_H_
@@ -26,12 +28,19 @@ inline std::size_t& ThreadsFlag() {
   return threads;
 }
 
+inline bool& MemoFlag() {
+  static bool memo = true;
+  return memo;
+}
+
 inline void ParseThreadsFlag(int* argc, char** argv) {
   int out = 1;
   for (int i = 1; i < *argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       ThreadsFlag() =
           static_cast<std::size_t>(std::strtoull(argv[i] + 10, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--memo=", 7) == 0) {
+      MemoFlag() = std::strtoull(argv[i] + 7, nullptr, 10) != 0;
     } else {
       argv[out++] = argv[i];
     }
@@ -39,11 +48,12 @@ inline void ParseThreadsFlag(int* argc, char** argv) {
   *argc = out;
 }
 
-// Evaluator options carrying the --threads value; benches pass this to every
-// BoundedEvaluator so the flag reaches the parallel kernels.
+// Evaluator options carrying the --threads / --memo values; benches pass
+// this to every BoundedEvaluator so the flags reach the engine.
 inline bvq::BoundedEvalOptions EvalOptions() {
   bvq::BoundedEvalOptions options;
   options.num_threads = ThreadsFlag();
+  options.memo = MemoFlag();
   return options;
 }
 

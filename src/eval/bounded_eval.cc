@@ -30,35 +30,65 @@ class BlockLayout {
     slice_size_ = 1;
     for (std::size_t j = 0; j < bound_coords_.size(); ++j) {
       slice_size_ *= idx.domain_size();
+      bound_stride_.push_back(idx.Stride(bound_coords_[j]));
+      bound_wrap_.push_back((idx.domain_size() - 1) *
+                            idx.Stride(bound_coords_[j]));
     }
   }
 
   std::size_t num_blocks() const { return num_blocks_; }
   std::size_t slice_size() const { return slice_size_; }
 
-  // Global rank of slice position s within block b.
-  std::size_t GlobalRank(std::size_t block, std::size_t slice_pos) const {
+  // Rank of slice position 0 of `block`; O(#parameter coords), paid once
+  // per slice sweep.
+  std::size_t BlockBase(std::size_t block) const {
     std::size_t r = 0;
     std::size_t rem = block;
     for (std::size_t c : param_coords_) {
       r += (rem % idx_.domain_size()) * idx_.Stride(c);
       rem /= idx_.domain_size();
     }
-    rem = slice_pos;
-    for (std::size_t c : bound_coords_) {
-      r += (rem % idx_.domain_size()) * idx_.Stride(c);
-      rem /= idx_.domain_size();
-    }
     return r;
   }
+
+  // Mixed-radix odometer over the bound coordinates: visits the global
+  // ranks of a block's slice positions in order with amortized O(1) work
+  // per step (a stride add, plus wrap subtractions on digit carries),
+  // replacing the O(arity) div/mod chain a per-position GlobalRank pays.
+  class SliceWalker {
+   public:
+    SliceWalker(const BlockLayout& layout, std::size_t block)
+        : layout_(layout),
+          digits_(layout.bound_coords_.size(), 0),
+          rank_(layout.BlockBase(block)) {}
+
+    std::size_t rank() const { return rank_; }
+
+    void Next() {
+      for (std::size_t j = 0; j < digits_.size(); ++j) {
+        if (++digits_[j] < layout_.idx_.domain_size()) {
+          rank_ += layout_.bound_stride_[j];
+          return;
+        }
+        digits_[j] = 0;
+        rank_ -= layout_.bound_wrap_[j];
+      }
+    }
+
+   private:
+    const BlockLayout& layout_;
+    std::vector<std::size_t> digits_;
+    std::size_t rank_;
+  };
 
   // FNV hash of a block's slice of `set`.
   uint64_t SliceHash(const AssignmentSet& set, std::size_t block) const {
     uint64_t h = 1469598103934665603ull;
     uint64_t word = 0;
     int nbits = 0;
-    for (std::size_t s = 0; s < slice_size_; ++s) {
-      word = (word << 1) | (set.Test(GlobalRank(block, s)) ? 1 : 0);
+    SliceWalker w(*this, block);
+    for (std::size_t s = 0; s < slice_size_; ++s, w.Next()) {
+      word = (word << 1) | (set.Test(w.rank()) ? 1 : 0);
       if (++nbits == 64) {
         h ^= word;
         h *= 1099511628211ull;
@@ -75,18 +105,18 @@ class BlockLayout {
 
   bool SlicesEqual(const AssignmentSet& a, const AssignmentSet& b,
                    std::size_t block) const {
-    for (std::size_t s = 0; s < slice_size_; ++s) {
-      const std::size_t r = GlobalRank(block, s);
-      if (a.Test(r) != b.Test(r)) return false;
+    SliceWalker w(*this, block);
+    for (std::size_t s = 0; s < slice_size_; ++s, w.Next()) {
+      if (a.Test(w.rank()) != b.Test(w.rank())) return false;
     }
     return true;
   }
 
   void CopySlice(const AssignmentSet& from, AssignmentSet& to,
                  std::size_t block) const {
-    for (std::size_t s = 0; s < slice_size_; ++s) {
-      const std::size_t r = GlobalRank(block, s);
-      to.mutable_bits().Assign(r, from.Test(r));
+    SliceWalker w(*this, block);
+    for (std::size_t s = 0; s < slice_size_; ++s, w.Next()) {
+      to.mutable_bits().Assign(w.rank(), from.Test(w.rank()));
     }
   }
 
@@ -94,6 +124,8 @@ class BlockLayout {
   TupleIndexer idx_;  // by value: callers often pass a temporary
   std::vector<std::size_t> bound_coords_;
   std::vector<std::size_t> param_coords_;
+  std::vector<std::size_t> bound_stride_;
+  std::vector<std::size_t> bound_wrap_;  // (n-1) * stride, the carry rewind
   std::size_t num_blocks_;
   std::size_t slice_size_;
 };
@@ -103,6 +135,16 @@ class BlockLayout {
 constexpr std::size_t kMinParallelBits = 4096;
 
 }  // namespace
+
+std::size_t BoundedEvaluator::IdKeyHash::operator()(
+    const std::vector<std::size_t>& key) const {
+  uint64_t h = 1469598103934665603ull;
+  for (std::size_t v : key) {
+    h ^= static_cast<uint64_t>(v);
+    h *= 1099511628211ull;
+  }
+  return static_cast<std::size_t>(h);
+}
 
 BoundedEvaluator::BoundedEvaluator(const Database& db, std::size_t num_vars,
                                    BoundedEvalOptions options)
@@ -114,7 +156,7 @@ BoundedEvaluator::BoundedEvaluator(const Database& db, std::size_t num_vars,
 }
 
 Result<AssignmentSet> BoundedEvaluator::Evaluate(const FormulaPtr& formula) {
-  Env env;
+  std::map<std::string, RelVarBinding> env;
   return EvaluateWithEnv(formula, env);
 }
 
@@ -126,11 +168,23 @@ Result<AssignmentSet> BoundedEvaluator::EvaluateWithEnv(
         StrCat("n^k = ", db_->domain_size(), "^", num_vars_,
                " exceeds the assignment-set size limit"));
   }
+  index_ = std::make_unique<FormulaIndex>(formula);
   warm_cache_.clear();
   atom_cache_.clear();
   remap_cache_.clear();
+  memo_.assign(index_->num_classes(), MemoEntry{});
   epoch_[0] = epoch_[1] = 0;
-  Env working = env;
+  next_version_ = 0;
+  loop_depth_ = 0;
+  Env working(index_->num_preds());
+  for (const auto& [name, binding] : env) {
+    const std::size_t pred = index_->PredId(name);
+    // Bindings for names the formula never mentions cannot influence the
+    // answer; drop them rather than widen the slot vector.
+    if (pred == FormulaIndex::kNoPred) continue;
+    working[pred] =
+        RelVarBinding(binding.cube_ptr, binding.coords, ++next_version_);
+  }
   ThreadPoolStats before;
   if (pool_) before = pool_->stats();
   auto result = Eval(formula, working);
@@ -159,16 +213,11 @@ Result<Relation> BoundedEvaluator::EvaluateQuery(const Query& query) {
 const std::vector<std::size_t>& BoundedEvaluator::RemapTable(
     const std::vector<std::size_t>& targets,
     const std::vector<std::size_t>& sources) {
-  std::string key;
-  for (std::size_t v : targets) {
-    key += std::to_string(v);
-    key += ",";
-  }
-  key += "<-";
-  for (std::size_t v : sources) {
-    key += std::to_string(v);
-    key += ",";
-  }
+  std::vector<std::size_t> key;
+  key.reserve(targets.size() + sources.size() + 1);
+  key.insert(key.end(), targets.begin(), targets.end());
+  key.push_back(static_cast<std::size_t>(-1));  // unambiguous separator
+  key.insert(key.end(), sources.begin(), sources.end());
   auto it = remap_cache_.find(key);
   if (it != remap_cache_.end()) return it->second;
   TupleIndexer idx(db_->domain_size(), num_vars_);
@@ -178,8 +227,49 @@ const std::vector<std::size_t>& BoundedEvaluator::RemapTable(
   return ins->second;
 }
 
+void BoundedEvaluator::Bind(Env& env, std::size_t pred,
+                            std::shared_ptr<const AssignmentSet> cube,
+                            const std::vector<std::size_t>& coords) {
+  env[pred] = RelVarBinding(std::move(cube), coords, ++next_version_);
+}
+
 Result<AssignmentSet> BoundedEvaluator::Eval(const FormulaPtr& f, Env& env) {
   ++stats_.node_evals;
+  const FormulaIndex::NodeFacts& facts = index_->Facts(f.get());
+  // Constants are cheaper to rebuild than to look up; everything else is
+  // answerable from the memo while the versions of the bindings it reads
+  // are unchanged. In particular a subtree that mentions no recursion
+  // variable of a live fixpoint keeps a constant signature across the
+  // fixpoint's iterations and is evaluated exactly once (the invariant
+  // hoist this layer exists for).
+  if (!options_.memo || f->kind() == FormulaKind::kTrue ||
+      f->kind() == FormulaKind::kFalse) {
+    return EvalUncached(f, facts, env);
+  }
+  MemoEntry& slot = memo_[facts.cls];
+  const std::vector<std::size_t>& deps = index_->FreeRelVars(facts.cls);
+  std::vector<uint64_t> sig;
+  sig.reserve(deps.size());
+  for (std::size_t pred : deps) {
+    sig.push_back(env[pred] ? env[pred]->version : 0);
+  }
+  if (slot.valid && slot.versions == sig) {
+    ++stats_.memo_hits;
+    if (loop_depth_ > 0) ++stats_.invariant_hoists;
+    return slot.value;
+  }
+  ++stats_.memo_misses;
+  auto result = EvalUncached(f, facts, env);
+  if (result.ok()) {
+    slot.valid = true;
+    slot.versions = std::move(sig);
+    slot.value = *result;
+  }
+  return result;
+}
+
+Result<AssignmentSet> BoundedEvaluator::EvalUncached(
+    const FormulaPtr& f, const FormulaIndex::NodeFacts& facts, Env& env) {
   const std::size_t n = db_->domain_size();
   switch (f->kind()) {
     case FormulaKind::kTrue:
@@ -195,17 +285,17 @@ Result<AssignmentSet> BoundedEvaluator::Eval(const FormulaPtr& f, Env& env) {
                                           v + 1));
         }
       }
-      auto it = env.find(atom.pred());
-      if (it != env.end()) {
-        if (it->second.coords.size() != atom.args().size()) {
+      if (env[facts.pred]) {
+        const RelVarBinding& binding = *env[facts.pred];
+        if (binding.coords.size() != atom.args().size()) {
           return Status::TypeError(
               StrCat("relation variable ", atom.pred(), " has arity ",
-                     it->second.coords.size(), ", used with ",
+                     binding.coords.size(), ", used with ",
                      atom.args().size()));
         }
-        stats_.tuples_scanned += it->second.cube.indexer().NumTuples();
-        return it->second.cube.RemapByTable(
-            RemapTable(it->second.coords, atom.args()), pool_.get());
+        stats_.tuples_scanned += binding.cube().indexer().NumTuples();
+        return binding.cube().RemapByTable(
+            RemapTable(binding.coords, atom.args()), pool_.get());
       }
       auto rel = db_->GetRelation(atom.pred());
       if (!rel.ok()) return rel.status();
@@ -214,17 +304,18 @@ Result<AssignmentSet> BoundedEvaluator::Eval(const FormulaPtr& f, Env& env) {
             StrCat("relation ", atom.pred(), " has arity ", (*rel)->arity(),
                    ", used with ", atom.args().size()));
       }
-      std::string key = atom.pred() + "/";
-      for (std::size_t v : atom.args()) {
-        key += std::to_string(v);
-        key += ",";
+      std::vector<std::size_t> key;
+      if (!options_.memo) {
+        key.reserve(atom.args().size() + 1);
+        key.push_back(facts.pred);
+        key.insert(key.end(), atom.args().begin(), atom.args().end());
+        auto cached = atom_cache_.find(key);
+        if (cached != atom_cache_.end()) return cached->second;
       }
-      auto cached = atom_cache_.find(key);
-      if (cached != atom_cache_.end()) return cached->second;
       stats_.tuples_scanned += (*rel)->size();
       AssignmentSet set = AssignmentSet::FromAtom(n, num_vars_, **rel,
                                                   atom.args(), pool_.get());
-      atom_cache_.emplace(std::move(key), set);
+      if (!options_.memo) atom_cache_.emplace(std::move(key), set);
       return set;
     }
     case FormulaKind::kEquals: {
@@ -232,13 +323,15 @@ Result<AssignmentSet> BoundedEvaluator::Eval(const FormulaPtr& f, Env& env) {
       if (eq.lhs() >= num_vars_ || eq.rhs() >= num_vars_) {
         return Status::TypeError("equality uses out-of-range variable");
       }
-      std::string key =
-          StrCat("=", eq.lhs(), ",", eq.rhs());
-      auto cached = atom_cache_.find(key);
-      if (cached != atom_cache_.end()) return cached->second;
+      std::vector<std::size_t> key;
+      if (!options_.memo) {
+        key = {kEqualityKey, eq.lhs(), eq.rhs()};
+        auto cached = atom_cache_.find(key);
+        if (cached != atom_cache_.end()) return cached->second;
+      }
       AssignmentSet set = AssignmentSet::Equality(n, num_vars_, eq.lhs(),
                                                   eq.rhs(), pool_.get());
-      atom_cache_.emplace(std::move(key), set);
+      if (!options_.memo) atom_cache_.emplace(std::move(key), set);
       return set;
     }
     case FormulaKind::kNot: {
@@ -310,10 +403,10 @@ Result<AssignmentSet> BoundedEvaluator::Eval(const FormulaPtr& f, Env& env) {
         return Status::TypeError("fixpoint arity mismatch");
       }
       if (fp.op() == FixpointKind::kPartial) {
-        return EvalPartialFixpoint(fp, env);
+        return EvalPartialFixpoint(fp, facts.pred, env);
       }
       if (fp.op() == FixpointKind::kInflationary) {
-        return EvalInflationaryFixpoint(fp, env);
+        return EvalInflationaryFixpoint(fp, facts.pred, env);
       }
       if (!OccursOnlyPositively(fp.body(), fp.rel_var())) {
         return Status::TypeError(
@@ -321,53 +414,51 @@ Result<AssignmentSet> BoundedEvaluator::Eval(const FormulaPtr& f, Env& env) {
                    " must occur positively in lfp/gfp body"));
       }
       if (options_.fixpoint_strategy == FixpointStrategy::kMonotoneReuse) {
-        return EvalMonotoneFixpoint(fp, env);
+        return EvalMonotoneFixpoint(fp, facts.pred, env);
       }
-      return EvalFixpoint(fp, env);
+      return EvalFixpoint(fp, facts.pred, env);
     }
     case FormulaKind::kSecondOrderExists:
-      return EvalSecondOrder(static_cast<const SoExistsFormula&>(*f), env);
+      return EvalSecondOrder(static_cast<const SoExistsFormula&>(*f),
+                             facts.pred, env);
   }
   return Status::Internal("unreachable formula kind");
 }
 
 Result<AssignmentSet> BoundedEvaluator::EvalFixpoint(
-    const FixpointFormula& fp, Env& env) {
+    const FixpointFormula& fp, std::size_t pred, Env& env) {
   const std::size_t n = db_->domain_size();
   const bool is_least = fp.op() == FixpointKind::kLeast;
-  AssignmentSet x = is_least ? AssignmentSet(n, num_vars_)
-                             : AssignmentSet::Full(n, num_vars_);
-  // Save and shadow any outer binding of the same name.
-  auto saved = env.find(fp.rel_var());
-  std::optional<RelVarBinding> outer;
-  if (saved != env.end()) outer = saved->second;
+  auto x = std::make_shared<const AssignmentSet>(
+      is_least ? AssignmentSet(n, num_vars_)
+               : AssignmentSet::Full(n, num_vars_));
+  // Save and shadow any outer binding of the same name; restoring the
+  // optional also restores its version, revalidating memo entries taken
+  // under the outer binding.
+  const std::optional<RelVarBinding> outer = env[pred];
 
-  const std::size_t max_iters = x.indexer().NumTuples() + 2;
+  const std::size_t max_iters = x->indexer().NumTuples() + 2;
   bool converged = false;
+  ++loop_depth_;
   for (std::size_t iter = 0; iter <= max_iters; ++iter) {
-    env[fp.rel_var()] = RelVarBinding{x, fp.bound_vars()};
+    Bind(env, pred, x, fp.bound_vars());
     ++stats_.fixpoint_iterations;
-    stats_.tuples_scanned += x.indexer().NumTuples();
+    ++stats_.iterate_copies_avoided;
+    stats_.tuples_scanned += x->indexer().NumTuples();
     auto next = Eval(fp.body(), env);
     if (!next.ok()) {
-      if (outer) {
-        env[fp.rel_var()] = *outer;
-      } else {
-        env.erase(fp.rel_var());
-      }
+      --loop_depth_;
+      env[pred] = outer;
       return next;
     }
-    if (*next == x) {
+    if (*next == *x) {
       converged = true;
       break;
     }
-    x = std::move(*next);
+    x = std::make_shared<const AssignmentSet>(std::move(*next));
   }
-  if (outer) {
-    env[fp.rel_var()] = *outer;
-  } else {
-    env.erase(fp.rel_var());
-  }
+  --loop_depth_;
+  env[pred] = outer;
   if (!converged) {
     // A syntactically positive body can still induce a non-monotone
     // operator when the recursion variable passes through a pfp body.
@@ -375,113 +466,103 @@ Result<AssignmentSet> BoundedEvaluator::EvalFixpoint(
         StrCat("fixpoint ", fp.rel_var(),
                " did not converge; operator is not monotone"));
   }
-  return x.Remap(fp.bound_vars(), fp.apply_args(), pool_.get());
+  return x->Remap(fp.bound_vars(), fp.apply_args(), pool_.get());
 }
 
 Result<AssignmentSet> BoundedEvaluator::EvalMonotoneFixpoint(
-    const FixpointFormula& fp, Env& env) {
+    const FixpointFormula& fp, std::size_t pred, Env& env) {
   const std::size_t n = db_->domain_size();
   const bool is_least = fp.op() == FixpointKind::kLeast;
   const int pol = is_least ? 0 : 1;
 
-  AssignmentSet x = is_least ? AssignmentSet(n, num_vars_)
-                             : AssignmentSet::Full(n, num_vars_);
+  auto x = std::make_shared<const AssignmentSet>(
+      is_least ? AssignmentSet(n, num_vars_)
+               : AssignmentSet::Full(n, num_vars_));
   auto cached = warm_cache_.find(&fp);
   if (cached != warm_cache_.end() && cached->second.epoch == epoch_[pol]) {
-    x = cached->second.value;
+    x = std::make_shared<const AssignmentSet>(cached->second.value);
     ++stats_.warm_starts;
   }
 
-  auto saved = env.find(fp.rel_var());
-  std::optional<RelVarBinding> outer;
-  if (saved != env.end()) outer = saved->second;
+  const std::optional<RelVarBinding> outer = env[pred];
 
-  const std::size_t max_iters = x.indexer().NumTuples() + 2;
+  const std::size_t max_iters = x->indexer().NumTuples() + 2;
   bool converged = false;
+  ++loop_depth_;
   for (std::size_t iter = 0; iter <= max_iters; ++iter) {
-    env[fp.rel_var()] = RelVarBinding{x, fp.bound_vars()};
+    Bind(env, pred, x, fp.bound_vars());
     ++stats_.fixpoint_iterations;
-    stats_.tuples_scanned += x.indexer().NumTuples();
+    ++stats_.iterate_copies_avoided;
+    stats_.tuples_scanned += x->indexer().NumTuples();
     auto next = Eval(fp.body(), env);
     if (!next.ok()) {
-      if (outer) {
-        env[fp.rel_var()] = *outer;
-      } else {
-        env.erase(fp.rel_var());
-      }
+      --loop_depth_;
+      env[pred] = outer;
       return next;
     }
-    if (*next == x) {
+    if (*next == *x) {
       converged = true;
       break;
     }
-    x = std::move(*next);
+    x = std::make_shared<const AssignmentSet>(std::move(*next));
     // Advancing this iterate invalidates warm caches of opposite-polarity
     // fixpoints (their operators just moved in the non-monotone direction
     // for them).
     ++epoch_[1 - pol];
   }
-  if (outer) {
-    env[fp.rel_var()] = *outer;
-  } else {
-    env.erase(fp.rel_var());
-  }
+  --loop_depth_;
+  env[pred] = outer;
   if (!converged) {
     return Status::TypeError(
         StrCat("fixpoint ", fp.rel_var(),
                " did not converge; operator is not monotone"));
   }
-  warm_cache_.insert_or_assign(&fp, CacheEntry{x, epoch_[pol]});
-  return x.Remap(fp.bound_vars(), fp.apply_args(), pool_.get());
+  warm_cache_.insert_or_assign(&fp, CacheEntry{*x, epoch_[pol]});
+  return x->Remap(fp.bound_vars(), fp.apply_args(), pool_.get());
 }
 
 Result<AssignmentSet> BoundedEvaluator::EvalInflationaryFixpoint(
-    const FixpointFormula& fp, Env& env) {
+    const FixpointFormula& fp, std::size_t pred, Env& env) {
   // IFP: X_{i+1} = X_i union phi(X_i); increasing by construction, so it
   // converges within n^k stages regardless of the body's shape.
   const std::size_t n = db_->domain_size();
-  AssignmentSet x(n, num_vars_);
-  auto saved = env.find(fp.rel_var());
-  std::optional<RelVarBinding> outer;
-  if (saved != env.end()) outer = saved->second;
+  auto x = std::make_shared<const AssignmentSet>(AssignmentSet(n, num_vars_));
+  const std::optional<RelVarBinding> outer = env[pred];
 
-  const std::size_t max_iters = x.indexer().NumTuples() + 2;
+  const std::size_t max_iters = x->indexer().NumTuples() + 2;
+  ++loop_depth_;
   for (std::size_t iter = 0; iter <= max_iters; ++iter) {
-    env[fp.rel_var()] = RelVarBinding{x, fp.bound_vars()};
+    Bind(env, pred, x, fp.bound_vars());
     ++stats_.fixpoint_iterations;
-    stats_.tuples_scanned += x.indexer().NumTuples();
+    ++stats_.iterate_copies_avoided;
+    stats_.tuples_scanned += x->indexer().NumTuples();
     // The arbitrary (possibly non-monotone) body invalidates monotone
     // warm-start caches beneath, like pfp does.
     ++epoch_[0];
     ++epoch_[1];
     auto next = Eval(fp.body(), env);
     if (!next.ok()) {
-      if (outer) {
-        env[fp.rel_var()] = *outer;
-      } else {
-        env.erase(fp.rel_var());
-      }
+      --loop_depth_;
+      env[pred] = outer;
       return next;
     }
-    next->OrWith(x);
-    if (*next == x) break;
-    x = std::move(*next);
+    next->OrWith(*x);
+    if (*next == *x) break;
+    x = std::make_shared<const AssignmentSet>(std::move(*next));
   }
-  if (outer) {
-    env[fp.rel_var()] = *outer;
-  } else {
-    env.erase(fp.rel_var());
-  }
-  return x.Remap(fp.bound_vars(), fp.apply_args(), pool_.get());
+  --loop_depth_;
+  env[pred] = outer;
+  return x->Remap(fp.bound_vars(), fp.apply_args(), pool_.get());
 }
 
 Result<AssignmentSet> BoundedEvaluator::EvalPartialFixpoint(
-    const FixpointFormula& fp, Env& env) {
+    const FixpointFormula& fp, std::size_t pred, Env& env) {
   const std::size_t n = db_->domain_size();
   BlockLayout layout(AssignmentSet(n, num_vars_).indexer(), fp.bound_vars());
   const std::size_t num_blocks = layout.num_blocks();
 
-  AssignmentSet x(n, num_vars_);            // current stage
+  // Current stage; shared so each stage binds without copying the cube.
+  auto x = std::make_shared<const AssignmentSet>(AssignmentSet(n, num_vars_));
   AssignmentSet result(n, num_vars_);       // assembled per-block limits
   // Byte flags, not vector<bool>: the parallel sweep writes flags of
   // distinct blocks from different chunks, which must not share storage.
@@ -494,7 +575,7 @@ Result<AssignmentSet> BoundedEvaluator::EvalPartialFixpoint(
   // granularity and stay serial.
   const bool par = pool_ != nullptr && pool_->num_threads() > 1 &&
                    num_blocks > 1 &&
-                   x.indexer().NumTuples() >= kMinParallelBits;
+                   x->indexer().NumTuples() >= kMinParallelBits;
   const std::size_t block_grain =
       par ? std::max<std::size_t>(
                 1, num_blocks / (pool_->num_threads() * 4))
@@ -504,29 +585,26 @@ Result<AssignmentSet> BoundedEvaluator::EvalPartialFixpoint(
   // pfp iterate is not monotone); invalidate on every stage by bumping both
   // epochs below.
 
-  auto saved = env.find(fp.rel_var());
-  std::optional<RelVarBinding> outer;
-  if (saved != env.end()) outer = saved->second;
+  const std::optional<RelVarBinding> outer = env[pred];
+  ++loop_depth_;
   auto restore = [&]() {
-    if (outer) {
-      env[fp.rel_var()] = *outer;
-    } else {
-      env.erase(fp.rel_var());
-    }
+    --loop_depth_;
+    env[pred] = outer;
   };
 
   if (options_.pfp_cycle_detection == PfpCycleDetection::kHashHistory) {
     std::vector<std::unordered_set<uint64_t>> seen(num_blocks);
     for (std::size_t b = 0; b < num_blocks; ++b) {
-      seen[b].insert(layout.SliceHash(x, b));
+      seen[b].insert(layout.SliceHash(*x, b));
     }
     // Per-block stage outcome: 0 = still running, 1 = limit reached (copy
     // the slice), 2 = cycle detected (slice stays empty).
     std::vector<uint8_t> outcome(num_blocks, 0);
     while (num_decided < num_blocks) {
-      env[fp.rel_var()] = RelVarBinding{x, fp.bound_vars()};
+      Bind(env, pred, x, fp.bound_vars());
       ++stats_.fixpoint_iterations;
-      stats_.tuples_scanned += x.indexer().NumTuples();
+      ++stats_.iterate_copies_avoided;
+      stats_.tuples_scanned += x->indexer().NumTuples();
       ++epoch_[0];
       ++epoch_[1];
       auto next = Eval(fp.body(), env);
@@ -536,7 +614,7 @@ Result<AssignmentSet> BoundedEvaluator::EvalPartialFixpoint(
       }
       auto classify = [&](std::size_t b) -> uint8_t {
         if (decided[b]) return 0;
-        if (layout.SlicesEqual(x, *next, b)) {
+        if (layout.SlicesEqual(*x, *next, b)) {
           // Stage repeated immediately: the sequence has a limit here.
           return 1;
         }
@@ -562,23 +640,25 @@ Result<AssignmentSet> BoundedEvaluator::EvalPartialFixpoint(
         decided[b] = 1;
         ++num_decided;
       }
-      x = std::move(*next);
+      x = std::make_shared<const AssignmentSet>(std::move(*next));
     }
   } else {
     // Floyd tortoise-and-hare, per block. The tortoise advances one stage
     // and the hare two stages per round; when a block's slices meet, the
     // block is inside its cycle. A cycle of length 1 is a limit; anything
     // longer means no limit (empty slice).
-    AssignmentSet tortoise = x;
-    AssignmentSet hare = x;
+    auto tortoise = x;
+    auto hare = x;
     // met[b]: slices met, waiting to test whether the meeting point is a
     // fixpoint (the next tortoise step tells us). Byte flags for the same
     // reason as `decided`.
     std::vector<uint8_t> met(num_blocks, 0);
-    auto step = [&](const AssignmentSet& from) -> Result<AssignmentSet> {
-      env[fp.rel_var()] = RelVarBinding{from, fp.bound_vars()};
+    auto step = [&](const std::shared_ptr<const AssignmentSet>& from)
+        -> Result<AssignmentSet> {
+      Bind(env, pred, from, fp.bound_vars());
       ++stats_.fixpoint_iterations;
-      stats_.tuples_scanned += from.indexer().NumTuples();
+      ++stats_.iterate_copies_avoided;
+      stats_.tuples_scanned += from->indexer().NumTuples();
       ++epoch_[0];
       ++epoch_[1];
       return Eval(fp.body(), env);
@@ -594,7 +674,7 @@ Result<AssignmentSet> BoundedEvaluator::EvalPartialFixpoint(
       // t_next tells us whether it is a fixpoint.
       auto test_limit = [&](std::size_t b) {
         is_limit[b] = !decided[b] && met[b] &&
-                      layout.SlicesEqual(tortoise, *t_next, b);
+                      layout.SlicesEqual(*tortoise, *t_next, b);
       };
       if (par) {
         pool_->ParallelFor(
@@ -607,7 +687,7 @@ Result<AssignmentSet> BoundedEvaluator::EvalPartialFixpoint(
       }
       for (std::size_t b = 0; b < num_blocks; ++b) {
         if (decided[b] || !met[b]) continue;
-        if (is_limit[b]) layout.CopySlice(tortoise, result, b);
+        if (is_limit[b]) layout.CopySlice(*tortoise, result, b);
         decided[b] = 1;
         ++num_decided;
       }
@@ -616,18 +696,20 @@ Result<AssignmentSet> BoundedEvaluator::EvalPartialFixpoint(
         restore();
         return h_mid;
       }
-      auto h_next = step(*h_mid);
+      auto h_mid_shared =
+          std::make_shared<const AssignmentSet>(std::move(*h_mid));
+      auto h_next = step(h_mid_shared);
       if (!h_next.ok()) {
         restore();
         return h_next;
       }
-      tortoise = std::move(*t_next);
-      hare = std::move(*h_next);
+      tortoise = std::make_shared<const AssignmentSet>(std::move(*t_next));
+      hare = std::make_shared<const AssignmentSet>(std::move(*h_next));
       // met flags of distinct blocks live in distinct bytes, so the
       // detection loop fans out without a merge step.
       auto test_met = [&](std::size_t b) {
         if (decided[b] || met[b]) return;
-        if (layout.SlicesEqual(tortoise, hare, b)) met[b] = 1;
+        if (layout.SlicesEqual(*tortoise, *hare, b)) met[b] = 1;
       };
       if (par) {
         pool_->ParallelFor(
@@ -645,7 +727,7 @@ Result<AssignmentSet> BoundedEvaluator::EvalPartialFixpoint(
 }
 
 Result<AssignmentSet> BoundedEvaluator::EvalSecondOrder(
-    const SoExistsFormula& so, Env& env) {
+    const SoExistsFormula& so, std::size_t pred, Env& env) {
   const std::size_t n = db_->domain_size();
   if (TupleIndexer::Exceeds(n, so.arity(),
                             options_.max_so_enumeration_bits)) {
@@ -660,9 +742,7 @@ Result<AssignmentSet> BoundedEvaluator::EvalSecondOrder(
     return Status::ResourceExhausted(
         "second-order enumeration space too large");
   }
-  auto saved = env.find(so.rel_var());
-  std::optional<RelVarBinding> outer;
-  if (saved != env.end()) outer = saved->second;
+  const std::optional<RelVarBinding> outer = env[pred];
 
   // Bind the quantified relation to coordinates 0..arity-1 of the cube.
   std::vector<std::size_t> coords(so.arity());
@@ -676,6 +756,7 @@ Result<AssignmentSet> BoundedEvaluator::EvalSecondOrder(
 
   AssignmentSet acc(n, num_vars_);
   Tuple t(so.arity());
+  ++loop_depth_;
   for (uint64_t mask = 0; mask < (uint64_t{1} << cells); ++mask) {
     RelationBuilder rb(so.arity());
     for (std::size_t c = 0; c < cells; ++c) {
@@ -685,29 +766,23 @@ Result<AssignmentSet> BoundedEvaluator::EvalSecondOrder(
       }
     }
     Relation rel = rb.Build();
-    AssignmentSet cube =
-        AssignmentSet::FromAtom(n, num_vars_, rel, coords, pool_.get());
-    env[so.rel_var()] = RelVarBinding{std::move(cube), coords};
+    auto cube = std::make_shared<const AssignmentSet>(
+        AssignmentSet::FromAtom(n, num_vars_, rel, coords, pool_.get()));
+    Bind(env, pred, std::move(cube), coords);
     // Arbitrary witnesses break monotone warm-start assumptions.
     ++epoch_[0];
     ++epoch_[1];
     auto body = Eval(so.body(), env);
     if (!body.ok()) {
-      if (outer) {
-        env[so.rel_var()] = *outer;
-      } else {
-        env.erase(so.rel_var());
-      }
+      --loop_depth_;
+      env[pred] = outer;
       return body;
     }
     acc.OrWith(*body);
     if (acc.IsFull()) break;
   }
-  if (outer) {
-    env[so.rel_var()] = *outer;
-  } else {
-    env.erase(so.rel_var());
-  }
+  --loop_depth_;
+  env[pred] = outer;
   return acc;
 }
 

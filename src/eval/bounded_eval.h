@@ -4,13 +4,16 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "db/assignment_set.h"
 #include "db/database.h"
+#include "logic/analysis.h"
 #include "logic/formula.h"
 
 namespace bvq {
@@ -45,7 +48,8 @@ enum class PfpCycleDetection {
 struct EvalStats {
   /// Number of fixpoint body evaluations (the paper's "iterations").
   std::size_t fixpoint_iterations = 0;
-  /// Number of AssignmentSet-producing node evaluations.
+  /// Number of AssignmentSet-producing node evaluations (memo hits
+  /// included; subtract memo_hits for the number of real computations).
   std::size_t node_evals = 0;
   /// Number of warm starts taken by kMonotoneReuse.
   std::size_t warm_starts = 0;
@@ -60,6 +64,19 @@ struct EvalStats {
   /// Chunks that migrated to a pool worker instead of the submitting
   /// thread.
   std::size_t chunks_stolen = 0;
+  /// Subtree evaluations answered from the dependency-aware memo table
+  /// (the whole subtree was skipped).
+  std::size_t memo_hits = 0;
+  /// Subtree evaluations that missed the memo and ran for real.
+  std::size_t memo_misses = 0;
+  /// Memo hits taken while at least one fixpoint or second-order
+  /// enumeration loop was live: work that the seed evaluator performed
+  /// once per iteration and the memo layer hoisted out of the loop.
+  std::size_t invariant_hoists = 0;
+  /// Fixpoint-iterate installs into the environment that shared the cube
+  /// instead of deep-copying the full n^k bitset (one per iteration of
+  /// every fixpoint loop; the seed copied each time).
+  std::size_t iterate_copies_avoided = 0;
 
   void Reset() { *this = EvalStats(); }
 };
@@ -80,15 +97,43 @@ struct BoundedEvalOptions {
   /// path, no pool is created. Outputs are byte-identical for every value
   /// (see DESIGN.md, "Threading model & determinism").
   std::size_t num_threads = 0;
+  /// Dependency-aware subformula memoization (DESIGN.md, "Memoization &
+  /// invariant hoisting"): every subtree result is cached keyed on its
+  /// structural class and the versions of the relation-variable bindings
+  /// it depends on, so loop-invariant subtrees of fixpoint bodies are
+  /// evaluated once instead of once per iteration. Answers are
+  /// byte-identical either way; `false` is the ablation kill switch
+  /// (bench_memo_ablation) and restores the seed evaluation strategy.
+  bool memo = true;
 };
 
 /// Interpretation of a relation variable during evaluation: the current
 /// iterate (or chosen witness) encoded as a cube over all k variables, with
 /// the relation's m arguments living at coordinates `coords`. An atom
 /// S(u_1..u_m) evaluates to cube.Remap(coords <- u).
+///
+/// The cube is held by shared, copy-on-write-style immutable storage so a
+/// fixpoint loop can install its current iterate into the environment
+/// without duplicating the full n^k bitset each round. `version` is a
+/// nonce assigned by the evaluator: every distinct binding event gets a
+/// fresh value, which is what the memo layer keys invalidation on (0 is
+/// reserved for "resolved by the database").
 struct RelVarBinding {
-  AssignmentSet cube;
+  RelVarBinding() = default;
+  RelVarBinding(AssignmentSet cube_value, std::vector<std::size_t> coords_in)
+      : cube_ptr(std::make_shared<const AssignmentSet>(std::move(cube_value))),
+        coords(std::move(coords_in)) {}
+  RelVarBinding(std::shared_ptr<const AssignmentSet> shared,
+                std::vector<std::size_t> coords_in, uint64_t version_in = 0)
+      : cube_ptr(std::move(shared)),
+        coords(std::move(coords_in)),
+        version(version_in) {}
+
+  const AssignmentSet& cube() const { return *cube_ptr; }
+
+  std::shared_ptr<const AssignmentSet> cube_ptr;
   std::vector<std::size_t> coords;
+  uint64_t version = 0;
 };
 
 /// Bottom-up evaluator for bounded-variable queries: FO^k per
@@ -131,17 +176,30 @@ class BoundedEvaluator {
   ThreadPool* thread_pool() const { return pool_.get(); }
 
  private:
-  using Env = std::map<std::string, RelVarBinding>;
+  // Internal environment: one slot per interned predicate id of the
+  // formula being evaluated (FormulaIndex), so binding lookups, installs,
+  // and restores are O(1) vector indexing instead of string-map searches.
+  using Env = std::vector<std::optional<RelVarBinding>>;
 
   Result<AssignmentSet> Eval(const FormulaPtr& f, Env& env);
-  Result<AssignmentSet> EvalFixpoint(const FixpointFormula& fp, Env& env);
+  Result<AssignmentSet> EvalUncached(const FormulaPtr& f,
+                                     const FormulaIndex::NodeFacts& facts,
+                                     Env& env);
+  Result<AssignmentSet> EvalFixpoint(const FixpointFormula& fp,
+                                     std::size_t pred, Env& env);
   Result<AssignmentSet> EvalMonotoneFixpoint(const FixpointFormula& fp,
-                                             Env& env);
+                                             std::size_t pred, Env& env);
   Result<AssignmentSet> EvalInflationaryFixpoint(const FixpointFormula& fp,
-                                                 Env& env);
+                                                 std::size_t pred, Env& env);
   Result<AssignmentSet> EvalPartialFixpoint(const FixpointFormula& fp,
-                                            Env& env);
-  Result<AssignmentSet> EvalSecondOrder(const SoExistsFormula& so, Env& env);
+                                            std::size_t pred, Env& env);
+  Result<AssignmentSet> EvalSecondOrder(const SoExistsFormula& so,
+                                        std::size_t pred, Env& env);
+
+  // Installs `cube` as the binding of `pred` with a fresh version nonce.
+  void Bind(Env& env, std::size_t pred,
+            std::shared_ptr<const AssignmentSet> cube,
+            const std::vector<std::size_t>& coords);
 
   const Database* db_;
   std::size_t num_vars_;
@@ -150,6 +208,29 @@ class BoundedEvaluator {
   // Owned pool for the parallel kernels; null when the resolved thread
   // count is 1 (the legacy serial path). Joined in the destructor.
   std::unique_ptr<ThreadPool> pool_;
+
+  // Structural interning + dependency sets of the formula currently being
+  // evaluated; rebuilt per public Evaluate call.
+  std::unique_ptr<FormulaIndex> index_;
+
+  // Version nonce source for Bind (0 is reserved for database-resolved
+  // names, so the counter pre-increments from 0).
+  uint64_t next_version_ = 0;
+
+  // Number of live fixpoint-iteration / second-order-enumeration loops on
+  // the evaluation stack; memo hits taken while it is positive are counted
+  // as invariant_hoists.
+  std::size_t loop_depth_ = 0;
+
+  // Dependency-aware memo table, indexed by structural class
+  // (FormulaIndex): an entry answers a subtree evaluation for free while
+  // the versions of the class's free relation variables are unchanged.
+  struct MemoEntry {
+    bool valid = false;
+    std::vector<uint64_t> versions;
+    AssignmentSet value;
+  };
+  std::vector<MemoEntry> memo_;
 
   // kMonotoneReuse state: cached last iterate per fixpoint node, valid only
   // while no enclosing opposite-polarity fixpoint has advanced (tracked via
@@ -162,14 +243,22 @@ class BoundedEvaluator {
   uint64_t epoch_[2] = {0, 0};
 
   // Database atoms and equality diagonals are invariant during one
-  // evaluation but re-requested on every fixpoint iteration; memoize them
-  // (keyed by "pred/arg,arg,.." and "=i,j"). Cleared per public Evaluate
-  // call.
-  std::map<std::string, AssignmentSet> atom_cache_;
+  // evaluation but re-requested on every fixpoint iteration. With the memo
+  // layer on they ride in memo_; this table serves the memo-off path,
+  // keyed by {pred_id, args...} / {kEqualityKey, i, j}. Cleared per public
+  // Evaluate call.
+  struct IdKeyHash {
+    std::size_t operator()(const std::vector<std::size_t>& key) const;
+  };
+  static constexpr std::size_t kEqualityKey = static_cast<std::size_t>(-2);
+  std::unordered_map<std::vector<std::size_t>, AssignmentSet, IdKeyHash>
+      atom_cache_;
 
-  // Remap permutation tables keyed by "t1,t2<-s1,s2"; rebuilt lazily per
-  // evaluation, reused across fixpoint iterations.
-  std::map<std::string, std::vector<std::size_t>> remap_cache_;
+  // Remap permutation tables keyed by {targets..., separator, sources...};
+  // rebuilt lazily per evaluation, reused across fixpoint iterations.
+  std::unordered_map<std::vector<std::size_t>, std::vector<std::size_t>,
+                     IdKeyHash>
+      remap_cache_;
   const std::vector<std::size_t>& RemapTable(
       const std::vector<std::size_t>& targets,
       const std::vector<std::size_t>& sources);

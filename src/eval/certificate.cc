@@ -126,7 +126,7 @@ Result<AssignmentSet> CertificateSystem::PluggedEval(
           return Status::TypeError(
               StrCat("arity mismatch for ", atom.pred()));
         }
-        return it->second.cube.Remap(it->second.coords, atom.args());
+        return it->second.cube().Remap(it->second.coords, atom.args());
       }
       auto rel = db_->GetRelation(atom.pred());
       if (!rel.ok()) return rel.status();

@@ -1,6 +1,7 @@
 #include "logic/analysis.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "common/strings.h"
 
@@ -507,6 +508,165 @@ Status CheckWellFormed(const FormulaPtr& formula, const Database& db,
                        std::size_t num_vars) {
   std::map<std::string, std::size_t> binders;
   return CheckRec(formula, db, num_vars, binders);
+}
+
+// --- FormulaIndex ---------------------------------------------------------
+
+namespace {
+
+uint64_t FnvHashWords(const std::vector<uint64_t>& words) {
+  uint64_t h = 1469598103934665603ull;
+  for (uint64_t w : words) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (w >> (byte * 8)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+// Sorted-unique union of two sorted-unique id vectors.
+std::vector<std::size_t> UnionSorted(const std::vector<std::size_t>& a,
+                                     const std::vector<std::size_t>& b) {
+  std::vector<std::size_t> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+std::vector<std::size_t> EraseSorted(std::vector<std::size_t> v,
+                                     std::size_t x) {
+  auto it = std::lower_bound(v.begin(), v.end(), x);
+  if (it != v.end() && *it == x) v.erase(it);
+  return v;
+}
+
+}  // namespace
+
+std::size_t FormulaIndex::KeyHash::operator()(
+    const std::vector<uint64_t>& key) const {
+  return static_cast<std::size_t>(FnvHashWords(key));
+}
+
+FormulaIndex::FormulaIndex(const FormulaPtr& root) { Visit(root); }
+
+const FormulaIndex::NodeFacts& FormulaIndex::Facts(
+    const Formula* node) const {
+  return facts_.at(node);
+}
+
+std::size_t FormulaIndex::PredId(const std::string& name) const {
+  auto it = pred_ids_.find(name);
+  return it == pred_ids_.end() ? kNoPred : it->second;
+}
+
+std::size_t FormulaIndex::InternPred(const std::string& name) {
+  auto [it, inserted] = pred_ids_.emplace(name, pred_names_.size());
+  if (inserted) pred_names_.push_back(name);
+  return it->second;
+}
+
+std::size_t FormulaIndex::InternClass(std::vector<uint64_t> key,
+                                      std::vector<std::size_t> free_preds) {
+  auto [it, inserted] = classes_.emplace(std::move(key), class_hashes_.size());
+  if (inserted) {
+    class_hashes_.push_back(FnvHashWords(it->first));
+    class_free_preds_.push_back(std::move(free_preds));
+  }
+  return it->second;
+}
+
+FormulaIndex::NodeFacts FormulaIndex::Visit(const FormulaPtr& f) {
+  auto cached = facts_.find(f.get());
+  if (cached != facts_.end()) return cached->second;
+
+  // Keys are exact encodings — kind tag, node parameters, then child
+  // *class* ids (already canonical), with counts wherever a field is
+  // variable-length — so equal keys imply syntactically identical
+  // subtrees.
+  std::vector<uint64_t> key{static_cast<uint64_t>(f->kind())};
+  NodeFacts facts;
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+      facts.cls = InternClass(std::move(key), {});
+      break;
+    case FormulaKind::kAtom: {
+      const auto& atom = static_cast<const AtomFormula&>(*f);
+      facts.pred = InternPred(atom.pred());
+      key.push_back(facts.pred);
+      key.push_back(atom.args().size());
+      for (std::size_t v : atom.args()) key.push_back(v);
+      facts.cls = InternClass(std::move(key), {facts.pred});
+      break;
+    }
+    case FormulaKind::kEquals: {
+      const auto& eq = static_cast<const EqualsFormula&>(*f);
+      key.push_back(eq.lhs());
+      key.push_back(eq.rhs());
+      facts.cls = InternClass(std::move(key), {});
+      break;
+    }
+    case FormulaKind::kNot: {
+      const NodeFacts sub = Visit(static_cast<const NotFormula&>(*f).sub());
+      key.push_back(sub.cls);
+      facts.cls = InternClass(std::move(key), class_free_preds_[sub.cls]);
+      break;
+    }
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+    case FormulaKind::kImplies:
+    case FormulaKind::kIff: {
+      const auto& b = static_cast<const BinaryFormula&>(*f);
+      const NodeFacts lhs = Visit(b.lhs());
+      const NodeFacts rhs = Visit(b.rhs());
+      key.push_back(lhs.cls);
+      key.push_back(rhs.cls);
+      facts.cls = InternClass(
+          std::move(key), UnionSorted(class_free_preds_[lhs.cls],
+                                      class_free_preds_[rhs.cls]));
+      break;
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForAll: {
+      const auto& q = static_cast<const QuantFormula&>(*f);
+      const NodeFacts body = Visit(q.body());
+      key.push_back(q.var());
+      key.push_back(body.cls);
+      facts.cls = InternClass(std::move(key), class_free_preds_[body.cls]);
+      break;
+    }
+    case FormulaKind::kFixpoint: {
+      const auto& fp = static_cast<const FixpointFormula&>(*f);
+      const NodeFacts body = Visit(fp.body());
+      facts.pred = InternPred(fp.rel_var());
+      key.push_back(static_cast<uint64_t>(fp.op()));
+      key.push_back(facts.pred);
+      key.push_back(fp.bound_vars().size());
+      for (std::size_t v : fp.bound_vars()) key.push_back(v);
+      key.push_back(body.cls);
+      for (std::size_t v : fp.apply_args()) key.push_back(v);
+      facts.cls = InternClass(
+          std::move(key),
+          EraseSorted(class_free_preds_[body.cls], facts.pred));
+      break;
+    }
+    case FormulaKind::kSecondOrderExists: {
+      const auto& so = static_cast<const SoExistsFormula&>(*f);
+      const NodeFacts body = Visit(so.body());
+      facts.pred = InternPred(so.rel_var());
+      key.push_back(facts.pred);
+      key.push_back(so.arity());
+      key.push_back(body.cls);
+      facts.cls = InternClass(
+          std::move(key),
+          EraseSorted(class_free_preds_[body.cls], facts.pred));
+      break;
+    }
+  }
+  facts_.emplace(f.get(), facts);
+  return facts;
 }
 
 }  // namespace bvq

@@ -2,9 +2,12 @@
 #define BVQ_LOGIC_ANALYSIS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <set>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "common/status.h"
 #include "db/database.h"
@@ -56,6 +59,80 @@ std::size_t AlternationDepth(const FormulaPtr& formula);
 /// recursion variable only positively; all variable indices are < num_vars.
 Status CheckWellFormed(const FormulaPtr& formula, const Database& db,
                        std::size_t num_vars);
+
+/// Structural interning plus relation-variable dependency analysis of a
+/// formula DAG, built once per root and then queried per node during
+/// evaluation.
+///
+/// Every node is assigned a *class* id in [0, num_classes()): two nodes get
+/// the same class iff their subtrees are syntactically identical (exact
+/// hash-consing on the node shape and child classes, not just a hash — no
+/// collision can merge distinct subtrees). Predicate names — database
+/// relations, fixpoint recursion variables, and second-order witnesses
+/// alike — are interned to dense ids in [0, num_preds()).
+///
+/// Per class the index records the *free relation variables*: the sorted
+/// predicate ids used in the subtree that are not bound by a fixpoint or
+/// second-order quantifier inside it. A subformula's value is a function of
+/// the database and of exactly those bindings, which is what makes the pair
+/// (class, versions of its free rel-vars) a sound memoization key for the
+/// bounded evaluator (Proposition 3.1's "never recompute at the same
+/// arity", extended across fixpoint iterations).
+class FormulaIndex {
+ public:
+  /// Sentinel for "node has no resolving predicate" / "name not interned".
+  static constexpr std::size_t kNoPred = static_cast<std::size_t>(-1);
+
+  /// What the evaluator needs per node visit: the structural class and, for
+  /// atoms / fixpoints / second-order binders, the interned id of the name
+  /// they resolve or bind (kNoPred otherwise).
+  struct NodeFacts {
+    std::size_t cls = 0;
+    std::size_t pred = kNoPred;
+  };
+
+  explicit FormulaIndex(const FormulaPtr& root);
+
+  /// Facts for a node of the indexed formula. The node must belong to it.
+  const NodeFacts& Facts(const Formula* node) const;
+
+  /// Interned id of `name`, or kNoPred if the formula never mentions it.
+  std::size_t PredId(const std::string& name) const;
+  const std::string& PredName(std::size_t pred_id) const {
+    return pred_names_[pred_id];
+  }
+  std::size_t num_preds() const { return pred_names_.size(); }
+  std::size_t num_classes() const { return class_hashes_.size(); }
+
+  /// Sorted interned ids of the free relation variables of class `cls`.
+  const std::vector<std::size_t>& FreeRelVars(std::size_t cls) const {
+    return class_free_preds_[cls];
+  }
+
+  /// FNV-1a hash of the class's structural shape. Within one index, equal
+  /// hashes are overwhelmingly likely to mean equal classes, but the class
+  /// id — not this hash — is the collision-free identity.
+  uint64_t StructuralHash(std::size_t cls) const {
+    return class_hashes_[cls];
+  }
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const std::vector<uint64_t>& key) const;
+  };
+
+  std::size_t InternPred(const std::string& name);
+  NodeFacts Visit(const FormulaPtr& f);
+  std::size_t InternClass(std::vector<uint64_t> key,
+                          std::vector<std::size_t> free_preds);
+
+  std::unordered_map<const Formula*, NodeFacts> facts_;
+  std::unordered_map<std::string, std::size_t> pred_ids_;
+  std::vector<std::string> pred_names_;
+  std::unordered_map<std::vector<uint64_t>, std::size_t, KeyHash> classes_;
+  std::vector<std::vector<std::size_t>> class_free_preds_;
+  std::vector<uint64_t> class_hashes_;
+};
 
 }  // namespace bvq
 

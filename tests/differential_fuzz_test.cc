@@ -9,6 +9,8 @@
 //   - ReferenceEvaluator (definitional ground truth, always)
 //   - BoundedEvaluator, naive nested fixpoints (always)
 //   - BoundedEvaluator, monotone-reuse strategy (always)
+//   - BoundedEvaluator, memo disabled, randomized strategy and thread
+//     count (always; every engine above runs with the default memo on)
 //   - BoundedEvaluator, Floyd PFP mode (when the formula has a pfp)
 //   - NaiveEvaluator (FO only)
 //   - WordAlgebraEvaluator (FO only, n^k <= 64)
@@ -82,6 +84,21 @@ TEST_P(DifferentialFuzz, AllEnginesAgree) {
     auto b2 = reuse.EvaluateQuery(Query{all_vars, f});
     ASSERT_TRUE(b2.ok()) << dump;
     EXPECT_EQ(*b2, *truth) << "bounded/reuse differs\n" << dump;
+
+    // Memo kill switch: disabling the dependency-aware memo must not
+    // change any answer. Randomize the rest of the configuration so the
+    // flag is exercised against both fixpoint strategies and several
+    // thread counts across the sweep.
+    BoundedEvalOptions nomemo;
+    nomemo.memo = false;
+    nomemo.fixpoint_strategy = rng.Below(2) == 0
+                                   ? FixpointStrategy::kNaiveNested
+                                   : FixpointStrategy::kMonotoneReuse;
+    nomemo.num_threads = 1 + rng.Below(4);
+    BoundedEvaluator nm(db, param.num_vars, nomemo);
+    auto b_nomemo = nm.EvaluateQuery(Query{all_vars, f});
+    ASSERT_TRUE(b_nomemo.ok()) << dump;
+    EXPECT_EQ(*b_nomemo, *truth) << "bounded/memo-off differs\n" << dump;
 
     // Floyd PFP mode.
     if (param.pfp) {

@@ -1,0 +1,243 @@
+// Tests for the dependency-aware subformula memo layer (DESIGN.md,
+// "Memoization & invariant hoisting"): FormulaIndex interning and
+// dependency sets, memo invalidation under every binder kind, counter
+// semantics, and byte-identical answers memo on vs. off across thread
+// counts.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "db/generators.h"
+#include "eval/bounded_eval.h"
+#include "logic/analysis.h"
+#include "logic/parser.h"
+
+namespace bvq {
+namespace {
+
+Database PathDbWithLastP(std::size_t n) {
+  Database db(n);
+  EXPECT_TRUE(db.AddRelation("E", PathGraph(n)).ok());
+  RelationBuilder p(1);
+  Value last = static_cast<Value>(n - 1);
+  p.Add(&last);
+  EXPECT_TRUE(db.AddRelation("P", p.Build()).ok());
+  return db;
+}
+
+AssignmentSet MustEval(const Database& db, std::size_t k,
+                       const FormulaPtr& f, BoundedEvalOptions opts,
+                       EvalStats* stats = nullptr) {
+  BoundedEvaluator eval(db, k, opts);
+  auto r = eval.Evaluate(f);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  if (stats != nullptr) *stats = eval.stats();
+  return *r;
+}
+
+// --- FormulaIndex -----------------------------------------------------------
+
+TEST(FormulaIndexTest, IdenticalSubtreesShareAClass) {
+  auto f = ParseFormula("E(x1,x2) & (E(x1,x2) | P(x1))");
+  ASSERT_TRUE(f.ok());
+  FormulaIndex index(*f);
+  const auto& conj = static_cast<const BinaryFormula&>(**f);
+  const auto& disj = static_cast<const BinaryFormula&>(*conj.rhs());
+  EXPECT_EQ(index.Facts(conj.lhs().get()).cls,
+            index.Facts(disj.lhs().get()).cls);
+  EXPECT_NE(index.Facts(conj.lhs().get()).cls,
+            index.Facts(disj.rhs().get()).cls);
+  EXPECT_EQ(index.StructuralHash(index.Facts(conj.lhs().get()).cls),
+            index.StructuralHash(index.Facts(disj.lhs().get()).cls));
+}
+
+TEST(FormulaIndexTest, FreeRelVarsStopAtBinders) {
+  auto f = ParseFormula(
+      "[lfp S(x1) . P(x1) | exists x2 . (E(x1,x2) & S(x2))](x1)");
+  ASSERT_TRUE(f.ok());
+  FormulaIndex index(*f);
+  // The root binds S, so only the database names E and P remain free.
+  const auto& root_free = index.FreeRelVars(index.Facts(f->get()).cls);
+  std::vector<std::size_t> expect_root = {index.PredId("P"),
+                                          index.PredId("E")};
+  std::sort(expect_root.begin(), expect_root.end());
+  EXPECT_EQ(root_free, expect_root);
+  // The body sees S free as well.
+  const auto& fp = static_cast<const FixpointFormula&>(**f);
+  const auto& body_free = index.FreeRelVars(index.Facts(fp.body().get()).cls);
+  EXPECT_EQ(body_free.size(), 3u);
+  EXPECT_TRUE(std::find(body_free.begin(), body_free.end(),
+                        index.PredId("S")) != body_free.end());
+}
+
+TEST(FormulaIndexTest, PredIdRoundTripAndUnknown) {
+  auto f = ParseFormula("E(x1,x2) & P(x1)");
+  ASSERT_TRUE(f.ok());
+  FormulaIndex index(*f);
+  ASSERT_NE(index.PredId("E"), FormulaIndex::kNoPred);
+  EXPECT_EQ(index.PredName(index.PredId("E")), "E");
+  EXPECT_EQ(index.PredId("NoSuchRelation"), FormulaIndex::kNoPred);
+  EXPECT_EQ(index.num_preds(), 2u);
+}
+
+// --- counters ---------------------------------------------------------------
+
+TEST(MemoEvalTest, InvariantSubtreeIsHoistedOnce) {
+  Database db = PathDbWithLastP(8);
+  // The forall/exists conjunct never mentions T, so after the first
+  // iteration every re-request of it is a memo hit inside a live loop.
+  auto f = ParseFormula(
+      "[lfp T(x1) . P(x1) | ((exists x2 . (E(x1,x2) & T(x2))) & "
+      "(forall x2 . exists x3 . (E(x2,x3) | x2 = x3)))](x1)");
+  ASSERT_TRUE(f.ok());
+  EvalStats on_stats;
+  AssignmentSet on = MustEval(db, 3, *f, {}, &on_stats);
+  EXPECT_GT(on_stats.memo_hits, 0u);
+  EXPECT_GT(on_stats.memo_misses, 0u);
+  EXPECT_GT(on_stats.invariant_hoists, 0u);
+  EXPECT_GT(on_stats.iterate_copies_avoided, 0u);
+
+  BoundedEvalOptions off;
+  off.memo = false;
+  EvalStats off_stats;
+  AssignmentSet off_answer = MustEval(db, 3, *f, off, &off_stats);
+  EXPECT_EQ(off_stats.memo_hits, 0u);
+  EXPECT_EQ(off_stats.memo_misses, 0u);
+  EXPECT_EQ(off_stats.invariant_hoists, 0u);
+  // Iterate sharing is structural, not memo-gated.
+  EXPECT_GT(off_stats.iterate_copies_avoided, 0u);
+  EXPECT_EQ(on, off_answer);
+}
+
+// --- invalidation correctness ----------------------------------------------
+
+struct MemoWorkload {
+  const char* name;
+  const char* formula;
+};
+
+// Each formula repeats subtrees that depend on a recursion variable or
+// witness, so a memo that failed to invalidate on binding changes would
+// return stale cubes and change the answer.
+const MemoWorkload kWorkloads[] = {
+    {"nested_alternating_lfp_gfp",
+     "[gfp G(x1) . (exists x2 . (E(x1,x2) & G(x2))) & "
+     "[lfp T(x2) . P(x2) | exists x3 . (E(x2,x3) & T(x3))](x1)](x1)"},
+    {"same_body_under_lfp_and_gfp",
+     "[lfp S(x1) . P(x1) | exists x2 . (E(x1,x2) & S(x2))](x1) | "
+     "[gfp S(x1) . P(x1) | exists x2 . (E(x1,x2) & S(x2))](x1)"},
+    {"ifp_with_repeated_dependent_subtree",
+     "[ifp I(x1) . P(x1) | ((exists x2 . (E(x1,x2) & I(x2))) & "
+     "!(!(exists x2 . (E(x1,x2) & I(x2)))))](x1)"},
+    {"pfp_with_invariant_and_dependent_parts",
+     "[pfp F(x1) . P(x1) | ((exists x2 . (E(x1,x2) & F(x2))) & "
+     "(forall x2 . exists x3 . (E(x2,x3) | x2 = x3)))](x1)"},
+    {"so_exists_reuses_witness_subtree",
+     "exists2 S/1 . (S(x1) & !(S(x2)) & (S(x1) | P(x1)))"},
+};
+
+TEST(MemoEvalTest, ByteIdenticalOnVsOffAcrossThreads) {
+  Database db = PathDbWithLastP(6);
+  for (const MemoWorkload& w : kWorkloads) {
+    auto f = ParseFormula(w.formula);
+    ASSERT_TRUE(f.ok()) << w.name << ": " << f.status().ToString();
+    BoundedEvalOptions base;
+    base.memo = false;
+    base.num_threads = 1;
+    AssignmentSet expected = MustEval(db, 3, *f, base);
+    for (bool memo : {true, false}) {
+      for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+        BoundedEvalOptions opts;
+        opts.memo = memo;
+        opts.num_threads = threads;
+        AssignmentSet got = MustEval(db, 3, *f, opts);
+        EXPECT_EQ(got, expected)
+            << w.name << " differs with memo=" << memo
+            << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(MemoEvalTest, ByteIdenticalUnderEveryStrategyAndPfpMode) {
+  Database db = PathDbWithLastP(6);
+  for (const MemoWorkload& w : kWorkloads) {
+    auto f = ParseFormula(w.formula);
+    ASSERT_TRUE(f.ok()) << w.name;
+    BoundedEvalOptions base;
+    base.memo = false;
+    AssignmentSet expected = MustEval(db, 3, *f, base);
+    for (bool memo : {true, false}) {
+      for (auto strategy : {FixpointStrategy::kNaiveNested,
+                            FixpointStrategy::kMonotoneReuse}) {
+        for (auto pfp : {PfpCycleDetection::kHashHistory,
+                         PfpCycleDetection::kFloyd}) {
+          BoundedEvalOptions opts;
+          opts.memo = memo;
+          opts.fixpoint_strategy = strategy;
+          opts.pfp_cycle_detection = pfp;
+          AssignmentSet got = MustEval(db, 3, *f, opts);
+          EXPECT_EQ(got, expected) << w.name << " memo=" << memo;
+        }
+      }
+    }
+  }
+}
+
+TEST(MemoEvalTest, RestoringAnOuterBindingRevalidatesItsEntries) {
+  // S(x1) occurs both under the inner rebinding of S and outside it; the
+  // outer occurrences must never see the inner iterate. With n = 5 and P
+  // = {4}, the outer lfp is reachability-to-4 and the inner gfp (over the
+  // same name) is empty, so a stale memo would drain the disjunct.
+  Database db = PathDbWithLastP(5);
+  auto f = ParseFormula(
+      "[lfp S(x1) . P(x1) | (exists x2 . (E(x1,x2) & S(x2))) | "
+      "([gfp S(x1) . S(x1) & exists x2 . (E(x1,x2) & S(x2))](x1) & "
+      "S(x1))](x1)");
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  BoundedEvalOptions off;
+  off.memo = false;
+  EXPECT_EQ(MustEval(db, 3, *f, {}), MustEval(db, 3, *f, off));
+}
+
+TEST(MemoEvalTest, EnvironmentBindingsGetVersions) {
+  Database db(3);
+  AssignmentSet cube = AssignmentSet::VarEqualsConst(3, 2, 0, 1);
+  std::map<std::string, RelVarBinding> env;
+  env.emplace("S", RelVarBinding{cube, {0}});
+  // S is requested twice: the second occurrence is a memo hit against the
+  // env binding's version, and must still see the bound cube.
+  auto f = ParseFormula("S(x2) & S(x2)");
+  ASSERT_TRUE(f.ok());
+  for (bool memo : {true, false}) {
+    BoundedEvalOptions opts;
+    opts.memo = memo;
+    BoundedEvaluator eval(db, 2, opts);
+    auto r = eval.EvaluateWithEnv(*f, env);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(*r, AssignmentSet::VarEqualsConst(3, 2, 1, 1)) << memo;
+  }
+}
+
+TEST(MemoEvalTest, EvaluatorInstanceIsReusableAcrossFormulas) {
+  // The memo, index, and caches are rebuilt per Evaluate call; a second
+  // formula sharing subtree shapes with the first must not see its slots.
+  Database db = PathDbWithLastP(5);
+  BoundedEvaluator eval(db, 3);
+  auto f1 = ParseFormula("exists x2 . E(x1,x2)");
+  auto f2 = ParseFormula("exists x2 . E(x2,x1)");
+  ASSERT_TRUE(f1.ok() && f2.ok());
+  auto r1 = eval.Evaluate(*f1);
+  auto r2 = eval.Evaluate(*f2);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_NE(*r1, *r2);
+  auto r1_again = eval.Evaluate(*f1);
+  ASSERT_TRUE(r1_again.ok());
+  EXPECT_EQ(*r1, *r1_again);
+}
+
+}  // namespace
+}  // namespace bvq

@@ -11,6 +11,8 @@
 //   strategy naive|reuse        fixpoint strategy (default naive)
 //   pfp hash|floyd              PFP cycle detection (default hash)
 //   threads <n>                 evaluator thread count (0 = auto, 1 = serial)
+//   memo on|off                 subformula memoization (default on)
+//   stats on|off                print memo/hoist counters after eval
 //   eval <query>                evaluate with the bounded-variable engine
 //   naive <query>               evaluate with the classical engine (FO only)
 //   eso <sentence>              evaluate an ESO sentence via grounding+SAT
@@ -18,7 +20,8 @@
 //   quit
 //
 // Flags: --threads=N sets the initial thread count (same as the `threads`
-// command; results are byte-identical for every N).
+// command; results are byte-identical for every N), --memo=0|1 the
+// memoization switch, and --stats turns the counter printout on.
 //
 // Queries use the library syntax, e.g.
 //   eval (x1,x2) [lfp T(x1,x2) . E(x1,x2) | exists x3 . (E(x1,x3) &
@@ -51,6 +54,7 @@ struct ShellState {
   Database db{0};
   std::size_t num_vars = 3;
   BoundedEvalOptions options;
+  bool print_stats = false;  // extra memo/hoist counter line after eval
   std::string pending_rel_lines;  // accumulated "rel" lines for ParseDatabase
 };
 
@@ -70,8 +74,8 @@ void Help() {
   std::printf(
       "commands: help | domain <n> | rel <name>/<arity> t.. ; | load <f> | "
       "show | k <n> |\n          strategy naive|reuse | pfp hash|floyd | "
-      "threads <n> | eval <q> | naive <q> |\n          eso <q> | "
-      "datalog <f> | quit\n");
+      "threads <n> | memo on|off |\n          stats on|off | eval <q> | "
+      "naive <q> | eso <q> | datalog <f> | quit\n");
 }
 
 bool HandleLine(ShellState& state, const std::string& line) {
@@ -175,6 +179,16 @@ bool HandleLine(ShellState& state, const std::string& line) {
                 n == 0 ? " (auto)" : (n == 1 ? " (serial)" : ""));
     return true;
   }
+  if (cmd == "memo") {
+    state.options.memo = rest.find("off") == std::string::npos;
+    std::printf("memo = %s\n", state.options.memo ? "on" : "off");
+    return true;
+  }
+  if (cmd == "stats") {
+    state.print_stats = rest.find("off") == std::string::npos;
+    std::printf("stats = %s\n", state.print_stats ? "on" : "off");
+    return true;
+  }
   if (cmd == "eval" || cmd == "naive" || cmd == "eso") {
     auto query = ParseQuery(rest);
     if (!query.ok()) {
@@ -207,6 +221,14 @@ bool HandleLine(ShellState& state, const std::string& line) {
           eval.stats().node_evals, eval.stats().tuples_scanned, threads,
           eval.stats().parallel_loops, eval.stats().parallel_chunks,
           eval.stats().chunks_stolen);
+      if (state.print_stats) {
+        std::printf(
+            "  [memo %s: %zu hits / %zu misses, %zu invariant hoists, "
+            "%zu iterate copies avoided]\n",
+            state.options.memo ? "on" : "off", eval.stats().memo_hits,
+            eval.stats().memo_misses, eval.stats().invariant_hoists,
+            eval.stats().iterate_copies_avoided);
+      }
     } else if (cmd == "naive") {
       NaiveEvaluator eval(state.db);
       const std::size_t threads = state.options.num_threads == 0
@@ -302,8 +324,12 @@ int main(int argc, char** argv) {
     if (arg.rfind("--threads=", 0) == 0) {
       state.options.num_threads =
           static_cast<std::size_t>(std::strtoull(arg.c_str() + 10, nullptr, 10));
+    } else if (arg.rfind("--memo=", 0) == 0) {
+      state.options.memo = std::strtoull(arg.c_str() + 7, nullptr, 10) != 0;
+    } else if (arg == "--stats") {
+      state.print_stats = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: bvqsh [--threads=N] [script]\n");
+      std::printf("usage: bvqsh [--threads=N] [--memo=0|1] [--stats] [script]\n");
       return 0;
     } else if (script_path == nullptr) {
       script_path = argv[i];

@@ -26,6 +26,9 @@ if [[ $run_plain -eq 1 ]]; then
   cmake -B "$ROOT/build" -S "$ROOT"
   cmake --build "$ROOT/build" -j"$(nproc)"
   (cd "$ROOT/build" && ctest --output-on-failure -j"$(nproc)")
+  echo "== memo ablation smoke (asserts memo on/off byte-identity) =="
+  "$ROOT/build/bench/bench_memo_ablation" --n=12 --reps=1 \
+      --out="$ROOT/build/BENCH_memo_smoke.json"
 fi
 
 if [[ $run_tsan -eq 1 ]]; then
