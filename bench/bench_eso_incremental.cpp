@@ -1,0 +1,186 @@
+// ESO sweep ablation: incremental Evaluate (ground once, one solver, n^k
+// assumption-based re-solves with a persistent learnt-clause database) vs
+// the scratch baseline (fresh grounding + fresh solver per candidate
+// tuple, EsoEvalOptions::incremental = false). The workloads carry free
+// first-order variables so the sweep is a real n^k answer enumeration, and
+// their matrices are dominated by closed subformulas — exactly the shape
+// where regrounding per tuple repeats almost all of the work.
+//
+// Custom main (not google/benchmark) so it can emit the BENCH_eso.json
+// record the perf trajectory is tracked with:
+//
+//   bench_eso_incremental [--n=14] [--reps=3] [--out=BENCH_eso.json]
+//
+// Timing is min-of-reps per configuration. Every workload asserts that the
+// incremental and scratch AssignmentSet answers are byte-identical before
+// any number is written; a mismatch aborts with exit code 1.
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "db/generators.h"
+#include "eval/eso_eval.h"
+#include "logic/parser.h"
+
+namespace {
+
+using namespace bvq;
+
+constexpr std::size_t kNumVars = 2;
+
+struct Workload {
+  std::string name;
+  std::string graph;  // "cycle" or "path"
+  std::string formula;
+};
+
+// The closed coloring / independence constraints are shared verbatim by
+// every candidate tuple; only the S(x1)/S(x2) literals vary with the rank.
+std::vector<Workload> Workloads() {
+  return {
+      {"independent_pair", "cycle",
+       "exists2 S/1 . (S(x1) & S(x2) & "
+       "(forall x1 . forall x2 . (E(x1,x2) -> !(S(x1) & S(x2)))))"},
+      {"two_coloring_split", "cycle",
+       "exists2 C/1 . (C(x1) & !C(x2) & "
+       "(forall x1 . forall x2 . (E(x1,x2) -> "
+       "((C(x1) & !C(x2)) | (!C(x1) & C(x2))))))"},
+      {"selector_cover", "path",
+       "exists2 S/2 . (S(x1,x2) & "
+       "(forall x1 . exists x2 . (S(x1,x2) & (E(x1,x2) | x1 = x2))) & "
+       "(forall x1 . forall x2 . (S(x1,x2) -> (E(x1,x2) | x1 = x2))))"},
+  };
+}
+
+Database MakeDb(const std::string& graph, std::size_t n) {
+  Database db(n);
+  Status s = db.AddRelation("E", graph == "cycle" ? CycleGraph(n)
+                                                  : PathGraph(n));
+  assert(s.ok());
+  (void)s;
+  return db;
+}
+
+double MinMs(const std::vector<double>& xs) {
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+struct RunResult {
+  double ms = 0;
+  AssignmentSet answer;
+  EsoEvalStats stats;
+};
+
+RunResult Run(const Database& db, const FormulaPtr& f, bool incremental,
+              std::size_t reps) {
+  EsoEvalOptions opts;
+  opts.incremental = incremental;
+  RunResult out;
+  std::vector<double> times;
+  for (std::size_t r = 0; r < reps; ++r) {
+    EsoEvaluator eval(db, kNumVars, opts);
+    const auto start = std::chrono::steady_clock::now();
+    auto result = eval.Evaluate(f);
+    const auto stop = std::chrono::steady_clock::now();
+    if (!result.ok()) {
+      std::fprintf(stderr, "eval failed: %s\n",
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+    times.push_back(
+        std::chrono::duration<double, std::milli>(stop - start).count());
+    out.answer = *result;
+    out.stats = eval.stats();
+  }
+  out.ms = MinMs(times);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t n = 14;
+  std::size_t reps = 3;
+  std::string out_path = "BENCH_eso.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--n=", 4) == 0) {
+      n = std::strtoull(argv[i] + 4, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--reps=", 7) == 0) {
+      reps = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_eso_incremental [--n=N] [--reps=R] "
+                   "[--out=PATH]\n");
+      return 1;
+    }
+  }
+
+  std::string json = "{\n  \"bench\": \"eso_incremental\",\n";
+  json += "  \"domain_size\": " + std::to_string(n) + ",\n";
+  json += "  \"k\": " + std::to_string(kNumVars) + ",\n";
+  json += "  \"reps\": " + std::to_string(reps) + ",\n";
+  json += "  \"workloads\": [\n";
+
+  bool all_identical = true;
+  const auto workloads = Workloads();
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
+    auto f = ParseFormula(workloads[w].formula);
+    if (!f.ok()) {
+      std::fprintf(stderr, "parse failed (%s): %s\n",
+                   workloads[w].name.c_str(), f.status().ToString().c_str());
+      return 1;
+    }
+    Database db = MakeDb(workloads[w].graph, n);
+    RunResult inc = Run(db, *f, /*incremental=*/true, reps);
+    RunResult scratch = Run(db, *f, /*incremental=*/false, reps);
+    const bool identical = inc.answer == scratch.answer;
+    all_identical = all_identical && identical;
+    const double speedup = inc.ms > 0 ? scratch.ms / inc.ms : 0;
+    std::printf(
+        "%-18s incremental %8.3f ms   scratch %8.3f ms   speedup %5.2fx   "
+        "%zu SAT calls, %zu vs %zu groundings, %llu vs %llu conflicts  %s\n",
+        workloads[w].name.c_str(), inc.ms, scratch.ms, speedup,
+        inc.stats.sat_calls, inc.stats.groundings, scratch.stats.groundings,
+        static_cast<unsigned long long>(inc.stats.solver.conflicts),
+        static_cast<unsigned long long>(scratch.stats.solver.conflicts),
+        identical ? "identical" : "MISMATCH");
+    char buf[640];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"name\": \"%s\", \"incremental_ms\": %.4f, \"scratch_ms\": "
+        "%.4f, \"speedup\": %.3f, \"sat_calls\": %zu, "
+        "\"incremental_groundings\": %zu, \"scratch_groundings\": %zu, "
+        "\"incremental_conflicts\": %llu, \"scratch_conflicts\": %llu, "
+        "\"incremental_learned\": %llu, \"deleted_clauses\": %llu, "
+        "\"cnf_vars\": %zu, \"cnf_clauses\": %zu, \"identical\": %s}%s\n",
+        workloads[w].name.c_str(), inc.ms, scratch.ms, speedup,
+        inc.stats.sat_calls, inc.stats.groundings, scratch.stats.groundings,
+        static_cast<unsigned long long>(inc.stats.solver.conflicts),
+        static_cast<unsigned long long>(scratch.stats.solver.conflicts),
+        static_cast<unsigned long long>(inc.stats.solver.learned_clauses),
+        static_cast<unsigned long long>(inc.stats.solver.deleted_clauses),
+        inc.stats.cnf_vars, inc.stats.cnf_clauses,
+        identical ? "true" : "false", w + 1 < workloads.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ]\n}\n";
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << json;
+  std::printf("wrote %s\n", out_path.c_str());
+  return all_identical ? 0 : 1;
+}

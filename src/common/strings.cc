@@ -24,4 +24,10 @@ std::string_view StripAsciiWhitespace(std::string_view s) {
   return s.substr(b, e - b);
 }
 
+std::string_view TrimLeft(std::string_view s) {
+  std::size_t b = 0;
+  while (b < s.size() && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  return s.substr(b);
+}
+
 }  // namespace bvq

@@ -35,6 +35,9 @@ std::vector<std::string> StrSplit(std::string_view s, char sep);
 /// Removes leading and trailing ASCII whitespace.
 std::string_view StripAsciiWhitespace(std::string_view s);
 
+/// Removes leading ASCII whitespace.
+std::string_view TrimLeft(std::string_view s);
+
 }  // namespace bvq
 
 #endif  // BVQ_COMMON_STRINGS_H_

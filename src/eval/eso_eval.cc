@@ -1,10 +1,12 @@
 #include "eval/eso_eval.h"
 
+#include <algorithm>
 #include <set>
 #include <unordered_map>
 
 #include "common/index.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "logic/analysis.h"
 #include "logic/builder.h"
 #include "sat/tseitin.h"
@@ -293,6 +295,11 @@ class Grounder {
   sat::Cnf& cnf() { return cnf_; }
   sat::CircuitBuilder& builder() { return builder_; }
   const std::map<CellKey, int>& cells() const { return cells_; }
+  /// Declared arity of every SO-quantified variable seen while grounding,
+  /// including ones the matrix never mentions (zero cells).
+  const std::map<std::string, std::size_t>& so_arities() const {
+    return so_arity_;
+  }
   std::size_t num_so_cells() const { return cells_.size(); }
 
  private:
@@ -425,30 +432,47 @@ class Grounder {
 
 }  // namespace
 
+namespace {
+
+/// Folds the stats of one SAT call into the sweep totals: solver counters
+/// add up, CNF sizes report the largest call.
+void AccumulateStats(const EsoEvalStats& call, EsoEvalStats* total) {
+  total->cnf_vars = std::max(total->cnf_vars, call.cnf_vars);
+  total->cnf_clauses = std::max(total->cnf_clauses, call.cnf_clauses);
+  total->so_cells = std::max(total->so_cells, call.so_cells);
+  total->solver.decisions += call.solver.decisions;
+  total->solver.propagations += call.solver.propagations;
+  total->solver.conflicts += call.solver.conflicts;
+  total->solver.learned_clauses += call.solver.learned_clauses;
+  total->solver.restarts += call.solver.restarts;
+  total->solver.deleted_clauses += call.solver.deleted_clauses;
+  total->solver.db_reductions += call.solver.db_reductions;
+  total->solver.minimized_literals += call.solver.minimized_literals;
+  total->solver.solve_calls += call.solver.solve_calls;
+}
+
+}  // namespace
+
 EsoEvaluator::EsoEvaluator(const Database& db, std::size_t num_vars,
                            EsoEvalOptions options)
     : db_(&db), num_vars_(num_vars), options_(options) {}
 
-Result<bool> EsoEvaluator::Holds(const FormulaPtr& formula,
-                                 const std::vector<Value>& assignment,
-                                 EsoWitness* witness) {
-  if (assignment.size() != num_vars_) {
-    return Status::InvalidArgument("assignment size must equal num_vars");
-  }
+Result<bool> EsoEvaluator::HoldsRank(const FormulaPtr& formula,
+                                     std::size_t rank, EsoWitness* witness,
+                                     EsoEvalStats* stats) const {
   Grounder grounder(*db_, num_vars_, options_.max_ground_nodes);
   BVQ_RETURN_IF_ERROR(grounder.CheckSoPolarity(formula, true));
-  TupleIndexer idx(db_->domain_size(), num_vars_);
-  auto root = grounder.Ground(formula, idx.Rank(assignment));
+  auto root = grounder.Ground(formula, rank);
   if (!root.ok()) return root.status();
   grounder.builder().AssertTrue(*root);
 
-  stats_.cnf_vars = grounder.cnf().num_vars;
-  stats_.cnf_clauses = grounder.cnf().clauses.size();
-  stats_.so_cells = grounder.num_so_cells();
+  stats->cnf_vars = grounder.cnf().num_vars;
+  stats->cnf_clauses = grounder.cnf().clauses.size();
+  stats->so_cells = grounder.num_so_cells();
 
   sat::Solver solver(options_.solver);
   sat::SolveResult result = solver.Solve(grounder.cnf());
-  stats_.solver = solver.stats();
+  stats->solver = solver.stats();
   if (result.status == sat::SolveStatus::kUnknown) {
     return Status::ResourceExhausted("SAT solver exceeded conflict budget");
   }
@@ -464,22 +488,125 @@ Result<bool> EsoEvaluator::Holds(const FormulaPtr& formula,
     for (auto& [name, rb] : builders) {
       witness->emplace(name, rb.Build());
     }
+    // An SO variable the matrix never mentions has no referenced cells,
+    // but it is still existentially quantified: report it as the empty
+    // relation of its declared arity instead of omitting it.
+    for (const auto& [name, arity] : grounder.so_arities()) {
+      witness->try_emplace(name, Relation(arity));
+    }
   }
   return sat;
 }
 
-Result<AssignmentSet> EsoEvaluator::Evaluate(const FormulaPtr& formula) {
+Result<bool> EsoEvaluator::Holds(const FormulaPtr& formula,
+                                 const std::vector<Value>& assignment,
+                                 EsoWitness* witness) {
+  if (assignment.size() != num_vars_) {
+    return Status::InvalidArgument("assignment size must equal num_vars");
+  }
+  TupleIndexer idx(db_->domain_size(), num_vars_);
+  stats_ = EsoEvalStats();
+  stats_.sat_calls = 1;
+  stats_.groundings = 1;
+  return HoldsRank(formula, idx.Rank(assignment), witness, &stats_);
+}
+
+Result<AssignmentSet> EsoEvaluator::EvaluateIncremental(
+    const FormulaPtr& formula) {
   const std::size_t n = db_->domain_size();
   AssignmentSet out(n, num_vars_);
   TupleIndexer idx(n, num_vars_);
-  std::vector<Value> a(num_vars_);
-  for (std::size_t r = 0; r < idx.NumTuples(); ++r) {
-    idx.Unrank(r, a.data());
-    auto holds = Holds(formula, a, nullptr);
-    if (!holds.ok()) return holds.status();
-    if (*holds) out.Set(r);
+  const std::size_t total = idx.NumTuples();
+  stats_ = EsoEvalStats();
+
+  // Ground once for the whole sweep. The per-(node, rank) memo means the
+  // n^k roots share every closed subcircuit; each root literal is the
+  // selector for its tuple.
+  Grounder grounder(*db_, num_vars_, options_.max_ground_nodes);
+  BVQ_RETURN_IF_ERROR(grounder.CheckSoPolarity(formula, true));
+  std::vector<sat::Lit> roots(total);
+  for (std::size_t r = 0; r < total; ++r) {
+    auto root = grounder.Ground(formula, r);
+    if (!root.ok()) return root.status();
+    roots[r] = *root;
   }
+  stats_.cnf_vars = grounder.cnf().num_vars;
+  stats_.cnf_clauses = grounder.cnf().clauses.size();
+  stats_.so_cells = grounder.num_so_cells();
+  stats_.groundings = total == 0 ? 0 : 1;
+  stats_.sat_calls = total;
+
+  // One incremental solver decides every tuple under the one-literal
+  // assumption {root}: the Tseitin definitions are equivalences, so the
+  // unasserted circuits of the other tuples do not constrain anything, and
+  // learnt clauses carry over from re-solve to re-solve.
+  sat::Solver solver(options_.solver);
+  std::vector<sat::Lit> assumption(1);
+  for (std::size_t r = 0; r < total; ++r) {
+    assumption[0] = roots[r];
+    sat::SolveResult result = solver.Solve(grounder.cnf(), assumption);
+    if (result.status == sat::SolveStatus::kUnknown) {
+      stats_.solver = solver.stats();
+      return Status::ResourceExhausted("SAT solver exceeded conflict budget");
+    }
+    if (result.status == sat::SolveStatus::kSat) out.Set(r);
+  }
+  stats_.solver = solver.stats();
   return out;
+}
+
+Result<AssignmentSet> EsoEvaluator::EvaluateScratch(const FormulaPtr& formula) {
+  const std::size_t n = db_->domain_size();
+  AssignmentSet out(n, num_vars_);
+  TupleIndexer idx(n, num_vars_);
+  const std::size_t total = idx.NumTuples();
+  stats_ = EsoEvalStats();
+  const std::size_t threads = options_.num_threads == 0
+                                  ? ThreadPool::DefaultThreads()
+                                  : options_.num_threads;
+  if (threads <= 1 || total <= 1) {
+    for (std::size_t r = 0; r < total; ++r) {
+      EsoEvalStats call;
+      auto holds = HoldsRank(formula, r, nullptr, &call);
+      if (!holds.ok()) return holds.status();
+      AccumulateStats(call, &stats_);
+      if (*holds) out.Set(r);
+    }
+  } else {
+    // Tuples are independent scratch solves; run them on the pool and fold
+    // outcome bits, stats, and the first error in rank order so the result
+    // is byte-identical to the serial sweep for every thread count.
+    std::vector<uint8_t> holds(total, 0);
+    std::vector<EsoEvalStats> calls(total);
+    std::vector<Status> errors(total, Status::OK());
+    ThreadPool pool(threads);
+    pool.ParallelFor(total, RowGrain(total, threads, 1),
+                     [&](std::size_t, std::size_t begin, std::size_t end) {
+                       for (std::size_t r = begin; r < end; ++r) {
+                         auto h = HoldsRank(formula, r, nullptr, &calls[r]);
+                         if (!h.ok()) {
+                           errors[r] = h.status();
+                           continue;
+                         }
+                         holds[r] = *h ? 1 : 0;
+                       }
+                     });
+    for (std::size_t r = 0; r < total; ++r) {
+      if (!errors[r].ok()) return errors[r];
+    }
+    for (std::size_t r = 0; r < total; ++r) {
+      AccumulateStats(calls[r], &stats_);
+      if (holds[r]) out.Set(r);
+    }
+  }
+  stats_.sat_calls = total;
+  stats_.groundings = total;
+  return out;
+}
+
+Result<AssignmentSet> EsoEvaluator::Evaluate(const FormulaPtr& formula) {
+  return options_.incremental ? EvaluateIncremental(formula)
+                              : EvaluateScratch(formula);
 }
 
 }  // namespace bvq

@@ -70,7 +70,7 @@ bool Satisfies(const Cnf& cnf, const std::vector<bool>& model) {
     bool sat = false;
     for (Lit l : c) {
       if (l.var() >= static_cast<int>(model.size())) return false;
-      if (model[l.var()] != l.negated()) {
+      if (LitTrueIn(model, l)) {
         sat = true;
         break;
       }

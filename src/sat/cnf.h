@@ -66,6 +66,11 @@ Result<Cnf> ParseDimacs(const std::string& text);
 /// A (possibly partial) assignment: one entry per variable.
 enum class Assignment : uint8_t { kFalse = 0, kTrue = 1, kUndef = 2 };
 
+/// True iff literal `l` holds under the total assignment `model`.
+inline bool LitTrueIn(const std::vector<bool>& model, Lit l) {
+  return model[l.var()] != l.negated();
+}
+
 /// True iff `model` satisfies every clause of `cnf`.
 bool Satisfies(const Cnf& cnf, const std::vector<bool>& model);
 

@@ -16,30 +16,97 @@ Assignment LitValue(const std::vector<Assignment>& assign, Lit l) {
   return val ? Assignment::kTrue : Assignment::kFalse;
 }
 
-}  // namespace
-
-Solver::Solver(SolverOptions options) : options_(options) {}
-
-void Solver::Init(const Cnf& cnf) {
-  num_vars_ = cnf.num_vars;
-  clauses_.clear();
-  watches_.assign(2 * static_cast<std::size_t>(num_vars_), {});
-  assign_.assign(num_vars_, Assignment::kUndef);
-  phase_.assign(num_vars_, false);
-  level_.assign(num_vars_, 0);
-  reason_.assign(num_vars_, kNoReason);
-  trail_.clear();
-  trail_lim_.clear();
-  prop_head_ = 0;
-  activity_.assign(num_vars_, 0.0);
-  var_inc_ = 1.0;
-  seen_.assign(num_vars_, false);
-  ok_ = true;
-  stats_ = SolverStats();
+// 32-bit abstraction of a decision level, for the minimization filter.
+uint32_t AbstractLevel(int level) {
+  return uint32_t{1} << (static_cast<uint32_t>(level) & 31);
 }
 
-bool Solver::AttachInitialClauses(const Cnf& cnf) {
-  for (const Clause& c : cnf.clauses) {
+}  // namespace
+
+Solver::Solver(SolverOptions options) : options_(options) {
+  max_learnts_ = static_cast<double>(options_.reduce_db_base);
+}
+
+void Solver::ExtendVars(int num_vars) {
+  assert(num_vars >= num_vars_);
+  watches_.resize(2 * static_cast<std::size_t>(num_vars));
+  assign_.resize(num_vars, Assignment::kUndef);
+  phase_.resize(num_vars, false);
+  level_.resize(num_vars, 0);
+  reason_.resize(num_vars, kNoReason);
+  activity_.resize(num_vars, 0.0);
+  seen_.resize(num_vars, false);
+  heap_pos_.resize(num_vars, -1);
+  lbd_stamp_.resize(static_cast<std::size_t>(num_vars) + 1, 0);
+  for (int v = num_vars_; v < num_vars; ++v) HeapInsert(v);
+  num_vars_ = num_vars;
+}
+
+// --------------------------------------------------------------------------
+// VSIDS order heap (indexed max-heap over activity_).
+// --------------------------------------------------------------------------
+
+void Solver::HeapInsert(int v) {
+  if (HeapContains(v)) return;
+  heap_pos_[v] = static_cast<int>(heap_.size());
+  heap_.push_back(v);
+  HeapSiftUp(heap_.size() - 1);
+}
+
+int Solver::HeapPop() {
+  assert(!heap_.empty());
+  const int top = heap_[0];
+  heap_pos_[top] = -1;
+  const int last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_[0] = last;
+    heap_pos_[last] = 0;
+    HeapSiftDown(0);
+  }
+  return top;
+}
+
+void Solver::HeapSiftUp(std::size_t i) {
+  const int v = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (activity_[heap_[parent]] >= activity_[v]) break;
+    heap_[i] = heap_[parent];
+    heap_pos_[heap_[i]] = static_cast<int>(i);
+    i = parent;
+  }
+  heap_[i] = v;
+  heap_pos_[v] = static_cast<int>(i);
+}
+
+void Solver::HeapSiftDown(std::size_t i) {
+  const int v = heap_[i];
+  const std::size_t size = heap_.size();
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= size) break;
+    if (child + 1 < size &&
+        activity_[heap_[child + 1]] > activity_[heap_[child]]) {
+      ++child;
+    }
+    if (activity_[heap_[child]] <= activity_[v]) break;
+    heap_[i] = heap_[child];
+    heap_pos_[heap_[i]] = static_cast<int>(i);
+    i = child;
+  }
+  heap_[i] = v;
+  heap_pos_[v] = static_cast<int>(i);
+}
+
+// --------------------------------------------------------------------------
+// Clause attachment.
+// --------------------------------------------------------------------------
+
+bool Solver::AttachNewClauses(const Cnf& cnf) {
+  // Ingests cnf.clauses[attached_clauses_..] at decision level 0.
+  for (; attached_clauses_ < cnf.clauses.size(); ++attached_clauses_) {
+    const Clause& c = cnf.clauses[attached_clauses_];
     // Simplify: drop duplicate literals; detect tautologies.
     std::vector<Lit> lits = c;
     std::sort(lits.begin(), lits.end(),
@@ -53,7 +120,7 @@ bool Solver::AttachInitialClauses(const Cnf& cnf) {
       }
     }
     if (tautology) continue;
-    // Remove already-false unit simplifications at level 0.
+    // Drop literals already false at level 0; detect satisfied clauses.
     std::vector<Lit> active;
     bool satisfied = false;
     for (Lit l : lits) {
@@ -67,14 +134,14 @@ bool Solver::AttachInitialClauses(const Cnf& cnf) {
     if (satisfied) continue;
     if (active.empty()) return false;  // conflict at level 0
     if (active.size() == 1) {
-      if (LitValue(assign_, active[0]) == Assignment::kFalse) return false;
-      if (LitValue(assign_, active[0]) == Assignment::kUndef) {
-        Enqueue(active[0], kNoReason);
-        if (Propagate() != kNoReason) return false;
-      }
+      // The filter above kept only unassigned literals and nothing has
+      // propagated since, so the unit is necessarily enqueueable.
+      assert(LitValue(assign_, active[0]) == Assignment::kUndef);
+      Enqueue(active[0], kNoReason);
+      if (Propagate() != kNoReason) return false;
       continue;
     }
-    clauses_.push_back({std::move(active), 0.0, false});
+    clauses_.push_back({std::move(active), 0.0, 0, false});
     AttachClause(static_cast<int>(clauses_.size()) - 1);
   }
   return Propagate() == kNoReason;
@@ -143,18 +210,58 @@ int Solver::Propagate() {
   return kNoReason;
 }
 
+// --------------------------------------------------------------------------
+// Activities.
+// --------------------------------------------------------------------------
+
 void Solver::BumpVar(int var) {
   activity_[var] += var_inc_;
   if (activity_[var] > 1e100) {
+    // Rescaling is monotone, so the heap order is unaffected.
     for (double& a : activity_) a *= 1e-100;
     var_inc_ *= 1e-100;
   }
+  if (HeapContains(var)) HeapSiftUp(heap_pos_[var]);
 }
 
 void Solver::DecayVarActivities() { var_inc_ /= options_.var_decay; }
 
+void Solver::BumpClause(int ci) {
+  clauses_[ci].activity += cla_inc_;
+  if (clauses_[ci].activity > 1e20) {
+    for (InternalClause& c : clauses_) {
+      if (c.learned) c.activity *= 1e-20;
+    }
+    cla_inc_ *= 1e-20;
+  }
+}
+
+void Solver::DecayClauseActivities() { cla_inc_ /= options_.clause_decay; }
+
+// --------------------------------------------------------------------------
+// Conflict analysis.
+// --------------------------------------------------------------------------
+
+uint32_t Solver::ComputeLbd(const std::vector<Lit>& lits) {
+  // Dummy assumption levels can push decision levels past num_vars, so the
+  // per-level stamp array tracks the trail, not the variable count.
+  if (trail_lim_.size() >= lbd_stamp_.size()) {
+    lbd_stamp_.resize(trail_lim_.size() + 1, 0);
+  }
+  ++lbd_counter_;
+  uint32_t lbd = 0;
+  for (Lit l : lits) {
+    const int lev = level_[l.var()];
+    if (lbd_stamp_[lev] != lbd_counter_) {
+      lbd_stamp_[lev] = lbd_counter_;
+      ++lbd;
+    }
+  }
+  return lbd;
+}
+
 void Solver::Analyze(int conflict, std::vector<Lit>* learnt,
-                     int* backjump_level) {
+                     int* backjump_level, uint32_t* lbd) {
   // First-UIP scheme.
   learnt->clear();
   learnt->push_back(Lit());  // slot for the asserting literal
@@ -165,6 +272,7 @@ void Solver::Analyze(int conflict, std::vector<Lit>* learnt,
   const int current_level = static_cast<int>(trail_lim_.size());
 
   do {
+    if (clauses_[reason].learned) BumpClause(reason);
     const auto& lits = clauses_[reason].lits;
     // For the conflict clause consider all literals; for reason clauses
     // skip the propagated literal itself (lits[0] == p).
@@ -189,6 +297,26 @@ void Solver::Analyze(int conflict, std::vector<Lit>* learnt,
   } while (counter > 0);
   (*learnt)[0] = p.Negation();
 
+  // Self-subsumption minimization: a non-asserting literal whose reason
+  // antecedents are all (recursively) dominated by other learnt literals
+  // is redundant. seen_ is still set for exactly learnt[1..], which is the
+  // marker set LitRedundant's DFS tests against.
+  std::vector<Lit> to_clear(learnt->begin() + 1, learnt->end());
+  uint32_t abstract_levels = 0;
+  for (std::size_t j = 1; j < learnt->size(); ++j) {
+    abstract_levels |= AbstractLevel(level_[(*learnt)[j].var()]);
+  }
+  std::size_t out = 1;
+  for (std::size_t j = 1; j < learnt->size(); ++j) {
+    const Lit q = (*learnt)[j];
+    if (reason_[q.var()] == kNoReason ||
+        !LitRedundant(q, abstract_levels, &to_clear)) {
+      (*learnt)[out++] = q;
+    }
+  }
+  stats_.minimized_literals += learnt->size() - out;
+  learnt->resize(out);
+
   // Compute the backjump level: the highest level among the other
   // literals.
   int bj = 0;
@@ -201,8 +329,69 @@ void Solver::Analyze(int conflict, std::vector<Lit>* learnt,
   }
   if (learnt->size() > 1) std::swap((*learnt)[1], (*learnt)[max_pos]);
   *backjump_level = learnt->size() == 1 ? 0 : bj;
+  *lbd = ComputeLbd(*learnt);
 
-  for (Lit l : *learnt) seen_[l.var()] = false;
+  for (Lit l : to_clear) seen_[l.var()] = false;
+  seen_[(*learnt)[0].var()] = false;
+}
+
+bool Solver::LitRedundant(Lit p, uint32_t abstract_levels,
+                          std::vector<Lit>* to_clear) {
+  min_stack_.clear();
+  min_stack_.push_back(p);
+  const std::size_t top = to_clear->size();
+  while (!min_stack_.empty()) {
+    const Lit q = min_stack_.back();
+    min_stack_.pop_back();
+    assert(reason_[q.var()] != kNoReason);
+    const auto& lits = clauses_[reason_[q.var()]].lits;
+    for (std::size_t j = 1; j < lits.size(); ++j) {
+      const Lit l = lits[j];
+      if (seen_[l.var()] || level_[l.var()] == 0) continue;
+      if (reason_[l.var()] == kNoReason ||
+          (AbstractLevel(level_[l.var()]) & abstract_levels) == 0) {
+        // Reached a decision or a level outside the clause: not redundant.
+        // Undo the marks added along this attempt.
+        for (std::size_t i = top; i < to_clear->size(); ++i) {
+          seen_[(*to_clear)[i].var()] = false;
+        }
+        to_clear->resize(top);
+        return false;
+      }
+      seen_[l.var()] = true;
+      min_stack_.push_back(l);
+      to_clear->push_back(l);
+    }
+  }
+  return true;
+}
+
+void Solver::AnalyzeFinal(Lit p, std::vector<Lit>* failed) {
+  // `p` is an assumption literal currently false. Resolves ~p back through
+  // the implication graph to the assumption decisions responsible, so the
+  // result is a subset of the assumptions that is jointly inconsistent.
+  failed->clear();
+  failed->push_back(p);
+  if (trail_lim_.empty()) return;  // falsified by level-0 propagation alone
+  seen_[p.var()] = true;
+  for (std::size_t i = trail_.size();
+       i-- > static_cast<std::size_t>(trail_lim_[0]);) {
+    const int v = trail_[i].var();
+    if (!seen_[v]) continue;
+    seen_[v] = false;
+    if (reason_[v] == kNoReason) {
+      // A decision above level 0. Assumptions are checked before any branch
+      // decision is made, so every decision here is an earlier assumption.
+      assert(level_[v] > 0);
+      failed->push_back(trail_[i]);
+    } else {
+      const auto& lits = clauses_[reason_[v]].lits;
+      for (std::size_t j = 1; j < lits.size(); ++j) {
+        if (level_[lits[j].var()] > 0) seen_[lits[j].var()] = true;
+      }
+    }
+  }
+  seen_[p.var()] = false;
 }
 
 void Solver::Backtrack(int target_level) {
@@ -213,6 +402,7 @@ void Solver::Backtrack(int target_level) {
     phase_[v] = assign_[v] == Assignment::kTrue;
     assign_[v] = Assignment::kUndef;
     reason_[v] = kNoReason;
+    HeapInsert(v);
   }
   trail_.resize(bound);
   trail_lim_.resize(target_level);
@@ -220,16 +410,73 @@ void Solver::Backtrack(int target_level) {
 }
 
 Lit Solver::PickBranchLit() {
-  int best = -1;
-  double best_act = -1.0;
+  while (!heap_.empty()) {
+    const int v = HeapPop();
+    if (assign_[v] == Assignment::kUndef) return Lit(v, !phase_[v]);
+  }
+  return Lit();
+}
+
+// --------------------------------------------------------------------------
+// Learnt-database reduction.
+// --------------------------------------------------------------------------
+
+bool Solver::Locked(int ci) const {
+  const Lit l = clauses_[ci].lits[0];
+  return LitValue(assign_, l) == Assignment::kTrue && reason_[l.var()] == ci;
+}
+
+void Solver::ReduceDb() {
+  ++stats_.db_reductions;
+  max_learnts_ *= options_.reduce_db_growth;
+  // Candidates: learnt, not binary, not a reason of the current trail, and
+  // not a glue clause (LBD <= 2 clauses are kept forever, glucose-style).
+  std::vector<int> cand;
+  for (std::size_t i = 0; i < clauses_.size(); ++i) {
+    const InternalClause& c = clauses_[i];
+    if (!c.learned || c.lits.size() <= 2 || c.lbd <= 2) continue;
+    if (Locked(static_cast<int>(i))) continue;
+    cand.push_back(static_cast<int>(i));
+  }
+  // Worst first: high LBD, then low activity, then oldest.
+  std::sort(cand.begin(), cand.end(), [this](int a, int b) {
+    if (clauses_[a].lbd != clauses_[b].lbd) {
+      return clauses_[a].lbd > clauses_[b].lbd;
+    }
+    if (clauses_[a].activity != clauses_[b].activity) {
+      return clauses_[a].activity < clauses_[b].activity;
+    }
+    return a < b;
+  });
+  std::vector<bool> remove(clauses_.size(), false);
+  for (std::size_t i = 0; i < cand.size() / 2; ++i) {
+    remove[cand[i]] = true;
+    ++stats_.deleted_clauses;
+    --num_learnts_;
+  }
+  // Compact clauses_ and remap watches and reasons.
+  std::vector<int> remap(clauses_.size(), -1);
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < clauses_.size(); ++i) {
+    if (remove[i]) continue;
+    remap[i] = static_cast<int>(w);
+    if (w != i) clauses_[w] = std::move(clauses_[i]);
+    ++w;
+  }
+  clauses_.resize(w);
+  for (auto& watch_list : watches_) {
+    std::size_t keep = 0;
+    for (int ci : watch_list) {
+      if (remap[ci] >= 0) watch_list[keep++] = remap[ci];
+    }
+    watch_list.resize(keep);
+  }
   for (int v = 0; v < num_vars_; ++v) {
-    if (assign_[v] == Assignment::kUndef && activity_[v] > best_act) {
-      best = v;
-      best_act = activity_[v];
+    if (reason_[v] >= 0) {
+      assert(remap[reason_[v]] >= 0);  // locked clauses are never removed
+      reason_[v] = remap[reason_[v]];
     }
   }
-  if (best < 0) return Lit();
-  return Lit(best, !phase_[best]);
 }
 
 uint64_t Solver::LubyRestartLimit(uint64_t i) const {
@@ -248,16 +495,30 @@ uint64_t Solver::LubyRestartLimit(uint64_t i) const {
   return (uint64_t{1} << seq) * options_.restart_unit;
 }
 
-SolveResult Solver::Solve(const Cnf& cnf) {
-  Init(cnf);
+// --------------------------------------------------------------------------
+// The CDCL loop.
+// --------------------------------------------------------------------------
+
+SolveResult Solver::Solve(const Cnf& cnf, const std::vector<Lit>& assumptions) {
+  ++stats_.solve_calls;
   SolveResult result;
-  if (!AttachInitialClauses(cnf)) {
+  Backtrack(0);
+  int needed_vars = cnf.num_vars;
+  for (Lit a : assumptions) {
+    needed_vars = std::max(needed_vars, a.var() + 1);
+  }
+  if (needed_vars > num_vars_) ExtendVars(needed_vars);
+  if (ok_ && attached_clauses_ < cnf.clauses.size()) {
+    ok_ = AttachNewClauses(cnf);
+  }
+  if (!ok_) {
     result.status = SolveStatus::kUnsat;
     return result;
   }
 
   uint64_t restart_index = 0;
   uint64_t conflicts_since_restart = 0;
+  uint64_t conflicts_this_call = 0;
   uint64_t restart_limit = LubyRestartLimit(restart_index);
 
   std::vector<Lit> learnt;
@@ -265,63 +526,109 @@ SolveResult Solver::Solve(const Cnf& cnf) {
     const int conflict = Propagate();
     if (conflict != kNoReason) {
       ++stats_.conflicts;
+      ++conflicts_this_call;
       ++conflicts_since_restart;
       if (trail_lim_.empty()) {
+        ok_ = false;
         result.status = SolveStatus::kUnsat;
         return result;
       }
       int backjump = 0;
-      Analyze(conflict, &learnt, &backjump);
+      uint32_t lbd = 0;
+      Analyze(conflict, &learnt, &backjump, &lbd);
       Backtrack(backjump);
       if (learnt.size() == 1) {
+        // Unit learnt: a permanent level-0 fact (e.g. "this tuple's root is
+        // false"), enqueued directly instead of stored as a clause.
+        ++stats_.learned_clauses;
         Enqueue(learnt[0], kNoReason);
       } else {
-        clauses_.push_back({learnt, 0.0, true});
+        clauses_.push_back({learnt, cla_inc_, lbd, true});
         ++stats_.learned_clauses;
+        ++num_learnts_;
         const int ci = static_cast<int>(clauses_.size()) - 1;
         AttachClause(ci);
         Enqueue(learnt[0], ci);
       }
       DecayVarActivities();
+      DecayClauseActivities();
       if (options_.max_conflicts != 0 &&
-          stats_.conflicts >= options_.max_conflicts) {
+          conflicts_this_call >= options_.max_conflicts) {
         result.status = SolveStatus::kUnknown;
         return result;
       }
-      continue;
-    }
-    if (conflicts_since_restart >= restart_limit) {
-      ++stats_.restarts;
-      conflicts_since_restart = 0;
-      restart_limit = LubyRestartLimit(++restart_index);
-      Backtrack(0);
-      continue;
-    }
-    const Lit decision = PickBranchLit();
-    if (!decision.IsValid()) {
-      result.status = SolveStatus::kSat;
-      result.model.resize(num_vars_);
-      for (int v = 0; v < num_vars_; ++v) {
-        result.model[v] = assign_[v] == Assignment::kTrue;
+      // Restart check lives on the conflict path so the Luby schedule is
+      // exact: back-to-back conflicts can no longer overshoot the limit.
+      if (conflicts_since_restart >= restart_limit) {
+        ++stats_.restarts;
+        conflicts_since_restart = 0;
+        restart_limit = LubyRestartLimit(++restart_index);
+        Backtrack(0);
       }
-      return result;
+      continue;
     }
-    ++stats_.decisions;
+    if (static_cast<double>(num_learnts_) >= max_learnts_) ReduceDb();
+    // Install pending assumptions as decisions before branching.
+    Lit next;
+    while (trail_lim_.size() < assumptions.size()) {
+      const Lit p = assumptions[trail_lim_.size()];
+      const Assignment v = LitValue(assign_, p);
+      if (v == Assignment::kTrue) {
+        // Already satisfied: open a dummy level so indexing stays aligned.
+        trail_lim_.push_back(static_cast<int>(trail_.size()));
+      } else if (v == Assignment::kFalse) {
+        AnalyzeFinal(p, &result.failed_assumptions);
+        result.status = SolveStatus::kUnsat;
+        return result;
+      } else {
+        next = p;
+        break;
+      }
+    }
+    if (!next.IsValid()) {
+      next = PickBranchLit();
+      if (!next.IsValid()) {
+        result.status = SolveStatus::kSat;
+        result.model.resize(num_vars_);
+        for (int v = 0; v < num_vars_; ++v) {
+          result.model[v] = assign_[v] == Assignment::kTrue;
+        }
+        return result;
+      }
+      ++stats_.decisions;
+    }
     trail_lim_.push_back(static_cast<int>(trail_.size()));
-    Enqueue(decision, kNoReason);
+    Enqueue(next, kNoReason);
   }
 }
 
 Result<SolveResult> SolveBruteForce(const Cnf& cnf) {
+  return SolveBruteForce(cnf, {});
+}
+
+Result<SolveResult> SolveBruteForce(const Cnf& cnf,
+                                    const std::vector<Lit>& assumptions) {
   if (cnf.num_vars > 24) {
     return Status::ResourceExhausted("brute force limited to 24 variables");
+  }
+  for (Lit a : assumptions) {
+    if (a.var() >= cnf.num_vars) {
+      return Status::InvalidArgument("assumption variable out of range");
+    }
   }
   SolveResult result;
   const uint64_t total = uint64_t{1} << cnf.num_vars;
   for (uint64_t mask = 0; mask < total; ++mask) {
     std::vector<bool> model(cnf.num_vars);
     for (int v = 0; v < cnf.num_vars; ++v) model[v] = (mask >> v) & 1;
-    if (Satisfies(cnf, model)) {
+    bool assumed = true;
+    for (Lit a : assumptions) {
+      if (!LitTrueIn(model, a)) {
+        assumed = false;
+        break;
+      }
+    }
+    if (assumed && Satisfies(cnf, model)) {
       result.status = SolveStatus::kSat;
       result.model = std::move(model);
       return result;

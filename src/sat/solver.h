@@ -21,6 +21,12 @@ struct SolveResult {
   SolveStatus status = SolveStatus::kUnknown;
   /// Total assignment when status == kSat.
   std::vector<bool> model;
+  /// When status == kUnsat *and* assumptions were passed: a subset of the
+  /// assumption literals that is already jointly inconsistent with the
+  /// clause database (the "final conflict", computed by resolving the
+  /// failed assumption back to assumption decisions). Empty when the
+  /// database is unsatisfiable outright.
+  std::vector<Lit> failed_assumptions;
 };
 
 struct SolverStats {
@@ -29,61 +35,115 @@ struct SolverStats {
   uint64_t conflicts = 0;
   uint64_t learned_clauses = 0;
   uint64_t restarts = 0;
+  /// Learnt clauses dropped by the clause-database reduction.
+  uint64_t deleted_clauses = 0;
+  /// Number of ReduceDb passes.
+  uint64_t db_reductions = 0;
+  /// Literals removed from learnt clauses by self-subsumption minimization.
+  uint64_t minimized_literals = 0;
+  /// Solve() invocations on this solver (re-solves of an incremental sweep).
+  uint64_t solve_calls = 0;
 };
 
 struct SolverOptions {
-  /// Give up after this many conflicts (0 = unlimited).
+  /// Give up after this many conflicts *per Solve call* (0 = unlimited).
   uint64_t max_conflicts = 0;
   /// VSIDS activity decay factor.
   double var_decay = 0.95;
+  /// Learnt-clause activity decay factor.
+  double clause_decay = 0.999;
   /// Luby restart unit (conflicts).
   uint64_t restart_unit = 128;
+  /// First learnt-DB reduction once this many learnt clauses are live;
+  /// the threshold grows by reduce_db_growth after every reduction.
+  uint64_t reduce_db_base = 4000;
+  double reduce_db_growth = 1.5;
 };
 
 /// A conflict-driven clause learning SAT solver: two-watched-literal
-/// propagation, VSIDS branching with phase saving, first-UIP clause
-/// learning with non-chronological backjumping, and Luby restarts.
+/// propagation, heap-based VSIDS branching with phase saving, first-UIP
+/// clause learning with self-subsumption minimization and non-chronological
+/// backjumping, Luby restarts, and LBD/activity-scored learnt-database
+/// reduction.
 ///
 /// This is the NP-engine substrate behind ESO^k evaluation (Corollary 3.7):
 /// after Lemma 3.6's arity reduction, a bounded-variable ESO query grounds
 /// to a polynomially sized CNF whose satisfiability this solver decides.
+///
+/// The solver is *incremental* in the MiniSat style: the clause database
+/// (including learnt clauses, saved phases, and variable activities)
+/// persists across Solve calls, and each call may pass a set of assumption
+/// literals that hold for that call only. Callers pass the same Cnf object
+/// every time, possibly grown with new variables and clauses since the last
+/// call; only the not-yet-attached suffix is ingested. This is what turns
+/// the ESO^k answer sweep into one grounding plus n^k cheap re-solves that
+/// share one learnt-clause database.
 class Solver {
  public:
   explicit Solver(SolverOptions options = {});
 
-  /// Solves `cnf`. The cnf is copied into the solver's internal clause
-  /// database.
-  SolveResult Solve(const Cnf& cnf);
+  /// Solves `cnf` under `assumptions` (each assumption literal is forced
+  /// true for this call only). Clauses of `cnf` beyond the ones attached by
+  /// earlier calls are ingested first; clauses already attached must not
+  /// have been modified. On kUnsat with assumptions, failed_assumptions
+  /// names an inconsistent subset of the assumptions.
+  SolveResult Solve(const Cnf& cnf, const std::vector<Lit>& assumptions);
 
+  /// Solves `cnf` with no assumptions.
+  SolveResult Solve(const Cnf& cnf) { return Solve(cnf, {}); }
+
+  /// Cumulative over the lifetime of the solver (not reset per call).
   const SolverStats& stats() const { return stats_; }
 
  private:
   struct InternalClause {
     std::vector<Lit> lits;
     double activity = 0.0;
+    uint32_t lbd = 0;
     bool learned = false;
   };
 
   // Clause reference: index into clauses_. kNoReason for decisions.
   static constexpr int kNoReason = -1;
 
-  void Init(const Cnf& cnf);
-  bool AttachInitialClauses(const Cnf& cnf);
+  void ExtendVars(int num_vars);
+  bool AttachNewClauses(const Cnf& cnf);
   void Enqueue(Lit l, int reason);
   int Propagate();  // returns conflicting clause index or kNoReason
-  void Analyze(int conflict, std::vector<Lit>* learnt, int* backjump_level);
+  void Analyze(int conflict, std::vector<Lit>* learnt, int* backjump_level,
+               uint32_t* lbd);
+  bool LitRedundant(Lit p, uint32_t abstract_levels,
+                    std::vector<Lit>* to_clear);
+  void AnalyzeFinal(Lit p, std::vector<Lit>* failed);
   void Backtrack(int level);
   Lit PickBranchLit();
   void BumpVar(int var);
   void DecayVarActivities();
+  void BumpClause(int ci);
+  void DecayClauseActivities();
   void AttachClause(int ci);
+  bool Locked(int ci) const;
+  void ReduceDb();
+  uint32_t ComputeLbd(const std::vector<Lit>& lits);
   uint64_t LubyRestartLimit(uint64_t i) const;
+
+  // Indexed max-heap over activity_ (the VSIDS order). Every unassigned
+  // variable is in the heap; assigned variables are removed lazily by
+  // PickBranchLit and re-inserted by Backtrack.
+  bool HeapContains(int v) const { return heap_pos_[v] >= 0; }
+  void HeapInsert(int v);
+  int HeapPop();
+  void HeapSiftUp(std::size_t i);
+  void HeapSiftDown(std::size_t i);
 
   SolverOptions options_;
   SolverStats stats_;
 
   int num_vars_ = 0;
+  std::size_t attached_clauses_ = 0;  // prefix of the caller's cnf ingested
   std::vector<InternalClause> clauses_;
+  std::size_t num_learnts_ = 0;       // live learnt clauses
+  double max_learnts_ = 0.0;          // ReduceDb threshold
   std::vector<std::vector<int>> watches_;  // per literal code
   std::vector<Assignment> assign_;
   std::vector<bool> phase_;       // saved phase per var
@@ -94,13 +154,22 @@ class Solver {
   std::size_t prop_head_ = 0;
   std::vector<double> activity_;
   double var_inc_ = 1.0;
-  std::vector<bool> seen_;        // scratch for Analyze
+  double cla_inc_ = 1.0;
+  std::vector<int> heap_;         // variable indices, max-heap by activity
+  std::vector<int> heap_pos_;     // position in heap_, -1 if absent
+  std::vector<bool> seen_;        // scratch for Analyze / AnalyzeFinal
+  std::vector<Lit> min_stack_;    // scratch for LitRedundant
+  std::vector<uint64_t> lbd_stamp_;  // per-level stamp for ComputeLbd
+  uint64_t lbd_counter_ = 0;
   bool ok_ = true;                // false once UNSAT at level 0
 };
 
 /// Exhaustive truth-table check, for cross-validating the CDCL solver on
-/// small instances (num_vars <= 24).
+/// small instances (num_vars <= 24). The overload with assumptions decides
+/// satisfiability restricted to models where every assumption holds.
 Result<SolveResult> SolveBruteForce(const Cnf& cnf);
+Result<SolveResult> SolveBruteForce(const Cnf& cnf,
+                                    const std::vector<Lit>& assumptions);
 
 }  // namespace sat
 }  // namespace bvq

@@ -19,8 +19,9 @@ Lit CircuitBuilder::MakeAnd(Lit a, Lit b) {
   }
   if (a == b) return a;
   if (a == b.Negation()) return true_lit_.Negation();
-  std::pair<int, int> key(std::min(a.code(), b.code()),
-                          std::max(a.code(), b.code()));
+  const uint64_t key =
+      (static_cast<uint64_t>(std::min(a.code(), b.code())) << 32) |
+      static_cast<uint32_t>(std::max(a.code(), b.code()));
   auto it = and_cache_.find(key);
   if (it != and_cache_.end()) return it->second;
   const Lit g(cnf_->NewVar(), false);

@@ -1,7 +1,8 @@
 #ifndef BVQ_SAT_TSEITIN_H_
 #define BVQ_SAT_TSEITIN_H_
 
-#include <map>
+#include <cstdint>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -43,8 +44,18 @@ class CircuitBuilder {
   Cnf* cnf_;
   Lit true_lit_;
   // Structural hash over AND gates only (OR/IFF are expressed through AND
-  // and negation): key is the ordered pair of literal codes.
-  std::map<std::pair<int, int>, Lit> and_cache_;
+  // and negation): key is the ordered pair of literal codes, packed into
+  // one 64-bit word. Hashed rather than ordered: gate lookups dominate
+  // grounding, the serial prefix of the incremental ESO^k answer sweep.
+  struct PackedPairHash {
+    std::size_t operator()(uint64_t key) const {
+      key ^= key >> 33;
+      key *= 0xff51afd7ed558ccdull;
+      key ^= key >> 33;
+      return static_cast<std::size_t>(key);
+    }
+  };
+  std::unordered_map<uint64_t, Lit, PackedPairHash> and_cache_;
 };
 
 }  // namespace sat

@@ -253,5 +253,12 @@ TEST(StringsTest, Strip) {
   EXPECT_EQ(StripAsciiWhitespace("   "), "");
 }
 
+TEST(StringsTest, TrimLeft) {
+  EXPECT_EQ(TrimLeft("  \t path/to file "), "path/to file ");
+  EXPECT_EQ(TrimLeft("nothing"), "nothing");
+  EXPECT_EQ(TrimLeft("   "), "");
+  EXPECT_EQ(TrimLeft(""), "");
+}
+
 }  // namespace
 }  // namespace bvq

@@ -19,17 +19,23 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "algebra/word_algebra.h"
 #include "common/rng.h"
 #include "db/generators.h"
 #include "eval/bounded_eval.h"
 #include "eval/certificate.h"
+#include "eval/eso_eval.h"
 #include "eval/naive_eval.h"
 #include "eval/reference_eval.h"
 #include "logic/analysis.h"
+#include "logic/builder.h"
 #include "logic/nnf.h"
 #include "logic/parser.h"
 #include "logic/random_formula.h"
+#include "sat/cnf.h"
+#include "sat/solver.h"
 
 namespace bvq {
 namespace {
@@ -149,6 +155,109 @@ TEST_P(DifferentialFuzz, AllEnginesAgree) {
               << dump;
         }
       }
+    }
+  }
+}
+
+// One solver instance answers a batch of assumption queries against the
+// same CNF — the exact access pattern of the incremental ESO sweep — and
+// every verdict must match a fresh brute-force enumeration, including the
+// UNSAT-under-assumptions cases and the reported failed-assumption subset.
+TEST(SatDifferentialFuzz, CdclWithAssumptionsAgreesWithBruteForce) {
+  Rng rng(4242);
+  int sat_count = 0, unsat_count = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    sat::Cnf cnf;
+    const int num_vars = 6 + static_cast<int>(rng.Below(10));  // <= 15
+    cnf.num_vars = num_vars;
+    const int num_clauses = 3 * num_vars + static_cast<int>(rng.Below(16));
+    for (int c = 0; c < num_clauses; ++c) {
+      sat::Clause clause;
+      for (int j = 0; j < 3; ++j) {
+        clause.push_back(sat::Lit(static_cast<int>(rng.Below(num_vars)),
+                                  rng.Bernoulli(0.5)));
+      }
+      cnf.AddClause(clause);
+    }
+    sat::Solver solver;
+    for (int query = 0; query < 5; ++query) {
+      std::vector<sat::Lit> assumptions;
+      const std::size_t count = rng.Below(5);
+      for (std::size_t j = 0; j < count; ++j) {
+        assumptions.push_back(sat::Lit(
+            static_cast<int>(rng.Below(num_vars)), rng.Bernoulli(0.5)));
+      }
+      auto fast = solver.Solve(cnf, assumptions);
+      auto slow = sat::SolveBruteForce(cnf, assumptions);
+      ASSERT_TRUE(slow.ok());
+      ASSERT_EQ(fast.status, slow->status) << cnf.ToDimacs();
+      if (fast.status == sat::SolveStatus::kSat) {
+        ++sat_count;
+        EXPECT_TRUE(Satisfies(cnf, fast.model));
+        for (sat::Lit a : assumptions) {
+          EXPECT_TRUE(sat::LitTrueIn(fast.model, a));
+        }
+      } else {
+        ++unsat_count;
+        for (sat::Lit l : fast.failed_assumptions) {
+          EXPECT_TRUE(std::find(assumptions.begin(), assumptions.end(), l) !=
+                      assumptions.end());
+        }
+        auto core = sat::SolveBruteForce(cnf, fast.failed_assumptions);
+        ASSERT_TRUE(core.ok());
+        EXPECT_EQ(core->status, sat::SolveStatus::kUnsat);
+      }
+    }
+  }
+  EXPECT_GT(sat_count, 20);
+  EXPECT_GT(unsat_count, 20);
+}
+
+// The incremental ESO sweep (one grounding, one solver, assumption-based
+// re-solves) must return byte-identical answer sets to the scratch
+// baseline at every thread count, and both must match the reference
+// enumeration.
+TEST(EsoDifferentialFuzz, IncrementalMatchesScratch) {
+  Rng rng(271);
+  RandomFormulaOptions opts;
+  opts.num_vars = 2;
+  opts.max_size = 12;
+  opts.predicates = {{"E", 2}, {"P", 1}, {"S", 1}, {"T", 2}};
+  opts.allow_fixpoints = false;
+
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t n = 2 + rng.Below(2);
+    Database db(n);
+    ASSERT_TRUE(db.AddRelation("E", RandomRelation(n, 2, 0.35, rng)).ok());
+    ASSERT_TRUE(db.AddRelation("P", RandomRelation(n, 1, 0.5, rng)).ok());
+    // Random FO matrix over E, P and the quantified S, T, closed under a
+    // second-order existential prefix.
+    FormulaPtr f =
+        SoExists("S", 1, SoExists("T", 2, RandomFormula(opts, rng)));
+    const std::string dump = FormulaToString(f) + "\n" + db.ToString();
+
+    ReferenceEvaluator ref(db, 2);
+    auto truth = ref.SatisfyingAssignments(f);
+    ASSERT_TRUE(truth.ok()) << dump;
+
+    EsoEvalOptions inc_opts;
+    inc_opts.incremental = true;
+    EsoEvaluator inc(db, 2, inc_opts);
+    auto a = inc.Evaluate(f);
+    ASSERT_TRUE(a.ok()) << dump;
+    EXPECT_EQ(a->ToRelation({0, 1}), *truth) << "eso/incremental differs\n"
+                                             << dump;
+
+    for (std::size_t threads : {1u, 2u, 4u}) {
+      EsoEvalOptions scratch_opts;
+      scratch_opts.incremental = false;
+      scratch_opts.num_threads = threads;
+      EsoEvaluator scratch(db, 2, scratch_opts);
+      auto b = scratch.Evaluate(f);
+      ASSERT_TRUE(b.ok()) << dump;
+      EXPECT_EQ(*a, *b) << "eso/scratch(threads=" << threads
+                        << ") differs\n"
+                        << dump;
     }
   }
 }

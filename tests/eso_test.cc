@@ -134,6 +134,68 @@ TEST(EsoEvalTest, HighArityRelationStaysPolynomial) {
   EXPECT_LE(eval.stats().so_cells, 32u);
 }
 
+TEST(EsoEvalTest, UnreferencedSoRelationGetsEmptyWitness) {
+  // U is quantified but never mentioned: the witness must still report it
+  // (as the empty relation of its declared arity), not omit it.
+  Database db(3);
+  ASSERT_TRUE(db.AddRelation("P", RelationBuilder(1).Build()).ok());
+  EsoEvaluator eval(db, 1);
+  auto f = ParseFormula("exists2 S/1 . exists2 U/2 . (S(x1) | !(S(x1)))");
+  EsoWitness witness;
+  auto r = eval.HoldsSentence(*f, &witness);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(*r);
+  ASSERT_TRUE(witness.count("S"));
+  ASSERT_TRUE(witness.count("U"));
+  EXPECT_EQ(witness.at("U").arity(), 2u);
+  EXPECT_EQ(witness.at("U").size(), 0u);
+}
+
+TEST(EsoEvalTest, IncrementalMatchesScratch) {
+  FormulaPtr queries[] = {
+      TwoColoring(),
+      *ParseFormula("exists2 S/1 . S(x1) & !(S(x2))"),
+      *ParseFormula("exists2 S/1 . (exists x1 . S(x1)) & forall x1 . "
+                    "(S(x1) -> exists x2 . (E(x1,x2) & S(x2)))"),
+  };
+  for (std::size_t n : {3u, 5u}) {
+    Database db = GraphDb(n, CycleGraph(n));
+    for (const FormulaPtr& f : queries) {
+      EsoEvalOptions inc_opts;
+      inc_opts.incremental = true;
+      EsoEvaluator inc(db, 2, inc_opts);
+      auto a = inc.Evaluate(f);
+      ASSERT_TRUE(a.ok()) << a.status().ToString();
+      EsoEvalOptions scratch_opts;
+      scratch_opts.incremental = false;
+      EsoEvaluator scratch(db, 2, scratch_opts);
+      auto b = scratch.Evaluate(f);
+      ASSERT_TRUE(b.ok()) << b.status().ToString();
+      EXPECT_EQ(*a, *b) << FormulaToString(f) << " n=" << n;
+    }
+  }
+}
+
+TEST(EsoEvalTest, SweepStatsDistinguishPaths) {
+  Database db = GraphDb(3, CycleGraph(3));
+  auto f = ParseFormula("exists2 S/1 . S(x1) & !(S(x2))");
+
+  EsoEvalOptions inc_opts;
+  inc_opts.incremental = true;
+  EsoEvaluator inc(db, 2, inc_opts);
+  ASSERT_TRUE(inc.Evaluate(*f).ok());
+  EXPECT_EQ(inc.stats().sat_calls, 9u);  // n^k = 3^2
+  EXPECT_EQ(inc.stats().groundings, 1u);
+  EXPECT_EQ(inc.stats().solver.solve_calls, 9u);
+
+  EsoEvalOptions scratch_opts;
+  scratch_opts.incremental = false;
+  EsoEvaluator scratch(db, 2, scratch_opts);
+  ASSERT_TRUE(scratch.Evaluate(*f).ok());
+  EXPECT_EQ(scratch.stats().sat_calls, 9u);
+  EXPECT_EQ(scratch.stats().groundings, 9u);
+}
+
 // --- Lemma 3.6 arity reduction ----------------------------------------------
 
 TEST(EsoArityReduceTest, ReducesArities) {

@@ -178,6 +178,142 @@ TEST(SolverTest, ConflictBudget) {
   EXPECT_EQ(r.status, SolveStatus::kUnknown);
 }
 
+TEST(SolverTest, AssumptionsSelectBranch) {
+  // (x0 | x1) with each polarity forced by assumption.
+  Cnf cnf;
+  cnf.num_vars = 2;
+  cnf.AddBinary(Lit(0, false), Lit(1, false));
+  Solver solver;
+  auto r = solver.Solve(cnf, {Lit(0, true)});
+  ASSERT_EQ(r.status, SolveStatus::kSat);
+  EXPECT_FALSE(r.model[0]);
+  EXPECT_TRUE(r.model[1]);
+  r = solver.Solve(cnf, {Lit(1, true)});
+  ASSERT_EQ(r.status, SolveStatus::kSat);
+  EXPECT_TRUE(r.model[0]);
+  EXPECT_FALSE(r.model[1]);
+}
+
+TEST(SolverTest, FailedAssumptionsAreResponsibleSubset) {
+  // (!x0 | !x1): assuming both true is unsat, x2 is irrelevant.
+  Cnf cnf;
+  cnf.num_vars = 3;
+  cnf.AddBinary(Lit(0, true), Lit(1, true));
+  Solver solver;
+  auto r = solver.Solve(
+      cnf, {Lit(2, false), Lit(0, false), Lit(1, false)});
+  ASSERT_EQ(r.status, SolveStatus::kUnsat);
+  ASSERT_FALSE(r.failed_assumptions.empty());
+  for (Lit l : r.failed_assumptions) {
+    EXPECT_TRUE(l == Lit(0, false) || l == Lit(1, false)) << l.ToDimacs();
+  }
+  // The reported subset must itself be unsat with the formula.
+  auto check = SolveBruteForce(cnf, r.failed_assumptions);
+  ASSERT_TRUE(check.ok());
+  EXPECT_EQ(check->status, SolveStatus::kUnsat);
+}
+
+TEST(SolverTest, ContradictoryAssumptions) {
+  Cnf cnf;
+  cnf.num_vars = 1;
+  Solver solver;
+  auto r = solver.Solve(cnf, {Lit(0, false), Lit(0, true)});
+  ASSERT_EQ(r.status, SolveStatus::kUnsat);
+  ASSERT_FALSE(r.failed_assumptions.empty());
+  for (Lit l : r.failed_assumptions) EXPECT_EQ(l.var(), 0);
+}
+
+TEST(SolverTest, AssumptionsDoNotPersist) {
+  // The same solver answers SAT after an unsat-under-assumptions call:
+  // assumptions are per-call, not clauses.
+  Cnf cnf;
+  cnf.num_vars = 2;
+  cnf.AddUnit(Lit(0, false));
+  Solver solver;
+  EXPECT_EQ(solver.Solve(cnf, {Lit(0, true)}).status, SolveStatus::kUnsat);
+  auto r = solver.Solve(cnf);
+  ASSERT_EQ(r.status, SolveStatus::kSat);
+  EXPECT_TRUE(r.model[0]);
+  EXPECT_EQ(solver.stats().solve_calls, 2u);
+}
+
+TEST(SolverTest, IncrementalClauseAddition) {
+  // Growing the same Cnf between calls on one solver: only the suffix is
+  // attached, and answers track the strengthened formula.
+  Cnf cnf;
+  cnf.num_vars = 3;
+  cnf.AddBinary(Lit(0, false), Lit(1, false));
+  Solver solver;
+  EXPECT_EQ(solver.Solve(cnf).status, SolveStatus::kSat);
+  cnf.AddUnit(Lit(0, true));
+  auto r = solver.Solve(cnf);
+  ASSERT_EQ(r.status, SolveStatus::kSat);
+  EXPECT_FALSE(r.model[0]);
+  EXPECT_TRUE(r.model[1]);
+  cnf.AddUnit(Lit(1, true));
+  EXPECT_EQ(solver.Solve(cnf).status, SolveStatus::kUnsat);
+  // Unsat at level zero is remembered.
+  EXPECT_EQ(solver.Solve(cnf).status, SolveStatus::kUnsat);
+}
+
+TEST(SolverTest, ReduceDbDeletesLearntClauses) {
+  SolverOptions opts;
+  opts.reduce_db_base = 50;
+  Solver solver(opts);
+  EXPECT_EQ(solver.Solve(Pigeonhole(7, 6)).status, SolveStatus::kUnsat);
+  EXPECT_GT(solver.stats().db_reductions, 0u);
+  EXPECT_GT(solver.stats().deleted_clauses, 0u);
+}
+
+TEST(SolverTest, LubyRestartSchedule) {
+  // With a small unit a conflict-heavy UNSAT instance must restart, and
+  // the exact budget check means a restart costs at least `unit`
+  // conflicts, so conflicts bounds restarts from above.
+  SolverOptions opts;
+  opts.restart_unit = 8;
+  Solver solver(opts);
+  EXPECT_EQ(solver.Solve(Pigeonhole(7, 6)).status, SolveStatus::kUnsat);
+  EXPECT_GT(solver.stats().restarts, 0u);
+  EXPECT_LE(solver.stats().restarts * opts.restart_unit,
+            solver.stats().conflicts);
+}
+
+TEST(SolverTest, MoreAssumptionsThanVariables) {
+  // Repeated assumptions open dummy decision levels, so the level count can
+  // exceed num_vars; conflict analysis (LBD stamping in particular) must
+  // cope with levels past the variable count.
+  Cnf cnf;
+  cnf.num_vars = 3;
+  cnf.AddTernary(Lit(0, true), Lit(1, true), Lit(2, false));
+  cnf.AddTernary(Lit(0, true), Lit(1, true), Lit(2, true));
+  Solver solver;
+  const std::vector<Lit> assumptions = {Lit(0, false), Lit(0, false),
+                                        Lit(0, false), Lit(0, false),
+                                        Lit(0, false), Lit(1, false)};
+  auto r = solver.Solve(cnf, assumptions);
+  ASSERT_EQ(r.status, SolveStatus::kUnsat);
+  auto check = SolveBruteForce(cnf, r.failed_assumptions);
+  ASSERT_TRUE(check.ok());
+  EXPECT_EQ(check->status, SolveStatus::kUnsat);
+}
+
+TEST(SolverTest, ModelUnderAssumptionsSatisfiesThem) {
+  Rng rng(55);
+  for (int trial = 0; trial < 30; ++trial) {
+    Cnf cnf = RandomCnf(10, 30, 3, rng);
+    std::vector<Lit> assumptions;
+    for (int v = 0; v < 3; ++v) {
+      assumptions.push_back(
+          Lit(static_cast<int>(rng.Below(10)), rng.Bernoulli(0.5)));
+    }
+    Solver solver;
+    auto r = solver.Solve(cnf, assumptions);
+    if (r.status != SolveStatus::kSat) continue;
+    EXPECT_TRUE(Satisfies(cnf, r.model));
+    for (Lit a : assumptions) EXPECT_TRUE(LitTrueIn(r.model, a));
+  }
+}
+
 TEST(TseitinTest, AndGate) {
   Cnf cnf;
   CircuitBuilder b(&cnf);

@@ -16,12 +16,16 @@
 //   eval <query>                evaluate with the bounded-variable engine
 //   naive <query>               evaluate with the classical engine (FO only)
 //   eso <sentence>              evaluate an ESO sentence via grounding+SAT
+//   esoall <query>              full n^k ESO answer sweep (see esoinc)
+//   esoinc on|off               incremental ESO sweep (default on)
 //   datalog <file>              run a Datalog program against the database
 //   quit
 //
 // Flags: --threads=N sets the initial thread count (same as the `threads`
 // command; results are byte-identical for every N), --memo=0|1 the
-// memoization switch, and --stats turns the counter printout on.
+// memoization switch, --eso-incremental=0|1 the ESO sweep mode (same as
+// the `esoinc` command; answers are byte-identical either way), and
+// --stats turns the counter printout on.
 //
 // Queries use the library syntax, e.g.
 //   eval (x1,x2) [lfp T(x1,x2) . E(x1,x2) | exists x3 . (E(x1,x3) &
@@ -36,6 +40,7 @@
 #include <sstream>
 #include <string>
 
+#include "common/strings.h"
 #include "common/thread_pool.h"
 
 #include "datalog/datalog.h"
@@ -54,6 +59,7 @@ struct ShellState {
   Database db{0};
   std::size_t num_vars = 3;
   BoundedEvalOptions options;
+  EsoEvalOptions eso_options;
   bool print_stats = false;  // extra memo/hoist counter line after eval
   std::string pending_rel_lines;  // accumulated "rel" lines for ParseDatabase
 };
@@ -70,12 +76,48 @@ void PrintRelation(const Relation& rel, std::size_t limit = 20) {
   if (rel.size() > limit) std::printf("    ... (%zu more)\n", rel.size() - limit);
 }
 
+void PrintAssignmentSet(const AssignmentSet& set, std::size_t limit = 20) {
+  std::printf("  %zu assignment(s) over D^%zu\n", set.Count(), set.num_vars());
+  std::vector<Value> a(set.num_vars());
+  std::size_t shown = 0;
+  for (std::size_t r = 0; r < set.indexer().NumTuples(); ++r) {
+    if (!set.Test(r)) continue;
+    if (shown < limit) {
+      set.indexer().Unrank(r, a.data());
+      std::printf("    (");
+      for (std::size_t j = 0; j < a.size(); ++j) {
+        std::printf("%s%u", j ? "," : "", a[j]);
+      }
+      std::printf(")\n");
+    }
+    ++shown;
+  }
+  if (shown > limit) std::printf("    ... (%zu more)\n", shown - limit);
+}
+
+void PrintSolverStats(const EsoEvalStats& stats) {
+  std::printf(
+      "  [solver: %llu decisions, %llu propagations, %llu conflicts, "
+      "%llu learned (%llu deleted,\n   %llu reductions), %llu restarts, "
+      "%llu minimized lits, %llu solve calls]\n",
+      static_cast<unsigned long long>(stats.solver.decisions),
+      static_cast<unsigned long long>(stats.solver.propagations),
+      static_cast<unsigned long long>(stats.solver.conflicts),
+      static_cast<unsigned long long>(stats.solver.learned_clauses),
+      static_cast<unsigned long long>(stats.solver.deleted_clauses),
+      static_cast<unsigned long long>(stats.solver.db_reductions),
+      static_cast<unsigned long long>(stats.solver.restarts),
+      static_cast<unsigned long long>(stats.solver.minimized_literals),
+      static_cast<unsigned long long>(stats.solver.solve_calls));
+}
+
 void Help() {
   std::printf(
       "commands: help | domain <n> | rel <name>/<arity> t.. ; | load <f> | "
       "show | k <n> |\n          strategy naive|reuse | pfp hash|floyd | "
-      "threads <n> | memo on|off |\n          stats on|off | eval <q> | "
-      "naive <q> | eso <q> | datalog <f> | quit\n");
+      "threads <n> | memo on|off |\n          esoinc on|off | stats on|off | "
+      "eval <q> | naive <q> | eso <q> |\n          esoall <q> | datalog <f> | "
+      "quit\n");
 }
 
 bool HandleLine(ShellState& state, const std::string& line) {
@@ -122,8 +164,7 @@ bool HandleLine(ShellState& state, const std::string& line) {
     return true;
   }
   if (cmd == "load") {
-    std::string path = rest;
-    while (!path.empty() && path.front() == ' ') path.erase(path.begin());
+    std::string path(TrimLeft(rest));
     std::ifstream in(path);
     if (!in) {
       std::printf("error: cannot open %s\n", path.c_str());
@@ -175,8 +216,15 @@ bool HandleLine(ShellState& state, const std::string& line) {
     std::size_t n = 0;
     std::istringstream(rest) >> n;
     state.options.num_threads = n;
+    state.eso_options.num_threads = n;  // scratch ESO sweep only
     std::printf("threads = %zu%s\n", n,
                 n == 0 ? " (auto)" : (n == 1 ? " (serial)" : ""));
+    return true;
+  }
+  if (cmd == "esoinc") {
+    state.eso_options.incremental = rest.find("off") == std::string::npos;
+    std::printf("eso incremental = %s\n",
+                state.eso_options.incremental ? "on" : "off");
     return true;
   }
   if (cmd == "memo") {
@@ -189,7 +237,7 @@ bool HandleLine(ShellState& state, const std::string& line) {
     std::printf("stats = %s\n", state.print_stats ? "on" : "off");
     return true;
   }
-  if (cmd == "eval" || cmd == "naive" || cmd == "eso") {
+  if (cmd == "eval" || cmd == "naive" || cmd == "eso" || cmd == "esoall") {
     auto query = ParseQuery(rest);
     if (!query.ok()) {
       std::printf("parse error: %s\n", query.status().ToString().c_str());
@@ -249,8 +297,8 @@ bool HandleLine(ShellState& state, const std::string& line) {
       std::printf("  [%0.2f ms, max intermediate arity %zu (%zu tuples)]\n",
                   ms(start, stop), eval.stats().max_intermediate_arity,
                   eval.stats().max_intermediate_tuples);
-    } else {
-      EsoEvaluator eval(state.db, state.num_vars);
+    } else if (cmd == "eso") {
+      EsoEvaluator eval(state.db, state.num_vars, state.eso_options);
       EsoWitness witness;
       auto result = eval.Holds(query->formula,
                                std::vector<Value>(state.num_vars, 0),
@@ -266,16 +314,34 @@ bool HandleLine(ShellState& state, const std::string& line) {
                   eval.stats().cnf_vars, eval.stats().cnf_clauses,
                   static_cast<unsigned long long>(
                       eval.stats().solver.conflicts));
+      if (state.print_stats) PrintSolverStats(eval.stats());
       for (const auto& [name, rel] : witness) {
         std::printf("  witness %s:\n", name.c_str());
         PrintRelation(rel, 10);
       }
+    } else {
+      EsoEvaluator eval(state.db, state.num_vars, state.eso_options);
+      auto result = eval.Evaluate(query->formula);
+      const auto stop = now();
+      if (!result.ok()) {
+        std::printf("error: %s\n", result.status().ToString().c_str());
+        return true;
+      }
+      PrintAssignmentSet(*result);
+      std::printf(
+          "  [%0.2f ms %s, %zu SAT calls / %zu groundings, "
+          "CNF %zu vars / %zu clauses, %llu conflicts]\n",
+          ms(start, stop),
+          state.eso_options.incremental ? "incremental" : "scratch",
+          eval.stats().sat_calls, eval.stats().groundings,
+          eval.stats().cnf_vars, eval.stats().cnf_clauses,
+          static_cast<unsigned long long>(eval.stats().solver.conflicts));
+      if (state.print_stats) PrintSolverStats(eval.stats());
     }
     return true;
   }
   if (cmd == "datalog") {
-    std::string path = rest;
-    while (!path.empty() && path.front() == ' ') path.erase(path.begin());
+    std::string path(TrimLeft(rest));
     std::ifstream in(path);
     if (!in) {
       std::printf("error: cannot open %s\n", path.c_str());
@@ -324,12 +390,18 @@ int main(int argc, char** argv) {
     if (arg.rfind("--threads=", 0) == 0) {
       state.options.num_threads =
           static_cast<std::size_t>(std::strtoull(arg.c_str() + 10, nullptr, 10));
+      state.eso_options.num_threads = state.options.num_threads;
     } else if (arg.rfind("--memo=", 0) == 0) {
       state.options.memo = std::strtoull(arg.c_str() + 7, nullptr, 10) != 0;
+    } else if (arg.rfind("--eso-incremental=", 0) == 0) {
+      state.eso_options.incremental =
+          std::strtoull(arg.c_str() + 18, nullptr, 10) != 0;
     } else if (arg == "--stats") {
       state.print_stats = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: bvqsh [--threads=N] [--memo=0|1] [--stats] [script]\n");
+      std::printf(
+          "usage: bvqsh [--threads=N] [--memo=0|1] [--eso-incremental=0|1] "
+          "[--stats] [script]\n");
       return 0;
     } else if (script_path == nullptr) {
       script_path = argv[i];

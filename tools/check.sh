@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
-# Tier-1 verification: build + ctest, plain and under ThreadSanitizer.
+# Tier-1 verification: build + ctest, plain and under ThreadSanitizer and
+# AddressSanitizer+UBSan.
 #
-# Usage: tools/check.sh [--tsan-only|--plain-only]
+# Usage: tools/check.sh [--tsan-only|--plain-only|--asan-only]
 #
 # The TSan pass builds with -DBVQ_SANITIZE=thread and runs the test suite
 # with BVQ_THREADS=4 so the auto thread count exercises the parallel
-# kernels; any data race in the evaluation layer fails the run.
+# kernels; any data race in the evaluation layer fails the run. The ASan
+# pass builds with -DBVQ_SANITIZE=address,undefined and additionally
+# smoke-runs the incremental-ESO bench, whose byte-identity assertion
+# drives the solver's clause-database compaction under the sanitizers.
 
 set -euo pipefail
 
@@ -14,11 +18,14 @@ ROOT="$PWD"
 
 run_plain=1
 run_tsan=1
+run_asan=1
 case "${1:-}" in
-  --tsan-only) run_plain=0 ;;
-  --plain-only) run_tsan=0 ;;
+  --tsan-only) run_plain=0; run_asan=0 ;;
+  --plain-only) run_tsan=0; run_asan=0 ;;
+  --asan-only) run_plain=0; run_tsan=0 ;;
   "") ;;
-  *) echo "usage: tools/check.sh [--tsan-only|--plain-only]" >&2; exit 2 ;;
+  *) echo "usage: tools/check.sh [--tsan-only|--plain-only|--asan-only]" >&2
+     exit 2 ;;
 esac
 
 if [[ $run_plain -eq 1 ]]; then
@@ -29,6 +36,9 @@ if [[ $run_plain -eq 1 ]]; then
   echo "== memo ablation smoke (asserts memo on/off byte-identity) =="
   "$ROOT/build/bench/bench_memo_ablation" --n=12 --reps=1 \
       --out="$ROOT/build/BENCH_memo_smoke.json"
+  echo "== eso incremental smoke (asserts incremental/scratch byte-identity) =="
+  "$ROOT/build/bench/bench_eso_incremental" --n=8 --reps=1 \
+      --out="$ROOT/build/BENCH_eso_smoke.json"
 fi
 
 if [[ $run_tsan -eq 1 ]]; then
@@ -36,6 +46,16 @@ if [[ $run_tsan -eq 1 ]]; then
   cmake -B "$ROOT/build-tsan" -S "$ROOT" -DBVQ_SANITIZE=thread
   cmake --build "$ROOT/build-tsan" -j"$(nproc)"
   (cd "$ROOT/build-tsan" && BVQ_THREADS=4 ctest --output-on-failure -j"$(nproc)")
+fi
+
+if [[ $run_asan -eq 1 ]]; then
+  echo "== ASan+UBSan build + ctest =="
+  cmake -B "$ROOT/build-asan" -S "$ROOT" -DBVQ_SANITIZE=address,undefined
+  cmake --build "$ROOT/build-asan" -j"$(nproc)"
+  (cd "$ROOT/build-asan" && ctest --output-on-failure -j"$(nproc)")
+  echo "== eso incremental smoke under ASan+UBSan =="
+  "$ROOT/build-asan/bench/bench_eso_incremental" --n=8 --reps=1 \
+      --out="$ROOT/build-asan/BENCH_eso_smoke.json"
 fi
 
 echo "check.sh: all requested passes green"
