@@ -10,10 +10,13 @@
 // record the perf trajectory is tracked with:
 //
 //   bench_eso_incremental [--n=14] [--reps=3] [--out=BENCH_eso.json]
+//                         [--deadline-ms=N] [--mem-budget-mb=N]
 //
 // Timing is min-of-reps per configuration. Every workload asserts that the
 // incremental and scratch AssignmentSet answers are byte-identical before
-// any number is written; a mismatch aborts with exit code 1.
+// any number is written; a mismatch aborts with exit code 1. The optional
+// governor limits bound the whole run (one shared clock/account across all
+// workloads); a trip aborts with the governor's status and exit code 1.
 
 #include <algorithm>
 #include <cassert>
@@ -25,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "common/resource.h"
 #include "db/database.h"
 #include "db/generators.h"
 #include "eval/eso_eval.h"
@@ -80,9 +84,10 @@ struct RunResult {
 };
 
 RunResult Run(const Database& db, const FormulaPtr& f, bool incremental,
-              std::size_t reps) {
+              std::size_t reps, ResourceGovernor* governor) {
   EsoEvalOptions opts;
   opts.incremental = incremental;
+  opts.governor = governor;
   RunResult out;
   std::vector<double> times;
   for (std::size_t r = 0; r < reps; ++r) {
@@ -110,6 +115,7 @@ int main(int argc, char** argv) {
   std::size_t n = 14;
   std::size_t reps = 3;
   std::string out_path = "BENCH_eso.json";
+  ResourceGovernor::Limits limits;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--n=", 4) == 0) {
       n = std::strtoull(argv[i] + 4, nullptr, 10);
@@ -117,13 +123,23 @@ int main(int argc, char** argv) {
       reps = std::strtoull(argv[i] + 7, nullptr, 10);
     } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
       out_path = argv[i] + 6;
+    } else if (std::strncmp(argv[i], "--deadline-ms=", 14) == 0) {
+      limits.deadline_ms = std::strtoull(argv[i] + 14, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--mem-budget-mb=", 16) == 0) {
+      limits.mem_budget_bytes =
+          static_cast<std::size_t>(std::strtoull(argv[i] + 16, nullptr, 10))
+          << 20;
     } else {
       std::fprintf(stderr,
                    "usage: bench_eso_incremental [--n=N] [--reps=R] "
-                   "[--out=PATH]\n");
+                   "[--out=PATH] [--deadline-ms=N] [--mem-budget-mb=N]\n");
       return 1;
     }
   }
+  ResourceGovernor governor(limits);
+  ResourceGovernor* gov =
+      (limits.deadline_ms > 0 || limits.mem_budget_bytes > 0) ? &governor
+                                                              : nullptr;
 
   std::string json = "{\n  \"bench\": \"eso_incremental\",\n";
   json += "  \"domain_size\": " + std::to_string(n) + ",\n";
@@ -141,8 +157,8 @@ int main(int argc, char** argv) {
       return 1;
     }
     Database db = MakeDb(workloads[w].graph, n);
-    RunResult inc = Run(db, *f, /*incremental=*/true, reps);
-    RunResult scratch = Run(db, *f, /*incremental=*/false, reps);
+    RunResult inc = Run(db, *f, /*incremental=*/true, reps, gov);
+    RunResult scratch = Run(db, *f, /*incremental=*/false, reps, gov);
     const bool identical = inc.answer == scratch.answer;
     all_identical = all_identical && identical;
     const double speedup = inc.ms > 0 ? scratch.ms / inc.ms : 0;

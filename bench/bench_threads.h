@@ -9,6 +9,12 @@
 // memo (the ablation switch; default on). Results are byte-identical for
 // every combination (see DESIGN.md, "Threading model & determinism" and
 // "Memoization & invariant hoisting") — only the timings move.
+//
+// --deadline-ms=N / --mem-budget-mb=N arm a ResourceGovernor shared by all
+// governed iterations (default: off) so a bench configuration that would
+// run away gets cut with DeadlineExceeded / ResourceExhausted instead of
+// wedging a CI run. The governor adds its per-node token polls to the
+// measured path, so leave both at 0 for comparable timing series.
 
 #ifndef BVQ_BENCH_BENCH_THREADS_H_
 #define BVQ_BENCH_BENCH_THREADS_H_
@@ -19,6 +25,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/resource.h"
 #include "eval/bounded_eval.h"
 
 namespace bvq_bench {
@@ -33,6 +40,23 @@ inline bool& MemoFlag() {
   return memo;
 }
 
+inline bvq::ResourceGovernor::Limits& GovernorLimits() {
+  static bvq::ResourceGovernor::Limits limits;
+  return limits;
+}
+
+// The shared governor, or nullptr when no limit flag was passed. The clock
+// starts at the first governed evaluation, so a deadline bounds the whole
+// bench run, not each iteration.
+inline bvq::ResourceGovernor* Governor() {
+  const auto& limits = GovernorLimits();
+  if (limits.deadline_ms == 0 && limits.mem_budget_bytes == 0) {
+    return nullptr;
+  }
+  static bvq::ResourceGovernor governor(limits);
+  return &governor;
+}
+
 inline void ParseThreadsFlag(int* argc, char** argv) {
   int out = 1;
   for (int i = 1; i < *argc; ++i) {
@@ -41,6 +65,13 @@ inline void ParseThreadsFlag(int* argc, char** argv) {
           static_cast<std::size_t>(std::strtoull(argv[i] + 10, nullptr, 10));
     } else if (std::strncmp(argv[i], "--memo=", 7) == 0) {
       MemoFlag() = std::strtoull(argv[i] + 7, nullptr, 10) != 0;
+    } else if (std::strncmp(argv[i], "--deadline-ms=", 14) == 0) {
+      GovernorLimits().deadline_ms =
+          std::strtoull(argv[i] + 14, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--mem-budget-mb=", 16) == 0) {
+      GovernorLimits().mem_budget_bytes =
+          static_cast<std::size_t>(std::strtoull(argv[i] + 16, nullptr, 10))
+          << 20;
     } else {
       argv[out++] = argv[i];
     }
@@ -48,12 +79,13 @@ inline void ParseThreadsFlag(int* argc, char** argv) {
   *argc = out;
 }
 
-// Evaluator options carrying the --threads / --memo values; benches pass
-// this to every BoundedEvaluator so the flags reach the engine.
+// Evaluator options carrying the --threads / --memo / governor values;
+// benches pass this to every BoundedEvaluator so the flags reach the engine.
 inline bvq::BoundedEvalOptions EvalOptions() {
   bvq::BoundedEvalOptions options;
   options.num_threads = ThreadsFlag();
   options.memo = MemoFlag();
+  options.governor = Governor();
   return options;
 }
 

@@ -97,6 +97,8 @@ class DynamicBitset {
   /// word-level parallel kernels, which partition the bitset into disjoint
   /// word ranges; padding bits past size() are always zero.
   std::size_t num_words() const { return words_.size(); }
+  /// Heap bytes held by the word storage (what a ResourceGovernor charges).
+  std::size_t ByteSize() const { return words_.size() * sizeof(uint64_t); }
   uint64_t* word_data() { return words_.data(); }
   const uint64_t* word_data() const { return words_.data(); }
 

@@ -1,0 +1,138 @@
+#include "common/resource.h"
+
+#include <cassert>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace bvq {
+
+ResourceGovernor::ResourceGovernor() { Reset(Limits()); }
+
+ResourceGovernor::ResourceGovernor(Limits limits) { Reset(limits); }
+
+void ResourceGovernor::Reset(Limits limits) {
+  limits_ = limits;
+  start_ = std::chrono::steady_clock::now();
+  stop_.store(false, std::memory_order_release);
+  checks_.store(0, std::memory_order_relaxed);
+  charges_.store(0, std::memory_order_relaxed);
+  current_.store(0, std::memory_order_relaxed);
+  peak_.store(0, std::memory_order_relaxed);
+  predicted_.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  trip_status_ = Status::OK();
+}
+
+void ResourceGovernor::Trip(StatusCode code, std::string message) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // First trip wins; later trips (e.g. the deadline firing while a budget
+  // error unwinds) keep the original diagnosis.
+  if (!stop_.load(std::memory_order_relaxed)) {
+    trip_status_ = code == StatusCode::kDeadlineExceeded
+                       ? Status::DeadlineExceeded(std::move(message))
+                       : Status::ResourceExhausted(std::move(message));
+    stop_.store(true, std::memory_order_release);
+  }
+}
+
+void ResourceGovernor::Cancel(std::string reason) {
+  Trip(StatusCode::kResourceExhausted, std::move(reason));
+}
+
+Status ResourceGovernor::status() const {
+  if (!stopped()) return Status::OK();
+  std::lock_guard<std::mutex> lock(mutex_);
+  return trip_status_;
+}
+
+Status ResourceGovernor::Check() {
+  checks_.fetch_add(1, std::memory_order_relaxed);
+  if (stop_.load(std::memory_order_acquire)) return status();
+  if (limits_.deadline_ms != 0) {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    if (elapsed >= std::chrono::milliseconds(limits_.deadline_ms)) {
+      Trip(StatusCode::kDeadlineExceeded,
+           StrCat("deadline of ", limits_.deadline_ms, " ms exceeded"));
+      return status();
+    }
+  }
+  return Status::OK();
+}
+
+void ResourceGovernor::UpdatePeak(std::size_t now) {
+  std::size_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+Status ResourceGovernor::Charge(std::size_t bytes) {
+  charges_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t now =
+      current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  UpdatePeak(now);
+  if (limits_.mem_budget_bytes != 0 && now > limits_.mem_budget_bytes) {
+    Trip(StatusCode::kResourceExhausted,
+         StrCat("memory budget exceeded: ", now, " bytes live > ",
+                limits_.mem_budget_bytes, " byte budget"));
+    return status();
+  }
+  if (stop_.load(std::memory_order_acquire)) return status();
+  return Status::OK();
+}
+
+void ResourceGovernor::Release(std::size_t bytes) {
+  current_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+Status ResourceGovernor::NoteTransient(std::size_t bytes) {
+  charges_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t now = current_.load(std::memory_order_relaxed) + bytes;
+  UpdatePeak(now);
+  if (limits_.mem_budget_bytes != 0 && now > limits_.mem_budget_bytes) {
+    Trip(StatusCode::kResourceExhausted,
+         StrCat("memory budget exceeded: ", now,
+                " bytes (incl. transient) > ", limits_.mem_budget_bytes,
+                " byte budget"));
+    return status();
+  }
+  if (stop_.load(std::memory_order_acquire)) return status();
+  return Status::OK();
+}
+
+double ResourceGovernor::elapsed_ms() const {
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  return std::chrono::duration<double, std::milli>(elapsed).count();
+}
+
+ResourceStats ResourceGovernor::stats() const {
+  ResourceStats s;
+  s.elapsed_ms = elapsed_ms();
+  s.deadline_ms = limits_.deadline_ms;
+  s.mem_budget_bytes = limits_.mem_budget_bytes;
+  s.mem_current_bytes = current_.load(std::memory_order_relaxed);
+  s.mem_peak_bytes = peak_.load(std::memory_order_relaxed);
+  s.mem_predicted_bytes = predicted_.load(std::memory_order_relaxed);
+  s.checks = checks_.load(std::memory_order_relaxed);
+  s.charges = charges_.load(std::memory_order_relaxed);
+  s.stopped = stopped();
+  s.stop_code = status().code();
+  return s;
+}
+
+Status ScopedCharge::Add(ResourceGovernor* governor, std::size_t bytes) {
+  if (governor == nullptr) return Status::OK();
+  assert(governor_ == nullptr || governor_ == governor);
+  governor_ = governor;
+  bytes_ += bytes;
+  return governor_->Charge(bytes);
+}
+
+void ScopedCharge::Reset() {
+  if (governor_ != nullptr && bytes_ != 0) governor_->Release(bytes_);
+  governor_ = nullptr;
+  bytes_ = 0;
+}
+
+}  // namespace bvq

@@ -19,6 +19,7 @@ enum class StatusCode {
   kTypeError,        // ill-typed formula / arity mismatch
   kUnsupported,      // feature outside the implemented fragment
   kResourceExhausted,
+  kDeadlineExceeded,  // wall-clock deadline tripped (ResourceGovernor)
   kInternal,
 };
 
@@ -52,6 +53,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

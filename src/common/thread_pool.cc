@@ -1,7 +1,9 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <memory>
 
 namespace bvq {
@@ -15,8 +17,16 @@ struct ThreadPool::Task {
   std::size_t total;
   std::size_t grain;
   std::size_t num_chunks;
+  // Optional cancellation token (null = never cancelled). Snapshotted from
+  // the pool at dispatch so a token swap cannot race an in-flight task.
+  const std::atomic<bool>* cancel;
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> remaining{0};
+  // Set when any chunk throws; `error` holds the first exception (written
+  // under the pool mutex, first writer wins) and is rethrown on the
+  // submitting thread after the drain completes.
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
 };
 
 ThreadPool::ThreadPool(std::size_t num_threads)
@@ -37,13 +47,27 @@ ThreadPool::~ThreadPool() {
 }
 
 std::size_t ThreadPool::DefaultThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t hw_threads = hw == 0 ? 1 : static_cast<std::size_t>(hw);
   if (const char* env = std::getenv("BVQ_THREADS")) {
     char* end = nullptr;
     const unsigned long v = std::strtoul(env, &end, 10);
-    if (end != env && *end == '\0' && v > 0) return static_cast<std::size_t>(v);
+    if (end != env && *end == '\0' && v > 0) {
+      const std::size_t cap = hw_threads * kMaxOversubscription;
+      if (v > cap) {
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true, std::memory_order_relaxed)) {
+          std::fprintf(stderr,
+                       "bvq: BVQ_THREADS=%lu exceeds %zu (%zux "
+                       "hardware_concurrency=%zu); clamping to %zu\n",
+                       v, cap, kMaxOversubscription, hw_threads, cap);
+        }
+        return cap;
+      }
+      return static_cast<std::size_t>(v);
+    }
   }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+  return hw_threads;
 }
 
 std::size_t ThreadPool::RunChunks(Task& task) {
@@ -51,10 +75,24 @@ std::size_t ThreadPool::RunChunks(Task& task) {
   for (;;) {
     const std::size_t c = task.next.fetch_add(1, std::memory_order_relaxed);
     if (c >= task.num_chunks) return executed;
-    const std::size_t begin = c * task.grain;
-    const std::size_t end = std::min(begin + task.grain, task.total);
-    (*task.fn)(c, begin, end);
-    ++executed;
+    // Drain without running once a sibling chunk threw or the cancel token
+    // tripped; `remaining` must still reach zero so the submitter wakes.
+    const bool skip =
+        task.failed.load(std::memory_order_acquire) ||
+        (task.cancel != nullptr &&
+         task.cancel->load(std::memory_order_relaxed));
+    if (!skip) {
+      const std::size_t begin = c * task.grain;
+      const std::size_t end = std::min(begin + task.grain, task.total);
+      try {
+        (*task.fn)(c, begin, end);
+        ++executed;
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (task.error == nullptr) task.error = std::current_exception();
+        task.failed.store(true, std::memory_order_release);
+      }
+    }
     if (task.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::lock_guard<std::mutex> lock(mutex_);
       done_cv_.notify_all();
@@ -88,7 +126,13 @@ void ThreadPool::ParallelFor(
   const std::size_t chunks = NumChunks(total, grain);
   if (workers_.empty() || chunks <= 1) {
     // Inline: same chunk decomposition, executed in order on this thread.
+    // Exceptions propagate to the caller directly; the cancel token is
+    // observed between chunks just like on the pooled path.
     for (std::size_t c = 0; c < chunks; ++c) {
+      if (cancel_token_ != nullptr &&
+          cancel_token_->load(std::memory_order_relaxed)) {
+        return;
+      }
       fn(c, c * grain, std::min((c + 1) * grain, total));
     }
     return;
@@ -98,6 +142,7 @@ void ThreadPool::ParallelFor(
   task->total = total;
   task->grain = grain;
   task->num_chunks = chunks;
+  task->cancel = cancel_token_;
   task->remaining.store(chunks, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -113,6 +158,11 @@ void ThreadPool::ParallelFor(
   }
   stat_loops_.fetch_add(1, std::memory_order_relaxed);
   stat_chunks_.fetch_add(chunks, std::memory_order_relaxed);
+  // All chunks accounted for; surface the first kernel exception (if any)
+  // on the submitting thread. The pool itself is back to idle and reusable.
+  if (task->failed.load(std::memory_order_acquire)) {
+    std::rethrow_exception(task->error);
+  }
 }
 
 ThreadPoolStats ThreadPool::stats() const {

@@ -39,8 +39,16 @@ struct ThreadPoolStats {
 ///   - *No nesting.* ParallelFor must not be called from inside a chunk
 ///     callback; the evaluator is a single-threaded orchestrator that fans
 ///     out one kernel at a time.
-///   - *No exceptions.* Chunk callbacks must not throw (the library reports
-///     errors via Status, never exceptions, so this is the house style).
+///   - *Exception containment.* The library reports errors via Status, but a
+///     kernel that does throw (std::bad_alloc, a bug) must not terminate the
+///     process or deadlock the pool: the first exception is captured,
+///     remaining chunks are drained without running, and the exception is
+///     rethrown on the submitting thread. The pool stays usable afterwards.
+///   - *Cooperative cancellation.* An optional cancel token
+///     (set_cancel_token) is observed between chunks; once it reads true,
+///     unclaimed chunks are skipped. Callers that set a token must treat any
+///     sweep that overlapped a tripped token as void (partial outputs), so
+///     kernels themselves never need to poll.
 ///
 /// The pool spawns num_threads - 1 workers; the thread calling ParallelFor
 /// participates as the num_threads-th lane. num_threads == 1 therefore
@@ -57,13 +65,31 @@ class ThreadPool {
 
   /// Thread count used for `num_threads == 0` ("auto"): the BVQ_THREADS
   /// environment variable if set and positive, else
-  /// std::thread::hardware_concurrency(), else 1.
+  /// std::thread::hardware_concurrency(), else 1. BVQ_THREADS values beyond
+  /// kMaxOversubscription x hardware_concurrency() are clamped to that cap
+  /// (oversubscription only adds context-switch thrash) with a one-time
+  /// warning on stderr.
   static std::size_t DefaultThreads();
+
+  /// Cap on BVQ_THREADS as a multiple of hardware_concurrency().
+  static constexpr std::size_t kMaxOversubscription = 4;
+
+  /// Installs (or clears, with nullptr) a cancellation token observed
+  /// between chunks by every thread running a subsequent ParallelFor. Must
+  /// not be called while a ParallelFor is in flight; the token must outlive
+  /// all dispatches that observe it.
+  void set_cancel_token(const std::atomic<bool>* token) {
+    cancel_token_ = token;
+  }
 
   /// Runs fn(chunk_index, begin, end) for every chunk of [0, total), where
   /// chunk c covers [c*grain, min((c+1)*grain, total)). grain must be > 0.
   /// Chunks are claimed dynamically by the caller and the workers; chunk
   /// *boundaries* are fixed, so callers get deterministic decompositions.
+  /// If a chunk throws, the first exception is rethrown here after all
+  /// chunks are claimed (later chunks are drained, not run). If the cancel
+  /// token trips, remaining chunks are skipped and ParallelFor returns
+  /// normally with the sweep's output partial.
   void ParallelFor(std::size_t total, std::size_t grain,
                    const std::function<void(std::size_t, std::size_t,
                                             std::size_t)>& fn);
@@ -94,6 +120,9 @@ class ThreadPool {
   // The latest dispatch; workers compare against the task they last ran so
   // spurious wakeups and missed dispatches are both harmless.
   std::shared_ptr<Task> task_;
+  // Observed between chunks by all lanes; only mutated while no dispatch is
+  // in flight (same single-orchestrator discipline as ParallelFor itself).
+  const std::atomic<bool>* cancel_token_ = nullptr;
 
   std::atomic<std::size_t> stat_loops_{0};
   std::atomic<std::size_t> stat_chunks_{0};

@@ -144,6 +144,9 @@ class AssignmentSet {
   const DynamicBitset& bits() const { return bits_; }
   DynamicBitset& mutable_bits() { return bits_; }
 
+  /// Heap bytes held by the cube's bit storage, for memory accounting.
+  std::size_t ByteSize() const { return bits_.ByteSize(); }
+
  private:
   TupleIndexer indexer_;
   DynamicBitset bits_;

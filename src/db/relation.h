@@ -48,6 +48,9 @@ class Relation {
 
   std::size_t arity() const { return arity_; }
   std::size_t size() const { return size_; }
+
+  /// Heap bytes held by the row storage, for memory accounting.
+  std::size_t ByteSize() const { return data_.size() * sizeof(Value); }
   bool empty() const { return size_ == 0; }
 
   /// Pointer to the i-th tuple (arity() consecutive values).

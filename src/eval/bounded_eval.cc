@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "common/index.h"
 #include "common/strings.h"
 #include "logic/analysis.h"
 
@@ -176,6 +177,24 @@ Result<AssignmentSet> BoundedEvaluator::EvaluateWithEnv(
   epoch_[0] = epoch_[1] = 0;
   next_version_ = 0;
   loop_depth_ = 0;
+  charged_bytes_ = 0;
+  if (options_.governor != nullptr) {
+    // Predicted bound for the stats report: one n^k cube per structural
+    // class the memo can retain, plus a few live iterates. Saturates on
+    // overflow (the Exceeds guard above already bounds the cube itself).
+    const std::size_t cube_bytes =
+        (TupleIndexer(db_->domain_size(), num_vars_).NumTuples() + 63) / 64 *
+        sizeof(uint64_t);
+    std::size_t predicted = 0;
+    if (!CheckedMul(cube_bytes, index_->num_classes() + 4, &predicted)) {
+      predicted = static_cast<std::size_t>(-1);
+    }
+    options_.governor->set_predicted_bytes(predicted);
+  }
+  if (pool_) {
+    pool_->set_cancel_token(
+        options_.governor ? options_.governor->stop_flag() : nullptr);
+  }
   Env working(index_->num_preds());
   for (const auto& [name, binding] : env) {
     const std::size_t pred = index_->PredId(name);
@@ -193,6 +212,19 @@ Result<AssignmentSet> BoundedEvaluator::EvaluateWithEnv(
     stats_.parallel_loops += after.parallel_loops - before.parallel_loops;
     stats_.parallel_chunks += after.chunks - before.chunks;
     stats_.chunks_stolen += after.chunks_stolen - before.chunks_stolen;
+  }
+  if (options_.governor != nullptr) {
+    // Charges are scoped to this call; the memo/warm caches they covered
+    // are cleared on the next call anyway.
+    options_.governor->Release(charged_bytes_);
+    charged_bytes_ = 0;
+    if (result.ok() && options_.governor->stopped()) {
+      // The trip flag is sticky and pool workers skip chunks once it is
+      // set, so a nominally complete result that overlapped a trip may
+      // hold partial kernel output. Fail it; the caller re-runs without
+      // the governor (or with a fresh one) for a trustworthy answer.
+      return options_.governor->status();
+    }
   }
   return result;
 }
@@ -233,8 +265,24 @@ void BoundedEvaluator::Bind(Env& env, std::size_t pred,
   env[pred] = RelVarBinding(std::move(cube), coords, ++next_version_);
 }
 
+Status BoundedEvaluator::ChargeBytes(std::size_t bytes) {
+  if (options_.governor == nullptr || bytes == 0) return Status::OK();
+  charged_bytes_ += bytes;
+  return options_.governor->Charge(bytes);
+}
+
+void BoundedEvaluator::ReleaseBytes(std::size_t bytes) {
+  if (options_.governor == nullptr || bytes == 0) return;
+  options_.governor->Release(bytes);
+  charged_bytes_ -= bytes;
+}
+
 Result<AssignmentSet> BoundedEvaluator::Eval(const FormulaPtr& f, Env& env) {
   ++stats_.node_evals;
+  // The per-node poll is the evaluator's cancellation grain: cheap next to
+  // any cube kernel, frequent enough to bound deadline overshoot by one
+  // node evaluation.
+  BVQ_RETURN_IF_ERROR(GovCheck());
   const FormulaIndex::NodeFacts& facts = index_->Facts(f.get());
   // Constants are cheaper to rebuild than to look up; everything else is
   // answerable from the memo while the versions of the bindings it reads
@@ -261,6 +309,10 @@ Result<AssignmentSet> BoundedEvaluator::Eval(const FormulaPtr& f, Env& env) {
   ++stats_.memo_misses;
   auto result = EvalUncached(f, facts, env);
   if (result.ok()) {
+    // The memo retains a cube copy for the rest of the call; swap the
+    // charge from the overwritten entry (if any) to the new one.
+    if (slot.valid) ReleaseCube(slot.value);
+    BVQ_RETURN_IF_ERROR(ChargeCube(*result));
     slot.valid = true;
     slot.versions = std::move(sig);
     slot.value = *result;
@@ -347,6 +399,11 @@ Result<AssignmentSet> BoundedEvaluator::EvalUncached(
       const auto& b = static_cast<const BinaryFormula&>(*f);
       auto lhs = Eval(b.lhs(), env);
       if (!lhs.ok()) return lhs;
+      if (options_.governor != nullptr) {
+        // The lhs cube stays live across the whole rhs subtree; count it
+        // toward the peak without retaining a charge.
+        BVQ_RETURN_IF_ERROR(options_.governor->NoteTransient(lhs->ByteSize()));
+      }
       auto rhs = Eval(b.rhs(), env);
       if (!rhs.ok()) return rhs;
       switch (f->kind()) {
@@ -432,6 +489,9 @@ Result<AssignmentSet> BoundedEvaluator::EvalFixpoint(
   auto x = std::make_shared<const AssignmentSet>(
       is_least ? AssignmentSet(n, num_vars_)
                : AssignmentSet::Full(n, num_vars_));
+  // One charge covers the whole loop: every iterate is the same-size cube,
+  // replaced (not accumulated) each round.
+  BVQ_RETURN_IF_ERROR(ChargeCube(*x));
   // Save and shadow any outer binding of the same name; restoring the
   // optional also restores its version, revalidating memo entries taken
   // under the outer binding.
@@ -449,6 +509,7 @@ Result<AssignmentSet> BoundedEvaluator::EvalFixpoint(
     if (!next.ok()) {
       --loop_depth_;
       env[pred] = outer;
+      ReleaseCube(*x);
       return next;
     }
     if (*next == *x) {
@@ -459,6 +520,7 @@ Result<AssignmentSet> BoundedEvaluator::EvalFixpoint(
   }
   --loop_depth_;
   env[pred] = outer;
+  ReleaseCube(*x);
   if (!converged) {
     // A syntactically positive body can still induce a non-monotone
     // operator when the recursion variable passes through a pfp body.
@@ -483,6 +545,7 @@ Result<AssignmentSet> BoundedEvaluator::EvalMonotoneFixpoint(
     x = std::make_shared<const AssignmentSet>(cached->second.value);
     ++stats_.warm_starts;
   }
+  BVQ_RETURN_IF_ERROR(ChargeCube(*x));
 
   const std::optional<RelVarBinding> outer = env[pred];
 
@@ -498,6 +561,7 @@ Result<AssignmentSet> BoundedEvaluator::EvalMonotoneFixpoint(
     if (!next.ok()) {
       --loop_depth_;
       env[pred] = outer;
+      ReleaseCube(*x);
       return next;
     }
     if (*next == *x) {
@@ -512,11 +576,17 @@ Result<AssignmentSet> BoundedEvaluator::EvalMonotoneFixpoint(
   }
   --loop_depth_;
   env[pred] = outer;
+  ReleaseCube(*x);
   if (!converged) {
     return Status::TypeError(
         StrCat("fixpoint ", fp.rel_var(),
                " did not converge; operator is not monotone"));
   }
+  // The warm cache keeps a copy of the converged iterate for the rest of
+  // the call (released in bulk at EvaluateWithEnv exit).
+  const bool overwrote = warm_cache_.count(&fp) > 0;
+  if (overwrote) ReleaseCube(warm_cache_.at(&fp).value);
+  BVQ_RETURN_IF_ERROR(ChargeCube(*x));
   warm_cache_.insert_or_assign(&fp, CacheEntry{*x, epoch_[pol]});
   return x->Remap(fp.bound_vars(), fp.apply_args(), pool_.get());
 }
@@ -527,6 +597,7 @@ Result<AssignmentSet> BoundedEvaluator::EvalInflationaryFixpoint(
   // converges within n^k stages regardless of the body's shape.
   const std::size_t n = db_->domain_size();
   auto x = std::make_shared<const AssignmentSet>(AssignmentSet(n, num_vars_));
+  BVQ_RETURN_IF_ERROR(ChargeCube(*x));
   const std::optional<RelVarBinding> outer = env[pred];
 
   const std::size_t max_iters = x->indexer().NumTuples() + 2;
@@ -544,6 +615,7 @@ Result<AssignmentSet> BoundedEvaluator::EvalInflationaryFixpoint(
     if (!next.ok()) {
       --loop_depth_;
       env[pred] = outer;
+      ReleaseCube(*x);
       return next;
     }
     next->OrWith(*x);
@@ -552,6 +624,7 @@ Result<AssignmentSet> BoundedEvaluator::EvalInflationaryFixpoint(
   }
   --loop_depth_;
   env[pred] = outer;
+  ReleaseCube(*x);
   return x->Remap(fp.bound_vars(), fp.apply_args(), pool_.get());
 }
 
@@ -586,16 +659,37 @@ Result<AssignmentSet> BoundedEvaluator::EvalPartialFixpoint(
   // epochs below.
 
   const std::optional<RelVarBinding> outer = env[pred];
+  // PFP's long-lived cubes: the iterate and the assembled result, plus the
+  // tortoise/hare pair in Floyd mode. Hash mode additionally charges the
+  // stage history as it grows (payload bytes; one uint64 per stage per
+  // undecided block — the O(#stages) space Floyd mode exists to avoid).
+  const std::size_t cube_bytes = x->ByteSize();
+  std::size_t pfp_charged = 0;
+  auto charge = [&](std::size_t bytes) -> Status {
+    pfp_charged += bytes;
+    return ChargeBytes(bytes);
+  };
+  const bool floyd =
+      options_.pfp_cycle_detection == PfpCycleDetection::kFloyd;
+  BVQ_RETURN_IF_ERROR(charge(cube_bytes * (floyd ? 4 : 2)));
   ++loop_depth_;
   auto restore = [&]() {
     --loop_depth_;
     env[pred] = outer;
+    ReleaseBytes(pfp_charged);
   };
 
-  if (options_.pfp_cycle_detection == PfpCycleDetection::kHashHistory) {
+  if (!floyd) {
     std::vector<std::unordered_set<uint64_t>> seen(num_blocks);
     for (std::size_t b = 0; b < num_blocks; ++b) {
       seen[b].insert(layout.SliceHash(*x, b));
+    }
+    {
+      Status cs = charge(num_blocks * sizeof(uint64_t));
+      if (!cs.ok()) {
+        restore();
+        return cs;
+      }
     }
     // Per-block stage outcome: 0 = still running, 1 = limit reached (copy
     // the slice), 2 = cycle detected (slice stays empty).
@@ -634,11 +728,24 @@ Result<AssignmentSet> BoundedEvaluator::EvalPartialFixpoint(
       } else {
         for (std::size_t b = 0; b < num_blocks; ++b) outcome[b] = classify(b);
       }
+      std::size_t fresh_hashes = 0;
       for (std::size_t b = 0; b < num_blocks; ++b) {
-        if (decided[b] || outcome[b] == 0) continue;
+        if (decided[b]) continue;
+        if (outcome[b] == 0) {
+          // classify() inserted a fresh stage hash for this block.
+          ++fresh_hashes;
+          continue;
+        }
         if (outcome[b] == 1) layout.CopySlice(*next, result, b);
         decided[b] = 1;
         ++num_decided;
+      }
+      if (fresh_hashes > 0) {
+        Status cs = charge(fresh_hashes * sizeof(uint64_t));
+        if (!cs.ok()) {
+          restore();
+          return cs;
+        }
       }
       x = std::make_shared<const AssignmentSet>(std::move(*next));
     }
@@ -755,6 +862,9 @@ Result<AssignmentSet> BoundedEvaluator::EvalSecondOrder(
   }
 
   AssignmentSet acc(n, num_vars_);
+  // The accumulator plus the current witness cube (replaced per mask, so
+  // one slot's worth) live across the whole enumeration.
+  BVQ_RETURN_IF_ERROR(ChargeBytes(2 * acc.ByteSize()));
   Tuple t(so.arity());
   ++loop_depth_;
   for (uint64_t mask = 0; mask < (uint64_t{1} << cells); ++mask) {

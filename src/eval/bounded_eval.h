@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/resource.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "db/assignment_set.h"
@@ -105,6 +106,13 @@ struct BoundedEvalOptions {
   /// byte-identical either way; `false` is the ablation kill switch
   /// (bench_memo_ablation) and restores the seed evaluation strategy.
   bool memo = true;
+  /// Optional resource governor (not owned; must outlive the evaluator's
+  /// public calls). When set, Eval polls its token per subformula node and
+  /// charges every long-lived cube (memo entries, fixpoint iterates, PFP
+  /// hash history) against its memory account; a tripped deadline/budget
+  /// surfaces as DeadlineExceeded/ResourceExhausted from Evaluate*. Charges
+  /// are scoped to the public call: everything is released on return.
+  ResourceGovernor* governor = nullptr;
 };
 
 /// Interpretation of a relation variable during evaluation: the current
@@ -175,6 +183,12 @@ class BoundedEvaluator {
   /// thread. Exposed so harnesses can share it (e.g. with NaiveEvaluator).
   ThreadPool* thread_pool() const { return pool_.get(); }
 
+  /// Installs (or clears) the resource governor after construction; see
+  /// BoundedEvalOptions::governor.
+  void set_governor(ResourceGovernor* governor) {
+    options_.governor = governor;
+  }
+
  private:
   // Internal environment: one slot per interned predicate id of the
   // formula being evaluated (FormulaIndex), so binding lookups, installs,
@@ -201,6 +215,23 @@ class BoundedEvaluator {
             std::shared_ptr<const AssignmentSet> cube,
             const std::vector<std::size_t>& coords);
 
+  // Governor accounting. Charges accumulate in charged_bytes_ and are
+  // released in bulk when the public call returns, so per-site Release
+  // calls are an optimization (tighter live accounting), not a correctness
+  // requirement. All are no-ops when no governor is installed.
+  Status ChargeBytes(std::size_t bytes);
+  void ReleaseBytes(std::size_t bytes);
+  Status ChargeCube(const AssignmentSet& cube) {
+    return ChargeBytes(options_.governor ? cube.ByteSize() : 0);
+  }
+  void ReleaseCube(const AssignmentSet& cube) {
+    ReleaseBytes(options_.governor ? cube.ByteSize() : 0);
+  }
+  // Poll the token; OK when no governor is installed.
+  Status GovCheck() {
+    return options_.governor ? options_.governor->Check() : Status::OK();
+  }
+
   const Database* db_;
   std::size_t num_vars_;
   BoundedEvalOptions options_;
@@ -216,6 +247,11 @@ class BoundedEvaluator {
   // Version nonce source for Bind (0 is reserved for database-resolved
   // names, so the counter pre-increments from 0).
   uint64_t next_version_ = 0;
+
+  // Net bytes charged to the governor during the current public call;
+  // released in bulk on return (success or error). Only touched from the
+  // orchestrating thread — never from pool workers.
+  std::size_t charged_bytes_ = 0;
 
   // Number of live fixpoint-iteration / second-order-enumeration loops on
   // the evaluation stack; memo hits taken while it is positive are counted

@@ -102,16 +102,31 @@ std::vector<const FixpointFormula*> ImmediateFixpoints(const FormulaPtr& f) {
   return out;
 }
 
-CertificateSystem::CertificateSystem(const Database& db, std::size_t num_vars)
-    : db_(&db), num_vars_(num_vars) {}
+CertificateSystem::CertificateSystem(const Database& db, std::size_t num_vars,
+                                     ResourceGovernor* governor)
+    : db_(&db), num_vars_(num_vars), governor_(governor) {}
 
 Status CertificateSystem::CheckSupported(const FormulaPtr& f) const {
   return CheckCertifiable(f);
 }
 
+Status CertificateSystem::ChargeBytes(std::size_t bytes) {
+  if (governor_ == nullptr || bytes == 0) return Status::OK();
+  charged_bytes_ += bytes;
+  return governor_->Charge(bytes);
+}
+
+void CertificateSystem::ReleaseAllCharges() {
+  if (governor_ != nullptr && charged_bytes_ != 0) {
+    governor_->Release(charged_bytes_);
+  }
+  charged_bytes_ = 0;
+}
+
 Result<AssignmentSet> CertificateSystem::PluggedEval(
     const FormulaPtr& f, std::map<std::string, RelVarBinding>& env,
     const std::vector<AssignmentSet>& values, std::size_t& cursor) {
+  if (governor_ != nullptr) BVQ_RETURN_IF_ERROR(governor_->Check());
   const std::size_t n = db_->domain_size();
   switch (f->kind()) {
     case FormulaKind::kTrue:
@@ -245,12 +260,26 @@ Result<FixpointCertificate> CertificateSystem::GenerateFixpoint(
         // (trivially valid) step so the certificate is non-degenerate.
         cert.chain.push_back(x);
         cert.step_children.push_back(std::move(*children));
+      } else {
+        break;
+      }
+      Status charged = ChargeBytes(cert.chain.back().ByteSize());
+      if (!charged.ok()) {
+        restore();
+        return charged;
       }
       break;
     }
     if (is_least) {
       cert.chain.push_back(*next);
       cert.step_children.push_back(std::move(*children));
+      // The chain is the certificate's memory footprint (l*n^k cubes,
+      // Theorem 3.5's certificate size); charge each link as it is added.
+      Status charged = ChargeBytes(cert.chain.back().ByteSize());
+      if (!charged.ok()) {
+        restore();
+        return charged;
+      }
     }
     x = std::move(*next);
   }
@@ -265,6 +294,9 @@ Result<FormulaCertificate> CertificateSystem::Generate(
   std::map<std::string, RelVarBinding> env;
   std::vector<AssignmentSet> claimed;
   auto roots = GenerateChildren(formula, env, &claimed);
+  // Chain charges are scoped to this call; the caller owns the returned
+  // certificate and its memory from here on.
+  ReleaseAllCharges();
   if (!roots.ok()) return roots.status();
   FormulaCertificate cert;
   cert.roots = std::move(*roots);
@@ -299,6 +331,13 @@ Result<AssignmentSet> CertificateSystem::VerifyFixpoint(
     return Status::InvalidArgument("malformed fixpoint certificate");
   }
   stats_.witness_sets += cert.chain.size();
+  if (governor_ != nullptr) {
+    // The verifier holds the (caller-owned) chain plus one iterate; count
+    // the chain as a transient so the peak reflects certificate size.
+    std::size_t chain_bytes = 0;
+    for (const AssignmentSet& q : cert.chain) chain_bytes += q.ByteSize();
+    BVQ_RETURN_IF_ERROR(governor_->NoteTransient(chain_bytes));
+  }
 
   auto saved = env.find(fp.rel_var());
   std::optional<RelVarBinding> outer;
@@ -380,6 +419,9 @@ Result<AssignmentSet> CertificateSystem::Verify(
   BVQ_RETURN_IF_ERROR(CheckSupported(formula));
   std::map<std::string, RelVarBinding> env;
   auto values = VerifyChildren(formula, env, certificate.roots);
+  // Verification only notes transients today, but release defensively so
+  // any future retained charge stays scoped to this call.
+  ReleaseAllCharges();
   if (!values.ok()) return values.status();
   std::size_t cursor = 0;
   ++stats_.body_evals;

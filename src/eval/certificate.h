@@ -63,7 +63,11 @@ struct CertificateStats {
 /// monotonically.
 class CertificateSystem {
  public:
-  CertificateSystem(const Database& db, std::size_t num_vars);
+  /// `governor` (optional, not owned) is polled per PluggedEval node; the
+  /// witness chains generated (the certificate's l*n^k cubes) charge
+  /// against its memory account for the duration of the public call.
+  CertificateSystem(const Database& db, std::size_t num_vars,
+                    ResourceGovernor* governor = nullptr);
 
   /// Produces a certificate whose verification yields exactly the formula's
   /// satisfying-assignment set.
@@ -88,6 +92,11 @@ class CertificateSystem {
  private:
   Status CheckSupported(const FormulaPtr& f) const;
 
+  // Governor accounting (no-ops without a governor): charges accumulate in
+  // charged_bytes_ and are released in bulk when the public call returns.
+  Status ChargeBytes(std::size_t bytes);
+  void ReleaseAllCharges();
+
   // Evaluates `f` with immediate fixpoint occurrences read from `values`
   // (in DFS order via cursor) and enclosing binders from `env`.
   Result<AssignmentSet> PluggedEval(const FormulaPtr& f,
@@ -111,6 +120,8 @@ class CertificateSystem {
 
   const Database* db_;
   std::size_t num_vars_;
+  ResourceGovernor* governor_ = nullptr;
+  std::size_t charged_bytes_ = 0;
   CertificateStats stats_;
 };
 

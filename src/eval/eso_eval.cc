@@ -436,6 +436,14 @@ namespace {
 
 /// Folds the stats of one SAT call into the sweep totals: solver counters
 /// add up, CNF sizes report the largest call.
+// Heap bytes of a grounded CNF (clause headers + literal payloads), the
+// quantity the governor accounts for the grounding.
+std::size_t CnfBytes(const sat::Cnf& cnf) {
+  std::size_t bytes = cnf.clauses.size() * sizeof(sat::Clause);
+  for (const sat::Clause& c : cnf.clauses) bytes += c.size() * sizeof(sat::Lit);
+  return bytes;
+}
+
 void AccumulateStats(const EsoEvalStats& call, EsoEvalStats* total) {
   total->cnf_vars = std::max(total->cnf_vars, call.cnf_vars);
   total->cnf_clauses = std::max(total->cnf_clauses, call.cnf_clauses);
@@ -457,9 +465,17 @@ EsoEvaluator::EsoEvaluator(const Database& db, std::size_t num_vars,
                            EsoEvalOptions options)
     : db_(&db), num_vars_(num_vars), options_(options) {}
 
+sat::SolverOptions EsoEvaluator::SolverOptionsWithGovernor() const {
+  sat::SolverOptions solver = options_.solver;
+  if (solver.governor == nullptr) solver.governor = options_.governor;
+  return solver;
+}
+
 Result<bool> EsoEvaluator::HoldsRank(const FormulaPtr& formula,
                                      std::size_t rank, EsoWitness* witness,
                                      EsoEvalStats* stats) const {
+  ResourceGovernor* const governor = options_.governor;
+  if (governor != nullptr) BVQ_RETURN_IF_ERROR(governor->Check());
   Grounder grounder(*db_, num_vars_, options_.max_ground_nodes);
   BVQ_RETURN_IF_ERROR(grounder.CheckSoPolarity(formula, true));
   auto root = grounder.Ground(formula, rank);
@@ -470,9 +486,16 @@ Result<bool> EsoEvaluator::HoldsRank(const FormulaPtr& formula,
   stats->cnf_clauses = grounder.cnf().clauses.size();
   stats->so_cells = grounder.num_so_cells();
 
-  sat::Solver solver(options_.solver);
+  ScopedCharge cnf_charge;
+  BVQ_RETURN_IF_ERROR(cnf_charge.Add(governor, CnfBytes(grounder.cnf())));
+  sat::Solver solver(SolverOptionsWithGovernor());
   sat::SolveResult result = solver.Solve(grounder.cnf());
   stats->solver = solver.stats();
+  if (result.status == sat::SolveStatus::kInterrupted) {
+    return governor != nullptr
+               ? governor->status()
+               : Status::ResourceExhausted("SAT solve interrupted");
+  }
   if (result.status == sat::SolveStatus::kUnknown) {
     return Status::ResourceExhausted("SAT solver exceeded conflict budget");
   }
@@ -522,10 +545,17 @@ Result<AssignmentSet> EsoEvaluator::EvaluateIncremental(
   // Ground once for the whole sweep. The per-(node, rank) memo means the
   // n^k roots share every closed subcircuit; each root literal is the
   // selector for its tuple.
+  ResourceGovernor* const governor = options_.governor;
+  ScopedCharge charge;
+  // The answer cube lives for the whole sweep.
+  BVQ_RETURN_IF_ERROR(charge.Add(governor, out.ByteSize()));
   Grounder grounder(*db_, num_vars_, options_.max_ground_nodes);
   BVQ_RETURN_IF_ERROR(grounder.CheckSoPolarity(formula, true));
   std::vector<sat::Lit> roots(total);
   for (std::size_t r = 0; r < total; ++r) {
+    // Per-rank poll: grounding a rank is the sweep's unit of work before
+    // any solver runs.
+    if (governor != nullptr) BVQ_RETURN_IF_ERROR(governor->Check());
     auto root = grounder.Ground(formula, r);
     if (!root.ok()) return root.status();
     roots[r] = *root;
@@ -535,16 +565,25 @@ Result<AssignmentSet> EsoEvaluator::EvaluateIncremental(
   stats_.so_cells = grounder.num_so_cells();
   stats_.groundings = total == 0 ? 0 : 1;
   stats_.sat_calls = total;
+  // The grounded CNF is the sweep's dominant long-lived allocation; the
+  // solver charges its own (attached + learnt) clause database on top.
+  BVQ_RETURN_IF_ERROR(charge.Add(governor, CnfBytes(grounder.cnf())));
 
   // One incremental solver decides every tuple under the one-literal
   // assumption {root}: the Tseitin definitions are equivalences, so the
   // unasserted circuits of the other tuples do not constrain anything, and
   // learnt clauses carry over from re-solve to re-solve.
-  sat::Solver solver(options_.solver);
+  sat::Solver solver(SolverOptionsWithGovernor());
   std::vector<sat::Lit> assumption(1);
   for (std::size_t r = 0; r < total; ++r) {
     assumption[0] = roots[r];
     sat::SolveResult result = solver.Solve(grounder.cnf(), assumption);
+    if (result.status == sat::SolveStatus::kInterrupted) {
+      stats_.solver = solver.stats();
+      return governor != nullptr
+                 ? governor->status()
+                 : Status::ResourceExhausted("SAT solve interrupted");
+    }
     if (result.status == sat::SolveStatus::kUnknown) {
       stats_.solver = solver.stats();
       return Status::ResourceExhausted("SAT solver exceeded conflict budget");
@@ -580,6 +619,9 @@ Result<AssignmentSet> EsoEvaluator::EvaluateScratch(const FormulaPtr& formula) {
     std::vector<EsoEvalStats> calls(total);
     std::vector<Status> errors(total, Status::OK());
     ThreadPool pool(threads);
+    if (options_.governor != nullptr) {
+      pool.set_cancel_token(options_.governor->stop_flag());
+    }
     pool.ParallelFor(total, RowGrain(total, threads, 1),
                      [&](std::size_t, std::size_t begin, std::size_t end) {
                        for (std::size_t r = begin; r < end; ++r) {
@@ -591,6 +633,12 @@ Result<AssignmentSet> EsoEvaluator::EvaluateScratch(const FormulaPtr& formula) {
                          holds[r] = *h ? 1 : 0;
                        }
                      });
+    // A trip makes the pool skip chunks, leaving their `holds` slots stale
+    // zeros; fail the sweep before folding rather than report a partial
+    // answer as complete.
+    if (options_.governor != nullptr && options_.governor->stopped()) {
+      return options_.governor->status();
+    }
     for (std::size_t r = 0; r < total; ++r) {
       if (!errors[r].ok()) return errors[r];
     }

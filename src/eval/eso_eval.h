@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/resource.h"
 #include "common/status.h"
 #include "db/assignment_set.h"
 #include "db/database.h"
@@ -53,6 +54,13 @@ struct EsoEvalOptions {
   /// by construction: it trades parallelism for the shared clause
   /// database.
   std::size_t num_threads = 1;
+  /// Optional resource governor (not owned; must outlive the evaluator's
+  /// public calls). Checked per grounding rank and inside every SAT call
+  /// (propagated into solver.governor when that is unset); the grounded
+  /// CNF, the solver clause database, and the answer cube charge against
+  /// its memory account. Trips surface as DeadlineExceeded /
+  /// ResourceExhausted with partial stats retained.
+  ResourceGovernor* governor = nullptr;
 };
 
 struct EsoEvalStats {
@@ -114,7 +122,16 @@ class EsoEvaluator {
 
   const EsoEvalStats& stats() const { return stats_; }
 
+  /// Installs (or clears) the resource governor after construction; see
+  /// EsoEvalOptions::governor.
+  void set_governor(ResourceGovernor* governor) {
+    options_.governor = governor;
+  }
+
  private:
+  /// options_.solver with the evaluator-level governor propagated into the
+  /// solver (unless the caller already set one there).
+  sat::SolverOptions SolverOptionsWithGovernor() const;
   /// One scratch SAT call for the assignment with rank `rank`; stats for
   /// that call are written to `stats` (const: safe to run concurrently).
   Result<bool> HoldsRank(const FormulaPtr& formula, std::size_t rank,

@@ -8,12 +8,18 @@ namespace bvq {
 NaiveEvaluator::NaiveEvaluator(const Database& db, std::size_t max_tuples)
     : db_(&db), max_tuples_(max_tuples) {}
 
-void NaiveEvaluator::Record(const VarRelation& r) {
+Status NaiveEvaluator::Record(const VarRelation& r) {
   stats_.max_intermediate_arity =
       std::max(stats_.max_intermediate_arity, r.vars.size());
   stats_.max_intermediate_tuples =
       std::max(stats_.max_intermediate_tuples, r.rel.size());
   stats_.total_intermediate_tuples += r.rel.size();
+  if (governor_ != nullptr) {
+    // Intermediates die as the recursion unwinds, so they are transients:
+    // peak + budget accounting without a retained charge.
+    return governor_->NoteTransient(r.rel.ByteSize());
+  }
+  return Status::OK();
 }
 
 Result<VarRelation> NaiveEvaluator::Evaluate(const FormulaPtr& formula) {
@@ -28,13 +34,15 @@ Result<Relation> NaiveEvaluator::EvaluateQuery(const Query& query) {
 
 Result<VarRelation> NaiveEvaluator::Eval(const FormulaPtr& f) {
   const std::size_t n = db_->domain_size();
+  // Per-node token poll, the same cancellation grain as BoundedEvaluator.
+  if (governor_ != nullptr) BVQ_RETURN_IF_ERROR(governor_->Check());
   auto guard = [&](VarRelation r) -> Result<VarRelation> {
     if (r.rel.size() > max_tuples_) {
       return Status::ResourceExhausted(
           StrCat("naive intermediate of arity ", r.vars.size(), " with ",
                  r.rel.size(), " tuples exceeds the limit"));
     }
-    Record(r);
+    BVQ_RETURN_IF_ERROR(Record(r));
     return r;
   };
   auto guard_full = [&](std::size_t arity) -> Status {

@@ -1,6 +1,7 @@
 #ifndef BVQ_EVAL_NAIVE_EVAL_H_
 #define BVQ_EVAL_NAIVE_EVAL_H_
 
+#include "common/resource.h"
 #include "common/status.h"
 #include "db/database.h"
 #include "db/relalg.h"
@@ -55,16 +56,23 @@ class NaiveEvaluator {
   /// are byte-identical with or without it.
   void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
 
+  /// Optional resource governor (not owned): the token is polled per
+  /// subformula node and every materialized intermediate relation is
+  /// counted against the memory account (as a transient: the naive
+  /// evaluator's intermediates die as the recursion unwinds).
+  void set_governor(ResourceGovernor* governor) { governor_ = governor; }
+
   const NaiveEvalStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
 
  private:
   Result<VarRelation> Eval(const FormulaPtr& f);
-  void Record(const VarRelation& r);
+  Status Record(const VarRelation& r);
 
   const Database* db_;
   std::size_t max_tuples_;
   ThreadPool* pool_ = nullptr;
+  ResourceGovernor* governor_ = nullptr;
   NaiveEvalStats stats_;
 };
 

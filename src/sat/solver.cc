@@ -23,6 +23,22 @@ uint32_t AbstractLevel(int level) {
 
 }  // namespace
 
+Solver::~Solver() { ReleaseClauseBytes(charged_bytes_); }
+
+void Solver::ChargeClauseBytes(std::size_t bytes) {
+  if (options_.governor == nullptr || bytes == 0) return;
+  charged_bytes_ += bytes;
+  // A budget trip is surfaced by the next token poll on the conflict path;
+  // the charge itself is kept so the account stays balanced.
+  (void)options_.governor->Charge(bytes);
+}
+
+void Solver::ReleaseClauseBytes(std::size_t bytes) {
+  if (options_.governor == nullptr || bytes == 0) return;
+  options_.governor->Release(bytes);
+  charged_bytes_ -= bytes;
+}
+
 Solver::Solver(SolverOptions options) : options_(options) {
   max_learnts_ = static_cast<double>(options_.reduce_db_base);
 }
@@ -142,6 +158,7 @@ bool Solver::AttachNewClauses(const Cnf& cnf) {
       continue;
     }
     clauses_.push_back({std::move(active), 0.0, 0, false});
+    ChargeClauseBytes(ClauseBytes(clauses_.back()));
     AttachClause(static_cast<int>(clauses_.size()) - 1);
   }
   return Propagate() == kNoReason;
@@ -449,11 +466,14 @@ void Solver::ReduceDb() {
     return a < b;
   });
   std::vector<bool> remove(clauses_.size(), false);
+  std::size_t freed_bytes = 0;
   for (std::size_t i = 0; i < cand.size() / 2; ++i) {
     remove[cand[i]] = true;
+    freed_bytes += ClauseBytes(clauses_[cand[i]]);
     ++stats_.deleted_clauses;
     --num_learnts_;
   }
+  ReleaseClauseBytes(freed_bytes);
   // Compact clauses_ and remap watches and reasons.
   std::vector<int> remap(clauses_.size(), -1);
   std::size_t w = 0;
@@ -515,10 +535,15 @@ SolveResult Solver::Solve(const Cnf& cnf, const std::vector<Lit>& assumptions) {
     result.status = SolveStatus::kUnsat;
     return result;
   }
+  if (options_.governor != nullptr && !options_.governor->Check().ok()) {
+    result.status = SolveStatus::kInterrupted;
+    return result;
+  }
 
   uint64_t restart_index = 0;
   uint64_t conflicts_since_restart = 0;
   uint64_t conflicts_this_call = 0;
+  uint64_t decisions_this_call = 0;
   uint64_t restart_limit = LubyRestartLimit(restart_index);
 
   std::vector<Lit> learnt;
@@ -544,6 +569,7 @@ SolveResult Solver::Solve(const Cnf& cnf, const std::vector<Lit>& assumptions) {
         Enqueue(learnt[0], kNoReason);
       } else {
         clauses_.push_back({learnt, cla_inc_, lbd, true});
+        ChargeClauseBytes(ClauseBytes(clauses_.back()));
         ++stats_.learned_clauses;
         ++num_learnts_;
         const int ci = static_cast<int>(clauses_.size()) - 1;
@@ -555,6 +581,16 @@ SolveResult Solver::Solve(const Cnf& cnf, const std::vector<Lit>& assumptions) {
       if (options_.max_conflicts != 0 &&
           conflicts_this_call >= options_.max_conflicts) {
         result.status = SolveStatus::kUnknown;
+        return result;
+      }
+      // The coarse-grain cancellation poll: conflicts are the solver's unit
+      // of progress, so checking every governor_check_conflicts of them
+      // bounds overshoot without touching the propagation inner loop.
+      if (options_.governor != nullptr &&
+          options_.governor_check_conflicts != 0 &&
+          conflicts_this_call % options_.governor_check_conflicts == 0 &&
+          !options_.governor->Check().ok()) {
+        result.status = SolveStatus::kInterrupted;
         return result;
       }
       // Restart check lives on the conflict path so the Luby schedule is
@@ -596,6 +632,16 @@ SolveResult Solver::Solve(const Cnf& cnf, const std::vector<Lit>& assumptions) {
         return result;
       }
       ++stats_.decisions;
+      ++decisions_this_call;
+      // Conflict-free runs (pure propagation) still need a poll, or an
+      // easily satisfiable instance could sail past its deadline.
+      if (options_.governor != nullptr &&
+          options_.governor_check_conflicts != 0 &&
+          decisions_this_call % options_.governor_check_conflicts == 0 &&
+          !options_.governor->Check().ok()) {
+        result.status = SolveStatus::kInterrupted;
+        return result;
+      }
     }
     trail_lim_.push_back(static_cast<int>(trail_.size()));
     Enqueue(next, kNoReason);

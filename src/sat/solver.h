@@ -1,9 +1,11 @@
 #ifndef BVQ_SAT_SOLVER_H_
 #define BVQ_SAT_SOLVER_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "common/resource.h"
 #include "common/status.h"
 #include "sat/cnf.h"
 
@@ -14,7 +16,8 @@ namespace sat {
 enum class SolveStatus {
   kSat,
   kUnsat,
-  kUnknown,  // budget exceeded
+  kUnknown,      // conflict budget exceeded
+  kInterrupted,  // resource governor tripped (deadline/memory/cancel)
 };
 
 struct SolveResult {
@@ -58,6 +61,13 @@ struct SolverOptions {
   /// the threshold grows by reduce_db_growth after every reduction.
   uint64_t reduce_db_base = 4000;
   double reduce_db_growth = 1.5;
+  /// Optional resource governor (not owned; must outlive the solver). Its
+  /// token is polled at Solve entry and every governor_check_conflicts
+  /// conflicts; a trip returns kInterrupted. Clause-database bytes (problem
+  /// and learnt clauses) are charged against its memory account and
+  /// released as ReduceDb drops clauses / when the solver dies.
+  ResourceGovernor* governor = nullptr;
+  uint64_t governor_check_conflicts = 256;
 };
 
 /// A conflict-driven clause learning SAT solver: two-watched-literal
@@ -81,6 +91,7 @@ struct SolverOptions {
 class Solver {
  public:
   explicit Solver(SolverOptions options = {});
+  ~Solver();
 
   /// Solves `cnf` under `assumptions` (each assumption literal is forced
   /// true for this call only). Clauses of `cnf` beyond the ones attached by
@@ -124,6 +135,13 @@ class Solver {
   void AttachClause(int ci);
   bool Locked(int ci) const;
   void ReduceDb();
+  // Governor accounting for clause storage; no-ops without a governor.
+  // Charge failures surface through the periodic token poll, not here.
+  static std::size_t ClauseBytes(const InternalClause& c) {
+    return sizeof(InternalClause) + c.lits.size() * sizeof(Lit);
+  }
+  void ChargeClauseBytes(std::size_t bytes);
+  void ReleaseClauseBytes(std::size_t bytes);
   uint32_t ComputeLbd(const std::vector<Lit>& lits);
   uint64_t LubyRestartLimit(uint64_t i) const;
 
@@ -162,6 +180,7 @@ class Solver {
   std::vector<uint64_t> lbd_stamp_;  // per-level stamp for ComputeLbd
   uint64_t lbd_counter_ = 0;
   bool ok_ = true;                // false once UNSAT at level 0
+  std::size_t charged_bytes_ = 0;  // clause bytes charged to the governor
 };
 
 /// Exhaustive truth-table check, for cross-validating the CDCL solver on

@@ -13,6 +13,8 @@
 //   threads <n>                 evaluator thread count (0 = auto, 1 = serial)
 //   memo on|off                 subformula memoization (default on)
 //   stats on|off                print memo/hoist counters after eval
+//   deadline <ms>               per-query wall-clock deadline (0 = none)
+//   membudget <mb>              per-query memory budget in MiB (0 = none)
 //   eval <query>                evaluate with the bounded-variable engine
 //   naive <query>               evaluate with the classical engine (FO only)
 //   eso <sentence>              evaluate an ESO sentence via grounding+SAT
@@ -25,7 +27,16 @@
 // command; results are byte-identical for every N), --memo=0|1 the
 // memoization switch, --eso-incremental=0|1 the ESO sweep mode (same as
 // the `esoinc` command; answers are byte-identical either way), and
-// --stats turns the counter printout on.
+// --stats turns the counter printout on. --deadline-ms=N and
+// --mem-budget-mb=N (also accepted as "--deadline-ms N" /
+// "--mem-budget-mb N") arm a per-query ResourceGovernor: a query that
+// overruns returns DeadlineExceeded / ResourceExhausted with partial stats
+// and the process exits nonzero. With --stats, a `resource` line reports
+// the predicted memory bound next to the observed peak.
+//
+// Every evaluator or parse error is reported on stderr with the offending
+// query and makes the process exit nonzero (script mode keeps executing
+// subsequent lines, like `make -k`).
 //
 // Queries use the library syntax, e.g.
 //   eval (x1,x2) [lfp T(x1,x2) . E(x1,x2) | exists x3 . (E(x1,x3) &
@@ -40,6 +51,7 @@
 #include <sstream>
 #include <string>
 
+#include "common/resource.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
 
@@ -60,9 +72,42 @@ struct ShellState {
   std::size_t num_vars = 3;
   BoundedEvalOptions options;
   EsoEvalOptions eso_options;
+  ResourceGovernor::Limits limits;  // per-query deadline / memory budget
   bool print_stats = false;  // extra memo/hoist counter line after eval
+  bool had_error = false;    // any error seen; drives the exit code
   std::string pending_rel_lines;  // accumulated "rel" lines for ParseDatabase
 };
+
+// Central error sink: every failure goes to stderr with its context (the
+// query or file that failed) and marks the session failed so main() exits
+// nonzero. Nothing in the shell may print-and-continue past an error
+// without going through here.
+void Fail(ShellState& state, const std::string& context,
+          const std::string& detail) {
+  std::fprintf(stderr, "error: %s: %s\n", context.c_str(), detail.c_str());
+  state.had_error = true;
+}
+
+void Fail(ShellState& state, const std::string& context,
+          const Status& status) {
+  Fail(state, context, status.ToString());
+}
+
+// One bracketed line so output filters that drop "  [" timing lines (the
+// determinism smokes in tools/check.sh) treat it like the timing counters.
+void PrintResourceStats(const ResourceGovernor& governor) {
+  const ResourceStats rs = governor.stats();
+  std::printf(
+      "  [resource: %0.2f ms elapsed (deadline %llu ms), "
+      "%zu B peak / %zu B predicted / %zu B budget, "
+      "%zu B still charged, %llu checks, %llu charges%s%s]\n",
+      rs.elapsed_ms, static_cast<unsigned long long>(rs.deadline_ms),
+      rs.mem_peak_bytes, rs.mem_predicted_bytes, rs.mem_budget_bytes,
+      rs.mem_current_bytes, static_cast<unsigned long long>(rs.checks),
+      static_cast<unsigned long long>(rs.charges),
+      rs.stopped ? ", stopped: " : "",
+      rs.stopped ? StatusCodeName(rs.stop_code) : "");
+}
 
 void PrintRelation(const Relation& rel, std::size_t limit = 20) {
   std::printf("  %zu tuple(s), arity %zu\n", rel.size(), rel.arity());
@@ -116,8 +161,8 @@ void Help() {
       "commands: help | domain <n> | rel <name>/<arity> t.. ; | load <f> | "
       "show | k <n> |\n          strategy naive|reuse | pfp hash|floyd | "
       "threads <n> | memo on|off |\n          esoinc on|off | stats on|off | "
-      "eval <q> | naive <q> | eso <q> |\n          esoall <q> | datalog <f> | "
-      "quit\n");
+      "deadline <ms> | membudget <mb> |\n          eval <q> | naive <q> | "
+      "eso <q> | esoall <q> | datalog <f> | quit\n");
 }
 
 bool HandleLine(ShellState& state, const std::string& line) {
@@ -149,13 +194,13 @@ bool HandleLine(ShellState& state, const std::string& line) {
     auto parsed = ParseDatabase("domain " + std::to_string(state.db.domain_size()) +
                                 "\nrel " + rest + "\n");
     if (!parsed.ok()) {
-      std::printf("error: %s\n", parsed.status().ToString().c_str());
+      Fail(state, "rel " + rest, parsed.status());
       return true;
     }
     for (const auto& [name, rel] : parsed->relations()) {
       Status s = state.db.AddRelation(name, rel);
       if (!s.ok()) {
-        std::printf("error: %s\n", s.ToString().c_str());
+        Fail(state, "rel " + rest, s);
         return true;
       }
       std::printf("added %s/%zu (%zu tuples)\n", name.c_str(), rel.arity(),
@@ -167,14 +212,14 @@ bool HandleLine(ShellState& state, const std::string& line) {
     std::string path(TrimLeft(rest));
     std::ifstream in(path);
     if (!in) {
-      std::printf("error: cannot open %s\n", path.c_str());
+      Fail(state, "load " + path, "cannot open file");
       return true;
     }
     std::stringstream buffer;
     buffer << in.rdbuf();
     auto parsed = ParseDatabase(buffer.str());
     if (!parsed.ok()) {
-      std::printf("error: %s\n", parsed.status().ToString().c_str());
+      Fail(state, "load " + path, parsed.status());
       return true;
     }
     state.db = std::move(*parsed);
@@ -237,10 +282,25 @@ bool HandleLine(ShellState& state, const std::string& line) {
     std::printf("stats = %s\n", state.print_stats ? "on" : "off");
     return true;
   }
+  if (cmd == "deadline") {
+    std::uint64_t v = 0;
+    std::istringstream(rest) >> v;
+    state.limits.deadline_ms = v;
+    std::printf("deadline = %llu ms%s\n", static_cast<unsigned long long>(v),
+                v == 0 ? " (none)" : "");
+    return true;
+  }
+  if (cmd == "membudget") {
+    std::size_t mb = 0;
+    std::istringstream(rest) >> mb;
+    state.limits.mem_budget_bytes = mb * (std::size_t{1} << 20);
+    std::printf("membudget = %zu MiB%s\n", mb, mb == 0 ? " (none)" : "");
+    return true;
+  }
   if (cmd == "eval" || cmd == "naive" || cmd == "eso" || cmd == "esoall") {
     auto query = ParseQuery(rest);
     if (!query.ok()) {
-      std::printf("parse error: %s\n", query.status().ToString().c_str());
+      Fail(state, cmd + " " + rest, query.status());
       return true;
     }
     const std::size_t needed = NumVariables(query->formula);
@@ -249,16 +309,24 @@ bool HandleLine(ShellState& state, const std::string& line) {
                   needed, state.num_vars);
       state.num_vars = needed;
     }
+    // One governor per query. Armed whenever a limit is set; also attached
+    // (with no limits) under `stats on` so the resource line can report the
+    // observed peak next to the predicted bound.
+    const bool governed = state.limits.deadline_ms > 0 ||
+                          state.limits.mem_budget_bytes > 0 ||
+                          state.print_stats;
+    ResourceGovernor governor(state.limits);
+    ResourceGovernor* gov = governed ? &governor : nullptr;
     const auto start = now();
     if (cmd == "eval") {
-      BoundedEvaluator eval(state.db, state.num_vars, state.options);
+      BoundedEvalOptions options = state.options;
+      options.governor = gov;
+      BoundedEvaluator eval(state.db, state.num_vars, options);
       auto result = eval.EvaluateQuery(*query);
       const auto stop = now();
-      if (!result.ok()) {
-        std::printf("error: %s\n", result.status().ToString().c_str());
-        return true;
-      }
-      PrintRelation(*result);
+      if (result.ok()) PrintRelation(*result);
+      // Stats print even on error: a governed trip reports the partial
+      // counters accumulated before the cut.
       const std::size_t threads =
           eval.thread_pool() ? eval.thread_pool()->num_threads() : 1;
       std::printf(
@@ -277,8 +345,13 @@ bool HandleLine(ShellState& state, const std::string& line) {
             eval.stats().memo_misses, eval.stats().invariant_hoists,
             eval.stats().iterate_copies_avoided);
       }
+      if (gov != nullptr && (state.print_stats || !result.ok())) {
+        PrintResourceStats(governor);
+      }
+      if (!result.ok()) Fail(state, cmd + " " + rest, result.status());
     } else if (cmd == "naive") {
       NaiveEvaluator eval(state.db);
+      eval.set_governor(gov);
       const std::size_t threads = state.options.num_threads == 0
                                       ? ThreadPool::DefaultThreads()
                                       : state.options.num_threads;
@@ -289,45 +362,51 @@ bool HandleLine(ShellState& state, const std::string& line) {
       }
       auto result = eval.EvaluateQuery(*query);
       const auto stop = now();
-      if (!result.ok()) {
-        std::printf("error: %s\n", result.status().ToString().c_str());
-        return true;
-      }
-      PrintRelation(*result);
+      if (result.ok()) PrintRelation(*result);
       std::printf("  [%0.2f ms, max intermediate arity %zu (%zu tuples)]\n",
                   ms(start, stop), eval.stats().max_intermediate_arity,
                   eval.stats().max_intermediate_tuples);
+      if (gov != nullptr && (state.print_stats || !result.ok())) {
+        PrintResourceStats(governor);
+      }
+      if (!result.ok()) Fail(state, cmd + " " + rest, result.status());
     } else if (cmd == "eso") {
-      EsoEvaluator eval(state.db, state.num_vars, state.eso_options);
+      EsoEvalOptions options = state.eso_options;
+      options.governor = gov;
+      EsoEvaluator eval(state.db, state.num_vars, options);
       EsoWitness witness;
       auto result = eval.Holds(query->formula,
                                std::vector<Value>(state.num_vars, 0),
                                &witness);
       const auto stop = now();
-      if (!result.ok()) {
-        std::printf("error: %s\n", result.status().ToString().c_str());
-        return true;
+      if (result.ok()) {
+        std::printf("  %s", *result ? "true" : "false");
       }
-      std::printf("  %s  [%0.2f ms, CNF %zu vars / %zu clauses, "
+      std::printf("  [%0.2f ms, CNF %zu vars / %zu clauses, "
                   "%llu conflicts]\n",
-                  *result ? "true" : "false", ms(start, stop),
-                  eval.stats().cnf_vars, eval.stats().cnf_clauses,
+                  ms(start, stop), eval.stats().cnf_vars,
+                  eval.stats().cnf_clauses,
                   static_cast<unsigned long long>(
                       eval.stats().solver.conflicts));
       if (state.print_stats) PrintSolverStats(eval.stats());
+      if (gov != nullptr && (state.print_stats || !result.ok())) {
+        PrintResourceStats(governor);
+      }
+      if (!result.ok()) {
+        Fail(state, cmd + " " + rest, result.status());
+        return true;
+      }
       for (const auto& [name, rel] : witness) {
         std::printf("  witness %s:\n", name.c_str());
         PrintRelation(rel, 10);
       }
     } else {
-      EsoEvaluator eval(state.db, state.num_vars, state.eso_options);
+      EsoEvalOptions options = state.eso_options;
+      options.governor = gov;
+      EsoEvaluator eval(state.db, state.num_vars, options);
       auto result = eval.Evaluate(query->formula);
       const auto stop = now();
-      if (!result.ok()) {
-        std::printf("error: %s\n", result.status().ToString().c_str());
-        return true;
-      }
-      PrintAssignmentSet(*result);
+      if (result.ok()) PrintAssignmentSet(*result);
       std::printf(
           "  [%0.2f ms %s, %zu SAT calls / %zu groundings, "
           "CNF %zu vars / %zu clauses, %llu conflicts]\n",
@@ -337,6 +416,10 @@ bool HandleLine(ShellState& state, const std::string& line) {
           eval.stats().cnf_vars, eval.stats().cnf_clauses,
           static_cast<unsigned long long>(eval.stats().solver.conflicts));
       if (state.print_stats) PrintSolverStats(eval.stats());
+      if (gov != nullptr && (state.print_stats || !result.ok())) {
+        PrintResourceStats(governor);
+      }
+      if (!result.ok()) Fail(state, cmd + " " + rest, result.status());
     }
     return true;
   }
@@ -344,14 +427,14 @@ bool HandleLine(ShellState& state, const std::string& line) {
     std::string path(TrimLeft(rest));
     std::ifstream in(path);
     if (!in) {
-      std::printf("error: cannot open %s\n", path.c_str());
+      Fail(state, "datalog " + path, "cannot open file");
       return true;
     }
     std::stringstream buffer;
     buffer << in.rdbuf();
     auto program = datalog::ParseProgram(buffer.str());
     if (!program.ok()) {
-      std::printf("parse error: %s\n", program.status().ToString().c_str());
+      Fail(state, "datalog " + path, program.status());
       return true;
     }
     datalog::DatalogEngine engine(state.db);
@@ -359,7 +442,7 @@ bool HandleLine(ShellState& state, const std::string& line) {
     auto result = engine.Evaluate(*program);
     const auto stop = now();
     if (!result.ok()) {
-      std::printf("error: %s\n", result.status().ToString().c_str());
+      Fail(state, "datalog " + path, result.status());
       return true;
     }
     for (const std::string& pred : program->IdbPredicates()) {
@@ -374,7 +457,7 @@ bool HandleLine(ShellState& state, const std::string& line) {
                 engine.stats().derived_tuples);
     return true;
   }
-  std::printf("unknown command '%s' (try: help)\n", cmd.c_str());
+  Fail(state, line, "unknown command (try: help)");
   return true;
 }
 
@@ -385,8 +468,23 @@ int main(int argc, char** argv) {
   std::istream* input = &std::cin;
   std::ifstream script;
   const char* script_path = nullptr;
+  // Accepts both "--flag=N" and "--flag N" for the numeric flags.
+  auto numeric_flag = [&](int* i, const std::string& arg,
+                          const std::string& name,
+                          unsigned long long* out) -> bool {
+    if (arg.rfind(name + "=", 0) == 0) {
+      *out = std::strtoull(arg.c_str() + name.size() + 1, nullptr, 10);
+      return true;
+    }
+    if (arg == name && *i + 1 < argc) {
+      *out = std::strtoull(argv[++*i], nullptr, 10);
+      return true;
+    }
+    return false;
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    unsigned long long v = 0;
     if (arg.rfind("--threads=", 0) == 0) {
       state.options.num_threads =
           static_cast<std::size_t>(std::strtoull(arg.c_str() + 10, nullptr, 10));
@@ -396,12 +494,17 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--eso-incremental=", 0) == 0) {
       state.eso_options.incremental =
           std::strtoull(arg.c_str() + 18, nullptr, 10) != 0;
+    } else if (numeric_flag(&i, arg, "--deadline-ms", &v)) {
+      state.limits.deadline_ms = v;
+    } else if (numeric_flag(&i, arg, "--mem-budget-mb", &v)) {
+      state.limits.mem_budget_bytes =
+          static_cast<std::size_t>(v) * (std::size_t{1} << 20);
     } else if (arg == "--stats") {
       state.print_stats = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: bvqsh [--threads=N] [--memo=0|1] [--eso-incremental=0|1] "
-          "[--stats] [script]\n");
+          "[--deadline-ms=N] [--mem-budget-mb=N] [--stats] [script]\n");
       return 0;
     } else if (script_path == nullptr) {
       script_path = argv[i];
@@ -430,5 +533,5 @@ int main(int argc, char** argv) {
     if (!line.empty() && line[0] == '#') continue;
     if (!HandleLine(state, line)) break;
   }
-  return 0;
+  return state.had_error ? 1 : 0;
 }

@@ -10,11 +10,69 @@
 # pass builds with -DBVQ_SANITIZE=address,undefined and additionally
 # smoke-runs the incremental-ESO bench, whose byte-identity assertion
 # drives the solver's clause-database compaction under the sanitizers.
+#
+# Every tier also runs the resource-governor smoke: a PFP binary counter
+# that needs >1 s ungoverned must come back as a clean DeadlineExceeded
+# under --deadline-ms=10 (nonzero exit, error on stderr, seconds not
+# minutes of wall time), and a governed run under a generous memory budget
+# must print byte-identical answers to the ungoverned run.
 
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 ROOT="$PWD"
+
+# Emits a bvqsh script for the PFP binary-counter orbit over a strict order
+# on {0..n-1}: the pfp stage sequence enumerates all 2^n subsets before
+# cycling, so Floyd mode at n=18 runs for seconds — the deadline workload —
+# while hash mode at n=10 finishes instantly — the budget-identity workload.
+gen_counter() {
+  local n=$1 mode=$2 pairs="" i j
+  for ((i = 0; i < n; i++)); do
+    for ((j = i + 1; j < n; j++)); do pairs+=" $i $j ;"; done
+  done
+  printf 'domain %s\nrel Lt/2%s\nk 2\npfp %s\n' "$n" "$pairs" "$mode"
+  printf 'eval (x1) [pfp X(x1) . !(X(x1) <-> forall x2 . (Lt(x2,x1) -> X(x2)))](x1)\n'
+}
+
+resource_smoke() {
+  local bvqsh="$1/tools/bvqsh" tmp rc=0 start end wall_ms
+  tmp=$(mktemp -d)
+  echo "== resource governor smoke ($bvqsh) =="
+  gen_counter 18 floyd > "$tmp/deadline.bvq"
+  start=$(date +%s%N)
+  "$bvqsh" --deadline-ms=10 "$tmp/deadline.bvq" \
+      > "$tmp/deadline.out" 2> "$tmp/deadline.err" || rc=$?
+  end=$(date +%s%N)
+  wall_ms=$(( (end - start) / 1000000 ))
+  if [[ $rc -eq 0 ]]; then
+    echo "deadline smoke: expected a nonzero exit" >&2; exit 1
+  fi
+  if ! grep -q "DeadlineExceeded" "$tmp/deadline.err"; then
+    echo "deadline smoke: no DeadlineExceeded on stderr" >&2
+    cat "$tmp/deadline.err" >&2; exit 1
+  fi
+  # Generous bound: the cut itself is ~10 ms; the rest is process startup
+  # and (sanitized) library overhead. A hang or a full 2^18-stage run blows
+  # straight past this.
+  if [[ $wall_ms -ge 5000 ]]; then
+    echo "deadline smoke: took ${wall_ms} ms (governor not cutting?)" >&2
+    exit 1
+  fi
+  echo "   deadline cut after ${wall_ms} ms wall (DeadlineExceeded)"
+
+  gen_counter 10 hash > "$tmp/budget.bvq"
+  # Timing/stats lines lead with "  [" and are the only permitted diff.
+  "$bvqsh" "$tmp/budget.bvq" | grep -v '^  \[' > "$tmp/plain.txt"
+  "$bvqsh" --mem-budget-mb=512 --stats "$tmp/budget.bvq" \
+      | grep -v '^  \[' > "$tmp/gov.txt"
+  if ! diff "$tmp/plain.txt" "$tmp/gov.txt"; then
+    echo "budget smoke: governed output differs from ungoverned" >&2
+    exit 1
+  fi
+  echo "   governed answers byte-identical under a generous budget"
+  rm -rf "$tmp"
+}
 
 run_plain=1
 run_tsan=1
@@ -39,6 +97,7 @@ if [[ $run_plain -eq 1 ]]; then
   echo "== eso incremental smoke (asserts incremental/scratch byte-identity) =="
   "$ROOT/build/bench/bench_eso_incremental" --n=8 --reps=1 \
       --out="$ROOT/build/BENCH_eso_smoke.json"
+  resource_smoke "$ROOT/build"
 fi
 
 if [[ $run_tsan -eq 1 ]]; then
@@ -46,6 +105,7 @@ if [[ $run_tsan -eq 1 ]]; then
   cmake -B "$ROOT/build-tsan" -S "$ROOT" -DBVQ_SANITIZE=thread
   cmake --build "$ROOT/build-tsan" -j"$(nproc)"
   (cd "$ROOT/build-tsan" && BVQ_THREADS=4 ctest --output-on-failure -j"$(nproc)")
+  BVQ_THREADS=4 resource_smoke "$ROOT/build-tsan"
 fi
 
 if [[ $run_asan -eq 1 ]]; then
@@ -56,6 +116,7 @@ if [[ $run_asan -eq 1 ]]; then
   echo "== eso incremental smoke under ASan+UBSan =="
   "$ROOT/build-asan/bench/bench_eso_incremental" --n=8 --reps=1 \
       --out="$ROOT/build-asan/BENCH_eso_smoke.json"
+  resource_smoke "$ROOT/build-asan"
 fi
 
 echo "check.sh: all requested passes green"
