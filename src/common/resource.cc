@@ -29,15 +29,23 @@ void ResourceGovernor::Trip(StatusCode code, std::string message) {
   // First trip wins; later trips (e.g. the deadline firing while a budget
   // error unwinds) keep the original diagnosis.
   if (!stop_.load(std::memory_order_relaxed)) {
-    trip_status_ = code == StatusCode::kDeadlineExceeded
-                       ? Status::DeadlineExceeded(std::move(message))
-                       : Status::ResourceExhausted(std::move(message));
+    switch (code) {
+      case StatusCode::kDeadlineExceeded:
+        trip_status_ = Status::DeadlineExceeded(std::move(message));
+        break;
+      case StatusCode::kCancelled:
+        trip_status_ = Status::Cancelled(std::move(message));
+        break;
+      default:
+        trip_status_ = Status::ResourceExhausted(std::move(message));
+        break;
+    }
     stop_.store(true, std::memory_order_release);
   }
 }
 
 void ResourceGovernor::Cancel(std::string reason) {
-  Trip(StatusCode::kResourceExhausted, std::move(reason));
+  Trip(StatusCode::kCancelled, std::move(reason));
 }
 
 Status ResourceGovernor::status() const {
@@ -54,6 +62,13 @@ Status ResourceGovernor::Check() {
     if (elapsed >= std::chrono::milliseconds(limits_.deadline_ms)) {
       Trip(StatusCode::kDeadlineExceeded,
            StrCat("deadline of ", limits_.deadline_ms, " ms exceeded"));
+      return status();
+    }
+  }
+  if (parent_ != nullptr) {
+    Status ps = parent_->Check();
+    if (!ps.ok()) {
+      Trip(ps.code(), ps.message());
       return status();
     }
   }
@@ -78,12 +93,22 @@ Status ResourceGovernor::Charge(std::size_t bytes) {
                 limits_.mem_budget_bytes, " byte budget"));
     return status();
   }
+  if (parent_ != nullptr) {
+    // The parent's charge sticks even on error (its Release is forwarded the
+    // same way), so the composite account stays balanced on the error path.
+    Status ps = parent_->Charge(bytes);
+    if (!ps.ok()) {
+      Trip(ps.code(), ps.message());
+      return status();
+    }
+  }
   if (stop_.load(std::memory_order_acquire)) return status();
   return Status::OK();
 }
 
 void ResourceGovernor::Release(std::size_t bytes) {
   current_.fetch_sub(bytes, std::memory_order_relaxed);
+  if (parent_ != nullptr) parent_->Release(bytes);
 }
 
 Status ResourceGovernor::NoteTransient(std::size_t bytes) {
@@ -96,6 +121,13 @@ Status ResourceGovernor::NoteTransient(std::size_t bytes) {
                 " bytes (incl. transient) > ", limits_.mem_budget_bytes,
                 " byte budget"));
     return status();
+  }
+  if (parent_ != nullptr) {
+    Status ps = parent_->NoteTransient(bytes);
+    if (!ps.ok()) {
+      Trip(ps.code(), ps.message());
+      return status();
+    }
   }
   if (stop_.load(std::memory_order_acquire)) return status();
   return Status::OK();

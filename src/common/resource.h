@@ -50,6 +50,18 @@ struct ResourceStats {
 ///
 /// Thread safety: all members are safe to call concurrently; workers observe
 /// the token through `stop_flag()` (plain atomic load, no lock).
+///
+/// Composite tokens (serving layer): a governor may be linked to a *parent*
+/// governor via set_parent(), forming a per-query token overlaid on a
+/// longer-lived session token. Check() then also polls the parent, and
+/// Charge()/NoteTransient()/Release() forward every byte to it, so a
+/// session-level deadline or budget trips the query even when the query's
+/// own limits are 0 ("none"): a per-query `deadline_ms = 0` overlay never
+/// erases a session deadline, it merely adds no *extra* one. A parent trip
+/// is copied into this governor's sticky status (same code and message) on
+/// the next Check()/Charge(), which is also what raises this token's
+/// stop_flag() for pool workers. The parent is not owned, must outlive all
+/// calls, and may be shared by many children concurrently.
 class ResourceGovernor {
  public:
   struct Limits {
@@ -64,11 +76,18 @@ class ResourceGovernor {
   explicit ResourceGovernor(Limits limits);
 
   /// Restarts the clock and clears the trip flag, accounting, and predicted
-  /// bound. Must not race with in-flight Check/Charge callers.
+  /// bound. The parent link survives a Reset (a pooled per-query governor
+  /// keeps its session). Must not race with in-flight Check/Charge callers.
   void Reset(Limits limits);
 
+  /// Links (or unlinks, with nullptr) a parent governor; see the class
+  /// comment. Like Reset, must not race with in-flight Check/Charge
+  /// callers: set the parent before handing the token to an evaluator.
+  void set_parent(ResourceGovernor* parent) { parent_ = parent; }
+  ResourceGovernor* parent() const { return parent_; }
+
   /// Trips the token from outside (e.g. a client disconnect). Subsequent
-  /// Check()/Charge() calls return ResourceExhausted with `reason`.
+  /// Check()/Charge() calls return Cancelled with `reason`.
   void Cancel(std::string reason = "evaluation cancelled");
 
   /// True once any limit tripped or Cancel() was called. Sticky until
@@ -76,7 +95,7 @@ class ResourceGovernor {
   bool stopped() const { return stop_.load(std::memory_order_acquire); }
 
   /// The sticky trip status: OK while running, else the status of the first
-  /// trip (DeadlineExceeded / ResourceExhausted).
+  /// trip (DeadlineExceeded / ResourceExhausted / Cancelled).
   Status status() const;
 
   /// Polls the deadline and the trip flag. Returns OK while within limits;
@@ -117,6 +136,7 @@ class ResourceGovernor {
   void UpdatePeak(std::size_t now);
 
   Limits limits_;
+  ResourceGovernor* parent_ = nullptr;  // not owned; see class comment
   std::chrono::steady_clock::time_point start_;
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> checks_{0};

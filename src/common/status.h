@@ -20,6 +20,7 @@ enum class StatusCode {
   kUnsupported,      // feature outside the implemented fragment
   kResourceExhausted,
   kDeadlineExceeded,  // wall-clock deadline tripped (ResourceGovernor)
+  kCancelled,         // explicit Cancel() — client disconnect, remote abort
   kInternal,
 };
 
@@ -56,6 +57,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

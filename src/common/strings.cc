@@ -1,6 +1,7 @@
 #include "common/strings.h"
 
 #include <cctype>
+#include <charconv>
 
 namespace bvq {
 
@@ -28,6 +29,15 @@ std::string_view TrimLeft(std::string_view s) {
   std::size_t b = 0;
   while (b < s.size() && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
   return s.substr(b);
+}
+
+bool ParseSizeT(std::string_view tok, std::size_t* out) {
+  std::size_t value = 0;
+  const char* end = tok.data() + tok.size();
+  auto [ptr, ec] = std::from_chars(tok.data(), end, value, 10);
+  if (ec != std::errc() || ptr != end) return false;
+  *out = value;
+  return true;
 }
 
 }  // namespace bvq

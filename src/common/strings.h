@@ -38,6 +38,12 @@ std::string_view StripAsciiWhitespace(std::string_view s);
 /// Removes leading ASCII whitespace.
 std::string_view TrimLeft(std::string_view s);
 
+/// Parses a whole base-10 token into *out. Strict where `istream >> n` and
+/// std::stoul are not: no exceptions, the entire token must be consumed
+/// ("12x" and "" are rejected instead of silently truncated or zeroed), and
+/// out-of-range values fail instead of throwing.
+bool ParseSizeT(std::string_view tok, std::size_t* out);
+
 }  // namespace bvq
 
 #endif  // BVQ_COMMON_STRINGS_H_

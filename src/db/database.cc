@@ -1,29 +1,11 @@
 #include "db/database.h"
 
-#include <charconv>
 #include <limits>
 #include <sstream>
 
 #include "common/strings.h"
 
 namespace bvq {
-
-namespace {
-
-// Parses a whole base-10 token into *out. Strict where std::stoul is not:
-// no exceptions, the entire token must be consumed ("12x" and "1 2" are
-// rejected instead of silently truncated), and out-of-range values fail
-// instead of throwing.
-bool ParseSizeT(std::string_view tok, std::size_t* out) {
-  std::size_t value = 0;
-  const char* end = tok.data() + tok.size();
-  auto [ptr, ec] = std::from_chars(tok.data(), end, value, 10);
-  if (ec != std::errc() || ptr != end) return false;
-  *out = value;
-  return true;
-}
-
-}  // namespace
 
 Status Database::AddRelation(const std::string& name, Relation relation) {
   if (relation.MinDomainSize() > domain_size_) {

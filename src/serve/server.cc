@@ -1,0 +1,477 @@
+#include "serve/server.h"
+
+#include <chrono>
+#include <fstream>
+#include <future>
+#include <shared_mutex>
+#include <sstream>
+#include <utility>
+
+#include "common/strings.h"
+#include "logic/analysis.h"
+#include "logic/parser.h"
+
+namespace bvq::serve {
+
+std::string FormatRelation(const Relation& rel, std::size_t limit) {
+  std::ostringstream os;
+  os << "  " << rel.size() << " tuple(s), arity " << rel.arity() << "\n";
+  for (std::size_t i = 0; i < rel.size() && i < limit; ++i) {
+    os << "    (";
+    for (std::size_t j = 0; j < rel.arity(); ++j) {
+      if (j > 0) os << ",";
+      os << rel.tuple(i)[j];
+    }
+    os << ")\n";
+  }
+  if (rel.size() > limit) {
+    os << "    ... (" << rel.size() - limit << " more)\n";
+  }
+  return os.str();
+}
+
+Server::Server(ServeOptions options)
+    : options_(options), admission_(options.admission) {
+  const std::size_t lanes =
+      options_.executor_threads == 0 ? 1 : options_.executor_threads;
+  workers_.reserve(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Server::~Server() {
+  Drain();
+  {
+    std::lock_guard<std::mutex> lock(task_mutex_);
+    shutdown_ = true;
+  }
+  task_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void Server::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(task_mutex_);
+    tasks_.push_back(std::move(task));
+    ++busy_;
+  }
+  task_cv_.notify_one();
+}
+
+void Server::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(task_mutex_);
+      task_cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // shutdown with an empty queue
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(task_mutex_);
+      --busy_;
+      if (busy_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void Server::Drain() {
+  std::unique_lock<std::mutex> lock(task_mutex_);
+  idle_cv_.wait(lock, [this] { return busy_ == 0; });
+}
+
+Status Server::Open(const std::string& session, SessionOptions options,
+                    Database db) {
+  auto opened = sessions_.Open(session, std::move(db), options);
+  return opened.ok() ? Status::OK() : opened.status();
+}
+
+Status Server::Close(const std::string& session) {
+  auto found = sessions_.Get(session);
+  if (!found.ok()) return found.status();
+  // Cancel the session's in-flight queries; they finish as Cancelled on
+  // the detached object after the name is released below.
+  std::vector<CancelHandle> handles;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    for (const auto& [id, entry] : in_flight_) {
+      if (entry.session == *found) handles.emplace_back(entry.cancel);
+    }
+  }
+  for (const auto& handle : handles) handle.Cancel("session closed");
+  return sessions_.Close(session);
+}
+
+Status Server::EvalAsyncWithId(std::uint64_t id, const std::string& session,
+                               const std::string& query,
+                               std::function<void(const EvalOutcome&)> done) {
+  auto found = sessions_.Get(session);
+  if (!found.ok()) return found.status();
+  std::shared_ptr<Session> target = *found;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    if (in_flight_.count(id) != 0) {
+      return Status::InvalidArgument(
+          StrCat("query id ", id, " is already in flight"));
+    }
+    InFlight entry;
+    entry.session = target;
+    entry.cancel = std::make_shared<CancelState>();
+    in_flight_.emplace(id, std::move(entry));
+  }
+  Submit([this, id, target, query, done = std::move(done)]() mutable {
+    RunEval(id, target, query, std::move(done));
+  });
+  return Status::OK();
+}
+
+Result<std::uint64_t> Server::EvalAsync(
+    const std::string& session, const std::string& query,
+    std::function<void(const EvalOutcome&)> done) {
+  std::uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    while (in_flight_.count(next_id_) != 0) ++next_id_;
+    id = next_id_++;
+  }
+  Status s = EvalAsyncWithId(id, session, query, std::move(done));
+  if (!s.ok()) return s;
+  return id;
+}
+
+EvalOutcome Server::EvalSync(const std::string& session,
+                             const std::string& query) {
+  auto promise = std::make_shared<std::promise<EvalOutcome>>();
+  auto future = promise->get_future();
+  auto started = EvalAsync(session, query, [promise](const EvalOutcome& o) {
+    promise->set_value(o);
+  });
+  if (!started.ok()) {
+    EvalOutcome out;
+    out.session = session;
+    out.status = started.status();
+    return out;
+  }
+  return future.get();
+}
+
+Status Server::Cancel(std::uint64_t id, const std::string& reason) {
+  auto handle = Handle(id);
+  if (!handle.ok()) return handle.status();
+  handle->Cancel(reason);
+  return Status::OK();
+}
+
+Result<CancelHandle> Server::Handle(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  auto it = in_flight_.find(id);
+  if (it == in_flight_.end()) {
+    return Status::NotFound(StrCat("no in-flight query with id ", id));
+  }
+  return CancelHandle(it->second.cancel);
+}
+
+void Server::RunEval(std::uint64_t id, std::shared_ptr<Session> session,
+                     std::string query,
+                     std::function<void(const EvalOutcome&)> done) {
+  session->queries_started.fetch_add(1, std::memory_order_relaxed);
+  EvalOutcome out;
+  out.id = id;
+  out.session = session->name();
+
+  auto parsed = ParseQuery(query);
+  if (!parsed.ok()) {
+    out.status = parsed.status();
+    FinishEval(id, session, std::move(out), done);
+    return;
+  }
+
+  std::shared_ptr<CancelState> cancel;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    auto it = in_flight_.find(id);
+    if (it != in_flight_.end()) cancel = it->second.cancel;
+  }
+
+  auto ticket = admission_.Admit(session->admission_reserve_bytes(),
+                                 cancel ? &cancel->requested : nullptr);
+  if (!ticket.ok()) {
+    out.status = ticket.status();
+    FinishEval(id, session, std::move(out), done);
+    return;
+  }
+  out.queue_wait_ms = ticket->queue_wait_ms();
+
+  std::shared_ptr<ResourceGovernor> governor = session->AcquireGovernor();
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    auto it = in_flight_.find(id);
+    if (it != in_flight_.end()) it->second.governor = governor;
+  }
+  if (cancel != nullptr) CancelHandle::BindGovernor(cancel, governor);
+
+  {
+    std::shared_lock<std::shared_mutex> db_lock(session->db_mutex());
+    std::size_t num_vars = session->options().num_vars;
+    const std::size_t needed = NumVariables(parsed->formula);
+    if (needed > num_vars) num_vars = needed;
+    BoundedEvalOptions eval_options = session->options().eval;
+    eval_options.governor = governor.get();
+    BoundedEvaluator eval(session->db(), num_vars, eval_options);
+    const auto start = std::chrono::steady_clock::now();
+    auto result = eval.EvaluateQuery(*parsed);
+    const auto stop = std::chrono::steady_clock::now();
+    out.eval_ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    out.eval_stats = eval.stats();
+    if (result.ok()) {
+      out.payload = FormatRelation(*result, options_.payload_tuple_limit);
+    } else {
+      out.status = result.status();
+    }
+  }
+  out.resource = governor->stats();
+  governor.reset();  // registry's copy is the one FinishEval pools
+  FinishEval(id, session, std::move(out), done);
+}
+
+void Server::FinishEval(std::uint64_t id,
+                        const std::shared_ptr<Session>& session,
+                        EvalOutcome outcome,
+                        const std::function<void(const EvalOutcome&)>& done) {
+  std::shared_ptr<ResourceGovernor> governor;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    auto it = in_flight_.find(id);
+    if (it != in_flight_.end()) {
+      governor = std::move(it->second.governor);
+      in_flight_.erase(it);
+    }
+  }
+  if (governor != nullptr) {
+    // Pool the token only when we are its last owner: a canceller that
+    // copied it from the registry before the erase may still be calling
+    // Cancel() on it, and a cancelled-then-reused token would trip the
+    // next query spuriously. Dropping it instead is always safe.
+    if (governor.use_count() == 1) {
+      session->ReleaseGovernor(std::move(governor));
+    } else {
+      governor.reset();
+    }
+  }
+  auto& counter =
+      outcome.status.ok() ? session->queries_ok : session->queries_failed;
+  counter.fetch_add(1, std::memory_order_relaxed);
+  if (done) done(outcome);
+}
+
+Result<std::string> Server::StatsLine(const std::string& session) const {
+  if (session.empty()) {
+    const AdmissionStats a = admission_.stats();
+    return StrCat("stats sessions=", sessions_.size(),
+                  " active=", a.active_queries, " queue=", a.queue_length,
+                  " reserved_bytes=", a.reserved_bytes,
+                  " peak_reserved_bytes=", a.peak_reserved_bytes,
+                  " admitted=", a.admitted_total,
+                  " rejected=", a.rejected_total, " queued=", a.queued_total,
+                  " cancelled=", a.cancelled_total);
+  }
+  auto found = sessions_.Get(session);
+  if (!found.ok()) return found.status();
+  const ResourceStats r = (*found)->governor().stats();
+  const Session::PoolStats p = (*found)->pool_stats();
+  return StrCat(
+      "stats session=", session, " queries=", (*found)->queries_started.load(),
+      " ok=", (*found)->queries_ok.load(),
+      " failed=", (*found)->queries_failed.load(),
+      " live_bytes=", r.mem_current_bytes, " peak_bytes=", r.mem_peak_bytes,
+      " pool_created=", p.created, " pool_reused=", p.reused);
+}
+
+void Server::EmitChunk(const Emit& emit, const std::string& chunk) {
+  std::lock_guard<std::mutex> lock(emit_mutex_);
+  emit(chunk);
+}
+
+void Server::HandleLine(const std::string& line, const Emit& emit) {
+  const std::string trimmed(StripAsciiWhitespace(line));
+  if (trimmed.empty() || trimmed[0] == '#') return;
+  std::istringstream is(trimmed);
+  std::string cmd;
+  is >> cmd;
+  auto err = [&](const std::string& detail) {
+    EmitChunk(emit, StrCat("err ", detail, "\n"));
+  };
+  auto ok = [&](const std::string& detail) {
+    EmitChunk(emit, StrCat("ok ", detail, "\n"));
+  };
+
+  if (cmd == "quit") {
+    closed_ = true;
+    ok("quit");
+    return;
+  }
+  if (cmd == "open") {
+    std::string name;
+    if (!(is >> name)) return err("open: missing session name");
+    SessionOptions so;
+    std::string kv;
+    while (is >> kv) {
+      const auto eq = kv.find('=');
+      const std::string key = kv.substr(0, eq);
+      std::size_t value = 0;
+      if (eq == std::string::npos ||
+          !ParseSizeT(std::string_view(kv).substr(eq + 1), &value)) {
+        return err(StrCat("open ", name, ": expected key=<number>, got ", kv));
+      }
+      if (key == "k") {
+        so.num_vars = value;
+      } else if (key == "threads") {
+        so.eval.num_threads = value;
+      } else if (key == "memo") {
+        so.eval.memo = value != 0;
+      } else if (key == "deadline-ms") {
+        so.query_limits.deadline_ms = value;
+      } else if (key == "mem-budget-mb") {
+        so.query_limits.mem_budget_bytes = value << 20;
+      } else if (key == "session-deadline-ms") {
+        so.session_limits.deadline_ms = value;
+      } else if (key == "session-mem-budget-mb") {
+        so.session_limits.mem_budget_bytes = value << 20;
+      } else if (key == "reserve-mb") {
+        so.admission_reserve_bytes = value << 20;
+      } else {
+        return err(StrCat("open ", name, ": unknown option ", kv));
+      }
+    }
+    Status s = Open(name, so);
+    if (!s.ok()) return err(StrCat("open ", name, ": ", s.ToString()));
+    return ok(StrCat("open ", name));
+  }
+  if (cmd == "domain") {
+    std::string name, tok;
+    std::size_t n = 0;
+    if (!(is >> name) || !(is >> tok) || !ParseSizeT(tok, &n)) {
+      return err(StrCat("domain: expected <session> <n>, got ", trimmed));
+    }
+    auto session = sessions_.Get(name);
+    if (!session.ok()) return err(StrCat("domain ", name, ": ",
+                                         session.status().ToString()));
+    {
+      std::unique_lock<std::shared_mutex> db_lock((*session)->db_mutex());
+      (*session)->db() = Database(n);
+    }
+    return ok(StrCat("domain ", name, " ", n));
+  }
+  if (cmd == "rel") {
+    std::string name;
+    if (!(is >> name)) return err("rel: missing session name");
+    std::string rest;
+    std::getline(is, rest);
+    auto session = sessions_.Get(name);
+    if (!session.ok()) {
+      return err(StrCat("rel ", name, ": ", session.status().ToString()));
+    }
+    std::unique_lock<std::shared_mutex> db_lock((*session)->db_mutex());
+    auto parsed = ParseDatabase(
+        StrCat("domain ", (*session)->db().domain_size(), "\nrel ",
+               TrimLeft(rest), "\n"));
+    if (!parsed.ok()) {
+      return err(StrCat("rel ", name, ": ", parsed.status().ToString()));
+    }
+    for (const auto& [rel_name, rel] : parsed->relations()) {
+      Status s = (*session)->db().AddRelation(rel_name, rel);
+      if (!s.ok()) return err(StrCat("rel ", name, ": ", s.ToString()));
+    }
+    return ok(StrCat("rel ", name));
+  }
+  if (cmd == "load") {
+    std::string name;
+    if (!(is >> name)) return err("load: missing session name");
+    std::string rest;
+    std::getline(is, rest);
+    const std::string path(StripAsciiWhitespace(rest));
+    auto session = sessions_.Get(name);
+    if (!session.ok()) {
+      return err(StrCat("load ", name, ": ", session.status().ToString()));
+    }
+    std::ifstream in(path);
+    if (!in) return err(StrCat("load ", name, ": cannot open ", path));
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    auto parsed = ParseDatabase(buffer.str());
+    if (!parsed.ok()) {
+      return err(StrCat("load ", name, ": ", parsed.status().ToString()));
+    }
+    {
+      std::unique_lock<std::shared_mutex> db_lock((*session)->db_mutex());
+      (*session)->db() = std::move(*parsed);
+    }
+    return ok(StrCat("load ", name));
+  }
+  if (cmd == "eval") {
+    std::string id_tok, name;
+    std::size_t id = 0;
+    if (!(is >> id_tok) || !ParseSizeT(id_tok, &id) || !(is >> name)) {
+      return err(StrCat("eval: expected <id> <session> <query>, got ",
+                        trimmed));
+    }
+    std::string query;
+    std::getline(is, query);
+    Status s = EvalAsyncWithId(
+        id, name, query, [this, emit, id](const EvalOutcome& o) {
+          std::string block;
+          if (o.status.ok()) {
+            block = StrCat("result ", id, " ok\n", o.payload, "end ", id,
+                           "\n");
+          } else {
+            block = StrCat("result ", id, " error ",
+                           StatusCodeName(o.status.code()), "\n  ",
+                           o.status.ToString(), "\nend ", id, "\n");
+          }
+          EmitChunk(emit, block);
+        });
+    if (!s.ok()) return err(StrCat("eval ", id, ": ", s.ToString()));
+    return ok(StrCat("eval ", id));
+  }
+  if (cmd == "cancel") {
+    std::string id_tok;
+    std::size_t id = 0;
+    if (!(is >> id_tok) || !ParseSizeT(id_tok, &id)) {
+      return err(StrCat("cancel: expected <id>, got ", trimmed));
+    }
+    Status s = Cancel(id);
+    if (!s.ok()) return err(StrCat("cancel ", id, ": ", s.ToString()));
+    return ok(StrCat("cancel ", id));
+  }
+  if (cmd == "close") {
+    std::string name;
+    if (!(is >> name)) return err("close: missing session name");
+    Status s = Close(name);
+    if (!s.ok()) return err(StrCat("close ", name, ": ", s.ToString()));
+    return ok(StrCat("close ", name));
+  }
+  if (cmd == "drain") {
+    // Synchronisation point for scripts: block until every submitted eval
+    // has completed (its result block is emitted before the ok below).
+    Drain();
+    return ok("drain");
+  }
+  if (cmd == "stats") {
+    std::string name;
+    is >> name;  // optional
+    auto stats = StatsLine(name);
+    if (!stats.ok()) {
+      return err(StrCat("stats ", name, ": ", stats.status().ToString()));
+    }
+    EmitChunk(emit, StrCat(*stats, "\n"));
+    return;
+  }
+  err(StrCat(trimmed, ": unknown command (open/domain/rel/load/eval/cancel/"
+                      "close/stats/drain/quit)"));
+}
+
+}  // namespace bvq::serve

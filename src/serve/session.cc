@@ -1,0 +1,134 @@
+#include "serve/session.h"
+
+#include <utility>
+
+#include "common/strings.h"
+
+namespace bvq::serve {
+
+bool CancelHandle::Cancel(const std::string& reason) const {
+  if (state_ == nullptr) return false;
+  std::shared_ptr<ResourceGovernor> governor;
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->reason = reason;
+    state_->requested.store(true, std::memory_order_release);
+    governor = state_->governor.lock();
+  }
+  if (governor != nullptr) governor->Cancel(reason);
+  return true;
+}
+
+void CancelHandle::BindGovernor(
+    const std::shared_ptr<CancelState>& state,
+    const std::shared_ptr<ResourceGovernor>& governor) {
+  std::string reason;
+  bool cancelled = false;
+  {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    state->governor = governor;
+    cancelled = state->requested.load(std::memory_order_acquire);
+    if (cancelled) reason = state->reason;
+  }
+  if (cancelled) governor->Cancel(reason);
+}
+
+Session::Session(std::string name, Database db, SessionOptions options)
+    : name_(std::move(name)),
+      options_(options),
+      db_(std::move(db)),
+      session_governor_(options.session_limits) {}
+
+std::size_t Session::admission_reserve_bytes() const {
+  if (options_.admission_reserve_bytes != 0) {
+    return options_.admission_reserve_bytes;
+  }
+  if (options_.query_limits.mem_budget_bytes != 0) {
+    return options_.query_limits.mem_budget_bytes;
+  }
+  if (options_.session_limits.mem_budget_bytes != 0) {
+    return options_.session_limits.mem_budget_bytes;
+  }
+  return kDefaultAdmissionReserveBytes;
+}
+
+std::shared_ptr<ResourceGovernor> Session::AcquireGovernor() {
+  std::shared_ptr<ResourceGovernor> governor;
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    if (!free_governors_.empty()) {
+      governor = std::move(free_governors_.back());
+      free_governors_.pop_back();
+      ++pool_reused_;
+    } else {
+      governor = std::make_shared<ResourceGovernor>();
+      ++pool_created_;
+    }
+  }
+  governor->Reset(options_.query_limits);
+  governor->set_parent(&session_governor_);
+  return governor;
+}
+
+void Session::ReleaseGovernor(std::shared_ptr<ResourceGovernor> governor) {
+  if (governor == nullptr) return;
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  free_governors_.push_back(std::move(governor));
+}
+
+Session::PoolStats Session::pool_stats() const {
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  PoolStats s;
+  s.created = pool_created_;
+  s.reused = pool_reused_;
+  s.free = free_governors_.size();
+  return s;
+}
+
+Result<std::shared_ptr<Session>> SessionManager::Open(const std::string& name,
+                                                      Database db,
+                                                      SessionOptions options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (sessions_.count(name) != 0) {
+    return Status::InvalidArgument(
+        StrCat("session ", name, " is already open"));
+  }
+  auto session = std::make_shared<Session>(name, std::move(db), options);
+  sessions_.emplace(name, session);
+  return session;
+}
+
+Result<std::shared_ptr<Session>> SessionManager::Get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(name);
+  if (it == sessions_.end()) {
+    return Status::NotFound(StrCat("no session named ", name));
+  }
+  return it->second;
+}
+
+Status SessionManager::Close(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(name);
+  if (it == sessions_.end()) {
+    return Status::NotFound(StrCat("no session named ", name));
+  }
+  sessions_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> SessionManager::Names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(sessions_.size());
+  for (const auto& [name, session] : sessions_) names.push_back(name);
+  return names;
+}
+
+std::size_t SessionManager::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_.size();
+}
+
+}  // namespace bvq::serve

@@ -1,0 +1,169 @@
+#ifndef BVQ_SERVE_SESSION_H_
+#define BVQ_SERVE_SESSION_H_
+
+#include <atomic>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/resource.h"
+#include "common/status.h"
+#include "db/database.h"
+#include "eval/bounded_eval.h"
+
+namespace bvq::serve {
+
+/// Default admission reserve when neither a per-query nor a session memory
+/// budget is configured: the serving layer always reserves *something* so
+/// an unbounded session cannot starve bounded ones out of the aggregate.
+inline constexpr std::size_t kDefaultAdmissionReserveBytes =
+    std::size_t{16} << 20;
+
+/// Per-session configuration, fixed at open time.
+struct SessionOptions {
+  /// The k of L^k for queries in this session.
+  std::size_t num_vars = 3;
+  /// Evaluator options (threads, memo, strategy). The governor field is
+  /// overwritten per query with a pooled composite token.
+  BoundedEvalOptions eval;
+  /// Session-wide quota: deadline_ms is a wall-clock budget for the whole
+  /// session (from open), mem_budget_bytes caps the session's *live*
+  /// charged bytes across all of its concurrent queries. 0 = none.
+  ResourceGovernor::Limits session_limits;
+  /// Per-query overlay: limits armed on the pooled governor for each
+  /// evaluation. A 0 here adds no per-query limit but never erases the
+  /// session-level one (composite-token semantics; see ResourceGovernor).
+  ResourceGovernor::Limits query_limits;
+  /// Bytes reserved from the AdmissionController's aggregate per query.
+  /// 0 = derive: the per-query budget if set, else the session budget,
+  /// else kDefaultAdmissionReserveBytes.
+  std::size_t admission_reserve_bytes = 0;
+};
+
+/// Shared cancellation slot for one in-flight evaluation. `requested` is
+/// the lock-free flag the AdmissionController polls while the query waits
+/// in the queue; once the query acquires its governor it binds it here
+/// under `mutex`, so a cancel that arrives in the window between admission
+/// and binding is never lost: whichever side locks second sees the other.
+struct CancelState {
+  std::atomic<bool> requested{false};
+  std::mutex mutex;  // guards reason + governor
+  std::string reason;
+  std::weak_ptr<ResourceGovernor> governor;
+};
+
+/// A remote-cancellation capability for one in-flight evaluation. Safe to
+/// invoke from any thread at any point in the query's life: before
+/// admission it aborts the queue wait, after admission it trips the
+/// query's composite token (Cancel → sticky Cancelled), and after
+/// completion it is a harmless no-op (the pooled governor is only
+/// reachable through the weak pointer while the query still owns it).
+class CancelHandle {
+ public:
+  CancelHandle() = default;
+  explicit CancelHandle(std::shared_ptr<CancelState> state)
+      : state_(std::move(state)) {}
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// Requests cancellation; returns true if the handle is valid.
+  bool Cancel(const std::string& reason = "cancelled by client") const;
+
+  /// Binds the query's governor into the slot; if a cancel already
+  /// arrived, trips it immediately. Called by the query runner right after
+  /// the governor is acquired.
+  static void BindGovernor(const std::shared_ptr<CancelState>& state,
+                           const std::shared_ptr<ResourceGovernor>& governor);
+
+ private:
+  std::shared_ptr<CancelState> state_;
+};
+
+/// A named, long-lived evaluation context: one database, one set of
+/// evaluator options, one session-level ResourceGovernor, and a pool of
+/// per-query governors that are composed onto it (Reset + set_parent) so
+/// repeated queries reuse tokens instead of allocating.
+///
+/// Thread model: many queries of one session may run concurrently. They
+/// take `db_mutex()` shared for the duration of the evaluation; mutations
+/// (domain / rel / load) take it exclusive, so a session's database never
+/// changes under a running query.
+class Session {
+ public:
+  Session(std::string name, Database db, SessionOptions options);
+
+  const std::string& name() const { return name_; }
+  const SessionOptions& options() const { return options_; }
+  std::size_t admission_reserve_bytes() const;
+
+  /// The session-level token/account shared by all of this session's
+  /// queries (parent of every pooled per-query governor).
+  ResourceGovernor& governor() { return session_governor_; }
+
+  /// The database and the lock that guards it (shared = evaluate,
+  /// exclusive = mutate). Exposed raw because the callers — Server request
+  /// handlers — need to hold the lock across an entire evaluation.
+  Database& db() { return db_; }
+  std::shared_mutex& db_mutex() { return db_mutex_; }
+
+  /// Takes a per-query governor from the pool (or creates one), resets it
+  /// to `options().query_limits`, and links it to the session governor.
+  std::shared_ptr<ResourceGovernor> AcquireGovernor();
+  /// Returns a governor to the pool. The caller must be its last owner.
+  void ReleaseGovernor(std::shared_ptr<ResourceGovernor> governor);
+
+  struct PoolStats {
+    std::size_t created = 0;  // governors ever constructed
+    std::size_t reused = 0;   // acquisitions served from the free list
+    std::size_t free = 0;     // currently pooled
+  };
+  PoolStats pool_stats() const;
+
+  // Lifetime counters, maintained by the Server.
+  std::atomic<std::uint64_t> queries_started{0};
+  std::atomic<std::uint64_t> queries_ok{0};
+  std::atomic<std::uint64_t> queries_failed{0};
+
+ private:
+  const std::string name_;
+  SessionOptions options_;
+  Database db_;
+  std::shared_mutex db_mutex_;
+  ResourceGovernor session_governor_;
+
+  mutable std::mutex pool_mutex_;
+  std::vector<std::shared_ptr<ResourceGovernor>> free_governors_;
+  std::size_t pool_created_ = 0;
+  std::size_t pool_reused_ = 0;
+};
+
+/// Owns every open session, by name. All methods are thread-safe; sessions
+/// are handed out as shared_ptr so Close() can drop the name while
+/// in-flight queries (which hold a reference) finish on the detached
+/// object.
+class SessionManager {
+ public:
+  /// Opens a new session. Fails with InvalidArgument if the name is taken.
+  Result<std::shared_ptr<Session>> Open(const std::string& name, Database db,
+                                        SessionOptions options);
+  /// Looks a session up. Fails with NotFound.
+  Result<std::shared_ptr<Session>> Get(const std::string& name) const;
+  /// Removes a session by name. Fails with NotFound. In-flight queries
+  /// keep the object alive until they complete.
+  Status Close(const std::string& name);
+
+  std::vector<std::string> Names() const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<Session>> sessions_;
+};
+
+}  // namespace bvq::serve
+
+#endif  // BVQ_SERVE_SESSION_H_

@@ -85,12 +85,78 @@ TEST(ResourceGovernorTest, CancelTripsWithReason) {
   gov.Cancel("client went away");
   const Status s = gov.Check();
   ASSERT_FALSE(s.ok());
-  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(s.code(), StatusCode::kCancelled);
   EXPECT_NE(s.message().find("client went away"), std::string::npos);
   // First trip wins: a later deadline/budget cause cannot overwrite it.
   gov.Cancel("second reason");
   EXPECT_NE(gov.status().message().find("client went away"),
             std::string::npos);
+}
+
+// --- composite tokens: child governor layered over a session parent --------------
+
+TEST(CompositeGovernorTest, ParentDeadlineSurvivesZeroChildOverlay) {
+  // Regression for the serving layer's token composition: a per-query
+  // overlay of `deadline_ms = 0` means "no additional limit" — it must NOT
+  // erase the session-level deadline carried by the parent.
+  ResourceGovernor::Limits session_limits;
+  session_limits.deadline_ms = 1;
+  ResourceGovernor session(session_limits);
+
+  ResourceGovernor query;                    // per-query: no limits of its own
+  query.Reset(ResourceGovernor::Limits{});   // explicit 0-overlay
+  query.set_parent(&session);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const Status s = query.Check();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(query.stopped());
+  EXPECT_TRUE(session.stopped());
+
+  // Reset with fresh limits keeps the parent link (pool reuse path).
+  query.Reset(ResourceGovernor::Limits{});
+  EXPECT_EQ(query.parent(), &session);
+  EXPECT_FALSE(query.Check().ok());  // parent is still tripped
+}
+
+TEST(CompositeGovernorTest, ParentCancelPropagatesToChild) {
+  ResourceGovernor session;
+  ResourceGovernor query;
+  query.set_parent(&session);
+  EXPECT_TRUE(query.Check().ok());
+
+  session.Cancel("session closed");
+  const Status s = query.Check();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCancelled);
+  EXPECT_NE(s.message().find("session closed"), std::string::npos);
+}
+
+TEST(CompositeGovernorTest, ChargesForwardIntoParentAccount) {
+  ResourceGovernor session;
+  ResourceGovernor query;
+  query.set_parent(&session);
+
+  EXPECT_TRUE(query.Charge(1000).ok());
+  EXPECT_EQ(query.stats().mem_current_bytes, 1000u);
+  EXPECT_EQ(session.stats().mem_current_bytes, 1000u);
+  EXPECT_TRUE(query.NoteTransient(500).ok());
+  EXPECT_GE(session.stats().mem_peak_bytes, 1500u);
+  query.Release(1000);
+  EXPECT_EQ(query.stats().mem_current_bytes, 0u);
+  EXPECT_EQ(session.stats().mem_current_bytes, 0u);
+
+  // The parent's budget bounds the composite: a child with no budget of its
+  // own still trips when the aggregate account exceeds the session's.
+  ResourceGovernor::Limits tight;
+  tight.mem_budget_bytes = 512;
+  ResourceGovernor tight_session(tight);
+  ResourceGovernor child;
+  child.set_parent(&tight_session);
+  const Status over = child.Charge(1024);
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.code(), StatusCode::kResourceExhausted);
 }
 
 TEST(ResourceGovernorTest, ScopedChargeReleasesOnDestruction) {
@@ -231,7 +297,7 @@ TEST(GovernedEvalTest, CancelledRunErrorsThenRerunMatchesUngoverned) {
   eval.set_governor(&gov);
   auto cancelled = eval.EvaluateQuery(*query);
   ASSERT_FALSE(cancelled.ok());
-  EXPECT_EQ(cancelled.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(cancelled.status().code(), StatusCode::kCancelled);
   // Nothing stays charged once the public call unwinds.
   EXPECT_EQ(gov.stats().mem_current_bytes, 0u);
 
@@ -341,7 +407,7 @@ TEST(GovernedEvalTest, NaiveEvaluatorHonoursGovernor) {
   eval.set_governor(&gov);
   auto cancelled = eval.EvaluateQuery(*query);
   ASSERT_FALSE(cancelled.ok());
-  EXPECT_EQ(cancelled.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(cancelled.status().code(), StatusCode::kCancelled);
 
   eval.set_governor(nullptr);
   auto rerun = eval.EvaluateQuery(*query);

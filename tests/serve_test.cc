@@ -1,0 +1,513 @@
+// The serving layer: FIFO admission control (budget, cap, queue, cancel),
+// session lifecycle and governor pooling, and the Server end-to-end — the
+// load-bearing properties being that a served answer is byte-identical to a
+// direct evaluator run, that an over-budget admission is rejected while
+// running queries finish unaffected, and that a remote cancel lands
+// mid-fixpoint as a sticky Cancelled with partial resource stats.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/resource.h"
+#include "common/status.h"
+#include "db/database.h"
+#include "db/generators.h"
+#include "eval/bounded_eval.h"
+#include "logic/parser.h"
+#include "serve/admission.h"
+#include "serve/server.h"
+#include "serve/session.h"
+
+namespace bvq::serve {
+namespace {
+
+using std::chrono::milliseconds;
+
+constexpr char kTcQuery[] =
+    "(x1,x2) [lfp T(x1,x2) . E(x1,x2) | exists x3 . (E(x1,x3) & "
+    "exists x1 . (x1 = x3 & T(x1,x2)))](x1,x2)";
+
+// PFP binary counter over a strict order: the orbit has length 2^n, so with
+// n = 18 the fixpoint runs for ~260k stages — plenty of time to cancel it.
+constexpr char kCounterQuery[] =
+    "(x1) [pfp X(x1) . !(X(x1) <-> forall x2 . (Lt(x2,x1) -> X(x2)))](x1)";
+
+Database CycleDb(std::size_t n) {
+  Database db(n);
+  EXPECT_TRUE(db.AddRelation("E", CycleGraph(n)).ok());
+  return db;
+}
+
+Database CounterDb(std::size_t n) {
+  Database db(n);
+  RelationBuilder lt(2);
+  for (Value i = 0; i < static_cast<Value>(n); ++i) {
+    for (Value j = i + 1; j < static_cast<Value>(n); ++j) lt.Add(Tuple{i, j});
+  }
+  EXPECT_TRUE(db.AddRelation("Lt", lt.Build()).ok());
+  return db;
+}
+
+// Spins until `pred` holds or ~5 s pass; returns whether it held.
+template <typename Pred>
+bool WaitFor(Pred pred) {
+  for (int i = 0; i < 5000; ++i) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  return pred();
+}
+
+// --- AdmissionController ---------------------------------------------------------
+
+TEST(AdmissionTest, UnlimitedControllerOnlyCounts) {
+  AdmissionController ctl;
+  auto t1 = ctl.Admit(1 << 20);
+  auto t2 = ctl.Admit(1 << 20);
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  const AdmissionStats s = ctl.stats();
+  EXPECT_EQ(s.active_queries, 2u);
+  EXPECT_EQ(s.reserved_bytes, std::size_t{2} << 20);
+  EXPECT_EQ(s.admitted_total, 2u);
+  EXPECT_EQ(s.rejected_total, 0u);
+  t1->Release();
+  t2->Release();
+  EXPECT_EQ(ctl.stats().reserved_bytes, 0u);
+  EXPECT_EQ(ctl.stats().active_queries, 0u);
+}
+
+TEST(AdmissionTest, SpentAggregateBudgetRejectsWhenQueueingIsOff) {
+  AdmissionOptions opts;
+  opts.aggregate_mem_budget_bytes = 100;
+  AdmissionController ctl(opts);
+
+  auto held = ctl.Admit(60);
+  ASSERT_TRUE(held.ok());
+  auto rejected = ctl.Admit(60);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+  // The running admission is unaffected by the rejection.
+  EXPECT_TRUE(held->valid());
+  EXPECT_EQ(ctl.stats().active_queries, 1u);
+  EXPECT_EQ(ctl.stats().reserved_bytes, 60u);
+  EXPECT_EQ(ctl.stats().rejected_total, 1u);
+
+  held->Release();
+  auto now_fits = ctl.Admit(60);
+  EXPECT_TRUE(now_fits.ok());
+}
+
+TEST(AdmissionTest, OversizeRequestRejectedImmediatelyDespiteQueue) {
+  AdmissionOptions opts;
+  opts.aggregate_mem_budget_bytes = 100;
+  opts.queue_wait_ms = 10'000;
+  AdmissionController ctl(opts);
+  const auto start = std::chrono::steady_clock::now();
+  auto rejected = ctl.Admit(200);  // can never fit: larger than the whole pot
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_LT(elapsed, milliseconds(1000));  // no pointless queue wait
+  EXPECT_EQ(ctl.stats().queued_total, 0u);
+}
+
+TEST(AdmissionTest, QueuedRequestAdmittedWhenBudgetIsReleased) {
+  AdmissionOptions opts;
+  opts.aggregate_mem_budget_bytes = 100;
+  opts.queue_wait_ms = 10'000;
+  AdmissionController ctl(opts);
+
+  auto held = ctl.Admit(80);
+  ASSERT_TRUE(held.ok());
+  auto waiting = std::async(std::launch::async, [&] { return ctl.Admit(80); });
+  ASSERT_TRUE(WaitFor([&] { return ctl.stats().queue_length == 1; }));
+
+  held->Release();
+  auto admitted = waiting.get();
+  ASSERT_TRUE(admitted.ok()) << admitted.status().ToString();
+  EXPECT_GT(admitted->queue_wait_ms(), 0.0);
+  EXPECT_EQ(ctl.stats().queued_total, 1u);
+  EXPECT_EQ(ctl.stats().reserved_bytes, 80u);
+}
+
+TEST(AdmissionTest, ConcurrencyCapQueuesThenAdmits) {
+  AdmissionOptions opts;
+  opts.max_concurrent_queries = 1;
+  opts.queue_wait_ms = 10'000;
+  AdmissionController ctl(opts);
+
+  auto held = ctl.Admit(0);
+  ASSERT_TRUE(held.ok());
+  auto waiting = std::async(std::launch::async, [&] { return ctl.Admit(0); });
+  ASSERT_TRUE(WaitFor([&] { return ctl.stats().queue_length == 1; }));
+  held->Release();
+  EXPECT_TRUE(waiting.get().ok());
+}
+
+TEST(AdmissionTest, QueueTimeoutRejects) {
+  AdmissionOptions opts;
+  opts.max_concurrent_queries = 1;
+  opts.queue_wait_ms = 50;
+  AdmissionController ctl(opts);
+  auto held = ctl.Admit(0);
+  ASSERT_TRUE(held.ok());
+  auto timed_out = ctl.Admit(0);
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_EQ(timed_out.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(AdmissionTest, QueueLengthCapRejectsExtraWaiters) {
+  AdmissionOptions opts;
+  opts.max_concurrent_queries = 1;
+  opts.queue_wait_ms = 10'000;
+  opts.max_queue_length = 1;
+  AdmissionController ctl(opts);
+  auto held = ctl.Admit(0);
+  ASSERT_TRUE(held.ok());
+  auto waiting = std::async(std::launch::async, [&] { return ctl.Admit(0); });
+  ASSERT_TRUE(WaitFor([&] { return ctl.stats().queue_length == 1; }));
+  auto overflow = ctl.Admit(0);  // queue is full
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.status().code(), StatusCode::kResourceExhausted);
+  held->Release();
+  EXPECT_TRUE(waiting.get().ok());
+}
+
+TEST(AdmissionTest, CancelFlagAbandonsQueuedWait) {
+  AdmissionOptions opts;
+  opts.max_concurrent_queries = 1;
+  opts.queue_wait_ms = 10'000;
+  AdmissionController ctl(opts);
+  auto held = ctl.Admit(0);
+  ASSERT_TRUE(held.ok());
+
+  std::atomic<bool> cancel{false};
+  auto waiting = std::async(std::launch::async,
+                            [&] { return ctl.Admit(0, &cancel); });
+  ASSERT_TRUE(WaitFor([&] { return ctl.stats().queue_length == 1; }));
+  cancel.store(true);
+  auto cancelled = waiting.get();
+  ASSERT_FALSE(cancelled.ok());
+  EXPECT_EQ(cancelled.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(ctl.stats().cancelled_total, 1u);
+  // The holder is untouched and the queue is empty again.
+  EXPECT_TRUE(held->valid());
+  EXPECT_EQ(ctl.stats().queue_length, 0u);
+}
+
+// --- Session / SessionManager ----------------------------------------------------
+
+TEST(SessionManagerTest, OpenGetCloseLifecycle) {
+  SessionManager mgr;
+  auto opened = mgr.Open("a", Database(4), SessionOptions{});
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(mgr.size(), 1u);
+
+  auto dup = mgr.Open("a", Database(4), SessionOptions{});
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kInvalidArgument);
+
+  EXPECT_TRUE(mgr.Get("a").ok());
+  EXPECT_EQ(mgr.Get("b").status().code(), StatusCode::kNotFound);
+
+  EXPECT_TRUE(mgr.Close("a").ok());
+  EXPECT_EQ(mgr.Get("a").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(mgr.Close("a").code(), StatusCode::kNotFound);
+  EXPECT_EQ(mgr.size(), 0u);
+}
+
+TEST(SessionTest, GovernorPoolReusesTokensAndLinksParent) {
+  Session session("s", Database(4), SessionOptions{});
+  auto g1 = session.AcquireGovernor();
+  ASSERT_NE(g1, nullptr);
+  EXPECT_EQ(g1->parent(), &session.governor());
+  session.ReleaseGovernor(std::move(g1));
+
+  auto g2 = session.AcquireGovernor();
+  const Session::PoolStats stats = session.pool_stats();
+  EXPECT_EQ(stats.created, 1u);
+  EXPECT_EQ(stats.reused, 1u);
+  EXPECT_EQ(stats.free, 0u);
+  // Reuse re-arms the token: a trip from a previous query must not leak in.
+  g2->Cancel("old query");
+  session.ReleaseGovernor(std::move(g2));
+  auto g3 = session.AcquireGovernor();
+  EXPECT_TRUE(g3->Check().ok());
+}
+
+TEST(SessionTest, AdmissionReserveDerivation) {
+  SessionOptions so;
+  EXPECT_EQ(Session("a", Database(0), so).admission_reserve_bytes(),
+            kDefaultAdmissionReserveBytes);
+
+  so.session_limits.mem_budget_bytes = std::size_t{1} << 20;
+  EXPECT_EQ(Session("b", Database(0), so).admission_reserve_bytes(),
+            std::size_t{1} << 20);
+
+  so.query_limits.mem_budget_bytes = std::size_t{2} << 20;
+  EXPECT_EQ(Session("c", Database(0), so).admission_reserve_bytes(),
+            std::size_t{2} << 20);
+
+  so.admission_reserve_bytes = 12345;
+  EXPECT_EQ(Session("d", Database(0), so).admission_reserve_bytes(), 12345u);
+}
+
+// --- Server end-to-end -----------------------------------------------------------
+
+TEST(ServeTest, ServedResultIsByteIdenticalToDirectEvaluatorRun) {
+  Database db = CycleDb(12);
+  auto query = ParseQuery(kTcQuery);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  BoundedEvaluator direct(db, 3);
+  auto expected = direct.EvaluateQuery(*query);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+  const std::string want = FormatRelation(*expected, 20);
+
+  Server server;
+  ASSERT_TRUE(server.Open("s", SessionOptions{}, CycleDb(12)).ok());
+  const EvalOutcome out = server.EvalSync("s", kTcQuery);
+  ASSERT_TRUE(out.status.ok()) << out.status.ToString();
+  EXPECT_EQ(out.payload, want);
+  EXPECT_GT(out.eval_ms, 0.0);
+}
+
+TEST(ServeTest, EmptyDomainSessionEvaluatesToEmptyAnswer) {
+  // An empty domain is legal: every query answer over it is the empty
+  // relation (there is nothing to bind), never an error.
+  Server server;
+  ASSERT_TRUE(server.Open("empty", SessionOptions{}, Database(0)).ok());
+  const EvalOutcome out = server.EvalSync("empty", "(x1) x1 = x1");
+  ASSERT_TRUE(out.status.ok()) << out.status.ToString();
+  EXPECT_NE(out.payload.find("0 tuple(s)"), std::string::npos);
+}
+
+TEST(ServeTest, UnknownSessionFailsWithNotFound) {
+  Server server;
+  const EvalOutcome out = server.EvalSync("ghost", "(x1) x1 = x1");
+  ASSERT_FALSE(out.status.ok());
+  EXPECT_EQ(out.status.code(), StatusCode::kNotFound);
+}
+
+TEST(ServeTest, OverBudgetAdmissionRejectedWhileRunningQueryCompletes) {
+  ServeOptions so;
+  so.admission.aggregate_mem_budget_bytes = std::size_t{64} << 20;
+  Server server(so);
+
+  SessionOptions big;
+  big.admission_reserve_bytes = std::size_t{48} << 20;
+  ASSERT_TRUE(server.Open("big", big, CycleDb(8)).ok());
+  SessionOptions small;
+  small.admission_reserve_bytes = std::size_t{48} << 20;
+  ASSERT_TRUE(server.Open("small", small, CycleDb(4)).ok());
+
+  // Pin the big session's query between admission (reserve held) and
+  // evaluation by holding its db lock exclusively: the rejection below is
+  // then guaranteed to land while the query is admitted and running.
+  auto session = server.sessions().Get("big");
+  ASSERT_TRUE(session.ok());
+  std::promise<EvalOutcome> done;
+  auto done_future = done.get_future();
+  {
+    std::unique_lock<std::shared_mutex> pin((*session)->db_mutex());
+    auto id = server.EvalAsync("big", kTcQuery, [&](const EvalOutcome& o) {
+      done.set_value(o);
+    });
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    ASSERT_TRUE(WaitFor(
+        [&] { return server.admission().stats().active_queries >= 1; }));
+
+    const EvalOutcome rejected = server.EvalSync("small", kTcQuery);
+    ASSERT_FALSE(rejected.status.ok());
+    EXPECT_EQ(rejected.status.code(), StatusCode::kResourceExhausted);
+  }
+
+  // With the lock released the admitted query runs to a clean completion,
+  // unaffected by the rejection next door.
+  const EvalOutcome out = done_future.get();
+  ASSERT_TRUE(out.status.ok()) << out.status.ToString();
+  EXPECT_FALSE(out.payload.empty());
+  server.Drain();
+  EXPECT_EQ(server.admission().stats().reserved_bytes, 0u);
+  EXPECT_EQ(server.admission().stats().rejected_total, 1u);
+}
+
+TEST(ServeTest, RemoteCancelMidFixpointReturnsCancelledWithPartialStats) {
+  Server server;
+  SessionOptions so;
+  so.num_vars = 2;
+  ASSERT_TRUE(server.Open("long", so, CounterDb(18)).ok());
+
+  std::promise<EvalOutcome> done;
+  auto done_future = done.get_future();
+  auto id = server.EvalAsync("long", kCounterQuery, [&](const EvalOutcome& o) {
+    done.set_value(o);
+  });
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+
+  // Let the fixpoint actually start churning before pulling the plug.
+  ASSERT_TRUE(WaitFor(
+      [&] { return server.admission().stats().active_queries >= 1; }));
+  std::this_thread::sleep_for(milliseconds(100));
+  ASSERT_TRUE(server.Cancel(*id, "test disconnect").ok());
+
+  const EvalOutcome out = done_future.get();
+  ASSERT_FALSE(out.status.ok());
+  EXPECT_EQ(out.status.code(), StatusCode::kCancelled);
+  // Partial stats: the evaluation did run and was stopped mid-flight, and
+  // the composite token unwound cleanly.
+  EXPECT_TRUE(out.resource.stopped);
+  EXPECT_GT(out.resource.checks, 0u);
+  EXPECT_EQ(out.resource.mem_current_bytes, 0u);
+
+  // Once complete the id is gone: a second cancel is NotFound.
+  server.Drain();
+  EXPECT_EQ(server.Cancel(*id).code(), StatusCode::kNotFound);
+  // The session-level account drained too.
+  auto session = server.sessions().Get("long");
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ((*session)->governor().stats().mem_current_bytes, 0u);
+  EXPECT_EQ((*session)->queries_failed.load(), 1u);
+}
+
+TEST(ServeTest, SessionDeadlineSurvivesZeroQueryOverlay) {
+  // Serving-layer regression for composite tokens: per-query limits of all
+  // zeros must not erase the session deadline (see ResourceGovernor).
+  Server server;
+  SessionOptions so;
+  so.num_vars = 2;
+  so.session_limits.deadline_ms = 1;
+  so.query_limits = ResourceGovernor::Limits{};  // explicit 0-overlay
+  ASSERT_TRUE(server.Open("dl", so, CounterDb(18)).ok());
+  std::this_thread::sleep_for(milliseconds(10));
+
+  const EvalOutcome out = server.EvalSync("dl", kCounterQuery);
+  ASSERT_FALSE(out.status.ok());
+  EXPECT_EQ(out.status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ServeTest, CloseCancelsInFlightQueriesOnDetachedSession) {
+  Server server;
+  ASSERT_TRUE(server.Open("s", SessionOptions{}, CycleDb(8)).ok());
+  auto session = server.sessions().Get("s");
+  ASSERT_TRUE(session.ok());
+
+  std::promise<EvalOutcome> done;
+  auto done_future = done.get_future();
+  {
+    std::unique_lock<std::shared_mutex> pin((*session)->db_mutex());
+    auto id = server.EvalAsync("s", kTcQuery, [&](const EvalOutcome& o) {
+      done.set_value(o);
+    });
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(WaitFor(
+        [&] { return server.admission().stats().active_queries >= 1; }));
+    // Close while the query is pinned: the name goes away immediately, the
+    // query finishes as Cancelled on the detached session object.
+    ASSERT_TRUE(server.Close("s").ok());
+    EXPECT_EQ(server.sessions().Get("s").status().code(),
+              StatusCode::kNotFound);
+  }
+  const EvalOutcome out = done_future.get();
+  ASSERT_FALSE(out.status.ok());
+  EXPECT_EQ(out.status.code(), StatusCode::kCancelled);
+  server.Drain();
+  EXPECT_EQ(server.admission().stats().reserved_bytes, 0u);
+}
+
+TEST(ServeTest, GovernorPoolRecyclesAcrossSequentialQueries) {
+  Server server;
+  ASSERT_TRUE(server.Open("s", SessionOptions{}, CycleDb(6)).ok());
+  for (int i = 0; i < 3; ++i) {
+    const EvalOutcome out = server.EvalSync("s", "(x1,x2) E(x1,x2)");
+    ASSERT_TRUE(out.status.ok()) << out.status.ToString();
+  }
+  auto session = server.sessions().Get("s");
+  ASSERT_TRUE(session.ok());
+  const Session::PoolStats stats = (*session)->pool_stats();
+  EXPECT_EQ(stats.created, 1u);
+  EXPECT_EQ(stats.reused, 2u);
+  EXPECT_EQ((*session)->queries_ok.load(), 3u);
+}
+
+// --- protocol surface ------------------------------------------------------------
+
+TEST(ServeProtocolTest, FullSessionConversation) {
+  Server server;
+  std::mutex mu;
+  std::vector<std::string> chunks;
+  auto emit = [&](const std::string& chunk) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.push_back(chunk);
+  };
+
+  server.HandleLine("# a comment line", emit);
+  server.HandleLine("", emit);
+  server.HandleLine("open s1 k=3 threads=2", emit);
+  server.HandleLine("domain s1 4", emit);
+  server.HandleLine("rel s1 E/2 0 1 ; 1 2 ; 2 3 ; 3 0 ;", emit);
+  server.HandleLine("eval 7 s1 (x1,x2) E(x1,x2)", emit);
+  server.Drain();
+  server.HandleLine("stats s1", emit);
+  server.HandleLine("close s1", emit);
+  server.HandleLine("bogus command", emit);
+  server.HandleLine("quit", emit);
+  EXPECT_TRUE(server.closed());
+
+  std::string all;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    for (const auto& chunk : chunks) all += chunk;
+  }
+  EXPECT_NE(all.find("ok open s1\n"), std::string::npos) << all;
+  EXPECT_NE(all.find("ok domain s1 4\n"), std::string::npos) << all;
+  EXPECT_NE(all.find("ok rel s1\n"), std::string::npos) << all;
+  EXPECT_NE(all.find("ok eval 7\n"), std::string::npos) << all;
+  EXPECT_NE(all.find("result 7 ok\n"), std::string::npos) << all;
+  EXPECT_NE(all.find("4 tuple(s), arity 2"), std::string::npos) << all;
+  EXPECT_NE(all.find("end 7\n"), std::string::npos) << all;
+  EXPECT_NE(all.find("stats session=s1 queries=1 ok=1 failed=0"),
+            std::string::npos)
+      << all;
+  EXPECT_NE(all.find("ok close s1\n"), std::string::npos) << all;
+  EXPECT_NE(all.find("err bogus command"), std::string::npos) << all;
+  EXPECT_NE(all.find("ok quit\n"), std::string::npos) << all;
+
+  // After the close, the aggregate stats report no sessions and no bytes.
+  std::vector<std::string> after;
+  server.HandleLine("stats", [&](const std::string& chunk) {
+    after.push_back(chunk);
+  });
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_NE(after[0].find("stats sessions=0"), std::string::npos) << after[0];
+  EXPECT_NE(after[0].find("reserved_bytes=0"), std::string::npos) << after[0];
+}
+
+TEST(ServeProtocolTest, StrictNumericParsingRejectsGarbage) {
+  Server server;
+  std::vector<std::string> chunks;
+  auto emit = [&](const std::string& chunk) { chunks.push_back(chunk); };
+  server.HandleLine("open s1 k=abc", emit);
+  server.HandleLine("open s2 k=", emit);
+  server.HandleLine("open s3 bogus", emit);
+  server.HandleLine("domain nowhere 4", emit);
+  server.HandleLine("eval xyz s1 (x1) x1 = x1", emit);
+  server.HandleLine("cancel 1x", emit);
+  for (const auto& chunk : chunks) {
+    EXPECT_EQ(chunk.rfind("err ", 0), 0u) << chunk;
+  }
+  EXPECT_EQ(chunks.size(), 6u);
+  EXPECT_EQ(server.sessions().size(), 0u);
+}
+
+}  // namespace
+}  // namespace bvq::serve

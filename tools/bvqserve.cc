@@ -1,0 +1,205 @@
+// bvqserve — the bvq serving layer over a newline-delimited request
+// protocol (see src/serve/server.h for the full grammar):
+//
+//   open <session> [k=N] [threads=N] [memo=0|1] [deadline-ms=N]
+//        [mem-budget-mb=N] [session-deadline-ms=N]
+//        [session-mem-budget-mb=N] [reserve-mb=N]
+//   domain <session> <n>
+//   rel <session> <name>/<arity> <v..> ; <v..> ;
+//   load <session> <path>
+//   eval <id> <session> <query>       (async; completion is a result block)
+//   cancel <id>
+//   close <session>
+//   stats [<session>]
+//   drain                  (block until every submitted eval completed)
+//   quit
+//
+// Modes:
+//   bvqserve [script]      read requests from stdin (or a script file),
+//                          responses on stdout; exits after quit/EOF once
+//                          every in-flight query has drained.
+//   bvqserve --port=N      listen on 127.0.0.1:N, one handler thread per
+//                          connection, all connections sharing one Server
+//                          (sessions, admission, executor). A client
+//                          disconnect cancels that connection's in-flight
+//                          queries (remote cancellation via CancelHandle).
+//
+// Admission flags: --aggregate-mb=N (aggregate memory budget handed out to
+// admitted queries), --max-concurrent=N, --queue-wait-ms=N (0 = reject
+// instead of queue), --queue-max=N, --lanes=N (executor threads).
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/strings.h"
+#include "serve/server.h"
+
+namespace {
+
+using namespace bvq;
+
+// Extracts the query id from an "eval <id> ..." request so a connection can
+// cancel its own in-flight work on disconnect.
+bool EvalRequestId(const std::string& line, std::size_t* id) {
+  std::istringstream is(line);
+  std::string cmd, tok;
+  if (!(is >> cmd) || cmd != "eval" || !(is >> tok)) return false;
+  return ParseSizeT(tok, id);
+}
+
+void ServeStream(serve::Server& server, std::istream& in,
+                 const serve::Server::Emit& emit) {
+  std::string line;
+  while (!server.closed() && std::getline(in, line)) {
+    server.HandleLine(line, emit);
+  }
+  server.Drain();
+}
+
+int ServeTcp(serve::Server& server, int port) {
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("bvqserve: socket");
+    return 1;
+  }
+  int reuse = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listener, 16) < 0) {
+    std::perror("bvqserve: bind/listen");
+    ::close(listener);
+    return 1;
+  }
+  std::fprintf(stderr, "bvqserve: listening on 127.0.0.1:%d\n", port);
+  std::vector<std::thread> handlers;
+  while (true) {
+    const int conn = ::accept(listener, nullptr, nullptr);
+    if (conn < 0) break;
+    handlers.emplace_back([&server, conn] {
+      auto write_all = [conn](const std::string& chunk) {
+        std::size_t off = 0;
+        while (off < chunk.size()) {
+          const ssize_t n =
+              ::send(conn, chunk.data() + off, chunk.size() - off, 0);
+          if (n <= 0) return;  // peer gone; its queries get cancelled below
+          off += static_cast<std::size_t>(n);
+        }
+      };
+      std::vector<std::size_t> my_evals;
+      std::string buffer, line;
+      char chunk[4096];
+      bool open = true;
+      while (open) {
+        const ssize_t n = ::recv(conn, chunk, sizeof(chunk), 0);
+        if (n <= 0) break;
+        buffer.append(chunk, static_cast<std::size_t>(n));
+        std::size_t nl;
+        while ((nl = buffer.find('\n')) != std::string::npos) {
+          line = buffer.substr(0, nl);
+          buffer.erase(0, nl + 1);
+          if (StripAsciiWhitespace(line) == "quit") {
+            write_all("ok quit\n");
+            open = false;
+            break;
+          }
+          std::size_t id = 0;
+          if (EvalRequestId(line, &id)) my_evals.push_back(id);
+          server.HandleLine(line, write_all);
+        }
+      }
+      // Client disconnect → Cancel() for whatever it left running. Completed
+      // queries come back NotFound, which is exactly what we want.
+      for (std::size_t id : my_evals) {
+        (void)server.Cancel(id, "client disconnected");
+      }
+      ::close(conn);
+    });
+  }
+  for (auto& handler : handlers) handler.join();
+  ::close(listener);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  serve::ServeOptions options;
+  int port = -1;
+  const char* script_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* name, std::size_t* out) {
+      const std::string prefix = std::string(name) + "=";
+      if (arg.rfind(prefix, 0) != 0) return false;
+      if (!ParseSizeT(std::string_view(arg).substr(prefix.size()), out)) {
+        std::fprintf(stderr, "bvqserve: bad number in %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return true;
+    };
+    std::size_t v = 0;
+    if (value_of("--port", &v)) {
+      port = static_cast<int>(v);
+    } else if (value_of("--aggregate-mb", &v)) {
+      options.admission.aggregate_mem_budget_bytes = v << 20;
+    } else if (value_of("--max-concurrent", &v)) {
+      options.admission.max_concurrent_queries = v;
+    } else if (value_of("--queue-wait-ms", &v)) {
+      options.admission.queue_wait_ms = v;
+    } else if (value_of("--queue-max", &v)) {
+      options.admission.max_queue_length = v;
+    } else if (value_of("--lanes", &v)) {
+      options.executor_threads = v;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: bvqserve [--port=N] [--aggregate-mb=N] "
+          "[--max-concurrent=N] [--queue-wait-ms=N] [--queue-max=N] "
+          "[--lanes=N] [script]\n");
+      return 0;
+    } else if (script_path == nullptr && arg.rfind("--", 0) != 0) {
+      script_path = argv[i];
+    } else {
+      std::fprintf(stderr, "bvqserve: unexpected argument %s\n",
+                   argv[i]);
+      return 2;
+    }
+  }
+
+  serve::Server server(options);
+  if (port >= 0) return ServeTcp(server, port);
+
+  std::mutex stdout_mutex;
+  auto emit = [&stdout_mutex](const std::string& chunk) {
+    std::lock_guard<std::mutex> lock(stdout_mutex);
+    std::fwrite(chunk.data(), 1, chunk.size(), stdout);
+    std::fflush(stdout);
+  };
+  if (script_path != nullptr) {
+    std::ifstream script(script_path);
+    if (!script) {
+      std::fprintf(stderr, "bvqserve: cannot open %s\n", script_path);
+      return 1;
+    }
+    ServeStream(server, script, emit);
+  } else {
+    ServeStream(server, std::cin, emit);
+  }
+  return 0;
+}

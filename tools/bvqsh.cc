@@ -15,6 +15,17 @@
 //   stats on|off                print memo/hoist counters after eval
 //   deadline <ms>               per-query wall-clock deadline (0 = none)
 //   membudget <mb>              per-query memory budget in MiB (0 = none)
+//   session limits <agg-mb> <max-conc> [wait-ms]   configure admission
+//   session open <name> [key=value..]  open a served session (snapshots the
+//                               current db, k, options; keys: k, threads,
+//                               deadline-ms, mem-budget-mb,
+//                               session-deadline-ms, session-mem-budget-mb,
+//                               reserve-mb)
+//   session eval <name> <query> evaluate through the serving layer
+//                               (admission + composite session token)
+//   session stats [<name>]      admission / per-session counters
+//   session close <name>        close a session
+//   session list                list open sessions
 //   eval <query>                evaluate with the bounded-variable engine
 //   naive <query>               evaluate with the classical engine (FO only)
 //   eso <sentence>              evaluate an ESO sentence via grounding+SAT
@@ -62,6 +73,7 @@
 #include "eval/naive_eval.h"
 #include "logic/analysis.h"
 #include "logic/parser.h"
+#include "serve/server.h"
 
 namespace {
 
@@ -76,7 +88,17 @@ struct ShellState {
   bool print_stats = false;  // extra memo/hoist counter line after eval
   bool had_error = false;    // any error seen; drives the exit code
   std::string pending_rel_lines;  // accumulated "rel" lines for ParseDatabase
+  // Serving layer behind the `session` commands; created on first use so a
+  // shell that never touches sessions spawns no executor threads.
+  std::unique_ptr<serve::Server> server;
 };
+
+serve::Server& ServerRef(ShellState& state) {
+  if (state.server == nullptr) {
+    state.server = std::make_unique<serve::Server>();
+  }
+  return *state.server;
+}
 
 // Central error sink: every failure goes to stderr with its context (the
 // query or file that failed) and marks the session failed so main() exits
@@ -93,10 +115,22 @@ void Fail(ShellState& state, const std::string& context,
   Fail(state, context, status.ToString());
 }
 
+// Strict numeric shell argument (same from_chars rules as database.cc):
+// the whole token must parse, so `domain foo`, `k 1x`, and a missing
+// argument are reported via Fail instead of silently becoming 0.
+bool ParseNumArg(ShellState& state, const std::string& cmd,
+                 const std::string& rest, std::size_t* out) {
+  const std::string tok(StripAsciiWhitespace(rest));
+  if (ParseSizeT(tok, out)) return true;
+  Fail(state, tok.empty() ? cmd : cmd + " " + tok,
+       tok.empty() ? "missing numeric argument"
+                   : "expected a whole non-negative number, got '" + tok + "'");
+  return false;
+}
+
 // One bracketed line so output filters that drop "  [" timing lines (the
 // determinism smokes in tools/check.sh) treat it like the timing counters.
-void PrintResourceStats(const ResourceGovernor& governor) {
-  const ResourceStats rs = governor.stats();
+void PrintResourceStats(const ResourceStats& rs) {
   std::printf(
       "  [resource: %0.2f ms elapsed (deadline %llu ms), "
       "%zu B peak / %zu B predicted / %zu B budget, "
@@ -109,16 +143,11 @@ void PrintResourceStats(const ResourceGovernor& governor) {
       rs.stopped ? StatusCodeName(rs.stop_code) : "");
 }
 
+// Shared with the serving layer, so a served payload and a direct printout
+// are byte-identical by construction.
 void PrintRelation(const Relation& rel, std::size_t limit = 20) {
-  std::printf("  %zu tuple(s), arity %zu\n", rel.size(), rel.arity());
-  for (std::size_t i = 0; i < rel.size() && i < limit; ++i) {
-    std::printf("    (");
-    for (std::size_t j = 0; j < rel.arity(); ++j) {
-      std::printf("%s%u", j ? "," : "", rel.tuple(i)[j]);
-    }
-    std::printf(")\n");
-  }
-  if (rel.size() > limit) std::printf("    ... (%zu more)\n", rel.size() - limit);
+  const std::string text = serve::FormatRelation(rel, limit);
+  std::fwrite(text.data(), 1, text.size(), stdout);
 }
 
 void PrintAssignmentSet(const AssignmentSet& set, std::size_t limit = 20) {
@@ -161,8 +190,9 @@ void Help() {
       "commands: help | domain <n> | rel <name>/<arity> t.. ; | load <f> | "
       "show | k <n> |\n          strategy naive|reuse | pfp hash|floyd | "
       "threads <n> | memo on|off |\n          esoinc on|off | stats on|off | "
-      "deadline <ms> | membudget <mb> |\n          eval <q> | naive <q> | "
-      "eso <q> | esoall <q> | datalog <f> | quit\n");
+      "deadline <ms> | membudget <mb> |\n          session "
+      "limits|open|eval|stats|close|list ... |\n          eval <q> | "
+      "naive <q> | eso <q> | esoall <q> | datalog <f> | quit\n");
 }
 
 bool HandleLine(ShellState& state, const std::string& line) {
@@ -184,9 +214,16 @@ bool HandleLine(ShellState& state, const std::string& line) {
   }
   if (cmd == "domain") {
     std::size_t n = 0;
-    std::istringstream(rest) >> n;
+    if (!ParseNumArg(state, cmd, rest, &n)) return true;
     state.db = Database(n);
-    std::printf("new database over {0..%zu}\n", n == 0 ? 0 : n - 1);
+    // An empty domain is legal: every relation is empty, every query
+    // answer is the empty relation (and a 0-ary query still has its single
+    // empty assignment). Print it honestly instead of the old {0..0} lie.
+    if (n == 0) {
+      std::printf("new database over {} (empty domain)\n");
+    } else {
+      std::printf("new database over {0..%zu}\n", n - 1);
+    }
     return true;
   }
   if (cmd == "rel") {
@@ -233,7 +270,9 @@ bool HandleLine(ShellState& state, const std::string& line) {
     return true;
   }
   if (cmd == "k") {
-    std::istringstream(rest) >> state.num_vars;
+    std::size_t n = 0;
+    if (!ParseNumArg(state, cmd, rest, &n)) return true;
+    state.num_vars = n;
     std::printf("k = %zu\n", state.num_vars);
     return true;
   }
@@ -259,7 +298,7 @@ bool HandleLine(ShellState& state, const std::string& line) {
   }
   if (cmd == "threads") {
     std::size_t n = 0;
-    std::istringstream(rest) >> n;
+    if (!ParseNumArg(state, cmd, rest, &n)) return true;
     state.options.num_threads = n;
     state.eso_options.num_threads = n;  // scratch ESO sweep only
     std::printf("threads = %zu%s\n", n,
@@ -283,8 +322,8 @@ bool HandleLine(ShellState& state, const std::string& line) {
     return true;
   }
   if (cmd == "deadline") {
-    std::uint64_t v = 0;
-    std::istringstream(rest) >> v;
+    std::size_t v = 0;
+    if (!ParseNumArg(state, cmd, rest, &v)) return true;
     state.limits.deadline_ms = v;
     std::printf("deadline = %llu ms%s\n", static_cast<unsigned long long>(v),
                 v == 0 ? " (none)" : "");
@@ -292,9 +331,146 @@ bool HandleLine(ShellState& state, const std::string& line) {
   }
   if (cmd == "membudget") {
     std::size_t mb = 0;
-    std::istringstream(rest) >> mb;
+    if (!ParseNumArg(state, cmd, rest, &mb)) return true;
     state.limits.mem_budget_bytes = mb * (std::size_t{1} << 20);
     std::printf("membudget = %zu MiB%s\n", mb, mb == 0 ? " (none)" : "");
+    return true;
+  }
+  if (cmd == "session") {
+    std::istringstream ss(rest);
+    std::string sub;
+    if (!(ss >> sub)) {
+      Fail(state, "session", "expected: limits|open|eval|stats|close|list");
+      return true;
+    }
+    if (sub == "limits") {
+      std::string agg_tok, conc_tok, wait_tok;
+      std::size_t agg_mb = 0, max_conc = 0, wait_ms = 0;
+      ss >> agg_tok >> conc_tok;
+      if (!ParseSizeT(agg_tok, &agg_mb) || !ParseSizeT(conc_tok, &max_conc) ||
+          (ss >> wait_tok && !ParseSizeT(wait_tok, &wait_ms))) {
+        Fail(state, "session " + std::string(TrimLeft(rest)),
+             "expected <aggregate-mb> <max-concurrent> [queue-wait-ms]");
+        return true;
+      }
+      serve::AdmissionOptions admission;
+      admission.aggregate_mem_budget_bytes = agg_mb << 20;
+      admission.max_concurrent_queries = max_conc;
+      admission.queue_wait_ms = wait_ms;
+      ServerRef(state).admission().Configure(admission);
+      std::printf(
+          "admission: aggregate %zu MiB, %zu concurrent, %zu ms queue wait\n",
+          agg_mb, max_conc, wait_ms);
+      return true;
+    }
+    if (sub == "open") {
+      std::string name;
+      if (!(ss >> name)) {
+        Fail(state, "session open", "missing session name");
+        return true;
+      }
+      // The session snapshots the shell's current database, k, evaluator
+      // options, and per-query limits; key=value arguments override.
+      serve::SessionOptions so;
+      so.num_vars = state.num_vars;
+      so.eval = state.options;
+      so.eval.governor = nullptr;
+      so.query_limits = state.limits;
+      std::string kv;
+      while (ss >> kv) {
+        const auto eq = kv.find('=');
+        std::size_t value = 0;
+        if (eq == std::string::npos ||
+            !ParseSizeT(std::string_view(kv).substr(eq + 1), &value)) {
+          Fail(state, "session open " + name,
+               "expected key=<number>, got '" + kv + "'");
+          return true;
+        }
+        const std::string key = kv.substr(0, eq);
+        if (key == "k") {
+          so.num_vars = value;
+        } else if (key == "threads") {
+          so.eval.num_threads = value;
+        } else if (key == "deadline-ms") {
+          so.query_limits.deadline_ms = value;
+        } else if (key == "mem-budget-mb") {
+          so.query_limits.mem_budget_bytes = value << 20;
+        } else if (key == "session-deadline-ms") {
+          so.session_limits.deadline_ms = value;
+        } else if (key == "session-mem-budget-mb") {
+          so.session_limits.mem_budget_bytes = value << 20;
+        } else if (key == "reserve-mb") {
+          so.admission_reserve_bytes = value << 20;
+        } else {
+          Fail(state, "session open " + name, "unknown option '" + kv + "'");
+          return true;
+        }
+      }
+      Status s = ServerRef(state).Open(name, so, state.db);
+      if (!s.ok()) {
+        Fail(state, "session open " + name, s);
+        return true;
+      }
+      std::printf("session %s open (k=%zu, domain %zu, %zu relations)\n",
+                  name.c_str(), so.num_vars, state.db.domain_size(),
+                  state.db.relations().size());
+      return true;
+    }
+    if (sub == "eval") {
+      std::string name;
+      if (!(ss >> name)) {
+        Fail(state, "session eval", "expected <session> <query>");
+        return true;
+      }
+      std::string query;
+      std::getline(ss, query);
+      const auto outcome = ServerRef(state).EvalSync(name, query);
+      if (outcome.status.ok()) {
+        std::fwrite(outcome.payload.data(), 1, outcome.payload.size(),
+                    stdout);
+        std::printf("  [%0.2f ms eval, %0.2f ms queued; session %s]\n",
+                    outcome.eval_ms, outcome.queue_wait_ms, name.c_str());
+      }
+      if (state.print_stats) PrintResourceStats(outcome.resource);
+      if (!outcome.status.ok()) {
+        Fail(state, "session eval " + name + query, outcome.status);
+      }
+      return true;
+    }
+    if (sub == "stats") {
+      std::string name;
+      ss >> name;  // optional
+      auto stats = ServerRef(state).StatsLine(name);
+      if (!stats.ok()) {
+        Fail(state, "session stats " + name, stats.status());
+        return true;
+      }
+      std::printf("%s\n", stats->c_str());
+      return true;
+    }
+    if (sub == "close") {
+      std::string name;
+      if (!(ss >> name)) {
+        Fail(state, "session close", "missing session name");
+        return true;
+      }
+      Status s = ServerRef(state).Close(name);
+      if (!s.ok()) {
+        Fail(state, "session close " + name, s);
+        return true;
+      }
+      std::printf("session %s closed\n", name.c_str());
+      return true;
+    }
+    if (sub == "list") {
+      const auto names = ServerRef(state).sessions().Names();
+      std::printf("%zu session(s)%s%s\n", names.size(),
+                  names.empty() ? "" : ": ",
+                  StrJoin(names, ", ").c_str());
+      return true;
+    }
+    Fail(state, "session " + sub,
+         "unknown subcommand (limits|open|eval|stats|close|list)");
     return true;
   }
   if (cmd == "eval" || cmd == "naive" || cmd == "eso" || cmd == "esoall") {
@@ -346,7 +522,7 @@ bool HandleLine(ShellState& state, const std::string& line) {
             eval.stats().iterate_copies_avoided);
       }
       if (gov != nullptr && (state.print_stats || !result.ok())) {
-        PrintResourceStats(governor);
+        PrintResourceStats(governor.stats());
       }
       if (!result.ok()) Fail(state, cmd + " " + rest, result.status());
     } else if (cmd == "naive") {
@@ -367,7 +543,7 @@ bool HandleLine(ShellState& state, const std::string& line) {
                   ms(start, stop), eval.stats().max_intermediate_arity,
                   eval.stats().max_intermediate_tuples);
       if (gov != nullptr && (state.print_stats || !result.ok())) {
-        PrintResourceStats(governor);
+        PrintResourceStats(governor.stats());
       }
       if (!result.ok()) Fail(state, cmd + " " + rest, result.status());
     } else if (cmd == "eso") {
@@ -390,7 +566,7 @@ bool HandleLine(ShellState& state, const std::string& line) {
                       eval.stats().solver.conflicts));
       if (state.print_stats) PrintSolverStats(eval.stats());
       if (gov != nullptr && (state.print_stats || !result.ok())) {
-        PrintResourceStats(governor);
+        PrintResourceStats(governor.stats());
       }
       if (!result.ok()) {
         Fail(state, cmd + " " + rest, result.status());
@@ -417,7 +593,7 @@ bool HandleLine(ShellState& state, const std::string& line) {
           static_cast<unsigned long long>(eval.stats().solver.conflicts));
       if (state.print_stats) PrintSolverStats(eval.stats());
       if (gov != nullptr && (state.print_stats || !result.ok())) {
-        PrintResourceStats(governor);
+        PrintResourceStats(governor.stats());
       }
       if (!result.ok()) Fail(state, cmd + " " + rest, result.status());
     }

@@ -16,6 +16,11 @@
 # under --deadline-ms=10 (nonzero exit, error on stderr, seconds not
 # minutes of wall time), and a governed run under a generous memory budget
 # must print byte-identical answers to the ungoverned run.
+#
+# Every tier also runs the serving-layer smoke (see serve_smoke below):
+# 8 concurrent bvqserve sessions, one over-budget admission rejection, one
+# remote cancellation, and a shutdown that must leak neither sessions nor
+# reserved admission bytes.
 
 set -euo pipefail
 
@@ -74,6 +79,71 @@ resource_smoke() {
   rm -rf "$tmp"
 }
 
+# Serving-layer smoke: 8 concurrent sessions evaluate through one bvqserve
+# under an aggregate budget, one session's reserve exceeds the whole budget
+# (must come back ResourceExhausted while the others complete), one long PFP
+# counter is cancelled remotely (must come back Cancelled), and after the
+# drain + closes the final stats line must report zero sessions and zero
+# reserved bytes — no leaked sessions, no leaked admission budget.
+serve_smoke() {
+  local bvqserve="$1/tools/bvqserve" tmp rc=0 s i j
+  tmp=$(mktemp -d)
+  echo "== serving layer smoke ($bvqserve) =="
+  { printf 'domain 10\nrel E/2'
+    for ((i = 0; i < 10; i++)); do printf ' %d %d ;' "$i" "$(((i + 1) % 10))"; done
+    printf '\n'; } > "$tmp/cycle.bvq"
+  { printf 'domain 18\nrel Lt/2'
+    for ((i = 0; i < 18; i++)); do
+      for ((j = i + 1; j < 18; j++)); do printf ' %d %d ;' "$i" "$j"; done
+    done
+    printf '\n'; } > "$tmp/order.bvq"
+  {
+    for ((s = 0; s < 8; s++)); do
+      printf 'open s%d k=3 reserve-mb=16\n' "$s"
+      printf 'load s%d %s/cycle.bvq\n' "$s" "$tmp"
+    done
+    printf 'open big k=3 reserve-mb=512\n'
+    printf 'open slow k=2 reserve-mb=16\n'
+    printf 'load slow %s/order.bvq\n' "$tmp"
+    for ((s = 0; s < 8; s++)); do
+      printf 'eval %d s%d (x1,x2) [lfp T(x1,x2) . E(x1,x2) | exists x3 . (E(x1,x3) & exists x1 . (x1 = x3 & T(x1,x2)))](x1,x2)\n' \
+          "$((s + 1))" "$s"
+    done
+    printf 'eval 100 big (x1,x2) E(x1,x2)\n'
+    printf 'eval 200 slow (x1) [pfp X(x1) . !(X(x1) <-> forall x2 . (Lt(x2,x1) -> X(x2)))](x1)\n'
+    printf 'cancel 200\n'
+    printf 'drain\n'
+    for ((s = 0; s < 8; s++)); do printf 'close s%d\n' "$s"; done
+    printf 'close big\nclose slow\nstats\nquit\n'
+  } > "$tmp/script.bvqserve"
+  "$bvqserve" --aggregate-mb=256 --max-concurrent=16 "$tmp/script.bvqserve" \
+      > "$tmp/out" 2>&1 || rc=$?
+  if [[ $rc -ne 0 ]]; then
+    echo "serve smoke: bvqserve exited with $rc" >&2
+    cat "$tmp/out" >&2; exit 1
+  fi
+  for ((s = 1; s <= 8; s++)); do
+    if ! grep -q "^result $s ok$" "$tmp/out"; then
+      echo "serve smoke: session eval $s did not complete ok" >&2
+      cat "$tmp/out" >&2; exit 1
+    fi
+  done
+  if ! grep -q "^result 100 error ResourceExhausted$" "$tmp/out"; then
+    echo "serve smoke: over-budget reserve was not rejected" >&2
+    cat "$tmp/out" >&2; exit 1
+  fi
+  if ! grep -q "^result 200 error Cancelled$" "$tmp/out"; then
+    echo "serve smoke: remote cancel did not come back Cancelled" >&2
+    cat "$tmp/out" >&2; exit 1
+  fi
+  if ! grep -q "^stats sessions=0 active=0 queue=0 reserved_bytes=0 " "$tmp/out"; then
+    echo "serve smoke: shutdown leaked sessions or admission budget" >&2
+    cat "$tmp/out" >&2; exit 1
+  fi
+  echo "   8 concurrent sessions ok, over-budget rejected, remote cancel clean"
+  rm -rf "$tmp"
+}
+
 run_plain=1
 run_tsan=1
 run_asan=1
@@ -98,6 +168,7 @@ if [[ $run_plain -eq 1 ]]; then
   "$ROOT/build/bench/bench_eso_incremental" --n=8 --reps=1 \
       --out="$ROOT/build/BENCH_eso_smoke.json"
   resource_smoke "$ROOT/build"
+  serve_smoke "$ROOT/build"
 fi
 
 if [[ $run_tsan -eq 1 ]]; then
@@ -106,6 +177,7 @@ if [[ $run_tsan -eq 1 ]]; then
   cmake --build "$ROOT/build-tsan" -j"$(nproc)"
   (cd "$ROOT/build-tsan" && BVQ_THREADS=4 ctest --output-on-failure -j"$(nproc)")
   BVQ_THREADS=4 resource_smoke "$ROOT/build-tsan"
+  BVQ_THREADS=4 serve_smoke "$ROOT/build-tsan"
 fi
 
 if [[ $run_asan -eq 1 ]]; then
@@ -117,6 +189,7 @@ if [[ $run_asan -eq 1 ]]; then
   "$ROOT/build-asan/bench/bench_eso_incremental" --n=8 --reps=1 \
       --out="$ROOT/build-asan/BENCH_eso_smoke.json"
   resource_smoke "$ROOT/build-asan"
+  serve_smoke "$ROOT/build-asan"
 fi
 
 echo "check.sh: all requested passes green"
