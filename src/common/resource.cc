@@ -91,16 +91,16 @@ Status ResourceGovernor::Charge(std::size_t bytes) {
     Trip(StatusCode::kResourceExhausted,
          StrCat("memory budget exceeded: ", now, " bytes live > ",
                 limits_.mem_budget_bytes, " byte budget"));
-    return status();
   }
   if (parent_ != nullptr) {
-    // The parent's charge sticks even on error (its Release is forwarded the
-    // same way), so the composite account stays balanced on the error path.
+    // The parent is charged even when this governor's own budget tripped
+    // above: Release() forwards unconditionally, so skipping the parent
+    // here would let the caller's scoped release drain bytes the parent
+    // never received and underflow its account. The charge sticks in both
+    // accounts on every error path; first-trip-wins keeps the local
+    // diagnosis when both budgets blow on the same call.
     Status ps = parent_->Charge(bytes);
-    if (!ps.ok()) {
-      Trip(ps.code(), ps.message());
-      return status();
-    }
+    if (!ps.ok()) Trip(ps.code(), ps.message());
   }
   if (stop_.load(std::memory_order_acquire)) return status();
   return Status::OK();
@@ -120,14 +120,13 @@ Status ResourceGovernor::NoteTransient(std::size_t bytes) {
          StrCat("memory budget exceeded: ", now,
                 " bytes (incl. transient) > ", limits_.mem_budget_bytes,
                 " byte budget"));
-    return status();
   }
+  // Nothing is retained here, so no release asymmetry is possible, but the
+  // parent still observes the transient (peak tracking) even on a local
+  // trip, mirroring Charge().
   if (parent_ != nullptr) {
     Status ps = parent_->NoteTransient(bytes);
-    if (!ps.ok()) {
-      Trip(ps.code(), ps.message());
-      return status();
-    }
+    if (!ps.ok()) Trip(ps.code(), ps.message());
   }
   if (stop_.load(std::memory_order_acquire)) return status();
   return Status::OK();

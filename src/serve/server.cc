@@ -243,19 +243,32 @@ void Server::FinishEval(std::uint64_t id,
                         EvalOutcome outcome,
                         const std::function<void(const EvalOutcome&)>& done) {
   std::shared_ptr<ResourceGovernor> governor;
+  std::shared_ptr<CancelState> cancel;
   {
     std::lock_guard<std::mutex> lock(registry_mutex_);
     auto it = in_flight_.find(id);
     if (it != in_flight_.end()) {
       governor = std::move(it->second.governor);
+      cancel = std::move(it->second.cancel);
       in_flight_.erase(it);
     }
   }
+  // Unbind the governor from the cancellation slot *before* deciding to
+  // pool it: stale CancelHandles (Server::Handle copies, a canceller losing
+  // the race with completion) keep the slot alive, and a weak_ptr that
+  // still pointed at a pooled token would let a late Cancel() trip an
+  // unrelated later query. Clearing it under the slot's mutex makes
+  // "no-op after completion" actually hold.
+  if (cancel != nullptr) {
+    std::lock_guard<std::mutex> lock(cancel->mutex);
+    cancel->governor.reset();
+  }
   if (governor != nullptr) {
-    // Pool the token only when we are its last owner: a canceller that
-    // copied it from the registry before the erase may still be calling
-    // Cancel() on it, and a cancelled-then-reused token would trip the
-    // next query spuriously. Dropping it instead is always safe.
+    // With the weak binding cleared, no *new* strong references can appear;
+    // use_count()==1 therefore proves no canceller locked the token before
+    // the unbind, so pooling is race-free. Otherwise a straggler still
+    // holds it mid-Cancel(): drop our reference and let the token die with
+    // the straggler's — it is never reused, so the cancel lands nowhere.
     if (governor.use_count() == 1) {
       session->ReleaseGovernor(std::move(governor));
     } else {
@@ -310,7 +323,7 @@ void Server::HandleLine(const std::string& line, const Emit& emit) {
   };
 
   if (cmd == "quit") {
-    closed_ = true;
+    closed_.store(true, std::memory_order_release);
     ok("quit");
     return;
   }

@@ -1,6 +1,7 @@
 #ifndef BVQ_SERVE_SERVER_H_
 #define BVQ_SERVE_SERVER_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -138,7 +139,9 @@ class Server {
   /// completion blocks) are passed to `emit`, each call one atomic chunk.
   /// Blank lines and `#` comments are ignored. `quit` sets closed().
   void HandleLine(const std::string& line, const Emit& emit);
-  bool closed() const { return closed_; }
+  /// True once a `quit` was handled. Atomic: a serving loop may poll it
+  /// from a different thread than the one feeding HandleLine.
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
 
  private:
   struct InFlight {
@@ -175,7 +178,7 @@ class Server {
   std::vector<std::thread> workers_;
 
   std::mutex emit_mutex_;
-  bool closed_ = false;
+  std::atomic<bool> closed_{false};
 };
 
 }  // namespace bvq::serve

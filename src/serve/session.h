@@ -60,8 +60,9 @@ struct CancelState {
 /// invoke from any thread at any point in the query's life: before
 /// admission it aborts the queue wait, after admission it trips the
 /// query's composite token (Cancel → sticky Cancelled), and after
-/// completion it is a harmless no-op (the pooled governor is only
-/// reachable through the weak pointer while the query still owns it).
+/// completion it is a harmless no-op — the completion path unbinds the
+/// governor from the slot (under `mutex`) before pooling it, so a stale
+/// handle can never reach a token that has been reset and reused.
 class CancelHandle {
  public:
   CancelHandle() = default;

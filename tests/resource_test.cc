@@ -159,6 +159,43 @@ TEST(CompositeGovernorTest, ChargesForwardIntoParentAccount) {
   EXPECT_EQ(over.code(), StatusCode::kResourceExhausted);
 }
 
+TEST(CompositeGovernorTest, ChildBudgetTripKeepsParentAccountBalanced) {
+  // Regression: Charge() used to return early when the *child's* own budget
+  // tripped, skipping the parent charge — while Release() always forwarded.
+  // The caller's scoped unwind then released bytes the session governor was
+  // never charged, wrapping its live-byte account to ~2^64 and poisoning
+  // every later query of that session with ResourceExhausted.
+  ResourceGovernor::Limits session_limits;
+  session_limits.mem_budget_bytes = std::size_t{1} << 20;
+  ResourceGovernor session(session_limits);
+
+  ResourceGovernor::Limits query_limits;
+  query_limits.mem_budget_bytes = 512;
+  ResourceGovernor query(query_limits);
+  query.set_parent(&session);
+
+  // Trip the child budget; the charge must stick in BOTH accounts.
+  const Status over = query.Charge(1024);
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(query.stats().mem_current_bytes, 1024u);
+  EXPECT_EQ(session.stats().mem_current_bytes, 1024u);
+  EXPECT_FALSE(session.stopped());  // only the per-query budget blew
+
+  // The unwind drains both accounts to exactly zero — no underflow.
+  query.Release(1024);
+  EXPECT_EQ(query.stats().mem_current_bytes, 0u);
+  EXPECT_EQ(session.stats().mem_current_bytes, 0u);
+
+  // The session is not poisoned: the next pooled query charges and
+  // releases cleanly under the session budget.
+  query.Reset(query_limits);
+  EXPECT_TRUE(query.Charge(256).ok());
+  EXPECT_TRUE(session.Check().ok());
+  query.Release(256);
+  EXPECT_EQ(session.stats().mem_current_bytes, 0u);
+}
+
 TEST(ResourceGovernorTest, ScopedChargeReleasesOnDestruction) {
   ResourceGovernor gov;
   {

@@ -439,6 +439,81 @@ TEST(ServeTest, GovernorPoolRecyclesAcrossSequentialQueries) {
   EXPECT_EQ((*session)->queries_ok.load(), 3u);
 }
 
+TEST(ServeTest, PerQueryBudgetTripLeavesSessionAccountClean) {
+  // Regression: a per-query budget trip used to skip the forward of the
+  // tripping charge into the session governor while the unwind still
+  // released it there, underflowing the session's live-byte account to
+  // ~2^64 and permanently failing every later query of that session.
+  Server server;
+  SessionOptions so;
+  so.session_limits.mem_budget_bytes = std::size_t{256} << 20;
+  so.query_limits.mem_budget_bytes = 16;  // far below one n^3 cube
+  ASSERT_TRUE(server.Open("tight", so, CycleDb(12)).ok());
+
+  const EvalOutcome out = server.EvalSync("tight", kTcQuery);
+  ASSERT_FALSE(out.status.ok());
+  EXPECT_EQ(out.status.code(), StatusCode::kResourceExhausted);
+
+  auto session = server.sessions().Get("tight");
+  ASSERT_TRUE(session.ok());
+  // Exactly zero — not wrapped — and the session token itself never tripped.
+  EXPECT_EQ((*session)->governor().stats().mem_current_bytes, 0u);
+  EXPECT_FALSE((*session)->governor().stopped());
+  EXPECT_TRUE((*session)->governor().Check().ok());
+}
+
+TEST(ServeTest, StaleCancelHandleCannotCancelReusedPooledToken) {
+  // Regression: completion used to pool the per-query governor while the
+  // CancelState's weak_ptr still pointed at it, so a CancelHandle held past
+  // completion could trip the token after it had been Reset and re-acquired
+  // by a later query, cancelling that unrelated query spuriously.
+  Server server;
+  ASSERT_TRUE(server.Open("s", SessionOptions{}, CycleDb(6)).ok());
+  auto session = server.sessions().Get("s");
+  ASSERT_TRUE(session.ok());
+
+  CancelHandle stale;
+  std::promise<EvalOutcome> done1;
+  auto first = done1.get_future();
+  {
+    std::unique_lock<std::shared_mutex> pin((*session)->db_mutex());
+    auto id = server.EvalAsync("s", "(x1,x2) E(x1,x2)",
+                               [&](const EvalOutcome& o) {
+                                 done1.set_value(o);
+                               });
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    // Wait for the query to acquire + bind its governor, then grab the
+    // cancellation capability and hold it past completion.
+    ASSERT_TRUE(WaitFor(
+        [&] { return (*session)->pool_stats().created >= 1; }));
+    auto handle = server.Handle(*id);
+    ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+    stale = *handle;
+  }
+  ASSERT_TRUE(first.get().status.ok());
+  server.Drain();  // the token is back in the pool now
+
+  // Run a second query on the same session: it reuses the pooled token.
+  // Fire the stale handle while that query is pinned mid-flight — it must
+  // be a valid-but-harmless no-op, not a cancellation of query 2.
+  std::promise<EvalOutcome> done2;
+  auto second = done2.get_future();
+  {
+    std::unique_lock<std::shared_mutex> pin((*session)->db_mutex());
+    auto id = server.EvalAsync("s", "(x1,x2) E(x1,x2)",
+                               [&](const EvalOutcome& o) {
+                                 done2.set_value(o);
+                               });
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(WaitFor(
+        [&] { return (*session)->pool_stats().reused >= 1; }));
+    EXPECT_TRUE(stale.Cancel("far too late"));
+  }
+  const EvalOutcome out = second.get();
+  ASSERT_TRUE(out.status.ok()) << out.status.ToString();
+  EXPECT_EQ((*session)->queries_ok.load(), 2u);
+}
+
 // --- protocol surface ------------------------------------------------------------
 
 TEST(ServeProtocolTest, FullSessionConversation) {

@@ -33,6 +33,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -93,11 +94,27 @@ int ServeTcp(serve::Server& server, int port) {
     const int conn = ::accept(listener, nullptr, nullptr);
     if (conn < 0) break;
     handlers.emplace_back([&server, conn] {
-      auto write_all = [conn](const std::string& chunk) {
+      // The write side outlives the handler: eval done-callbacks capture it
+      // and may fire after disconnect (cancellation is asynchronous, so a
+      // cancelled query can still complete later). Every send is guarded by
+      // the shared mutex + `open` flag; the handler flips `open` under the
+      // mutex before ::close(conn), so a late completion block is a no-op —
+      // it can neither write to a closed descriptor nor leak into an
+      // unrelated connection that recycled the fd number.
+      struct ConnState {
+        std::mutex mutex;
+        int fd;
+        bool open = true;
+      };
+      auto state = std::make_shared<ConnState>();
+      state->fd = conn;
+      auto write_all = [state](const std::string& chunk) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        if (!state->open) return;  // client gone; drop the chunk
         std::size_t off = 0;
         while (off < chunk.size()) {
-          const ssize_t n =
-              ::send(conn, chunk.data() + off, chunk.size() - off, 0);
+          const ssize_t n = ::send(state->fd, chunk.data() + off,
+                                   chunk.size() - off, MSG_NOSIGNAL);
           if (n <= 0) return;  // peer gone; its queries get cancelled below
           off += static_cast<std::size_t>(n);
         }
@@ -128,6 +145,12 @@ int ServeTcp(serve::Server& server, int port) {
       // queries come back NotFound, which is exactly what we want.
       for (std::size_t id : my_evals) {
         (void)server.Cancel(id, "client disconnected");
+      }
+      // Close the write side before the fd: once `open` drops under the
+      // mutex, no in-progress send holds the fd and no future one starts.
+      {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->open = false;
       }
       ::close(conn);
     });
