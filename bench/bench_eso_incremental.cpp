@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/resource.h"
+#include "common/strings.h"
 #include "db/database.h"
 #include "db/generators.h"
 #include "eval/eso_eval.h"
@@ -117,19 +118,25 @@ int main(int argc, char** argv) {
   std::string out_path = "BENCH_eso.json";
   ResourceGovernor::Limits limits;
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--n=", 4) == 0) {
-      n = std::strtoull(argv[i] + 4, nullptr, 10);
-    } else if (std::strncmp(argv[i], "--reps=", 7) == 0) {
-      reps = std::strtoull(argv[i] + 7, nullptr, 10);
-    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
-      out_path = argv[i] + 6;
-    } else if (std::strncmp(argv[i], "--deadline-ms=", 14) == 0) {
-      limits.deadline_ms = std::strtoull(argv[i] + 14, nullptr, 10);
-    } else if (std::strncmp(argv[i], "--mem-budget-mb=", 16) == 0) {
-      limits.mem_budget_bytes =
-          static_cast<std::size_t>(std::strtoull(argv[i] + 16, nullptr, 10))
-          << 20;
+    const std::string arg = argv[i];
+    std::size_t v = 0;
+    bool ok = true;
+    if (arg.rfind("--n=", 0) == 0) {
+      ok = ParseSizeT(arg.substr(4), &n);
+    } else if (arg.rfind("--reps=", 0) == 0) {
+      ok = ParseSizeT(arg.substr(7), &reps);
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      ok = ParseSizeT(arg.substr(14), &v);
+      limits.deadline_ms = v;
+    } else if (arg.rfind("--mem-budget-mb=", 0) == 0) {
+      ok = ParseSizeT(arg.substr(16), &v);
+      limits.mem_budget_bytes = v << 20;
     } else {
+      ok = false;
+    }
+    if (!ok) {
       std::fprintf(stderr,
                    "usage: bench_eso_incremental [--n=N] [--reps=R] "
                    "[--out=PATH] [--deadline-ms=N] [--mem-budget-mb=N]\n");
@@ -142,9 +149,13 @@ int main(int argc, char** argv) {
                                                               : nullptr;
 
   std::string json = "{\n  \"bench\": \"eso_incremental\",\n";
-  json += "  \"domain_size\": " + std::to_string(n) + ",\n";
-  json += "  \"k\": " + std::to_string(kNumVars) + ",\n";
-  json += "  \"reps\": " + std::to_string(reps) + ",\n";
+  json += "  \"config\": {\n";
+  json += "    \"domain_size\": " + std::to_string(n) + ",\n";
+  json += "    \"k\": " + std::to_string(kNumVars) + ",\n";
+  json += "    \"reps\": " + std::to_string(reps) + ",\n";
+  json += "    \"deadline_ms\": " + std::to_string(limits.deadline_ms) + ",\n";
+  json += "    \"mem_budget_bytes\": " +
+          std::to_string(limits.mem_budget_bytes) + "\n  },\n";
   json += "  \"workloads\": [\n";
 
   bool all_identical = true;

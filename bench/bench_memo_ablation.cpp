@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "common/strings.h"
 #include "db/database.h"
 #include "db/generators.h"
 #include "eval/bounded_eval.h"
@@ -125,15 +126,20 @@ int main(int argc, char** argv) {
   std::size_t threads = 1;
   std::string out_path = "BENCH_memo.json";
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--n=", 4) == 0) {
-      n = std::strtoull(argv[i] + 4, nullptr, 10);
-    } else if (std::strncmp(argv[i], "--reps=", 7) == 0) {
-      reps = std::strtoull(argv[i] + 7, nullptr, 10);
-    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      threads = std::strtoull(argv[i] + 10, nullptr, 10);
-    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
-      out_path = argv[i] + 6;
+    const std::string arg = argv[i];
+    bool ok = true;
+    if (arg.rfind("--n=", 0) == 0) {
+      ok = ParseSizeT(arg.substr(4), &n);
+    } else if (arg.rfind("--reps=", 0) == 0) {
+      ok = ParseSizeT(arg.substr(7), &reps);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      ok = ParseSizeT(arg.substr(10), &threads);
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
     } else {
+      ok = false;
+    }
+    if (!ok) {
       std::fprintf(stderr,
                    "usage: bench_memo_ablation [--n=N] [--reps=R] "
                    "[--threads=T] [--out=PATH]\n");
@@ -143,10 +149,11 @@ int main(int argc, char** argv) {
 
   Database db = LongPathDb(n);
   std::string json = "{\n  \"bench\": \"memo_ablation\",\n";
-  json += "  \"domain_size\": " + std::to_string(n) + ",\n";
-  json += "  \"k\": 3,\n";
-  json += "  \"threads\": " + std::to_string(threads) + ",\n";
-  json += "  \"reps\": " + std::to_string(reps) + ",\n";
+  json += "  \"config\": {\n";
+  json += "    \"domain_size\": " + std::to_string(n) + ",\n";
+  json += "    \"k\": 3,\n";
+  json += "    \"threads\": " + std::to_string(threads) + ",\n";
+  json += "    \"reps\": " + std::to_string(reps) + "\n  },\n";
   json += "  \"workloads\": [\n";
 
   bool all_identical = true;

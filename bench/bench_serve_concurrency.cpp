@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "common/strings.h"
 #include "db/database.h"
 #include "db/generators.h"
 #include "eval/bounded_eval.h"
@@ -177,19 +178,24 @@ int main(int argc, char** argv) {
   std::size_t micro_iters = 50'000;
   std::string out_path = "BENCH_serve.json";
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--n=", 4) == 0) {
-      n = std::strtoull(argv[i] + 4, nullptr, 10);
-    } else if (std::strncmp(argv[i], "--queries=", 10) == 0) {
-      queries = std::strtoull(argv[i] + 10, nullptr, 10);
-    } else if (std::strncmp(argv[i], "--lanes=", 8) == 0) {
-      lanes = std::strtoull(argv[i] + 8, nullptr, 10);
-    } else if (std::strncmp(argv[i], "--cap=", 6) == 0) {
-      cap = std::strtoull(argv[i] + 6, nullptr, 10);
-    } else if (std::strncmp(argv[i], "--micro-iters=", 14) == 0) {
-      micro_iters = std::strtoull(argv[i] + 14, nullptr, 10);
-    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
-      out_path = argv[i] + 6;
+    const std::string arg = argv[i];
+    bool ok = true;
+    if (arg.rfind("--n=", 0) == 0) {
+      ok = ParseSizeT(arg.substr(4), &n);
+    } else if (arg.rfind("--queries=", 0) == 0) {
+      ok = ParseSizeT(arg.substr(10), &queries);
+    } else if (arg.rfind("--lanes=", 0) == 0) {
+      ok = ParseSizeT(arg.substr(8), &lanes);
+    } else if (arg.rfind("--cap=", 0) == 0) {
+      ok = ParseSizeT(arg.substr(6), &cap);
+    } else if (arg.rfind("--micro-iters=", 0) == 0) {
+      ok = ParseSizeT(arg.substr(14), &micro_iters);
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
     } else {
+      ok = false;
+    }
+    if (!ok) {
       std::fprintf(stderr,
                    "usage: bench_serve_concurrency [--n=N] [--queries=Q] "
                    "[--lanes=L] [--cap=C] [--micro-iters=I] [--out=PATH]\n");
@@ -226,10 +232,12 @@ int main(int argc, char** argv) {
               unlimited_ns, bounded_ns, micro_iters);
 
   std::string json = "{\n  \"bench\": \"serve_concurrency\",\n";
-  json += "  \"domain_size\": " + std::to_string(n) + ",\n";
-  json += "  \"queries_per_session\": " + std::to_string(queries) + ",\n";
-  json += "  \"lanes\": " + std::to_string(lanes) + ",\n";
-  json += "  \"cap\": " + std::to_string(cap) + ",\n";
+  json += "  \"config\": {\n";
+  json += "    \"domain_size\": " + std::to_string(n) + ",\n";
+  json += "    \"queries_per_session\": " + std::to_string(queries) + ",\n";
+  json += "    \"lanes\": " + std::to_string(lanes) + ",\n";
+  json += "    \"cap\": " + std::to_string(cap) + ",\n";
+  json += "    \"micro_iters\": " + std::to_string(micro_iters) + "\n  },\n";
   char buf[512];
   std::snprintf(buf, sizeof(buf),
                 "  \"admit_release_ns_unlimited\": %.1f,\n"

@@ -106,6 +106,26 @@ Status ResourceGovernor::Charge(std::size_t bytes) {
   return Status::OK();
 }
 
+bool ResourceGovernor::TryCharge(std::size_t bytes) {
+  if (stop_.load(std::memory_order_acquire)) return false;
+  const std::size_t now =
+      current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (limits_.mem_budget_bytes != 0 && now > limits_.mem_budget_bytes) {
+    current_.fetch_sub(bytes, std::memory_order_relaxed);
+    return false;
+  }
+  if (parent_ != nullptr && !parent_->TryCharge(bytes)) {
+    current_.fetch_sub(bytes, std::memory_order_relaxed);
+    return false;
+  }
+  // Only a successful (retained) charge moves the peak or the charge
+  // counter; a refused probe leaves no trace beyond the transient blip
+  // concurrent callers may have seen.
+  charges_.fetch_add(1, std::memory_order_relaxed);
+  UpdatePeak(now);
+  return true;
+}
+
 void ResourceGovernor::Release(std::size_t bytes) {
   current_.fetch_sub(bytes, std::memory_order_relaxed);
   if (parent_ != nullptr) parent_->Release(bytes);

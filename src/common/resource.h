@@ -110,6 +110,19 @@ class ResourceGovernor {
   /// Removes `bytes` from the live-memory account.
   void Release(std::size_t bytes);
 
+  /// Attempts to add `bytes` to the account *without ever tripping the
+  /// token*: if this governor (or any ancestor via the parent chain) has a
+  /// budget the charge would exceed, or the token has already stopped, the
+  /// partial charge is rolled back and false is returned — the sticky trip
+  /// status is untouched either way. On success the bytes are retained
+  /// exactly like Charge() and must be paired with Release(). This is the
+  /// entry point for long-lived *optional* consumers (the cross-query
+  /// answer cache) that prefer evicting or skipping an insert over
+  /// poisoning a session's token with ResourceExhausted. Concurrent
+  /// TryCharge/Charge calls may transiently observe each other's in-flight
+  /// bytes — the budget check is exact only at the margin, like Charge().
+  bool TryCharge(std::size_t bytes);
+
   /// Records that `bytes` extra bytes live transiently on top of the current
   /// account (peak + budget check) without retaining the charge. For
   /// short-lived intermediates where a paired Release would be noise.

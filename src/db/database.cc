@@ -1,11 +1,24 @@
 #include "db/database.h"
 
+#include <atomic>
 #include <limits>
 #include <sstream>
 
 #include "common/strings.h"
 
 namespace bvq {
+
+namespace {
+
+// Process-wide version source. Starts at 1 so 0 can mean "no such
+// relation" in relation_version(); never reused, so stale cache keys built
+// from old versions can never collide with a later relation state.
+std::uint64_t NextRelationVersion() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
 
 Status Database::AddRelation(const std::string& name, Relation relation) {
   if (relation.MinDomainSize() > domain_size_) {
@@ -14,7 +27,13 @@ Status Database::AddRelation(const std::string& name, Relation relation) {
                domain_size_));
   }
   relations_[name] = std::move(relation);
+  versions_[name] = NextRelationVersion();
   return Status::OK();
+}
+
+std::uint64_t Database::relation_version(const std::string& name) const {
+  auto it = versions_.find(name);
+  return it == versions_.end() ? 0 : it->second;
 }
 
 Result<const Relation*> Database::GetRelation(const std::string& name) const {

@@ -1,6 +1,7 @@
 #ifndef BVQ_DB_DATABASE_H_
 #define BVQ_DB_DATABASE_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -40,6 +41,18 @@ class Database {
     return relations_;
   }
 
+  /// Monotone version of relation `name`, or 0 if the database has no such
+  /// relation. Versions are nonces drawn from one process-wide counter:
+  /// every AddRelation (including a replacement, and every relation of a
+  /// freshly parsed database) gets a value never handed out before, so two
+  /// relations with equal versions are guaranteed to be the same object
+  /// history — copies of a Database share versions *and* contents, while a
+  /// reloaded or mutated relation can never collide with a version observed
+  /// earlier. This is what lets a cross-query answer cache key entries on
+  /// relation versions and get invalidate-on-mutation for free (DESIGN.md
+  /// §11): stale keys simply stop matching.
+  std::uint64_t relation_version(const std::string& name) const;
+
   /// Total number of tuples across relations (a size measure for data
   /// complexity sweeps).
   std::size_t TotalTuples() const;
@@ -57,6 +70,10 @@ class Database {
  private:
   std::size_t domain_size_;
   std::map<std::string, Relation> relations_;
+  // Parallel to relations_: the version nonce assigned when each relation
+  // was last installed. Not part of operator== (versions track history, not
+  // content).
+  std::map<std::string, std::uint64_t> versions_;
 };
 
 /// Parses the text format produced by Database::ToString. Lines starting

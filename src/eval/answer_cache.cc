@@ -1,0 +1,125 @@
+#include "eval/answer_cache.h"
+
+#include <utility>
+
+namespace bvq {
+
+namespace {
+
+// What one resident entry costs: the cube's bitset plus the key's version
+// vector and the bookkeeping structs around them. The cube dominates for
+// anything but trivial domains; the overhead terms keep a flood of tiny
+// entries honest against the budget.
+std::size_t EntryBytes(const AnswerCache::Key& key,
+                       const AssignmentSet& value) {
+  return value.ByteSize() + key.versions.size() * sizeof(std::uint64_t) +
+         sizeof(AnswerCache::Key) + 4 * sizeof(void*);
+}
+
+}  // namespace
+
+std::size_t AnswerCache::KeyHash::operator()(const Key& key) const {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t w) {
+    h ^= w;
+    h *= 1099511628211ull;
+  };
+  mix(key.cls);
+  mix(key.domain_size);
+  mix(key.num_vars);
+  for (std::uint64_t v : key.versions) mix(v);
+  return static_cast<std::size_t>(h);
+}
+
+AnswerCache::AnswerCache(AnswerCacheOptions options)
+    : options_(options) {}
+
+AnswerCache::~AnswerCache() {
+  if (options_.governor != nullptr && bytes_ != 0) {
+    options_.governor->Release(bytes_);
+  }
+}
+
+bool AnswerCache::Lookup(const Key& key, AssignmentSet* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  *out = it->second->value;
+  return true;
+}
+
+void AnswerCache::EvictOne() {
+  Entry& victim = lru_.back();
+  bytes_ -= victim.bytes;
+  if (options_.governor != nullptr) options_.governor->Release(victim.bytes);
+  entries_.erase(victim.key);
+  lru_.pop_back();
+  ++evictions_;
+}
+
+bool AnswerCache::ReserveBytes(std::size_t bytes) {
+  if (options_.max_bytes != 0 && bytes > options_.max_bytes) return false;
+  while (options_.max_bytes != 0 && bytes_ + bytes > options_.max_bytes &&
+         !lru_.empty()) {
+    EvictOne();
+  }
+  if (options_.max_bytes != 0 && bytes_ + bytes > options_.max_bytes) {
+    return false;
+  }
+  if (options_.governor == nullptr) return true;
+  // The governor account is shared with live queries, so a refusal may be
+  // transient pressure rather than a true overflow: shed LRU entries one at
+  // a time (each Release frees headroom) and retry until the charge lands
+  // or nothing is left to shed.
+  while (!options_.governor->TryCharge(bytes)) {
+    if (lru_.empty()) return false;
+    EvictOne();
+  }
+  return true;
+}
+
+void AnswerCache::Insert(const Key& key, const AssignmentSet& value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Keys determine answers, so the resident value is already this value;
+    // just refresh recency.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  const std::size_t bytes = EntryBytes(key, value);
+  if (!ReserveBytes(bytes)) return;
+  lru_.push_front(Entry{key, value, bytes});
+  entries_.emplace(key, lru_.begin());
+  bytes_ += bytes;
+  ++insertions_;
+}
+
+void AnswerCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (options_.governor != nullptr && bytes_ != 0) {
+    options_.governor->Release(bytes_);
+  }
+  lru_.clear();
+  entries_.clear();
+  bytes_ = 0;
+}
+
+AnswerCacheStats AnswerCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  AnswerCacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.insertions = insertions_;
+  s.evictions = evictions_;
+  s.bytes = bytes_;
+  s.entries = entries_.size();
+  return s;
+}
+
+}  // namespace bvq

@@ -1,0 +1,140 @@
+#ifndef BVQ_EVAL_ANSWER_CACHE_H_
+#define BVQ_EVAL_ANSWER_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/resource.h"
+#include "db/assignment_set.h"
+#include "logic/analysis.h"
+
+namespace bvq {
+
+/// Configuration for AnswerCache.
+struct AnswerCacheOptions {
+  /// Cap on resident value bytes; least-recently-used entries are evicted
+  /// to stay under it. 0 means no cap (the governor budget, if any, still
+  /// applies).
+  std::size_t max_bytes = std::size_t{64} << 20;
+  /// Long-lived residency account (not owned; must outlive the cache).
+  /// Every resident entry holds a TryCharge against it and releases on
+  /// eviction/Clear/destruction — the cache never trips the governor: an
+  /// insert that would exceed the budget evicts, then gives up, instead of
+  /// poisoning the session token with ResourceExhausted.
+  ResourceGovernor* governor = nullptr;
+};
+
+/// Cumulative observations of one AnswerCache (monotone counters survive
+/// Clear; bytes/entries are the current residency).
+struct AnswerCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::size_t bytes = 0;
+  std::size_t entries = 0;
+};
+
+/// A persistent, version-invalidated answer cache shared across the queries
+/// of a session (DESIGN.md §11).
+///
+/// Entries map a Key — a structural class from this cache's FormulaInterner
+/// together with the evaluation shape (domain size, k) and the database
+/// versions of the class's free relation variables — to the subformula's
+/// answer cube. Because class ids are hash-consed exactly (equal id ⟺
+/// syntactically identical subtree) and relation versions are process-wide
+/// nonces (Database::relation_version), a key matches iff the cached cube
+/// is *the* answer for that subtree on the current database: mutating or
+/// reloading a relation changes its version, so stale entries simply stop
+/// matching — invalidation never needs a flush.
+///
+/// Only subtrees whose free relation variables are all database-resolved
+/// are cacheable (the BoundedEvaluator enforces this: an all-zero memo
+/// version signature); anything depending on a fixpoint iterate or
+/// second-order witness stays per-query.
+///
+/// Thread safety: all methods are mutex-serialized; the embedded interner
+/// has its own lock, so concurrent index builds and probes interleave
+/// safely.
+class AnswerCache {
+ public:
+  struct Key {
+    std::size_t cls = 0;
+    std::size_t domain_size = 0;
+    std::size_t num_vars = 0;
+    /// Database versions of the class's free relation variables, in sorted
+    /// interned-id order (the order FormulaIndex::FreeRelVars reports).
+    std::vector<std::uint64_t> versions;
+
+    bool operator==(const Key& other) const {
+      return cls == other.cls && domain_size == other.domain_size &&
+             num_vars == other.num_vars && versions == other.versions;
+    }
+  };
+
+  explicit AnswerCache(AnswerCacheOptions options = {});
+  ~AnswerCache();
+
+  AnswerCache(const AnswerCache&) = delete;
+  AnswerCache& operator=(const AnswerCache&) = delete;
+
+  /// The interner every formula of the session must be indexed against for
+  /// its class ids to mean the same thing as the cached keys.
+  FormulaInterner* interner() { return &interner_; }
+
+  /// On hit copies the cached cube into `*out`, refreshes the entry's LRU
+  /// position, and returns true; on miss returns false and leaves `*out`
+  /// alone.
+  bool Lookup(const Key& key, AssignmentSet* out);
+
+  /// Inserts a copy of `value` (refreshing LRU on an already-present key —
+  /// the value is known identical, keys determine answers). Evicts LRU
+  /// entries as needed to respect max_bytes and the governor budget; if the
+  /// entry still does not fit with the cache empty, the insert is dropped.
+  void Insert(const Key& key, const AssignmentSet& value);
+
+  /// Drops every entry and releases all governor bytes. Monotone counters
+  /// and the interner survive (class ids stay valid).
+  void Clear();
+
+  AnswerCacheStats stats() const;
+
+ private:
+  struct Entry {
+    Key key;
+    AssignmentSet value;
+    std::size_t bytes = 0;
+  };
+  using LruList = std::list<Entry>;
+
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const;
+  };
+
+  // Drops the least-recently-used entry. Requires mutex_ held and a
+  // non-empty cache.
+  void EvictOne();
+  // Charges `bytes` of residency, evicting as needed; false = does not fit.
+  // Requires mutex_ held.
+  bool ReserveBytes(std::size_t bytes);
+
+  const AnswerCacheOptions options_;
+  FormulaInterner interner_;
+
+  mutable std::mutex mutex_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<Key, LruList::iterator, KeyHash> entries_;
+  std::size_t bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t insertions_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace bvq
+
+#endif  // BVQ_EVAL_ANSWER_CACHE_H_

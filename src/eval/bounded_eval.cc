@@ -169,7 +169,12 @@ Result<AssignmentSet> BoundedEvaluator::EvaluateWithEnv(
         StrCat("n^k = ", db_->domain_size(), "^", num_vars_,
                " exceeds the assignment-set size limit"));
   }
-  index_ = std::make_unique<FormulaIndex>(formula);
+  // With a session cache installed, intern into its long-lived arena so
+  // this formula's class ids line up with the cached keys; num_classes()
+  // then counts every class the session has seen, so memo_ below accepts
+  // any id the index can hand out.
+  index_ = std::make_unique<FormulaIndex>(
+      formula, CacheActive() ? options_.answer_cache->interner() : nullptr);
   warm_cache_.clear();
   atom_cache_.clear();
   remap_cache_.clear();
@@ -206,6 +211,10 @@ Result<AssignmentSet> BoundedEvaluator::EvaluateWithEnv(
   }
   ThreadPoolStats before;
   if (pool_) before = pool_->stats();
+  std::uint64_t cache_evictions_before = 0;
+  if (CacheActive()) {
+    cache_evictions_before = options_.answer_cache->stats().evictions;
+  }
   auto result = Eval(formula, working);
   if (pool_) {
     const ThreadPoolStats after = pool_->stats();
@@ -226,7 +235,51 @@ Result<AssignmentSet> BoundedEvaluator::EvaluateWithEnv(
       return options_.governor->status();
     }
   }
+  if (CacheActive()) {
+    // Export only after the trip check above: a governed call that tripped
+    // has already returned, so nothing downstream of partial kernel output
+    // can reach the session cache. Residency is charged to the *cache's*
+    // governor (the session account), not this query's — the bulk release
+    // above has already settled the per-query books.
+    if (result.ok()) ExportMemoToCache();
+    const AnswerCacheStats cache_stats = options_.answer_cache->stats();
+    stats_.cache_bytes = cache_stats.bytes;
+    stats_.cache_evictions += static_cast<std::size_t>(
+        cache_stats.evictions - cache_evictions_before);
+  }
   return result;
+}
+
+bool BoundedEvaluator::BuildCacheKey(std::size_t cls,
+                                     AnswerCache::Key* key) const {
+  const std::vector<std::size_t>& deps = index_->FreeRelVars(cls);
+  key->cls = cls;
+  key->domain_size = db_->domain_size();
+  key->num_vars = num_vars_;
+  key->versions.clear();
+  key->versions.reserve(deps.size());
+  for (std::size_t pred : deps) {
+    const std::uint64_t version = db_->relation_version(index_->PredName(pred));
+    if (version == 0) return false;  // not a database relation
+    key->versions.push_back(version);
+  }
+  return true;
+}
+
+void BoundedEvaluator::ExportMemoToCache() {
+  for (std::size_t cls = 0; cls < memo_.size(); ++cls) {
+    const MemoEntry& slot = memo_[cls];
+    if (!slot.valid) continue;
+    // Only database-only entries survive across queries: an all-zero
+    // signature says every free rel-var was unbound in the environment,
+    // i.e. resolved by the database, whose versions the key captures.
+    bool db_only = true;
+    for (std::uint64_t v : slot.versions) db_only &= (v == 0);
+    if (!db_only) continue;
+    AnswerCache::Key key;
+    if (!BuildCacheKey(cls, &key)) continue;
+    options_.answer_cache->Insert(key, slot.value);
+  }
 }
 
 Result<Relation> BoundedEvaluator::EvaluateQuery(const Query& query) {
@@ -305,6 +358,30 @@ Result<AssignmentSet> BoundedEvaluator::Eval(const FormulaPtr& f, Env& env) {
     ++stats_.memo_hits;
     if (loop_depth_ > 0) ++stats_.invariant_hoists;
     return slot.value;
+  }
+  if (CacheActive()) {
+    // Cross-query probe: an all-zero signature means the subtree depends
+    // only on database relations, so a previous query of this session may
+    // have left its answer in the cache under the current db versions.
+    bool db_only = true;
+    for (uint64_t v : sig) db_only &= (v == 0);
+    AnswerCache::Key key;
+    if (db_only && BuildCacheKey(facts.cls, &key)) {
+      AssignmentSet cached;
+      if (options_.answer_cache->Lookup(key, &cached)) {
+        ++stats_.cache_hits;
+        // Land the hit in the memo slot like a freshly computed entry, so
+        // repeats within this call are plain memo hits (and the cube is
+        // charged to this query's account like any memo resident).
+        if (slot.valid) ReleaseCube(slot.value);
+        BVQ_RETURN_IF_ERROR(ChargeCube(cached));
+        slot.valid = true;
+        slot.versions = std::move(sig);
+        slot.value = std::move(cached);
+        return slot.value;
+      }
+      ++stats_.cache_misses;
+    }
   }
   ++stats_.memo_misses;
   auto result = EvalUncached(f, facts, env);

@@ -14,6 +14,7 @@
 #include "common/thread_pool.h"
 #include "db/assignment_set.h"
 #include "db/database.h"
+#include "eval/answer_cache.h"
 #include "logic/analysis.h"
 #include "logic/formula.h"
 
@@ -78,6 +79,19 @@ struct EvalStats {
   /// instead of deep-copying the full n^k bitset (one per iteration of
   /// every fixpoint loop; the seed copied each time).
   std::size_t iterate_copies_avoided = 0;
+  /// Subtree evaluations answered from the cross-query AnswerCache (the
+  /// whole subtree was skipped without ever having run in this call).
+  /// memo_hits + cache_hits + memo_misses = memoized node lookups.
+  std::size_t cache_hits = 0;
+  /// Cross-query cache probes (database-only subtrees with the cache
+  /// installed) that found no entry and fell through to a real evaluation.
+  std::size_t cache_misses = 0;
+  /// LRU/budget evictions the session cache performed during this call
+  /// (inserts from concurrent queries of the same session count too — the
+  /// cache is shared state).
+  std::size_t cache_evictions = 0;
+  /// Resident bytes of the session cache after this call's export.
+  std::size_t cache_bytes = 0;
 
   void Reset() { *this = EvalStats(); }
 };
@@ -106,6 +120,20 @@ struct BoundedEvalOptions {
   /// byte-identical either way; `false` is the ablation kill switch
   /// (bench_memo_ablation) and restores the seed evaluation strategy.
   bool memo = true;
+  /// Optional cross-query answer cache (not owned; must outlive the
+  /// evaluator's public calls). When set — and cross_query_cache is true —
+  /// Evaluate* builds its FormulaIndex on the cache's shared
+  /// FormulaInterner, probes the cache for every memoized subtree whose
+  /// free relation variables are all database-resolved, and exports the
+  /// surviving database-only memo entries back into the cache on clean
+  /// success (never after a governor trip: partial kernel output must not
+  /// poison cross-query state). Piggybacks on the memo layer: with
+  /// `memo = false` the cache is inert. See DESIGN.md §11.
+  AnswerCache* answer_cache = nullptr;
+  /// Kill switch for the cross-query cache: `false` ignores answer_cache
+  /// entirely and restores the per-query evaluation of PR 2 (the ablation
+  /// arm of bench_cache_warm; answers are byte-identical either way).
+  bool cross_query_cache = true;
   /// Optional resource governor (not owned; must outlive the evaluator's
   /// public calls). When set, Eval polls its token per subformula node and
   /// charges every long-lived cube (memo entries, fixpoint iterates, PFP
@@ -214,6 +242,19 @@ class BoundedEvaluator {
   void Bind(Env& env, std::size_t pred,
             std::shared_ptr<const AssignmentSet> cube,
             const std::vector<std::size_t>& coords);
+
+  // Cross-query cache plumbing (DESIGN.md §11).
+  bool CacheActive() const {
+    return options_.answer_cache != nullptr && options_.cross_query_cache &&
+           options_.memo;
+  }
+  // Builds the cross-query key for class `cls` from the current database's
+  // relation versions. False when the class is not keyable (some free
+  // rel-var is not a database relation).
+  bool BuildCacheKey(std::size_t cls, AnswerCache::Key* key) const;
+  // Inserts every database-only memo entry of the finished call into the
+  // session cache. Only called on clean success.
+  void ExportMemoToCache();
 
   // Governor accounting. Charges accumulate in charged_bytes_ and are
   // released in bulk when the public call returns, so per-site Release

@@ -544,12 +544,42 @@ std::vector<std::size_t> EraseSorted(std::vector<std::size_t> v,
 
 }  // namespace
 
-std::size_t FormulaIndex::KeyHash::operator()(
+std::size_t FormulaInterner::KeyHash::operator()(
     const std::vector<uint64_t>& key) const {
   return static_cast<std::size_t>(FnvHashWords(key));
 }
 
-FormulaIndex::FormulaIndex(const FormulaPtr& root) { Visit(root); }
+std::size_t FormulaInterner::num_preds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pred_names_.size();
+}
+
+std::size_t FormulaInterner::num_classes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return class_hashes_.size();
+}
+
+FormulaIndex::FormulaIndex(const FormulaPtr& root, FormulaInterner* interner)
+    : owned_(interner == nullptr ? std::make_unique<FormulaInterner>()
+                                 : nullptr),
+      interner_(interner == nullptr ? owned_.get() : interner) {
+  // One lock acquisition covers the whole build *and* the snapshot, so the
+  // ids this index saw are exactly the ids its snapshot tables cover even
+  // when other threads intern concurrently.
+  std::lock_guard<std::mutex> lock(interner_->mutex_);
+  Visit(root);
+  pred_ids_ = interner_->pred_ids_;
+  pred_names_.reserve(interner_->pred_names_.size());
+  for (const std::string& name : interner_->pred_names_) {
+    pred_names_.push_back(&name);
+  }
+  class_free_preds_.reserve(interner_->class_free_preds_.size());
+  for (const std::vector<std::size_t>& fp : interner_->class_free_preds_) {
+    class_free_preds_.push_back(&fp);
+  }
+  class_hashes_.assign(interner_->class_hashes_.begin(),
+                       interner_->class_hashes_.end());
+}
 
 const FormulaIndex::NodeFacts& FormulaIndex::Facts(
     const Formula* node) const {
@@ -562,17 +592,19 @@ std::size_t FormulaIndex::PredId(const std::string& name) const {
 }
 
 std::size_t FormulaIndex::InternPred(const std::string& name) {
-  auto [it, inserted] = pred_ids_.emplace(name, pred_names_.size());
-  if (inserted) pred_names_.push_back(name);
+  auto [it, inserted] =
+      interner_->pred_ids_.emplace(name, interner_->pred_names_.size());
+  if (inserted) interner_->pred_names_.push_back(name);
   return it->second;
 }
 
 std::size_t FormulaIndex::InternClass(std::vector<uint64_t> key,
                                       std::vector<std::size_t> free_preds) {
-  auto [it, inserted] = classes_.emplace(std::move(key), class_hashes_.size());
+  auto [it, inserted] = interner_->classes_.emplace(
+      std::move(key), interner_->class_hashes_.size());
   if (inserted) {
-    class_hashes_.push_back(FnvHashWords(it->first));
-    class_free_preds_.push_back(std::move(free_preds));
+    interner_->class_hashes_.push_back(FnvHashWords(it->first));
+    interner_->class_free_preds_.push_back(std::move(free_preds));
   }
   return it->second;
 }
@@ -611,7 +643,8 @@ FormulaIndex::NodeFacts FormulaIndex::Visit(const FormulaPtr& f) {
     case FormulaKind::kNot: {
       const NodeFacts sub = Visit(static_cast<const NotFormula&>(*f).sub());
       key.push_back(sub.cls);
-      facts.cls = InternClass(std::move(key), class_free_preds_[sub.cls]);
+      facts.cls = InternClass(std::move(key),
+                              interner_->class_free_preds_[sub.cls]);
       break;
     }
     case FormulaKind::kAnd:
@@ -624,8 +657,8 @@ FormulaIndex::NodeFacts FormulaIndex::Visit(const FormulaPtr& f) {
       key.push_back(lhs.cls);
       key.push_back(rhs.cls);
       facts.cls = InternClass(
-          std::move(key), UnionSorted(class_free_preds_[lhs.cls],
-                                      class_free_preds_[rhs.cls]));
+          std::move(key), UnionSorted(interner_->class_free_preds_[lhs.cls],
+                                      interner_->class_free_preds_[rhs.cls]));
       break;
     }
     case FormulaKind::kExists:
@@ -634,7 +667,8 @@ FormulaIndex::NodeFacts FormulaIndex::Visit(const FormulaPtr& f) {
       const NodeFacts body = Visit(q.body());
       key.push_back(q.var());
       key.push_back(body.cls);
-      facts.cls = InternClass(std::move(key), class_free_preds_[body.cls]);
+      facts.cls = InternClass(std::move(key),
+                              interner_->class_free_preds_[body.cls]);
       break;
     }
     case FormulaKind::kFixpoint: {
@@ -649,7 +683,7 @@ FormulaIndex::NodeFacts FormulaIndex::Visit(const FormulaPtr& f) {
       for (std::size_t v : fp.apply_args()) key.push_back(v);
       facts.cls = InternClass(
           std::move(key),
-          EraseSorted(class_free_preds_[body.cls], facts.pred));
+          EraseSorted(interner_->class_free_preds_[body.cls], facts.pred));
       break;
     }
     case FormulaKind::kSecondOrderExists: {
@@ -661,7 +695,7 @@ FormulaIndex::NodeFacts FormulaIndex::Visit(const FormulaPtr& f) {
       key.push_back(body.cls);
       facts.cls = InternClass(
           std::move(key),
-          EraseSorted(class_free_preds_[body.cls], facts.pred));
+          EraseSorted(interner_->class_free_preds_[body.cls], facts.pred));
       break;
     }
   }

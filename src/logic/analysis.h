@@ -3,7 +3,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -60,6 +63,48 @@ std::size_t AlternationDepth(const FormulaPtr& formula);
 Status CheckWellFormed(const FormulaPtr& formula, const Database& db,
                        std::size_t num_vars);
 
+/// A long-lived hash-consing arena for formula structural classes and
+/// predicate ids, shareable across many FormulaIndex builds (and across
+/// threads). Interning the formulas of a whole session into one interner
+/// makes class ids *stable across queries*: two syntactically identical
+/// subtrees of two different queries get the same class id, which is the
+/// identity the cross-query answer cache keys on (DESIGN.md §11). A
+/// FormulaIndex built without an explicit interner owns a private one, so
+/// single-query callers see the old per-root behaviour unchanged.
+///
+/// Thread safety: interning is serialized by an internal mutex (held for
+/// the whole of one index build, so ids are assigned atomically per
+/// formula). Interned entries live in deques and are never mutated after
+/// insertion, so references handed out under the mutex stay valid — and
+/// safely readable without it — for the interner's lifetime.
+class FormulaInterner {
+ public:
+  FormulaInterner() = default;
+  FormulaInterner(const FormulaInterner&) = delete;
+  FormulaInterner& operator=(const FormulaInterner&) = delete;
+
+  /// Totals interned so far (momentary under concurrent interning).
+  std::size_t num_preds() const;
+  std::size_t num_classes() const;
+
+ private:
+  friend class FormulaIndex;
+
+  struct KeyHash {
+    std::size_t operator()(const std::vector<uint64_t>& key) const;
+  };
+
+  // All fields below are guarded by mutex_. Deques, not vectors: growth
+  // must not move existing elements, because FormulaIndex snapshots hold
+  // pointers into them.
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::size_t> pred_ids_;
+  std::deque<std::string> pred_names_;
+  std::unordered_map<std::vector<uint64_t>, std::size_t, KeyHash> classes_;
+  std::deque<std::vector<std::size_t>> class_free_preds_;
+  std::deque<uint64_t> class_hashes_;
+};
+
 /// Structural interning plus relation-variable dependency analysis of a
 /// formula DAG, built once per root and then queried per node during
 /// evaluation.
@@ -78,6 +123,13 @@ Status CheckWellFormed(const FormulaPtr& formula, const Database& db,
 /// (class, versions of its free rel-vars) a sound memoization key for the
 /// bounded evaluator (Proposition 3.1's "never recompute at the same
 /// arity", extended across fixpoint iterations).
+///
+/// When built on a shared FormulaInterner, the index interns into the
+/// shared arena and then snapshots *all* classes/preds interned so far
+/// (not just this root's): num_classes()/num_preds() report the snapshot
+/// totals, so tables indexed by class or pred id sized from them accept
+/// any id this index can hand out, and every accessor below is lock-free
+/// after construction.
 class FormulaIndex {
  public:
   /// Sentinel for "node has no resolving predicate" / "name not interned".
@@ -91,46 +143,50 @@ class FormulaIndex {
     std::size_t pred = kNoPred;
   };
 
-  explicit FormulaIndex(const FormulaPtr& root);
+  /// Builds the index for `root`. With a null `interner` the index owns a
+  /// private arena (ids dense over this root alone); otherwise it interns
+  /// into — and snapshots from — the shared arena, which must outlive the
+  /// index.
+  explicit FormulaIndex(const FormulaPtr& root,
+                        FormulaInterner* interner = nullptr);
 
   /// Facts for a node of the indexed formula. The node must belong to it.
   const NodeFacts& Facts(const Formula* node) const;
 
-  /// Interned id of `name`, or kNoPred if the formula never mentions it.
+  /// Interned id of `name`, or kNoPred if the snapshot does not contain it.
   std::size_t PredId(const std::string& name) const;
   const std::string& PredName(std::size_t pred_id) const {
-    return pred_names_[pred_id];
+    return *pred_names_[pred_id];
   }
   std::size_t num_preds() const { return pred_names_.size(); }
   std::size_t num_classes() const { return class_hashes_.size(); }
 
   /// Sorted interned ids of the free relation variables of class `cls`.
   const std::vector<std::size_t>& FreeRelVars(std::size_t cls) const {
-    return class_free_preds_[cls];
+    return *class_free_preds_[cls];
   }
 
-  /// FNV-1a hash of the class's structural shape. Within one index, equal
-  /// hashes are overwhelmingly likely to mean equal classes, but the class
-  /// id — not this hash — is the collision-free identity.
+  /// FNV-1a hash of the class's structural shape. Within one interner,
+  /// equal hashes are overwhelmingly likely to mean equal classes, but the
+  /// class id — not this hash — is the collision-free identity.
   uint64_t StructuralHash(std::size_t cls) const {
     return class_hashes_[cls];
   }
 
  private:
-  struct KeyHash {
-    std::size_t operator()(const std::vector<uint64_t>& key) const;
-  };
-
   std::size_t InternPred(const std::string& name);
   NodeFacts Visit(const FormulaPtr& f);
   std::size_t InternClass(std::vector<uint64_t> key,
                           std::vector<std::size_t> free_preds);
 
+  std::unique_ptr<FormulaInterner> owned_;  // set iff no shared interner
+  FormulaInterner* interner_;               // the arena Visit interns into
   std::unordered_map<const Formula*, NodeFacts> facts_;
+  // Post-build snapshots (see class comment): copies of the small id maps,
+  // pointers into the interner's stable deque storage for the rest.
   std::unordered_map<std::string, std::size_t> pred_ids_;
-  std::vector<std::string> pred_names_;
-  std::unordered_map<std::vector<uint64_t>, std::size_t, KeyHash> classes_;
-  std::vector<std::vector<std::size_t>> class_free_preds_;
+  std::vector<const std::string*> pred_names_;
+  std::vector<const std::vector<std::size_t>*> class_free_preds_;
   std::vector<uint64_t> class_hashes_;
 };
 

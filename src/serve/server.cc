@@ -220,6 +220,12 @@ void Server::RunEval(std::uint64_t id, std::shared_ptr<Session> session,
     if (needed > num_vars) num_vars = needed;
     BoundedEvalOptions eval_options = session->options().eval;
     eval_options.governor = governor.get();
+    // The session cache persists across this query's lifetime: the shared
+    // db lock held here guarantees the database (and so every relation
+    // version a cache key can capture) is frozen for the whole evaluation,
+    // which is what makes probe-then-export coherent.
+    eval_options.answer_cache = session->cache();
+    eval_options.cross_query_cache = session->cache_enabled();
     BoundedEvaluator eval(session->db(), num_vars, eval_options);
     const auto start = std::chrono::steady_clock::now();
     auto result = eval.EvaluateQuery(*parsed);
@@ -234,6 +240,14 @@ void Server::RunEval(std::uint64_t id, std::shared_ptr<Session> session,
     }
   }
   out.resource = governor->stats();
+  session->memo_hits.fetch_add(out.eval_stats.memo_hits,
+                               std::memory_order_relaxed);
+  session->memo_misses.fetch_add(out.eval_stats.memo_misses,
+                                 std::memory_order_relaxed);
+  session->cache_hits.fetch_add(out.eval_stats.cache_hits,
+                                std::memory_order_relaxed);
+  session->cache_misses.fetch_add(out.eval_stats.cache_misses,
+                                  std::memory_order_relaxed);
   governor.reset();  // registry's copy is the one FinishEval pools
   FinishEval(id, session, std::move(out), done);
 }
@@ -296,12 +310,20 @@ Result<std::string> Server::StatsLine(const std::string& session) const {
   if (!found.ok()) return found.status();
   const ResourceStats r = (*found)->governor().stats();
   const Session::PoolStats p = (*found)->pool_stats();
+  const AnswerCacheStats c = (*found)->cache()->stats();
   return StrCat(
       "stats session=", session, " queries=", (*found)->queries_started.load(),
       " ok=", (*found)->queries_ok.load(),
       " failed=", (*found)->queries_failed.load(),
       " live_bytes=", r.mem_current_bytes, " peak_bytes=", r.mem_peak_bytes,
-      " pool_created=", p.created, " pool_reused=", p.reused);
+      " pool_created=", p.created, " pool_reused=", p.reused,
+      " memo_hits=", (*found)->memo_hits.load(),
+      " memo_misses=", (*found)->memo_misses.load(),
+      " cache=", (*found)->cache_enabled() ? 1 : 0,
+      " cache_hits=", (*found)->cache_hits.load(),
+      " cache_misses=", (*found)->cache_misses.load(),
+      " cache_evictions=", c.evictions, " cache_bytes=", c.bytes,
+      " cache_entries=", c.entries);
 }
 
 void Server::EmitChunk(const Emit& emit, const std::string& chunk) {
@@ -356,6 +378,10 @@ void Server::HandleLine(const std::string& line, const Emit& emit) {
         so.session_limits.mem_budget_bytes = value << 20;
       } else if (key == "reserve-mb") {
         so.admission_reserve_bytes = value << 20;
+      } else if (key == "cache") {
+        so.cross_query_cache = value != 0;
+      } else if (key == "cache-mb") {
+        so.cache_max_bytes = value << 20;
       } else {
         return err(StrCat("open ", name, ": unknown option ", kv));
       }
@@ -467,6 +493,28 @@ void Server::HandleLine(const std::string& line, const Emit& emit) {
     if (!s.ok()) return err(StrCat("close ", name, ": ", s.ToString()));
     return ok(StrCat("close ", name));
   }
+  if (cmd == "cache") {
+    std::string name, action;
+    if (!(is >> name) || !(is >> action)) {
+      return err(StrCat("cache: expected <session> on|off|clear, got ",
+                        trimmed));
+    }
+    auto session = sessions_.Get(name);
+    if (!session.ok()) {
+      return err(StrCat("cache ", name, ": ", session.status().ToString()));
+    }
+    if (action == "on") {
+      (*session)->set_cache_enabled(true);
+    } else if (action == "off") {
+      (*session)->set_cache_enabled(false);
+    } else if (action == "clear") {
+      (*session)->cache()->Clear();
+    } else {
+      return err(StrCat("cache ", name, ": expected on|off|clear, got ",
+                        action));
+    }
+    return ok(StrCat("cache ", name, " ", action));
+  }
   if (cmd == "drain") {
     // Synchronisation point for scripts: block until every submitted eval
     // has completed (its result block is emitted before the ok below).
@@ -484,7 +532,7 @@ void Server::HandleLine(const std::string& line, const Emit& emit) {
     return;
   }
   err(StrCat(trimmed, ": unknown command (open/domain/rel/load/eval/cancel/"
-                      "close/stats/drain/quit)"));
+                      "close/cache/stats/drain/quit)"));
 }
 
 }  // namespace bvq::serve

@@ -63,13 +63,18 @@ struct EvalOutcome {
 ///
 ///   open <session> [k=N] [threads=N] [memo=0|1] [deadline-ms=N]
 ///        [mem-budget-mb=N] [session-deadline-ms=N]
-///        [session-mem-budget-mb=N] [reserve-mb=N]
+///        [session-mem-budget-mb=N] [reserve-mb=N] [cache=0|1]
+///        [cache-mb=N]
 ///   domain <session> <n>
 ///   rel <session> <name>/<arity> <v..> ; <v..> ;
 ///   load <session> <path>
 ///   eval <id> <session> <query>
 ///   cancel <id>
 ///   close <session>
+///   cache <session> on|off|clear   (cross-query answer cache switch;
+///                                   `clear` drops resident entries —
+///                                   mutations never need it, versions
+///                                   invalidate by key)
 ///   stats [<session>]
 ///   drain                  (block until every submitted eval completed)
 ///   quit

@@ -33,11 +33,34 @@ void CancelHandle::BindGovernor(
   if (cancelled) governor->Cancel(reason);
 }
 
+namespace {
+
+AnswerCacheOptions CacheOptionsFor(const SessionOptions& options,
+                                   ResourceGovernor* governor) {
+  AnswerCacheOptions cache_options;
+  cache_options.governor = governor;
+  if (options.cache_max_bytes != 0) {
+    cache_options.max_bytes = options.cache_max_bytes;
+  } else if (options.session_limits.mem_budget_bytes != 0) {
+    // Derived cap: never let resident cache entries pin the whole session
+    // account — live queries must keep headroom to run.
+    cache_options.max_bytes = options.session_limits.mem_budget_bytes / 2;
+  } else {
+    cache_options.max_bytes = kDefaultCacheMaxBytes;
+  }
+  return cache_options;
+}
+
+}  // namespace
+
 Session::Session(std::string name, Database db, SessionOptions options)
     : name_(std::move(name)),
       options_(options),
       db_(std::move(db)),
-      session_governor_(options.session_limits) {}
+      session_governor_(options.session_limits),
+      cache_(std::make_unique<AnswerCache>(
+          CacheOptionsFor(options, &session_governor_))),
+      cache_enabled_(options.cross_query_cache) {}
 
 std::size_t Session::admission_reserve_bytes() const {
   if (options_.admission_reserve_bytes != 0) {

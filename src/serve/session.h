@@ -13,6 +13,7 @@
 #include "common/resource.h"
 #include "common/status.h"
 #include "db/database.h"
+#include "eval/answer_cache.h"
 #include "eval/bounded_eval.h"
 
 namespace bvq::serve {
@@ -42,7 +43,19 @@ struct SessionOptions {
   /// 0 = derive: the per-query budget if set, else the session budget,
   /// else kDefaultAdmissionReserveBytes.
   std::size_t admission_reserve_bytes = 0;
+  /// Whether the session's cross-query AnswerCache starts enabled. The
+  /// cache object always exists (so `cache <s> on` mid-session finds warm
+  /// state disabled earlier); this only sets the initial switch position.
+  bool cross_query_cache = true;
+  /// LRU cap for the session cache. 0 = derive: the session memory budget
+  /// if one is set (the cache is charged against it and must never be able
+  /// to pin the whole session account), else kDefaultCacheMaxBytes.
+  std::size_t cache_max_bytes = 0;
 };
+
+/// Default AnswerCache residency cap for sessions without an explicit
+/// cache_max_bytes or session memory budget.
+inline constexpr std::size_t kDefaultCacheMaxBytes = std::size_t{64} << 20;
 
 /// Shared cancellation slot for one in-flight evaluation. `requested` is
 /// the lock-free flag the AdmissionController polls while the query waits
@@ -124,10 +137,29 @@ class Session {
   };
   PoolStats pool_stats() const;
 
+  /// The session's cross-query answer cache (DESIGN.md §11). Always
+  /// non-null; residency is charged to the session governor and capped per
+  /// SessionOptions::cache_max_bytes. Whether queries consult it is the
+  /// separate runtime switch below (protocol `cache <s> on|off`).
+  AnswerCache* cache() { return cache_.get(); }
+  bool cache_enabled() const {
+    return cache_enabled_.load(std::memory_order_acquire);
+  }
+  void set_cache_enabled(bool enabled) {
+    cache_enabled_.store(enabled, std::memory_order_release);
+  }
+
   // Lifetime counters, maintained by the Server.
   std::atomic<std::uint64_t> queries_started{0};
   std::atomic<std::uint64_t> queries_ok{0};
   std::atomic<std::uint64_t> queries_failed{0};
+  // Cumulative evaluator counters across the session's completed queries,
+  // accumulated by the Server so the protocol `stats <session>` line is
+  // comparable with a direct bvqsh --stats run.
+  std::atomic<std::uint64_t> memo_hits{0};
+  std::atomic<std::uint64_t> memo_misses{0};
+  std::atomic<std::uint64_t> cache_hits{0};
+  std::atomic<std::uint64_t> cache_misses{0};
 
  private:
   const std::string name_;
@@ -135,6 +167,8 @@ class Session {
   Database db_;
   std::shared_mutex db_mutex_;
   ResourceGovernor session_governor_;
+  std::unique_ptr<AnswerCache> cache_;
+  std::atomic<bool> cache_enabled_;
 
   mutable std::mutex pool_mutex_;
   std::vector<std::shared_ptr<ResourceGovernor>> free_governors_;

@@ -1,0 +1,427 @@
+// Tests for the cross-query answer cache (DESIGN.md §11): database
+// relation versioning, the shared FormulaInterner, ResourceGovernor's
+// non-tripping TryCharge, the AnswerCache LRU itself, and the evaluator
+// integration — warm hits byte-identical to the cache-off path, stale
+// entries invalidated by version mismatch, governor accounts balanced
+// through insert/evict/clear cycles.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/resource.h"
+#include "db/database.h"
+#include "db/generators.h"
+#include "eval/answer_cache.h"
+#include "eval/bounded_eval.h"
+#include "logic/analysis.h"
+#include "logic/parser.h"
+
+namespace bvq {
+namespace {
+
+Database PathDbWithLastP(std::size_t n) {
+  Database db(n);
+  EXPECT_TRUE(db.AddRelation("E", PathGraph(n)).ok());
+  RelationBuilder p(1);
+  Value last = static_cast<Value>(n - 1);
+  p.Add(&last);
+  EXPECT_TRUE(db.AddRelation("P", p.Build()).ok());
+  return db;
+}
+
+AssignmentSet MustEval(const Database& db, std::size_t k, const FormulaPtr& f,
+                       BoundedEvalOptions opts, EvalStats* stats = nullptr) {
+  BoundedEvaluator eval(db, k, opts);
+  auto r = eval.Evaluate(f);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  if (stats != nullptr) *stats = eval.stats();
+  return *r;
+}
+
+FormulaPtr MustParse(const std::string& text) {
+  auto f = ParseFormula(text);
+  EXPECT_TRUE(f.ok()) << f.status().ToString();
+  return *f;
+}
+
+// A fixpoint whose whole tree is database-resolved, so every memoized
+// subtree (the root included) is exportable to the cross-query cache.
+const char kReach[] = "[lfp T(x1) . P(x1) | exists x2 . (E(x1,x2) & T(x2))](x1)";
+
+// --- Database relation versions --------------------------------------------
+
+TEST(RelationVersionTest, VersionsAreFreshNoncesPerAddRelation) {
+  Database db(4);
+  EXPECT_EQ(db.relation_version("E"), 0u);  // missing = 0, never a nonce
+  ASSERT_TRUE(db.AddRelation("E", PathGraph(4)).ok());
+  const std::uint64_t v1 = db.relation_version("E");
+  EXPECT_NE(v1, 0u);
+
+  // Replacing a relation (same name, even same contents) gets a version
+  // never handed out before — a cache key from before the mutation can
+  // never match again.
+  ASSERT_TRUE(db.AddRelation("E", PathGraph(4)).ok());
+  const std::uint64_t v2 = db.relation_version("E");
+  EXPECT_NE(v2, v1);
+  EXPECT_NE(v2, 0u);
+
+  // Versions are process-wide: a different database's relations never
+  // collide with this one's.
+  Database other(4);
+  ASSERT_TRUE(other.AddRelation("E", PathGraph(4)).ok());
+  EXPECT_NE(other.relation_version("E"), v1);
+  EXPECT_NE(other.relation_version("E"), v2);
+}
+
+TEST(RelationVersionTest, CopiesShareVersionsReparseDoesNot) {
+  Database db = PathDbWithLastP(4);
+  Database copy = db;  // same object history -> same versions
+  EXPECT_EQ(copy.relation_version("E"), db.relation_version("E"));
+  EXPECT_EQ(copy.relation_version("P"), db.relation_version("P"));
+
+  auto reparsed = ParseDatabase(db.ToString());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_NE(reparsed->relation_version("E"), db.relation_version("E"));
+}
+
+// --- FormulaInterner across formulas ----------------------------------------
+
+TEST(FormulaInternerTest, SharedInternerAlignsClassIdsAcrossFormulas) {
+  FormulaInterner interner;
+  auto a = MustParse("E(x1,x2) & P(x1)");
+  auto b = MustParse("P(x1) | E(x1,x2)");
+  FormulaIndex ia(a, &interner);
+  FormulaIndex ib(b, &interner);
+
+  const auto& conj = static_cast<const BinaryFormula&>(*a);
+  const auto& disj = static_cast<const BinaryFormula&>(*b);
+  // Identical subtrees of *different* formulas share a class id — that is
+  // what makes one formula's exported answer another formula's cache hit.
+  EXPECT_EQ(ia.Facts(conj.lhs().get()).cls, ib.Facts(disj.rhs().get()).cls);
+  EXPECT_EQ(ia.Facts(conj.rhs().get()).cls, ib.Facts(disj.lhs().get()).cls);
+  // The two roots are distinct formulas and get distinct classes.
+  EXPECT_NE(ia.Facts(a.get()).cls, ib.Facts(b.get()).cls);
+}
+
+TEST(FormulaInternerTest, SeparateInternersAreIndependent) {
+  auto f = MustParse("E(x1,x2)");
+  FormulaIndex ia(f);  // owns a private interner
+  FormulaIndex ib(f);
+  // Both assign ids from scratch: same structure, same local numbering.
+  EXPECT_EQ(ia.Facts(f.get()).cls, ib.Facts(f.get()).cls);
+}
+
+// --- ResourceGovernor::TryCharge --------------------------------------------
+
+TEST(TryChargeTest, RefusalLeavesAccountExactAndNeverTrips) {
+  ResourceGovernor::Limits limits;
+  limits.mem_budget_bytes = 1024;
+  ResourceGovernor gov(limits);
+
+  EXPECT_TRUE(gov.TryCharge(512));
+  EXPECT_EQ(gov.stats().mem_current_bytes, 512u);
+
+  // Over budget: refused, nothing sticks, and — unlike Charge — the
+  // governor is NOT tripped; later work proceeds.
+  EXPECT_FALSE(gov.TryCharge(1024));
+  EXPECT_EQ(gov.stats().mem_current_bytes, 512u);
+  EXPECT_FALSE(gov.stopped());
+  EXPECT_TRUE(gov.Check().ok());
+  EXPECT_TRUE(gov.Charge(256).ok());
+  gov.Release(768);
+  EXPECT_EQ(gov.stats().mem_current_bytes, 0u);
+}
+
+TEST(TryChargeTest, ParentRefusalRollsBackChild) {
+  ResourceGovernor::Limits parent_limits;
+  parent_limits.mem_budget_bytes = 256;
+  ResourceGovernor parent(parent_limits);
+  ResourceGovernor child;  // unlimited on its own
+  child.set_parent(&parent);
+
+  // The child accepts 512 but the parent refuses: the charge must land in
+  // NEITHER account (contrast Charge, which sticks in both and trips).
+  EXPECT_FALSE(child.TryCharge(512));
+  EXPECT_EQ(child.stats().mem_current_bytes, 0u);
+  EXPECT_EQ(parent.stats().mem_current_bytes, 0u);
+  EXPECT_FALSE(parent.stopped());
+
+  // Within budget it lands in both, and Release drains both.
+  EXPECT_TRUE(child.TryCharge(128));
+  EXPECT_EQ(child.stats().mem_current_bytes, 128u);
+  EXPECT_EQ(parent.stats().mem_current_bytes, 128u);
+  child.Release(128);
+  EXPECT_EQ(child.stats().mem_current_bytes, 0u);
+  EXPECT_EQ(parent.stats().mem_current_bytes, 0u);
+}
+
+TEST(TryChargeTest, StoppedGovernorRefusesImmediately) {
+  ResourceGovernor gov;
+  gov.Cancel("test");
+  EXPECT_FALSE(gov.TryCharge(1));
+  EXPECT_EQ(gov.stats().mem_current_bytes, 0u);
+}
+
+// --- AnswerCache ------------------------------------------------------------
+
+AnswerCache::Key TestKey(std::size_t cls, std::uint64_t version) {
+  AnswerCache::Key key;
+  key.cls = cls;
+  key.domain_size = 8;
+  key.num_vars = 3;
+  key.versions = {version};
+  return key;
+}
+
+TEST(AnswerCacheTest, LookupMissThenHitAfterInsert) {
+  AnswerCache cache;
+  AssignmentSet out;
+  EXPECT_FALSE(cache.Lookup(TestKey(0, 1), &out));
+
+  AssignmentSet value = AssignmentSet::Full(8, 3);
+  cache.Insert(TestKey(0, 1), value);
+  ASSERT_TRUE(cache.Lookup(TestKey(0, 1), &out));
+  EXPECT_TRUE(out == value);
+
+  // Same class, different relation version: a distinct key — no hit.
+  EXPECT_FALSE(cache.Lookup(TestKey(0, 2), &out));
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST(AnswerCacheTest, LruEvictsColdestUnderByteCap) {
+  AssignmentSet value = AssignmentSet::Full(8, 3);
+  // Find one entry's cost, then cap the cache at two entries.
+  std::size_t per_entry = 0;
+  {
+    AnswerCache probe;
+    probe.Insert(TestKey(0, 1), value);
+    per_entry = probe.stats().bytes;
+  }
+  AnswerCacheOptions options;
+  options.max_bytes = 2 * per_entry;
+  AnswerCache cache(options);
+
+  cache.Insert(TestKey(0, 1), value);
+  cache.Insert(TestKey(1, 1), value);
+  AssignmentSet out;
+  // Touch key 0 so key 1 is the LRU victim.
+  ASSERT_TRUE(cache.Lookup(TestKey(0, 1), &out));
+  cache.Insert(TestKey(2, 1), value);
+
+  EXPECT_TRUE(cache.Lookup(TestKey(0, 1), &out));
+  EXPECT_FALSE(cache.Lookup(TestKey(1, 1), &out));  // evicted
+  EXPECT_TRUE(cache.Lookup(TestKey(2, 1), &out));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_LE(cache.stats().bytes, options.max_bytes);
+}
+
+TEST(AnswerCacheTest, GovernorAccountBalancesThroughEvictClearDestroy) {
+  // Analogue of ChildBudgetTripKeepsParentAccountBalanced for the cache:
+  // every resident byte is charged to the session account and every
+  // eviction path — LRU, Clear, destruction — releases exactly what it
+  // charged, so the account returns to zero.
+  ResourceGovernor session;
+  AssignmentSet value = AssignmentSet::Full(8, 3);
+  std::size_t per_entry = 0;
+  {
+    AnswerCache probe;
+    probe.Insert(TestKey(0, 1), value);
+    per_entry = probe.stats().bytes;
+  }
+  {
+    AnswerCacheOptions options;
+    options.max_bytes = 2 * per_entry;
+    options.governor = &session;
+    AnswerCache cache(options);
+    for (std::size_t i = 0; i < 5; ++i) {
+      cache.Insert(TestKey(i, 1), value);
+      EXPECT_EQ(session.stats().mem_current_bytes, cache.stats().bytes);
+    }
+    EXPECT_EQ(cache.stats().evictions, 3u);
+
+    cache.Clear();
+    EXPECT_EQ(session.stats().mem_current_bytes, 0u);
+    EXPECT_EQ(cache.stats().entries, 0u);
+    // Monotone counters survive Clear.
+    EXPECT_EQ(cache.stats().insertions, 5u);
+
+    cache.Insert(TestKey(7, 1), value);
+    EXPECT_EQ(session.stats().mem_current_bytes, cache.stats().bytes);
+  }  // destructor releases the last resident entry
+  EXPECT_EQ(session.stats().mem_current_bytes, 0u);
+}
+
+TEST(AnswerCacheTest, GovernorRefusalShedsLruInsteadOfTripping) {
+  AssignmentSet value = AssignmentSet::Full(8, 3);
+  std::size_t per_entry = 0;
+  {
+    AnswerCache probe;
+    probe.Insert(TestKey(0, 1), value);
+    per_entry = probe.stats().bytes;
+  }
+  ResourceGovernor::Limits limits;
+  limits.mem_budget_bytes = per_entry + per_entry / 2;  // one entry fits
+  ResourceGovernor session(limits);
+  AnswerCacheOptions options;
+  options.governor = &session;
+  AnswerCache cache(options);
+
+  cache.Insert(TestKey(0, 1), value);
+  cache.Insert(TestKey(1, 1), value);  // evicts key 0 to make room
+  AssignmentSet out;
+  EXPECT_FALSE(cache.Lookup(TestKey(0, 1), &out));
+  EXPECT_TRUE(cache.Lookup(TestKey(1, 1), &out));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  // The cache never trips the session token.
+  EXPECT_FALSE(session.stopped());
+  EXPECT_TRUE(session.Check().ok());
+}
+
+// --- Evaluator integration --------------------------------------------------
+
+TEST(CrossQueryCacheTest, WarmHitIsByteIdenticalToCacheOff) {
+  Database db = PathDbWithLastP(8);
+  auto f = MustParse(kReach);
+
+  BoundedEvalOptions off;
+  off.cross_query_cache = false;
+  const AssignmentSet reference = MustEval(db, 3, f, off);
+
+  AnswerCache cache;
+  BoundedEvalOptions on;
+  on.answer_cache = &cache;
+
+  EvalStats cold_stats;
+  const AssignmentSet cold = MustEval(db, 3, f, on, &cold_stats);
+  EXPECT_TRUE(cold == reference);
+  EXPECT_EQ(cold_stats.cache_hits, 0u);
+  EXPECT_GT(cold_stats.cache_misses, 0u);
+
+  EvalStats warm_stats;
+  const AssignmentSet warm = MustEval(db, 3, f, on, &warm_stats);
+  EXPECT_TRUE(warm == reference);
+  EXPECT_GT(warm_stats.cache_hits, 0u);
+  EXPECT_GT(warm_stats.cache_bytes, 0u);
+}
+
+TEST(CrossQueryCacheTest, SharedSubformulaHitsAcrossDifferentQueries) {
+  Database db = PathDbWithLastP(8);
+  AnswerCache cache;
+  BoundedEvalOptions on;
+  on.answer_cache = &cache;
+
+  // Two different queries sharing the reachability fixpoint verbatim.
+  auto a = MustParse(std::string(kReach));
+  auto b = MustParse("P(x1) & " + std::string(kReach));
+  MustEval(db, 3, a, on);
+  EvalStats stats;
+  const AssignmentSet got = MustEval(db, 3, b, on, &stats);
+  EXPECT_GT(stats.cache_hits, 0u);
+
+  BoundedEvalOptions off;
+  off.cross_query_cache = false;
+  EXPECT_TRUE(got == MustEval(db, 3, b, off));
+}
+
+TEST(CrossQueryCacheTest, MutationInvalidatesByVersion) {
+  Database db = PathDbWithLastP(8);
+  auto f = MustParse(kReach);
+  AnswerCache cache;
+  BoundedEvalOptions on;
+  on.answer_cache = &cache;
+
+  const AssignmentSet before = MustEval(db, 3, f, on);
+
+  // Mutate E mid-session: drop all edges. Stale E-dependent entries stay
+  // resident but their keys can never match the new version — those probes
+  // miss and the fixpoint is recomputed. Invalidation is per-key, not a
+  // flush: the P(x1) subtree's key still matches (P was not touched), so
+  // it survives the mutation warm.
+  ASSERT_TRUE(db.AddRelation("E", RelationBuilder(2).Build()).ok());
+  EvalStats stats;
+  const AssignmentSet after = MustEval(db, 3, f, on, &stats);
+  EXPECT_GT(stats.cache_misses, 0u);
+  EXPECT_GT(stats.cache_hits, 0u);  // the untouched-P subtree
+
+  BoundedEvalOptions off;
+  off.cross_query_cache = false;
+  EXPECT_TRUE(after == MustEval(db, 3, f, off));
+  EXPECT_FALSE(after == before);  // P-reachability collapsed to P itself
+
+  // And the fresh result is itself cached: an immediate re-run hits.
+  EvalStats warm;
+  EXPECT_TRUE(MustEval(db, 3, f, on, &warm) == after);
+  EXPECT_GT(warm.cache_hits, 0u);
+}
+
+TEST(CrossQueryCacheTest, KillSwitchSkipsCacheEntirely) {
+  Database db = PathDbWithLastP(8);
+  auto f = MustParse(kReach);
+  AnswerCache cache;
+
+  BoundedEvalOptions off;
+  off.answer_cache = &cache;
+  off.cross_query_cache = false;
+  EvalStats stats;
+  MustEval(db, 3, f, off, &stats);
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.cache_misses, 0u);
+  EXPECT_EQ(cache.stats().entries, 0u);  // nothing probed, nothing exported
+}
+
+TEST(CrossQueryCacheTest, CacheNeedsMemoLayer) {
+  Database db = PathDbWithLastP(8);
+  auto f = MustParse(kReach);
+  AnswerCache cache;
+
+  // The cache piggybacks on the memo layer; with memo off it is inert.
+  BoundedEvalOptions no_memo;
+  no_memo.answer_cache = &cache;
+  no_memo.memo = false;
+  EvalStats stats;
+  const AssignmentSet got = MustEval(db, 3, f, no_memo, &stats);
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.cache_misses, 0u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+
+  BoundedEvalOptions off;
+  off.cross_query_cache = false;
+  EXPECT_TRUE(got == MustEval(db, 3, f, off));
+}
+
+TEST(CrossQueryCacheTest, EnvironmentDependentSubtreesStayPerQuery) {
+  Database db = PathDbWithLastP(8);
+  AnswerCache cache;
+  BoundedEvalOptions on;
+  on.answer_cache = &cache;
+
+  // T is fixpoint-bound inside the body: the body's memo entries carry
+  // nonzero version signatures and must never be exported. Only the
+  // db-resolved subtrees (and the closed root) are cacheable.
+  auto f = MustParse(kReach);
+  MustEval(db, 3, f, on);
+  const auto exported = cache.stats().entries;
+  EXPECT_GT(exported, 0u);
+
+  // Re-running yields hits only for those db-resolved entries, and the
+  // answer stays byte-identical.
+  EvalStats stats;
+  const AssignmentSet warm = MustEval(db, 3, f, on, &stats);
+  EXPECT_GT(stats.cache_hits, 0u);
+  BoundedEvalOptions off;
+  off.cross_query_cache = false;
+  EXPECT_TRUE(warm == MustEval(db, 3, f, off));
+}
+
+}  // namespace
+}  // namespace bvq

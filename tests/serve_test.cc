@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <fstream>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -565,6 +566,164 @@ TEST(ServeProtocolTest, FullSessionConversation) {
   ASSERT_EQ(after.size(), 1u);
   EXPECT_NE(after[0].find("stats sessions=0"), std::string::npos) << after[0];
   EXPECT_NE(after[0].find("reserved_bytes=0"), std::string::npos) << after[0];
+}
+
+// --- cross-query answer cache through the server ---------------------------
+
+TEST(ServeCacheTest, WarmHitIsByteIdenticalAndCounted) {
+  Server server;
+  ASSERT_TRUE(server.Open("s", SessionOptions{}, CycleDb(6)).ok());
+
+  const EvalOutcome cold = server.EvalSync("s", kTcQuery);
+  ASSERT_TRUE(cold.status.ok()) << cold.status.ToString();
+  EXPECT_EQ(cold.eval_stats.cache_hits, 0u);
+  EXPECT_GT(cold.eval_stats.cache_misses, 0u);
+
+  const EvalOutcome warm = server.EvalSync("s", kTcQuery);
+  ASSERT_TRUE(warm.status.ok()) << warm.status.ToString();
+  EXPECT_GT(warm.eval_stats.cache_hits, 0u);
+  EXPECT_EQ(warm.payload, cold.payload);
+
+  // Cache off reproduces the same bytes (the seed evaluation path).
+  SessionOptions no_cache;
+  no_cache.cross_query_cache = false;
+  ASSERT_TRUE(server.Open("ref", no_cache, CycleDb(6)).ok());
+  const EvalOutcome ref = server.EvalSync("ref", kTcQuery);
+  ASSERT_TRUE(ref.status.ok());
+  EXPECT_EQ(ref.eval_stats.cache_hits, 0u);
+  EXPECT_EQ(ref.eval_stats.cache_misses, 0u);
+  EXPECT_EQ(ref.payload, cold.payload);
+}
+
+TEST(ServeCacheTest, LoadInvalidatesByVersionWithoutFlushing) {
+  Server server;
+  std::vector<std::string> chunks;
+  std::mutex mu;
+  auto emit = [&](const std::string& chunk) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.push_back(chunk);
+  };
+  ASSERT_TRUE(server.Open("s", SessionOptions{}, CycleDb(6)).ok());
+  const EvalOutcome before = server.EvalSync("s", kTcQuery);
+  ASSERT_TRUE(before.status.ok());
+  auto session = server.sessions().Get("s");
+  ASSERT_TRUE(session.ok());
+  const auto resident = (*session)->cache()->stats().entries;
+  EXPECT_GT(resident, 0u);
+
+  // Reload the database mid-session: a path instead of a cycle. Entries
+  // stay resident (no flush) but every key carries a dead version.
+  Database path(6);
+  ASSERT_TRUE(path.AddRelation("E", PathGraph(6)).ok());
+  const std::string file = ::testing::TempDir() + "/bvq_cache_load.db";
+  {
+    std::ofstream out(file);
+    ASSERT_TRUE(out.good());
+    out << path.ToString();
+  }
+  server.HandleLine("load s " + file, emit);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    ASSERT_EQ(chunks.size(), 1u);
+    EXPECT_EQ(chunks[0], "ok load s\n") << chunks[0];
+  }
+  EXPECT_EQ((*session)->cache()->stats().entries, resident);
+
+  // Stale E-dependent keys never match the reloaded relation's version, so
+  // the fixpoint recomputes (misses); only relation-free subtrees (the
+  // x1 = x3 equality) may still hit — their answers depend on the domain
+  // alone, which the load preserved.
+  const EvalOutcome after = server.EvalSync("s", kTcQuery);
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_GT(after.eval_stats.cache_misses, 0u);
+  EXPECT_NE(after.payload, before.payload);
+
+  // The served answer matches a direct evaluator run on the new database.
+  auto query = ParseQuery(kTcQuery);
+  ASSERT_TRUE(query.ok());
+  BoundedEvaluator direct(path, 3);
+  auto expected = direct.EvaluateQuery(*query);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(after.payload, FormatRelation(*expected, 20));
+}
+
+TEST(ServeCacheTest, ProtocolCacheCommandAndStatsCounters) {
+  Server server;
+  std::vector<std::string> chunks;
+  std::mutex mu;
+  auto emit = [&](const std::string& chunk) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.push_back(chunk);
+  };
+  server.HandleLine("open s k=3 cache=1 cache-mb=8", emit);
+  server.HandleLine("domain s 6", emit);
+  server.HandleLine("rel s E/2 0 1 ; 1 2 ; 2 3 ; 3 4 ; 4 5 ; 5 0 ;", emit);
+  server.HandleLine("eval 1 s " + std::string(kTcQuery), emit);
+  server.HandleLine("drain", emit);
+  server.HandleLine("eval 2 s " + std::string(kTcQuery), emit);
+  server.HandleLine("drain", emit);
+  server.HandleLine("stats s", emit);
+  server.HandleLine("cache s off", emit);
+  server.HandleLine("cache s clear", emit);
+  server.HandleLine("cache s on", emit);
+  server.HandleLine("cache s sideways", emit);
+  server.HandleLine("cache nowhere on", emit);
+  server.HandleLine("cache", emit);
+
+  std::string all;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    for (const auto& chunk : chunks) all += chunk;
+  }
+  EXPECT_NE(all.find("ok open s\n"), std::string::npos) << all;
+  EXPECT_NE(all.find("result 1 ok\n"), std::string::npos) << all;
+  EXPECT_NE(all.find("result 2 ok\n"), std::string::npos) << all;
+  // The per-session stats line reports the evaluator and cache counters:
+  // the replayed query was served from the cross-query cache.
+  EXPECT_NE(all.find(" memo_hits="), std::string::npos) << all;
+  EXPECT_NE(all.find(" memo_misses="), std::string::npos) << all;
+  EXPECT_NE(all.find(" cache=1 "), std::string::npos) << all;
+  EXPECT_EQ(all.find(" cache_hits=0 "), std::string::npos) << all;
+  EXPECT_NE(all.find(" cache_entries="), std::string::npos) << all;
+  EXPECT_NE(all.find("ok cache s off\n"), std::string::npos) << all;
+  EXPECT_NE(all.find("ok cache s clear\n"), std::string::npos) << all;
+  EXPECT_NE(all.find("ok cache s on\n"), std::string::npos) << all;
+  EXPECT_NE(all.find("err cache s: expected on|off|clear"), std::string::npos)
+      << all;
+  EXPECT_NE(all.find("err cache nowhere:"), std::string::npos) << all;
+  EXPECT_NE(all.find("err cache: expected <session> on|off|clear"),
+            std::string::npos)
+      << all;
+
+  // After `cache s clear` + `cache s on`, the cache is empty but live.
+  auto session = server.sessions().Get("s");
+  ASSERT_TRUE(session.ok());
+  EXPECT_TRUE((*session)->cache_enabled());
+  EXPECT_EQ((*session)->cache()->stats().entries, 0u);
+}
+
+TEST(ServeCacheTest, CacheOffSessionNeverTouchesCache) {
+  Server server;
+  SessionOptions options;
+  options.cross_query_cache = false;
+  ASSERT_TRUE(server.Open("s", options, CycleDb(6)).ok());
+  const EvalOutcome a = server.EvalSync("s", kTcQuery);
+  const EvalOutcome b = server.EvalSync("s", kTcQuery);
+  ASSERT_TRUE(a.status.ok());
+  ASSERT_TRUE(b.status.ok());
+  EXPECT_EQ(a.payload, b.payload);
+  auto session = server.sessions().Get("s");
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ((*session)->cache()->stats().entries, 0u);
+  EXPECT_EQ((*session)->cache_hits.load(), 0u);
+  EXPECT_EQ((*session)->cache_misses.load(), 0u);
+
+  // Flipping the switch mid-session starts populating the same cache.
+  (*session)->set_cache_enabled(true);
+  const EvalOutcome c = server.EvalSync("s", kTcQuery);
+  ASSERT_TRUE(c.status.ok());
+  EXPECT_EQ(c.payload, a.payload);
+  EXPECT_GT((*session)->cache()->stats().entries, 0u);
 }
 
 TEST(ServeProtocolTest, StrictNumericParsingRejectsGarbage) {

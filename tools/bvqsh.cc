@@ -12,6 +12,10 @@
 //   pfp hash|floyd              PFP cycle detection (default hash)
 //   threads <n>                 evaluator thread count (0 = auto, 1 = serial)
 //   memo on|off                 subformula memoization (default on)
+//   cache on|off|clear          cross-query answer cache for `eval`
+//                               (default on; `clear` drops resident
+//                               entries — db mutations never need it,
+//                               relation versions invalidate by key)
 //   stats on|off                print memo/hoist counters after eval
 //   deadline <ms>               per-query wall-clock deadline (0 = none)
 //   membudget <mb>              per-query memory budget in MiB (0 = none)
@@ -20,7 +24,7 @@
 //                               current db, k, options; keys: k, threads,
 //                               deadline-ms, mem-budget-mb,
 //                               session-deadline-ms, session-mem-budget-mb,
-//                               reserve-mb)
+//                               reserve-mb, cache, cache-mb)
 //   session eval <name> <query> evaluate through the serving layer
 //                               (admission + composite session token)
 //   session stats [<name>]      admission / per-session counters
@@ -36,14 +40,17 @@
 //
 // Flags: --threads=N sets the initial thread count (same as the `threads`
 // command; results are byte-identical for every N), --memo=0|1 the
-// memoization switch, --eso-incremental=0|1 the ESO sweep mode (same as
-// the `esoinc` command; answers are byte-identical either way), and
-// --stats turns the counter printout on. --deadline-ms=N and
-// --mem-budget-mb=N (also accepted as "--deadline-ms N" /
-// "--mem-budget-mb N") arm a per-query ResourceGovernor: a query that
+// memoization switch, --cross-query-cache=0|1 the shell-lifetime answer
+// cache consulted by `eval` across queries (same as the `cache` command;
+// answers are byte-identical either way), --eso-incremental=0|1 the ESO
+// sweep mode (same as the `esoinc` command; answers are byte-identical
+// either way), and --stats turns the counter printout on. --deadline-ms=N
+// and --mem-budget-mb=N arm a per-query ResourceGovernor: a query that
 // overruns returns DeadlineExceeded / ResourceExhausted with partial stats
 // and the process exits nonzero. With --stats, a `resource` line reports
-// the predicted memory bound next to the observed peak.
+// the predicted memory bound next to the observed peak. Every numeric
+// flag accepts "--flag=N" or "--flag N" and strict-parses N (garbage is a
+// usage error, not a silent 0).
 //
 // Every evaluator or parse error is reported on stderr with the offending
 // query and makes the process exit nonzero (script mode keeps executing
@@ -68,6 +75,7 @@
 
 #include "datalog/datalog.h"
 #include "db/database.h"
+#include "eval/answer_cache.h"
 #include "eval/bounded_eval.h"
 #include "eval/eso_eval.h"
 #include "eval/naive_eval.h"
@@ -85,6 +93,11 @@ struct ShellState {
   BoundedEvalOptions options;
   EsoEvalOptions eso_options;
   ResourceGovernor::Limits limits;  // per-query deadline / memory budget
+  // Shell-lifetime cross-query answer cache for the direct `eval` command
+  // (served sessions own their own). Safe across `load`/`rel` mutations:
+  // keys carry relation versions, so stale entries stop matching.
+  AnswerCache answer_cache;
+  bool cross_query_cache = true;
   bool print_stats = false;  // extra memo/hoist counter line after eval
   bool had_error = false;    // any error seen; drives the exit code
   std::string pending_rel_lines;  // accumulated "rel" lines for ParseDatabase
@@ -316,6 +329,16 @@ bool HandleLine(ShellState& state, const std::string& line) {
     std::printf("memo = %s\n", state.options.memo ? "on" : "off");
     return true;
   }
+  if (cmd == "cache") {
+    if (rest.find("clear") != std::string::npos) {
+      state.answer_cache.Clear();
+      std::printf("cache cleared\n");
+    } else {
+      state.cross_query_cache = rest.find("off") == std::string::npos;
+      std::printf("cache = %s\n", state.cross_query_cache ? "on" : "off");
+    }
+    return true;
+  }
   if (cmd == "stats") {
     state.print_stats = rest.find("off") == std::string::npos;
     std::printf("stats = %s\n", state.print_stats ? "on" : "off");
@@ -401,6 +424,10 @@ bool HandleLine(ShellState& state, const std::string& line) {
           so.session_limits.mem_budget_bytes = value << 20;
         } else if (key == "reserve-mb") {
           so.admission_reserve_bytes = value << 20;
+        } else if (key == "cache") {
+          so.cross_query_cache = value != 0;
+        } else if (key == "cache-mb") {
+          so.cache_max_bytes = value << 20;
         } else {
           Fail(state, "session open " + name, "unknown option '" + kv + "'");
           return true;
@@ -497,6 +524,8 @@ bool HandleLine(ShellState& state, const std::string& line) {
     if (cmd == "eval") {
       BoundedEvalOptions options = state.options;
       options.governor = gov;
+      options.answer_cache = &state.answer_cache;
+      options.cross_query_cache = state.cross_query_cache;
       BoundedEvaluator eval(state.db, state.num_vars, options);
       auto result = eval.EvaluateQuery(*query);
       const auto stop = now();
@@ -520,6 +549,12 @@ bool HandleLine(ShellState& state, const std::string& line) {
             state.options.memo ? "on" : "off", eval.stats().memo_hits,
             eval.stats().memo_misses, eval.stats().invariant_hoists,
             eval.stats().iterate_copies_avoided);
+        std::printf(
+            "  [cache %s: %zu hits / %zu misses, %zu evictions, "
+            "%zu B resident]\n",
+            state.cross_query_cache && state.options.memo ? "on" : "off",
+            eval.stats().cache_hits, eval.stats().cache_misses,
+            eval.stats().cache_evictions, eval.stats().cache_bytes);
       }
       if (gov != nullptr && (state.print_stats || !result.ok())) {
         PrintResourceStats(governor.stats());
@@ -644,43 +679,51 @@ int main(int argc, char** argv) {
   std::istream* input = &std::cin;
   std::ifstream script;
   const char* script_path = nullptr;
-  // Accepts both "--flag=N" and "--flag N" for the numeric flags.
+  bool flag_error = false;
+  // Accepts both "--flag=N" and "--flag N" for the numeric flags, and
+  // strict-parses N: any non-numeric token is a usage error, never a
+  // silent 0.
   auto numeric_flag = [&](int* i, const std::string& arg,
                           const std::string& name,
-                          unsigned long long* out) -> bool {
+                          std::size_t* out) -> bool {
+    std::string token;
     if (arg.rfind(name + "=", 0) == 0) {
-      *out = std::strtoull(arg.c_str() + name.size() + 1, nullptr, 10);
-      return true;
+      token = arg.substr(name.size() + 1);
+    } else if (arg == name && *i + 1 < argc) {
+      token = argv[++*i];
+    } else {
+      return false;
     }
-    if (arg == name && *i + 1 < argc) {
-      *out = std::strtoull(argv[++*i], nullptr, 10);
-      return true;
+    if (!ParseSizeT(token, out)) {
+      std::fprintf(stderr, "bvqsh: %s expects a non-negative integer, got %s\n",
+                   name.c_str(), token.c_str());
+      flag_error = true;
     }
-    return false;
+    return true;
   };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    unsigned long long v = 0;
-    if (arg.rfind("--threads=", 0) == 0) {
-      state.options.num_threads =
-          static_cast<std::size_t>(std::strtoull(arg.c_str() + 10, nullptr, 10));
-      state.eso_options.num_threads = state.options.num_threads;
-    } else if (arg.rfind("--memo=", 0) == 0) {
-      state.options.memo = std::strtoull(arg.c_str() + 7, nullptr, 10) != 0;
-    } else if (arg.rfind("--eso-incremental=", 0) == 0) {
-      state.eso_options.incremental =
-          std::strtoull(arg.c_str() + 18, nullptr, 10) != 0;
+    std::size_t v = 0;
+    if (numeric_flag(&i, arg, "--threads", &v)) {
+      state.options.num_threads = v;
+      state.eso_options.num_threads = v;
+    } else if (numeric_flag(&i, arg, "--memo", &v)) {
+      state.options.memo = v != 0;
+    } else if (numeric_flag(&i, arg, "--cross-query-cache", &v)) {
+      state.cross_query_cache = v != 0;
+    } else if (numeric_flag(&i, arg, "--eso-incremental", &v)) {
+      state.eso_options.incremental = v != 0;
     } else if (numeric_flag(&i, arg, "--deadline-ms", &v)) {
       state.limits.deadline_ms = v;
     } else if (numeric_flag(&i, arg, "--mem-budget-mb", &v)) {
-      state.limits.mem_budget_bytes =
-          static_cast<std::size_t>(v) * (std::size_t{1} << 20);
+      state.limits.mem_budget_bytes = v * (std::size_t{1} << 20);
     } else if (arg == "--stats") {
       state.print_stats = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: bvqsh [--threads=N] [--memo=0|1] [--eso-incremental=0|1] "
-          "[--deadline-ms=N] [--mem-budget-mb=N] [--stats] [script]\n");
+          "usage: bvqsh [--threads=N] [--memo=0|1] [--cross-query-cache=0|1] "
+          "[--eso-incremental=0|1] [--deadline-ms=N] [--mem-budget-mb=N] "
+          "[--stats] [script]\n");
       return 0;
     } else if (script_path == nullptr) {
       script_path = argv[i];
@@ -689,6 +732,7 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  if (flag_error) return 1;
   if (script_path != nullptr) {
     script.open(script_path);
     if (!script) {

@@ -144,6 +144,84 @@ serve_smoke() {
   rm -rf "$tmp"
 }
 
+# Cross-query answer-cache smoke: a replayed fixpoint query must be served
+# from the session cache (nonzero cache hits in the stats line) with output
+# byte-identical to a --cross-query-cache=0 run, and a mid-session `load`
+# through bvqserve must invalidate by relation version — the replay before
+# the load hits and reproduces the first answer exactly, the eval after the
+# load recomputes against the new database.
+cache_smoke() {
+  local bvqsh="$1/tools/bvqsh" bvqserve="$1/tools/bvqserve" tmp rc=0 i
+  local tc='(x1,x2) [lfp T(x1,x2) . E(x1,x2) | exists x3 . (E(x1,x3) & exists x1 . (x1 = x3 & T(x1,x2)))](x1,x2)'
+  tmp=$(mktemp -d)
+  echo "== cross-query cache smoke ($1) =="
+  { printf 'domain 10\nrel E/2'
+    for ((i = 0; i < 10; i++)); do printf ' %d %d ;' "$i" "$(((i + 1) % 10))"; done
+    printf '\nrel P/1 0 ;\n'
+    printf 'eval (x1) [lfp T(x1) . P(x1) | exists x2 . (E(x1,x2) & T(x2))](x1)\n'
+    printf 'eval (x1) [lfp T(x1) . P(x1) | exists x2 . (E(x1,x2) & T(x2))](x1)\n'
+  } > "$tmp/warm.bvq"
+  "$bvqsh" --stats "$tmp/warm.bvq" > "$tmp/warm.out"
+  if ! grep -q '^  \[cache on: [1-9]' "$tmp/warm.out"; then
+    echo "cache smoke: replayed query never hit the cache" >&2
+    cat "$tmp/warm.out" >&2; exit 1
+  fi
+  "$bvqsh" --cross-query-cache=0 "$tmp/warm.bvq" > "$tmp/off.out"
+  # Timing/stats lines lead with "  [" and are the only permitted diff.
+  if ! diff <(grep -v '^  \[' "$tmp/warm.out") \
+            <(grep -v '^  \[' "$tmp/off.out"); then
+    echo "cache smoke: cached answers differ from the cache-off run" >&2
+    exit 1
+  fi
+  echo "   bvqsh replay hit the cache, byte-identical to cache-off"
+
+  { printf 'domain 10\nrel E/2'
+    for ((i = 0; i < 10; i++)); do printf ' %d %d ;' "$i" "$(((i + 1) % 10))"; done
+    printf '\n'; } > "$tmp/cycle.bvq"
+  { printf 'domain 10\nrel E/2'
+    for ((i = 0; i < 9; i++)); do printf ' %d %d ;' "$i" "$((i + 1))"; done
+    printf '\n'; } > "$tmp/path.bvq"
+  {
+    printf 'open s k=3\n'
+    printf 'load s %s/cycle.bvq\n' "$tmp"
+    printf 'eval 1 s %s\ndrain\n' "$tc"
+    printf 'eval 2 s %s\ndrain\n' "$tc"
+    printf 'stats s\n'
+    printf 'load s %s/path.bvq\n' "$tmp"
+    printf 'eval 3 s %s\ndrain\n' "$tc"
+    printf 'close s\nquit\n'
+  } > "$tmp/script.bvqserve"
+  "$bvqserve" "$tmp/script.bvqserve" > "$tmp/serve.out" 2>&1 || rc=$?
+  if [[ $rc -ne 0 ]]; then
+    echo "cache smoke: bvqserve exited with $rc" >&2
+    cat "$tmp/serve.out" >&2; exit 1
+  fi
+  for i in 1 2 3; do
+    if ! grep -q "^result $i ok$" "$tmp/serve.out"; then
+      echo "cache smoke: eval $i did not complete ok" >&2
+      cat "$tmp/serve.out" >&2; exit 1
+    fi
+  done
+  if ! grep -q " cache_hits=[1-9]" "$tmp/serve.out"; then
+    echo "cache smoke: session stats report no cache hits" >&2
+    cat "$tmp/serve.out" >&2; exit 1
+  fi
+  payload() {
+    awk -v id="$1" '$0 == "end " id {p=0} p {print} $0 == "result " id " ok" {p=1}' \
+        "$tmp/serve.out"
+  }
+  if [[ "$(payload 1)" != "$(payload 2)" ]]; then
+    echo "cache smoke: warm replay differs from the cold answer" >&2
+    cat "$tmp/serve.out" >&2; exit 1
+  fi
+  if [[ "$(payload 1)" == "$(payload 3)" ]]; then
+    echo "cache smoke: eval after load served a stale answer" >&2
+    cat "$tmp/serve.out" >&2; exit 1
+  fi
+  echo "   bvqserve warm hit counted, load invalidated by version"
+  rm -rf "$tmp"
+}
+
 run_plain=1
 run_tsan=1
 run_asan=1
@@ -169,6 +247,7 @@ if [[ $run_plain -eq 1 ]]; then
       --out="$ROOT/build/BENCH_eso_smoke.json"
   resource_smoke "$ROOT/build"
   serve_smoke "$ROOT/build"
+  cache_smoke "$ROOT/build"
 fi
 
 if [[ $run_tsan -eq 1 ]]; then
@@ -178,6 +257,7 @@ if [[ $run_tsan -eq 1 ]]; then
   (cd "$ROOT/build-tsan" && BVQ_THREADS=4 ctest --output-on-failure -j"$(nproc)")
   BVQ_THREADS=4 resource_smoke "$ROOT/build-tsan"
   BVQ_THREADS=4 serve_smoke "$ROOT/build-tsan"
+  BVQ_THREADS=4 cache_smoke "$ROOT/build-tsan"
 fi
 
 if [[ $run_asan -eq 1 ]]; then
@@ -190,6 +270,7 @@ if [[ $run_asan -eq 1 ]]; then
       --out="$ROOT/build-asan/BENCH_eso_smoke.json"
   resource_smoke "$ROOT/build-asan"
   serve_smoke "$ROOT/build-asan"
+  cache_smoke "$ROOT/build-asan"
 fi
 
 echo "check.sh: all requested passes green"
