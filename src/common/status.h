@@ -21,6 +21,7 @@ enum class StatusCode {
   kResourceExhausted,
   kDeadlineExceeded,  // wall-clock deadline tripped (ResourceGovernor)
   kCancelled,         // explicit Cancel() — client disconnect, remote abort
+  kUnavailable,       // backend gone (sharded serving: worker process down)
   kInternal,
 };
 
@@ -60,6 +61,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -460,8 +460,15 @@ void Server::HandleLine(const std::string& line, const Emit& emit) {
     }
     std::string query;
     std::getline(is, query);
+    // A fast eval on another lane could emit its result block before this
+    // thread emits the submit ack; the gate pins the protocol order
+    // (ack, then block) so clients — and the shard router, whose
+    // byte-identity contract depends on it — never see them swapped.
+    auto acked = std::make_shared<std::promise<void>>();
+    std::shared_future<void> gate = acked->get_future().share();
     Status s = EvalAsyncWithId(
-        id, name, query, [this, emit, id](const EvalOutcome& o) {
+        id, name, query, [this, emit, id, gate](const EvalOutcome& o) {
+          gate.wait();
           std::string block;
           if (o.status.ok()) {
             block = StrCat("result ", id, " ok\n", o.payload, "end ", id,
@@ -473,8 +480,13 @@ void Server::HandleLine(const std::string& line, const Emit& emit) {
           }
           EmitChunk(emit, block);
         });
-    if (!s.ok()) return err(StrCat("eval ", id, ": ", s.ToString()));
-    return ok(StrCat("eval ", id));
+    if (!s.ok()) {
+      acked->set_value();
+      return err(StrCat("eval ", id, ": ", s.ToString()));
+    }
+    ok(StrCat("eval ", id));
+    acked->set_value();
+    return;
   }
   if (cmd == "cancel") {
     std::string id_tok;

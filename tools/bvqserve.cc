@@ -23,18 +23,31 @@
 //                          (sessions, admission, executor). A client
 //                          disconnect cancels that connection's in-flight
 //                          queries (remote cancellation via CancelHandle).
+//   bvqserve --shards=N    router mode (DESIGN.md §12): fork/exec N worker
+//                          processes, hash each session onto one, forward
+//                          its lines there, demultiplex result blocks back.
+//                          --aggregate-mb / --max-concurrent are split
+//                          across the workers; `stats` with no session is
+//                          consolidated across the fleet. Composes with
+//                          --port and script mode.
+//   bvqserve --cancel-fd=N worker mode (spawned by the router; not for
+//                          interactive use): serve requests from fd 0,
+//                          cancels from fd N, responses to fd 1.
 //
 // Admission flags: --aggregate-mb=N (aggregate memory budget handed out to
 // admitted queries), --max-concurrent=N, --queue-wait-ms=N (0 = reject
 // instead of queue), --queue-max=N, --lanes=N (executor threads).
 
+#include <algorithm>
 #include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -42,11 +55,13 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include "common/strings.h"
 #include "serve/server.h"
+#include "serve/shard.h"
 
 namespace {
 
@@ -61,16 +76,142 @@ bool EvalRequestId(const std::string& line, std::size_t* id) {
   return ParseSizeT(tok, id);
 }
 
-void ServeStream(serve::Server& server, std::istream& in,
-                 const serve::Server::Emit& emit) {
-  std::string line;
-  while (!server.closed() && std::getline(in, line)) {
-    server.HandleLine(line, emit);
-  }
-  server.Drain();
+// Extracts the query id from the first line of a "result <id> ..." block.
+bool ResultBlockId(const std::string& chunk, std::size_t* id) {
+  if (chunk.rfind("result ", 0) != 0) return false;
+  std::istringstream is(chunk);
+  std::string cmd, tok;
+  return (is >> cmd >> tok) && ParseSizeT(tok, id);
 }
 
-int ServeTcp(serve::Server& server, int port) {
+// What the stream and TCP loops serve: either a single in-process Server or
+// a ShardRouter over N worker processes, behind one seam so the front ends
+// (and their disconnect-cancellation semantics) are written once.
+class FrontEnd {
+ public:
+  using Emit = std::function<void(const std::string&)>;
+  using Conn = std::shared_ptr<void>;
+
+  virtual ~FrontEnd() = default;
+  virtual Conn Connect(Emit emit) = 0;
+  /// Handles one request line; the control response (if any) is emitted
+  /// before this returns. Result blocks arrive on the connection's emit.
+  virtual void Handle(const Conn& conn, const std::string& line) = 0;
+  /// Client went away: cancel whatever it left in flight.
+  virtual void Disconnect(const Conn& conn) = 0;
+  virtual bool closed() const = 0;
+  /// End of input (stream mode): block until in-flight work is delivered.
+  virtual void Drain() = 0;
+};
+
+class ServerFrontEnd : public FrontEnd {
+ public:
+  explicit ServerFrontEnd(serve::Server& server) : server_(server) {}
+
+  Conn Connect(Emit emit) override {
+    auto conn = std::make_shared<ConnState>();
+    conn->emit = std::move(emit);
+    return conn;
+  }
+
+  void Handle(const Conn& opaque, const std::string& line) override {
+    auto conn = std::static_pointer_cast<ConnState>(opaque);
+    std::size_t id = 0;
+    if (EvalRequestId(line, &id)) {
+      std::lock_guard<std::mutex> lock(conn->mutex);
+      // Completed ids are dead weight on a long-lived connection: drop them
+      // (and their done-markers) before registering the new one. A reused
+      // id sheds its stale marker too, or its new run would never be
+      // cancelled on disconnect.
+      auto& evals = conn->my_evals;
+      for (auto it = evals.begin(); it != evals.end();) {
+        if (conn->done.erase(*it) > 0) {
+          it = evals.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      conn->done.erase(id);
+      evals.push_back(id);
+    }
+    // The wrapper keeps the connection state alive for as long as a late
+    // completion block can fire, and records which ids came back so the
+    // disconnect path only cancels genuinely unfinished work.
+    server_.HandleLine(line, [conn](const std::string& chunk) {
+      std::size_t done_id = 0;
+      if (ResultBlockId(chunk, &done_id)) {
+        std::lock_guard<std::mutex> lock(conn->mutex);
+        conn->done.insert(done_id);
+      }
+      conn->emit(chunk);
+    });
+  }
+
+  void Disconnect(const Conn& opaque) override {
+    auto conn = std::static_pointer_cast<ConnState>(opaque);
+    std::vector<std::size_t> live;
+    {
+      std::lock_guard<std::mutex> lock(conn->mutex);
+      for (const std::size_t id : conn->my_evals) {
+        if (conn->done.count(id) == 0) live.push_back(id);
+      }
+    }
+    // Races with completion are benign: a just-finished query comes back
+    // NotFound, which is exactly what we want.
+    for (const std::size_t id : live) {
+      (void)server_.Cancel(id, "client disconnected");
+    }
+  }
+
+  bool closed() const override { return server_.closed(); }
+  void Drain() override { server_.Drain(); }
+
+ private:
+  struct ConnState {
+    Emit emit;
+    std::mutex mutex;                 // guards my_evals / done
+    std::vector<std::size_t> my_evals;
+    std::set<std::size_t> done;       // ids whose result block was emitted
+  };
+
+  serve::Server& server_;
+};
+
+class RouterFrontEnd : public FrontEnd {
+ public:
+  explicit RouterFrontEnd(serve::ShardRouter& router) : router_(router) {}
+
+  Conn Connect(Emit emit) override {
+    return router_.NewClient(std::move(emit));
+  }
+  void Handle(const Conn& conn, const std::string& line) override {
+    router_.HandleLine(
+        std::static_pointer_cast<serve::ShardRouter::Client>(conn), line);
+  }
+  void Disconnect(const Conn& conn) override {
+    router_.DetachClient(
+        std::static_pointer_cast<serve::ShardRouter::Client>(conn));
+  }
+  bool closed() const override { return router_.closed(); }
+  // Shutdown sends quit to every worker; each drains its in-flight queries
+  // and the remaining result blocks flow back through the readers before
+  // the workers' EOF, so stream mode loses nothing.
+  void Drain() override { router_.Shutdown(); }
+
+ private:
+  serve::ShardRouter& router_;
+};
+
+void ServeStream(FrontEnd& fe, std::istream& in, const FrontEnd::Emit& emit) {
+  const FrontEnd::Conn conn = fe.Connect(emit);
+  std::string line;
+  while (!fe.closed() && std::getline(in, line)) {
+    fe.Handle(conn, line);
+  }
+  fe.Drain();
+}
+
+int ServeTcp(FrontEnd& fe, int port) {
   const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listener < 0) {
     std::perror("bvqserve: socket");
@@ -88,12 +229,44 @@ int ServeTcp(serve::Server& server, int port) {
     ::close(listener);
     return 1;
   }
+  // --port=0 asks the kernel for an ephemeral port; report the one we got
+  // so a test harness can parse it instead of guessing.
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listener, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port = ntohs(bound.sin_port);
+  }
   std::fprintf(stderr, "bvqserve: listening on 127.0.0.1:%d\n", port);
+
+  struct ConnState {
+    std::mutex mutex;
+    int fd = -1;
+    bool open = true;
+  };
+  std::mutex conns_mutex;
+  std::vector<std::shared_ptr<ConnState>> conns;
   std::vector<std::thread> handlers;
-  while (true) {
+  // Poll with a timeout so a `quit` handled on some connection thread stops
+  // the listener too: accepting after close would hand new clients a dead
+  // server.
+  while (!fe.closed()) {
+    pollfd pfd{listener, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
     const int conn = ::accept(listener, nullptr, nullptr);
     if (conn < 0) break;
-    handlers.emplace_back([&server, conn] {
+    auto state = std::make_shared<ConnState>();
+    state->fd = conn;
+    {
+      std::lock_guard<std::mutex> lock(conns_mutex);
+      conns.push_back(state);
+    }
+    handlers.emplace_back([&fe, state] {
       // The write side outlives the handler: eval done-callbacks capture it
       // and may fire after disconnect (cancellation is asynchronous, so a
       // cancelled query can still complete later). Every send is guarded by
@@ -101,13 +274,6 @@ int ServeTcp(serve::Server& server, int port) {
       // mutex before ::close(conn), so a late completion block is a no-op —
       // it can neither write to a closed descriptor nor leak into an
       // unrelated connection that recycled the fd number.
-      struct ConnState {
-        std::mutex mutex;
-        int fd;
-        bool open = true;
-      };
-      auto state = std::make_shared<ConnState>();
-      state->fd = conn;
       auto write_all = [state](const std::string& chunk) {
         std::lock_guard<std::mutex> lock(state->mutex);
         if (!state->open) return;  // client gone; drop the chunk
@@ -115,48 +281,57 @@ int ServeTcp(serve::Server& server, int port) {
         while (off < chunk.size()) {
           const ssize_t n = ::send(state->fd, chunk.data() + off,
                                    chunk.size() - off, MSG_NOSIGNAL);
-          if (n <= 0) return;  // peer gone; its queries get cancelled below
+          if (n <= 0) {
+            // Latch closed: without this every later block would retry the
+            // dead socket, and the disconnect path would still think the
+            // client might hear a cancellation result.
+            state->open = false;
+            return;
+          }
           off += static_cast<std::size_t>(n);
         }
       };
-      std::vector<std::size_t> my_evals;
+      const FrontEnd::Conn fe_conn = fe.Connect(write_all);
       std::string buffer, line;
       char chunk[4096];
       bool open = true;
-      while (open) {
-        const ssize_t n = ::recv(conn, chunk, sizeof(chunk), 0);
+      while (open && !fe.closed()) {
+        const ssize_t n = ::recv(state->fd, chunk, sizeof(chunk), 0);
         if (n <= 0) break;
         buffer.append(chunk, static_cast<std::size_t>(n));
         std::size_t nl;
         while ((nl = buffer.find('\n')) != std::string::npos) {
           line = buffer.substr(0, nl);
           buffer.erase(0, nl + 1);
-          if (StripAsciiWhitespace(line) == "quit") {
-            write_all("ok quit\n");
+          fe.Handle(fe_conn, line);
+          if (fe.closed()) {
             open = false;
             break;
           }
-          std::size_t id = 0;
-          if (EvalRequestId(line, &id)) my_evals.push_back(id);
-          server.HandleLine(line, write_all);
         }
       }
-      // Client disconnect → Cancel() for whatever it left running. Completed
-      // queries come back NotFound, which is exactly what we want.
-      for (std::size_t id : my_evals) {
-        (void)server.Cancel(id, "client disconnected");
-      }
+      // Client disconnect → cancel whatever it left running.
+      fe.Disconnect(fe_conn);
       // Close the write side before the fd: once `open` drops under the
       // mutex, no in-progress send holds the fd and no future one starts.
       {
         std::lock_guard<std::mutex> lock(state->mutex);
         state->open = false;
       }
-      ::close(conn);
+      ::close(state->fd);
     });
   }
-  for (auto& handler : handlers) handler.join();
   ::close(listener);
+  // Kick every connection still blocked in recv so its handler unwinds;
+  // the handler owns the close.
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex);
+    for (const auto& state : conns) {
+      std::lock_guard<std::mutex> conn_lock(state->mutex);
+      if (state->open) ::shutdown(state->fd, SHUT_RDWR);
+    }
+  }
+  for (auto& handler : handlers) handler.join();
   return 0;
 }
 
@@ -165,7 +340,21 @@ int ServeTcp(serve::Server& server, int port) {
 int main(int argc, char** argv) {
   serve::ServeOptions options;
   int port = -1;
+  int cancel_fd = -1;
+  std::size_t shards = 0;
   const char* script_path = nullptr;
+  struct {
+    std::size_t aggregate_mb = 0;
+    std::size_t max_concurrent = 0;
+    std::size_t queue_wait_ms = 0;
+    std::size_t queue_max = 0;
+    std::size_t lanes = 0;
+    bool has_aggregate = false;
+    bool has_max_concurrent = false;
+    bool has_queue_wait = false;
+    bool has_queue_max = false;
+    bool has_lanes = false;
+  } raw;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value_of = [&](const char* name, std::size_t* out) {
@@ -179,20 +368,43 @@ int main(int argc, char** argv) {
     };
     std::size_t v = 0;
     if (value_of("--port", &v)) {
+      if (v > 65535) {
+        std::fprintf(stderr, "bvqserve: --port=%zu out of range (max 65535)\n",
+                     v);
+        return 2;
+      }
       port = static_cast<int>(v);
+    } else if (value_of("--shards", &v)) {
+      if (v == 0) {
+        std::fprintf(stderr, "bvqserve: --shards must be >= 1\n");
+        return 2;
+      }
+      shards = v;
+    } else if (value_of("--cancel-fd", &v)) {
+      cancel_fd = static_cast<int>(v);
     } else if (value_of("--aggregate-mb", &v)) {
       options.admission.aggregate_mem_budget_bytes = v << 20;
+      raw.aggregate_mb = v;
+      raw.has_aggregate = true;
     } else if (value_of("--max-concurrent", &v)) {
       options.admission.max_concurrent_queries = v;
+      raw.max_concurrent = v;
+      raw.has_max_concurrent = true;
     } else if (value_of("--queue-wait-ms", &v)) {
       options.admission.queue_wait_ms = v;
+      raw.queue_wait_ms = v;
+      raw.has_queue_wait = true;
     } else if (value_of("--queue-max", &v)) {
       options.admission.max_queue_length = v;
+      raw.queue_max = v;
+      raw.has_queue_max = true;
     } else if (value_of("--lanes", &v)) {
       options.executor_threads = v;
+      raw.lanes = v;
+      raw.has_lanes = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: bvqserve [--port=N] [--aggregate-mb=N] "
+          "usage: bvqserve [--port=N] [--shards=N] [--aggregate-mb=N] "
           "[--max-concurrent=N] [--queue-wait-ms=N] [--queue-max=N] "
           "[--lanes=N] [script]\n");
       return 0;
@@ -205,8 +417,20 @@ int main(int argc, char** argv) {
     }
   }
 
-  serve::Server server(options);
-  if (port >= 0) return ServeTcp(server, port);
+  if (cancel_fd >= 0) {
+    // Worker mode: the router owns our fds 0 (requests), 1 (responses) and
+    // `cancel_fd` (out-of-band cancels). Admission flags arrive pre-split.
+    if (shards != 0 || port >= 0 || script_path != nullptr) {
+      std::fprintf(stderr,
+                   "bvqserve: --cancel-fd (worker mode) cannot combine with "
+                   "--shards/--port/script\n");
+      return 2;
+    }
+    serve::Server server(options);
+    serve::ServeWorker(server, /*request_fd=*/0, cancel_fd,
+                       /*response_fd=*/1);
+    return 0;
+  }
 
   std::mutex stdout_mutex;
   auto emit = [&stdout_mutex](const std::string& chunk) {
@@ -214,15 +438,62 @@ int main(int argc, char** argv) {
     std::fwrite(chunk.data(), 1, chunk.size(), stdout);
     std::fflush(stdout);
   };
-  if (script_path != nullptr) {
-    std::ifstream script(script_path);
-    if (!script) {
-      std::fprintf(stderr, "bvqserve: cannot open %s\n", script_path);
+
+  auto serve = [&](FrontEnd& fe) -> int {
+    if (port >= 0) return ServeTcp(fe, port);
+    if (script_path != nullptr) {
+      std::ifstream script(script_path);
+      if (!script) {
+        std::fprintf(stderr, "bvqserve: cannot open %s\n", script_path);
+        return 1;
+      }
+      ServeStream(fe, script, emit);
+      return 0;
+    }
+    ServeStream(fe, std::cin, emit);
+    return 0;
+  };
+
+  if (shards > 0) {
+    // Router mode: split the fleet-wide admission budgets across workers
+    // (ShardShare keeps every share finite when the total is finite) and
+    // re-exec ourselves N times in worker mode.
+    serve::ShardRouter::Options router_options;
+    router_options.num_shards = shards;
+    for (std::size_t s = 0; s < shards; ++s) {
+      std::vector<std::string> cmd{"/proc/self/exe"};
+      if (raw.has_aggregate) {
+        cmd.push_back(StrCat("--aggregate-mb=",
+                             serve::ShardShare(raw.aggregate_mb, s, shards)));
+      }
+      if (raw.has_max_concurrent) {
+        cmd.push_back(
+            StrCat("--max-concurrent=",
+                   serve::ShardShare(raw.max_concurrent, s, shards)));
+      }
+      if (raw.has_queue_wait) {
+        cmd.push_back(StrCat("--queue-wait-ms=", raw.queue_wait_ms));
+      }
+      if (raw.has_queue_max) {
+        cmd.push_back(StrCat("--queue-max=", raw.queue_max));
+      }
+      if (raw.has_lanes) cmd.push_back(StrCat("--lanes=", raw.lanes));
+      router_options.worker_commands.push_back(std::move(cmd));
+    }
+    serve::ShardRouter router(std::move(router_options));
+    const Status started = router.Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "bvqserve: %s\n", started.ToString().c_str());
       return 1;
     }
-    ServeStream(server, script, emit);
-  } else {
-    ServeStream(server, std::cin, emit);
+    std::fprintf(stderr, "bvqserve: router over %zu shards\n", shards);
+    RouterFrontEnd fe(router);
+    const int rc = serve(fe);
+    router.Shutdown();
+    return rc;
   }
-  return 0;
+
+  serve::Server server(options);
+  ServerFrontEnd fe(server);
+  return serve(fe);
 }

@@ -30,6 +30,9 @@
 //   session stats [<name>]      admission / per-session counters
 //   session close <name>        close a session
 //   session list                list open sessions
+//   session shard <n> <name>..  plan placements: which of n router shards
+//                               each session name hashes onto (the same
+//                               FNV-1a placement bvqserve --shards=n uses)
 //   eval <query>                evaluate with the bounded-variable engine
 //   naive <query>               evaluate with the classical engine (FO only)
 //   eso <sentence>              evaluate an ESO sentence via grounding+SAT
@@ -68,6 +71,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/resource.h"
 #include "common/strings.h"
@@ -82,6 +86,7 @@
 #include "logic/analysis.h"
 #include "logic/parser.h"
 #include "serve/server.h"
+#include "serve/shard.h"
 
 namespace {
 
@@ -204,7 +209,7 @@ void Help() {
       "show | k <n> |\n          strategy naive|reuse | pfp hash|floyd | "
       "threads <n> | memo on|off |\n          esoinc on|off | stats on|off | "
       "deadline <ms> | membudget <mb> |\n          session "
-      "limits|open|eval|stats|close|list ... |\n          eval <q> | "
+      "limits|open|eval|stats|close|list|shard ... |\n          eval <q> | "
       "naive <q> | eso <q> | esoall <q> | datalog <f> | quit\n");
 }
 
@@ -363,7 +368,8 @@ bool HandleLine(ShellState& state, const std::string& line) {
     std::istringstream ss(rest);
     std::string sub;
     if (!(ss >> sub)) {
-      Fail(state, "session", "expected: limits|open|eval|stats|close|list");
+      Fail(state, "session",
+           "expected: limits|open|eval|stats|close|list|shard");
       return true;
     }
     if (sub == "limits") {
@@ -496,8 +502,40 @@ bool HandleLine(ShellState& state, const std::string& line) {
                   StrJoin(names, ", ").c_str());
       return true;
     }
+    if (sub == "shard") {
+      // Placement planning for `bvqserve --shards=n`: prints the shard each
+      // name hashes onto, using the router's own FNV-1a placement so the
+      // plan is exact, not a simulation.
+      std::string shards_tok;
+      std::size_t shards = 0;
+      if (!(ss >> shards_tok) || !ParseSizeT(shards_tok, &shards) ||
+          shards == 0) {
+        Fail(state, "session shard",
+             "expected <num-shards> <session-name>...");
+        return true;
+      }
+      std::vector<std::string> names;
+      std::string name;
+      while (ss >> name) names.push_back(name);
+      if (names.empty()) {
+        Fail(state, "session shard",
+             "expected <num-shards> <session-name>...");
+        return true;
+      }
+      std::vector<std::size_t> per_shard(shards, 0);
+      for (const auto& n : names) {
+        const std::size_t shard = serve::ShardForSession(n, shards);
+        ++per_shard[shard];
+        std::printf("%s -> shard %zu\n", n.c_str(), shard);
+      }
+      std::size_t used = 0;
+      for (std::size_t c : per_shard) used += c > 0 ? 1 : 0;
+      std::printf("%zu session(s) over %zu of %zu shard(s)\n", names.size(),
+                  used, shards);
+      return true;
+    }
     Fail(state, "session " + sub,
-         "unknown subcommand (limits|open|eval|stats|close|list)");
+         "unknown subcommand (limits|open|eval|stats|close|list|shard)");
     return true;
   }
   if (cmd == "eval" || cmd == "naive" || cmd == "eso" || cmd == "esoall") {

@@ -21,6 +21,11 @@
 # 8 concurrent bvqserve sessions, one over-budget admission rejection, one
 # remote cancellation, and a shutdown that must leak neither sessions nor
 # reserved admission bytes.
+#
+# Every tier also runs the sharded serving smoke (see shard_smoke below):
+# a 2-shard bvqserve router fork/execs real worker processes, splits the
+# admission budget across the fleet, and must reject an over-reserving
+# session on its own shard while sessions on both shards keep serving.
 
 set -euo pipefail
 
@@ -144,6 +149,63 @@ serve_smoke() {
   rm -rf "$tmp"
 }
 
+# Sharded serving smoke: a 2-shard router (fork/exec of real worker
+# processes) with the aggregate budget split across the fleet. Sessions land
+# on both shards (FNV-1a placement: s0,s2 → shard 0; s1,s3,big → shard 1);
+# the over-reserving session must be rejected by its own shard's budget
+# while every other session — including the ones sharing its shard — keeps
+# serving, the consolidated stats must report a clean fleet-wide zero after
+# the closes, and the router must exit 0 (clean worker shutdown, no hang).
+shard_smoke() {
+  local bvqserve="$1/tools/bvqserve" tmp rc=0 s i
+  tmp=$(mktemp -d)
+  echo "== sharded serving smoke ($bvqserve) =="
+  { printf 'domain 10\nrel E/2'
+    for ((i = 0; i < 10; i++)); do printf ' %d %d ;' "$i" "$(((i + 1) % 10))"; done
+    printf '\n'; } > "$tmp/cycle.bvq"
+  {
+    for ((s = 0; s < 4; s++)); do
+      printf 'open s%d k=3 reserve-mb=16\n' "$s"
+      printf 'load s%d %s/cycle.bvq\n' "$s" "$tmp"
+    done
+    printf 'open big k=3 reserve-mb=512\n'
+    for ((s = 0; s < 4; s++)); do
+      printf 'eval %d s%d (x1,x2) [lfp T(x1,x2) . E(x1,x2) | exists x3 . (E(x1,x3) & exists x1 . (x1 = x3 & T(x1,x2)))](x1,x2)\n' \
+          "$((s + 1))" "$s"
+    done
+    printf 'eval 100 big (x1,x2) E(x1,x2)\n'
+    printf 'drain\n'
+    for ((s = 0; s < 4; s++)); do printf 'close s%d\n' "$s"; done
+    printf 'close big\nstats\nquit\n'
+  } > "$tmp/script.bvqserve"
+  "$bvqserve" --shards=2 --aggregate-mb=64 --max-concurrent=8 \
+      "$tmp/script.bvqserve" > "$tmp/out" 2>&1 || rc=$?
+  if [[ $rc -ne 0 ]]; then
+    echo "shard smoke: bvqserve exited with $rc" >&2
+    cat "$tmp/out" >&2; exit 1
+  fi
+  for ((s = 1; s <= 4; s++)); do
+    if ! grep -q "^result $s ok$" "$tmp/out"; then
+      echo "shard smoke: eval $s did not complete ok" >&2
+      cat "$tmp/out" >&2; exit 1
+    fi
+  done
+  if ! grep -q "^result 100 error ResourceExhausted$" "$tmp/out"; then
+    echo "shard smoke: over-budget reserve was not rejected by its shard" >&2
+    cat "$tmp/out" >&2; exit 1
+  fi
+  if ! grep -q "^stats sessions=0 active=0 queue=0 reserved_bytes=0 " "$tmp/out"; then
+    echo "shard smoke: shutdown leaked sessions or admission budget" >&2
+    cat "$tmp/out" >&2; exit 1
+  fi
+  if ! grep -q " shards=2 up=2$" "$tmp/out"; then
+    echo "shard smoke: consolidated stats missing shards=2 up=2" >&2
+    cat "$tmp/out" >&2; exit 1
+  fi
+  echo "   2-shard router ok, per-shard rejection clean, fleet stats zeroed"
+  rm -rf "$tmp"
+}
+
 # Cross-query answer-cache smoke: a replayed fixpoint query must be served
 # from the session cache (nonzero cache hits in the stats line) with output
 # byte-identical to a --cross-query-cache=0 run, and a mid-session `load`
@@ -247,6 +309,7 @@ if [[ $run_plain -eq 1 ]]; then
       --out="$ROOT/build/BENCH_eso_smoke.json"
   resource_smoke "$ROOT/build"
   serve_smoke "$ROOT/build"
+  shard_smoke "$ROOT/build"
   cache_smoke "$ROOT/build"
 fi
 
@@ -257,6 +320,7 @@ if [[ $run_tsan -eq 1 ]]; then
   (cd "$ROOT/build-tsan" && BVQ_THREADS=4 ctest --output-on-failure -j"$(nproc)")
   BVQ_THREADS=4 resource_smoke "$ROOT/build-tsan"
   BVQ_THREADS=4 serve_smoke "$ROOT/build-tsan"
+  BVQ_THREADS=4 shard_smoke "$ROOT/build-tsan"
   BVQ_THREADS=4 cache_smoke "$ROOT/build-tsan"
 fi
 
@@ -270,6 +334,7 @@ if [[ $run_asan -eq 1 ]]; then
       --out="$ROOT/build-asan/BENCH_eso_smoke.json"
   resource_smoke "$ROOT/build-asan"
   serve_smoke "$ROOT/build-asan"
+  shard_smoke "$ROOT/build-asan"
   cache_smoke "$ROOT/build-asan"
 fi
 
