@@ -6,6 +6,8 @@
 #include <exception>
 #include <memory>
 
+#include "common/strings.h"
+
 namespace bvq {
 
 // One ParallelFor dispatch. Published under the pool mutex and then only
@@ -50,21 +52,22 @@ std::size_t ThreadPool::DefaultThreads() {
   const unsigned hw = std::thread::hardware_concurrency();
   const std::size_t hw_threads = hw == 0 ? 1 : static_cast<std::size_t>(hw);
   if (const char* env = std::getenv("BVQ_THREADS")) {
-    char* end = nullptr;
-    const unsigned long v = std::strtoul(env, &end, 10);
-    if (end != env && *end == '\0' && v > 0) {
+    std::size_t v = 0;
+    // Strict parse: "8x", "", and out-of-range values all fall through to
+    // the hardware default instead of being truncated or wrapping.
+    if (ParseSizeT(env, &v) && v > 0) {
       const std::size_t cap = hw_threads * kMaxOversubscription;
       if (v > cap) {
         static std::atomic<bool> warned{false};
         if (!warned.exchange(true, std::memory_order_relaxed)) {
           std::fprintf(stderr,
-                       "bvq: BVQ_THREADS=%lu exceeds %zu (%zux "
+                       "bvq: BVQ_THREADS=%zu exceeds %zu (%zux "
                        "hardware_concurrency=%zu); clamping to %zu\n",
                        v, cap, kMaxOversubscription, hw_threads, cap);
         }
         return cap;
       }
-      return static_cast<std::size_t>(v);
+      return v;
     }
   }
   return hw_threads;

@@ -1,0 +1,48 @@
+#ifndef BVQ_COMMON_VARINT_H_
+#define BVQ_COMMON_VARINT_H_
+
+// LEB128-style unsigned varints, shared by the portable canonical-form
+// encoding of formula classes (logic/analysis) and the answer-cache snapshot
+// codec (eval/cache_snapshot). Little-endian base-128 with a continuation
+// bit; at most 10 bytes per value. Decoding is strict: it never reads past
+// `bytes.size()` and rejects over-long encodings, so a truncated or
+// corrupted buffer is a clean failure rather than UB.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace bvq {
+
+inline void AppendVarint(std::string* out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+/// Reads one varint at `*pos`, advancing it. Returns false (leaving *out
+/// unspecified) on truncation or an encoding longer than 10 bytes.
+inline bool ReadVarint(std::string_view bytes, std::size_t* pos,
+                       std::uint64_t* out) {
+  std::uint64_t value = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (*pos >= bytes.size()) return false;
+    const std::uint8_t b = static_cast<std::uint8_t>(bytes[*pos]);
+    ++*pos;
+    value |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) {
+      // Reject bits shifted off the top (over-long / overflowing encoding).
+      if (shift == 63 && (b & 0x7e) != 0) return false;
+      *out = value;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace bvq
+
+#endif  // BVQ_COMMON_VARINT_H_

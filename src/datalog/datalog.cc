@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <limits>
 #include <map>
 #include <set>
 #include <sstream>
@@ -266,8 +267,13 @@ Result<Program> ParseProgram(const std::string& text) {
       }
       std::string tok = clean.substr(tstart, pos - tstart);
       if (std::isdigit(static_cast<unsigned char>(tok[0]))) {
-        atom.terms.push_back(
-            Term::Const(static_cast<Value>(std::stoul(tok))));
+        std::size_t v = 0;
+        if (!ParseSizeT(tok, &v) ||
+            v > std::numeric_limits<Value>::max()) {
+          return Status::ParseError(
+              StrCat("constant ", tok, " out of range"));
+        }
+        atom.terms.push_back(Term::Const(static_cast<Value>(v)));
       } else if (std::isupper(static_cast<unsigned char>(tok[0]))) {
         auto [it, inserted] = var_ids.try_emplace(tok, var_ids.size());
         atom.terms.push_back(Term::Var(it->second));

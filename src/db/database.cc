@@ -36,6 +36,11 @@ std::uint64_t Database::relation_version(const std::string& name) const {
   return it == versions_.end() ? 0 : it->second;
 }
 
+std::uint64_t Database::relation_fingerprint(const std::string& name) const {
+  auto it = relations_.find(name);
+  return it == relations_.end() ? 0 : it->second.fingerprint();
+}
+
 Result<const Relation*> Database::GetRelation(const std::string& name) const {
   auto it = relations_.find(name);
   if (it == relations_.end()) {

@@ -53,6 +53,13 @@ class Database {
   /// §11): stale keys simply stop matching.
   std::uint64_t relation_version(const std::string& name) const;
 
+  /// Content-stable fingerprint of relation `name`, or 0 if the database has
+  /// no such relation (Relation::fingerprint never returns 0 in practice, so
+  /// 0 is unambiguous as "missing"). Unlike relation_version, equal contents
+  /// give equal fingerprints across processes and restarts — the portable
+  /// half of the answer-cache keying (DESIGN.md §13).
+  std::uint64_t relation_fingerprint(const std::string& name) const;
+
   /// Total number of tuples across relations (a size measure for data
   /// complexity sweeps).
   std::size_t TotalTuples() const;

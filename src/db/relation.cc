@@ -23,6 +23,33 @@ bool RowEq(const Value* a, const Value* b, std::size_t arity) {
   return std::memcmp(a, b, arity * sizeof(Value)) == 0;
 }
 
+// SplitMix64 finalizer: spreads a weak hash over all 64 bits so the
+// commutative (wrapping-sum) tuple combination below doesn't let nearby
+// tuples cancel each other out.
+std::uint64_t Mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+// FNV-1a over the tuple's values (4 little-endian bytes each, independent of
+// host endianness), finalized with Mix64. The per-tuple hashes are combined
+// with wrapping + so the fingerprint is insertion-order independent.
+std::uint64_t TupleFingerprint(const Value* t, std::size_t arity) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (std::size_t j = 0; j < arity; ++j) {
+    std::uint32_t v = t[j];
+    for (int b = 0; b < 4; ++b) {
+      h ^= (v >> (b * 8)) & 0xffu;
+      h *= 1099511628211ull;  // FNV prime
+    }
+  }
+  return Mix64(h);
+}
+
 }  // namespace
 
 Relation Relation::FromTuples(std::size_t arity,
@@ -60,6 +87,9 @@ Result<Relation> Relation::Full(std::size_t arity, std::size_t domain_size) {
       rem %= idx.Stride(j);
     }
   }
+  for (std::size_t rank = 0; rank < r.size_; ++rank) {
+    r.fp_sum_ += TupleFingerprint(r.tuple(rank), arity);
+  }
   return r;
 }
 
@@ -67,8 +97,17 @@ Relation Relation::Proposition(bool value) {
   Relation r(0);
   if (value) {
     r.size_ = 1;  // the single empty tuple
+    r.fp_sum_ = TupleFingerprint(nullptr, 0);
   }
   return r;
+}
+
+std::uint64_t Relation::fingerprint() const {
+  // Fold arity and cardinality in so {()} vs {} and same-sum coincidences
+  // across arities stay distinguishable.
+  std::uint64_t h = Mix64(static_cast<std::uint64_t>(arity_) + 1);
+  h = Mix64(h + static_cast<std::uint64_t>(size_));
+  return Mix64(h + fp_sum_);
 }
 
 bool Relation::Contains(const Value* t) const {
@@ -92,6 +131,7 @@ bool Relation::Insert(const Tuple& t) {
   if (arity_ == 0) {
     if (size_ > 0) return false;
     size_ = 1;
+    fp_sum_ += TupleFingerprint(nullptr, 0);
     return true;
   }
   // Find insertion point.
@@ -108,6 +148,7 @@ bool Relation::Insert(const Tuple& t) {
   data_.insert(data_.begin() + static_cast<std::ptrdiff_t>(lo * arity_),
                t.begin(), t.end());
   ++size_;
+  fp_sum_ += TupleFingerprint(t.data(), arity_);
   return true;
 }
 
@@ -140,6 +181,7 @@ Relation RelationBuilder::Build() {
   Relation r(arity_);
   if (arity_ == 0) {
     r.size_ = num_rows_ > 0 ? 1 : 0;
+    if (r.size_ > 0) r.fp_sum_ = TupleFingerprint(nullptr, 0);
     num_rows_ = 0;
     data_.clear();
     return r;
@@ -157,6 +199,7 @@ Relation RelationBuilder::Build() {
     const Value* row = base + order[i] * arity;
     if (i > 0 && RowEq(base + order[i - 1] * arity, row, arity)) continue;
     r.data_.insert(r.data_.end(), row, row + arity);
+    r.fp_sum_ += TupleFingerprint(row, arity);
   }
   r.size_ = r.data_.size() / arity;
   data_.clear();

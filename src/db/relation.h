@@ -73,6 +73,15 @@ class Relation {
   /// As a proposition: true iff nonempty (meaningful mainly for arity 0).
   bool AsBool() const { return size_ > 0; }
 
+  /// Content-stable 64-bit fingerprint of (arity, tuple set): equal for
+  /// relations with the same arity and tuples regardless of insertion order,
+  /// process, or build path. Unlike the database's per-process version
+  /// nonces, fingerprints are meaningful across restarts, which is what lets
+  /// exported answer-cache entries be re-keyed portably (DESIGN.md §13).
+  /// Maintained incrementally (a commutative sum of per-tuple hashes), so
+  /// reading it is O(1).
+  std::uint64_t fingerprint() const;
+
   /// Largest value appearing in any tuple plus one (0 if empty). Useful to
   /// infer a minimal domain size.
   std::size_t MinDomainSize() const;
@@ -97,6 +106,7 @@ class Relation {
   std::size_t arity_;
   std::size_t size_;
   std::vector<Value> data_;  // size_ * arity_ values, row-major, sorted rows
+  std::uint64_t fp_sum_ = 0;  // commutative sum of per-tuple hashes
 };
 
 /// Incremental builder that defers the sort/dedup to Build(); use for bulk

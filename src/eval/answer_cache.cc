@@ -1,5 +1,6 @@
 #include "eval/answer_cache.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace bvq {
@@ -14,6 +15,18 @@ std::size_t EntryBytes(const AnswerCache::Key& key,
                        const AssignmentSet& value) {
   return value.ByteSize() + key.versions.size() * sizeof(std::uint64_t) +
          sizeof(AnswerCache::Key) + 4 * sizeof(void*);
+}
+
+// Pending entries additionally carry the canonical form and relation names;
+// the charge carries over unchanged when the entry resolves to live, so the
+// account never needs a mid-life adjustment.
+std::size_t PendingEntryBytes(const AnswerCache::PortableEntry& entry) {
+  std::size_t bytes = entry.value.ByteSize() + entry.key.canon.size() +
+                      sizeof(AnswerCache::Key) + 4 * sizeof(void*);
+  for (const auto& [name, fp] : entry.key.rels) {
+    bytes += name.size() + sizeof(fp);
+  }
+  return bytes;
 }
 
 }  // namespace
@@ -54,6 +67,16 @@ bool AnswerCache::Lookup(const Key& key, AssignmentSet* out) {
 }
 
 void AnswerCache::EvictOne() {
+  if (!pending_.empty()) {
+    PendingEntry& victim = pending_.front();
+    bytes_ -= victim.bytes;
+    if (options_.governor != nullptr) {
+      options_.governor->Release(victim.bytes);
+    }
+    pending_.pop_front();
+    ++evictions_;
+    return;
+  }
   Entry& victim = lru_.back();
   bytes_ -= victim.bytes;
   if (options_.governor != nullptr) options_.governor->Release(victim.bytes);
@@ -65,7 +88,7 @@ void AnswerCache::EvictOne() {
 bool AnswerCache::ReserveBytes(std::size_t bytes) {
   if (options_.max_bytes != 0 && bytes > options_.max_bytes) return false;
   while (options_.max_bytes != 0 && bytes_ + bytes > options_.max_bytes &&
-         !lru_.empty()) {
+         !(lru_.empty() && pending_.empty())) {
     EvictOne();
   }
   if (options_.max_bytes != 0 && bytes_ + bytes > options_.max_bytes) {
@@ -73,11 +96,11 @@ bool AnswerCache::ReserveBytes(std::size_t bytes) {
   }
   if (options_.governor == nullptr) return true;
   // The governor account is shared with live queries, so a refusal may be
-  // transient pressure rather than a true overflow: shed LRU entries one at
+  // transient pressure rather than a true overflow: shed entries one at
   // a time (each Release frees headroom) and retry until the charge lands
   // or nothing is left to shed.
   while (!options_.governor->TryCharge(bytes)) {
-    if (lru_.empty()) return false;
+    if (lru_.empty() && pending_.empty()) return false;
     EvictOne();
   }
   return true;
@@ -107,7 +130,135 @@ void AnswerCache::Clear() {
   }
   lru_.clear();
   entries_.clear();
+  pending_.clear();
   bytes_ = 0;
+}
+
+std::vector<AnswerCache::PortableEntry> AnswerCache::ExportResolved(
+    const Database& db) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<PortableEntry> out;
+  for (const Entry& e : lru_) {
+    if (e.key.domain_size != db.domain_size()) continue;
+    const std::vector<std::string> names = interner_.FreePredNames(e.key.cls);
+    if (names.size() != e.key.versions.size()) continue;
+    bool current = true;
+    std::vector<std::pair<std::string, std::uint64_t>> rels;
+    rels.reserve(names.size());
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      const std::uint64_t version = db.relation_version(names[i]);
+      if (version == 0 || version != e.key.versions[i]) {
+        current = false;
+        break;
+      }
+      rels.emplace_back(names[i], db.relation_fingerprint(names[i]));
+    }
+    if (!current) continue;
+    std::sort(rels.begin(), rels.end());
+    PortableEntry pe;
+    pe.key.canon = interner_.CanonicalFormOf(e.key.cls);
+    pe.key.domain_size = e.key.domain_size;
+    pe.key.num_vars = e.key.num_vars;
+    pe.key.rels = std::move(rels);
+    pe.value = e.value;
+    out.push_back(std::move(pe));
+  }
+  return out;
+}
+
+std::size_t AnswerCache::Restore(std::vector<PortableEntry> entries) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t kept = 0;
+  for (PortableEntry& e : entries) {
+    // The cube must actually have the shape the key claims, or a later hit
+    // would hand the evaluator a wrong-sized cube.
+    if (e.key.canon.empty() || e.value.domain_size() != e.key.domain_size ||
+        e.value.num_vars() != e.key.num_vars) {
+      continue;
+    }
+    const std::size_t bytes = PendingEntryBytes(e);
+    // Shed-don't-evict: restored warmth is never worth a live entry, and a
+    // TryCharge refusal under session memory pressure drops the entry
+    // instead of tripping the governor.
+    if (options_.max_bytes != 0 && bytes_ + bytes > options_.max_bytes) {
+      continue;
+    }
+    if (options_.governor != nullptr && !options_.governor->TryCharge(bytes)) {
+      continue;
+    }
+    bytes_ += bytes;
+    pending_.push_back(PendingEntry{std::move(e), bytes});
+    ++kept;
+  }
+  return kept;
+}
+
+std::deque<AnswerCache::PendingEntry>::iterator AnswerCache::DropPending(
+    std::deque<PendingEntry>::iterator it) {
+  bytes_ -= it->bytes;
+  if (options_.governor != nullptr) options_.governor->Release(it->bytes);
+  return pending_.erase(it);
+}
+
+std::size_t AnswerCache::ResolveAgainst(const Database& db) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t resolved = 0;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    const PortableKey& pk = it->entry.key;
+    if (pk.domain_size != db.domain_size()) {
+      ++it;
+      continue;
+    }
+    bool match = true;
+    for (const auto& [name, fp] : pk.rels) {
+      if (fp == 0 || db.relation_fingerprint(name) != fp) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) {
+      ++it;
+      continue;
+    }
+    std::size_t cls = 0;
+    if (!interner_.InternCanonical(pk.canon, &cls)) {
+      it = DropPending(it);
+      continue;
+    }
+    // The decoded class's free relation variables must be exactly the names
+    // the key recorded fingerprints for — otherwise the fingerprint match
+    // above proved nothing about what the entry actually depends on.
+    std::vector<std::string> names = interner_.FreePredNames(cls);
+    std::vector<std::string> sorted_names = names;
+    std::sort(sorted_names.begin(), sorted_names.end());
+    bool names_ok = sorted_names.size() == pk.rels.size();
+    for (std::size_t i = 0; names_ok && i < sorted_names.size(); ++i) {
+      names_ok = sorted_names[i] == pk.rels[i].first;
+    }
+    if (!names_ok) {
+      it = DropPending(it);
+      continue;
+    }
+    Key key;
+    key.cls = cls;
+    key.domain_size = pk.domain_size;
+    key.num_vars = pk.num_vars;
+    key.versions.reserve(names.size());
+    for (const std::string& n : names) {
+      key.versions.push_back(db.relation_version(n));
+    }
+    if (entries_.count(key) != 0) {
+      it = DropPending(it);  // a live query already recomputed this answer
+      continue;
+    }
+    lru_.push_front(
+        Entry{std::move(key), std::move(it->entry.value), it->bytes});
+    entries_.emplace(lru_.front().key, lru_.begin());
+    ++restored_;
+    ++resolved;
+    it = pending_.erase(it);
+  }
+  return resolved;
 }
 
 AnswerCacheStats AnswerCache::stats() const {
@@ -117,8 +268,10 @@ AnswerCacheStats AnswerCache::stats() const {
   s.misses = misses_;
   s.insertions = insertions_;
   s.evictions = evictions_;
+  s.restored = restored_;
   s.bytes = bytes_;
   s.entries = entries_.size();
+  s.pending = pending_.size();
   return s;
 }
 

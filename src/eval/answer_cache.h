@@ -3,13 +3,17 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <list>
 #include <mutex>
+#include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/resource.h"
 #include "db/assignment_set.h"
+#include "db/database.h"
 #include "logic/analysis.h"
 
 namespace bvq {
@@ -35,8 +39,12 @@ struct AnswerCacheStats {
   std::uint64_t misses = 0;
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;
+  /// Pending entries moved into the live map by ResolveAgainst (monotone).
+  std::uint64_t restored = 0;
   std::size_t bytes = 0;
   std::size_t entries = 0;
+  /// Restored entries still waiting for a database whose fingerprints match.
+  std::size_t pending = 0;
 };
 
 /// A persistent, version-invalidated answer cache shared across the queries
@@ -76,6 +84,26 @@ class AnswerCache {
     }
   };
 
+  /// Process-independent form of a Key (DESIGN.md §13): the formula class as
+  /// its canonical byte form instead of a process-local id, and relations as
+  /// (name, content fingerprint) pairs instead of version nonces. Two
+  /// processes build the same PortableKey for the same subformula over
+  /// databases with identical relation contents — the identity snapshots are
+  /// keyed on.
+  struct PortableKey {
+    std::string canon;  // FormulaInterner::CanonicalFormOf of the class
+    std::size_t domain_size = 0;
+    std::size_t num_vars = 0;
+    /// (relation name, Relation::fingerprint) of every free relation
+    /// variable of the class, sorted by name.
+    std::vector<std::pair<std::string, std::uint64_t>> rels;
+  };
+
+  struct PortableEntry {
+    PortableKey key;
+    AssignmentSet value;
+  };
+
   explicit AnswerCache(AnswerCacheOptions options = {});
   ~AnswerCache();
 
@@ -101,6 +129,30 @@ class AnswerCache {
   /// and the interner survive (class ids stay valid).
   void Clear();
 
+  /// Re-keys every live entry that is *currently resolved against `db`* —
+  /// domain size equal and every free relation variable's version matching
+  /// the database — into portable form, for snapshotting. Entries keyed on
+  /// stale versions (or on relations the database no longer has) are
+  /// skipped: they answer nothing on this database, so they would be dead
+  /// weight or worse in a snapshot.
+  std::vector<PortableEntry> ExportResolved(const Database& db);
+
+  /// Stashes restored snapshot entries as *pending*: charged against
+  /// max_bytes and the governor via TryCharge but shed (dropped, not
+  /// tripped, and never at the cost of a live entry) when the charge does
+  /// not fit. Pending entries serve no lookups until ResolveAgainst moves
+  /// them live, so a stale snapshot is per-key misses, never wrong answers.
+  /// Returns how many entries were retained.
+  std::size_t Restore(std::vector<PortableEntry> entries);
+
+  /// Matches pending entries against `db`: an entry whose domain size and
+  /// relation fingerprints all match has its canonical form interned and
+  /// re-enters the live map keyed on the database's *current* versions.
+  /// Entries that don't match stay pending (the database may still be
+  /// loading); malformed or duplicate entries are dropped. Call after every
+  /// database mutation. Returns how many entries went live.
+  std::size_t ResolveAgainst(const Database& db);
+
   AnswerCacheStats stats() const;
 
  private:
@@ -115,12 +167,23 @@ class AnswerCache {
     std::size_t operator()(const Key& key) const;
   };
 
-  // Drops the least-recently-used entry. Requires mutex_ held and a
+  struct PendingEntry {
+    PortableEntry entry;
+    std::size_t bytes = 0;
+  };
+
+  // Drops the next victim — the oldest pending entry if any (restored
+  // warmth is speculative; live entries were paid for by real queries), the
+  // least-recently-used live entry otherwise. Requires mutex_ held and a
   // non-empty cache.
   void EvictOne();
   // Charges `bytes` of residency, evicting as needed; false = does not fit.
   // Requires mutex_ held.
   bool ReserveBytes(std::size_t bytes);
+  // Releases a pending entry's charge and erases it; returns the iterator
+  // past it. Requires mutex_ held.
+  std::deque<PendingEntry>::iterator DropPending(
+      std::deque<PendingEntry>::iterator it);
 
   const AnswerCacheOptions options_;
   FormulaInterner interner_;
@@ -128,11 +191,13 @@ class AnswerCache {
   mutable std::mutex mutex_;
   LruList lru_;  // front = most recently used
   std::unordered_map<Key, LruList::iterator, KeyHash> entries_;
+  std::deque<PendingEntry> pending_;  // restored, not yet fingerprint-matched
   std::size_t bytes_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t insertions_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t restored_ = 0;
 };
 
 }  // namespace bvq

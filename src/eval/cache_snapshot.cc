@@ -1,0 +1,248 @@
+#include "eval/cache_snapshot.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <utility>
+
+#include "common/index.h"
+#include "common/strings.h"
+#include "common/varint.h"
+
+namespace bvq {
+
+namespace {
+
+constexpr char kMagic[4] = {'B', 'V', 'Q', 'C'};
+constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::size_t kHeaderBytes = 24;
+
+// Decode-side sanity caps. Real snapshots stay far below these; a corrupted
+// or hostile file must not drive unbounded allocation. Cube allocations are
+// additionally bounded by the payload itself: the word count must be covered
+// by the remaining bytes before anything is allocated.
+constexpr std::uint64_t kMaxEntries = std::uint64_t{1} << 20;
+constexpr std::uint64_t kMaxCanonBytes = std::uint64_t{1} << 20;
+constexpr std::uint64_t kMaxRels = 4096;
+constexpr std::uint64_t kMaxNameBytes = 4096;
+
+void AppendU32(std::string* out, std::uint32_t v) {
+  for (int b = 0; b < 4; ++b) {
+    out->push_back(static_cast<char>((v >> (b * 8)) & 0xff));
+  }
+}
+
+void AppendU64(std::string* out, std::uint64_t v) {
+  for (int b = 0; b < 8; ++b) {
+    out->push_back(static_cast<char>((v >> (b * 8)) & 0xff));
+  }
+}
+
+std::uint32_t ReadU32(const char* p) {
+  std::uint32_t v = 0;
+  for (int b = 0; b < 4; ++b) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[b]))
+         << (b * 8);
+  }
+  return v;
+}
+
+std::uint64_t ReadU64(const char* p) {
+  std::uint64_t v = 0;
+  for (int b = 0; b < 8; ++b) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[b]))
+         << (b * 8);
+  }
+  return v;
+}
+
+std::uint64_t Fnv1a(std::string_view bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+bool ReadBytes(std::string_view bytes, std::size_t* pos, std::uint64_t len,
+               std::string* out) {
+  if (len > bytes.size() - *pos) return false;
+  out->assign(bytes.substr(*pos, static_cast<std::size_t>(len)));
+  *pos += static_cast<std::size_t>(len);
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeCacheSnapshot(
+    const std::vector<AnswerCache::PortableEntry>& entries) {
+  std::string payload;
+  for (const AnswerCache::PortableEntry& e : entries) {
+    AppendVarint(&payload, e.key.canon.size());
+    payload.append(e.key.canon);
+    AppendVarint(&payload, e.key.domain_size);
+    AppendVarint(&payload, e.key.num_vars);
+    AppendVarint(&payload, e.key.rels.size());
+    for (const auto& [name, fp] : e.key.rels) {
+      AppendVarint(&payload, name.size());
+      payload.append(name);
+      AppendU64(&payload, fp);
+    }
+    const DynamicBitset& bits = e.value.bits();
+    for (std::size_t w = 0; w < bits.num_words(); ++w) {
+      AppendU64(&payload, bits.word_data()[w]);
+    }
+  }
+  std::string out;
+  out.reserve(kHeaderBytes + payload.size());
+  out.append(kMagic, sizeof(kMagic));
+  AppendU32(&out, kFormatVersion);
+  AppendU64(&out, entries.size());
+  AppendU64(&out, Fnv1a(payload));
+  out.append(payload);
+  return out;
+}
+
+Result<std::vector<AnswerCache::PortableEntry>> DecodeCacheSnapshot(
+    std::string_view bytes) {
+  if (bytes.size() < kHeaderBytes) {
+    return Status::ParseError("cache snapshot: truncated header");
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::ParseError("cache snapshot: bad magic");
+  }
+  const std::uint32_t version = ReadU32(bytes.data() + 4);
+  if (version != kFormatVersion) {
+    return Status::ParseError(
+        StrCat("cache snapshot: unsupported format version ", version));
+  }
+  const std::uint64_t count = ReadU64(bytes.data() + 8);
+  if (count > kMaxEntries) {
+    return Status::ParseError("cache snapshot: implausible entry count");
+  }
+  const std::uint64_t checksum = ReadU64(bytes.data() + 16);
+  const std::string_view payload = bytes.substr(kHeaderBytes);
+  if (Fnv1a(payload) != checksum) {
+    return Status::ParseError("cache snapshot: checksum mismatch");
+  }
+
+  std::vector<AnswerCache::PortableEntry> entries;
+  entries.reserve(static_cast<std::size_t>(count));
+  std::size_t pos = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    AnswerCache::PortableEntry e;
+    std::uint64_t canon_len = 0;
+    if (!ReadVarint(payload, &pos, &canon_len) ||
+        canon_len > kMaxCanonBytes ||
+        !ReadBytes(payload, &pos, canon_len, &e.key.canon)) {
+      return Status::ParseError("cache snapshot: bad canonical form");
+    }
+    std::uint64_t domain_size = 0, num_vars = 0, nrels = 0;
+    if (!ReadVarint(payload, &pos, &domain_size) ||
+        !ReadVarint(payload, &pos, &num_vars) ||
+        !ReadVarint(payload, &pos, &nrels) || nrels > kMaxRels) {
+      return Status::ParseError("cache snapshot: bad entry header");
+    }
+    e.key.domain_size = static_cast<std::size_t>(domain_size);
+    e.key.num_vars = static_cast<std::size_t>(num_vars);
+    e.key.rels.reserve(static_cast<std::size_t>(nrels));
+    for (std::uint64_t r = 0; r < nrels; ++r) {
+      std::uint64_t name_len = 0;
+      std::string name;
+      if (!ReadVarint(payload, &pos, &name_len) || name_len > kMaxNameBytes ||
+          !ReadBytes(payload, &pos, name_len, &name)) {
+        return Status::ParseError("cache snapshot: bad relation name");
+      }
+      // The name list must be strictly sorted: that is what ResolveAgainst
+      // compares against, and it rules out duplicate names smuggling two
+      // fingerprints for one relation.
+      if (r > 0 && name <= e.key.rels.back().first) {
+        return Status::ParseError("cache snapshot: unsorted relation names");
+      }
+      if (payload.size() - pos < 8) {
+        return Status::ParseError("cache snapshot: truncated fingerprint");
+      }
+      e.key.rels.emplace_back(std::move(name), ReadU64(payload.data() + pos));
+      pos += 8;
+    }
+    // The cube's exact word count is implied by its shape; insist the
+    // remaining payload covers it before allocating anything.
+    if (TupleIndexer::Exceeds(e.key.domain_size, e.key.num_vars,
+                              std::size_t{1} << 40)) {
+      return Status::ParseError("cache snapshot: implausible cube shape");
+    }
+    const std::size_t num_bits =
+        TupleIndexer(e.key.domain_size, e.key.num_vars).NumTuples();
+    const std::size_t num_words = (num_bits + 63) / 64;
+    if ((payload.size() - pos) / 8 < num_words) {
+      return Status::ParseError("cache snapshot: truncated cube");
+    }
+    AssignmentSet value(e.key.domain_size, e.key.num_vars);
+    DynamicBitset& bits = value.mutable_bits();
+    if (bits.num_words() != num_words) {
+      return Status::Internal("cache snapshot: cube shape disagreement");
+    }
+    for (std::size_t w = 0; w < num_words; ++w) {
+      bits.word_data()[w] = ReadU64(payload.data() + pos);
+      pos += 8;
+    }
+    // Padding bits past num_bits must be zero (the bitset invariant every
+    // kernel relies on); set bits there mean corruption the checksum missed
+    // or a hand-edited file.
+    if (num_bits % 64 != 0 && num_words > 0 &&
+        (bits.word_data()[num_words - 1] &
+         ~((~std::uint64_t{0}) >> (64 - num_bits % 64))) != 0) {
+      return Status::ParseError("cache snapshot: nonzero padding bits");
+    }
+    e.value = std::move(value);
+    entries.push_back(std::move(e));
+  }
+  if (pos != payload.size()) {
+    return Status::ParseError("cache snapshot: trailing bytes");
+  }
+  return entries;
+}
+
+Status SaveCacheSnapshotFile(
+    const std::string& path,
+    const std::vector<AnswerCache::PortableEntry>& entries) {
+  const std::string encoded = EncodeCacheSnapshot(entries);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::Unavailable(StrCat("cannot write ", tmp));
+    }
+    out.write(encoded.data(),
+              static_cast<std::streamsize>(encoded.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return Status::Unavailable(StrCat("short write to ", tmp));
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Unavailable(StrCat("cannot rename ", tmp, " to ", path));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<AnswerCache::PortableEntry>> LoadCacheSnapshotFile(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound(StrCat("no cache snapshot at ", path));
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    return Status::Unavailable(StrCat("error reading ", path));
+  }
+  return DecodeCacheSnapshot(bytes);
+}
+
+}  // namespace bvq

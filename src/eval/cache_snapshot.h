@@ -1,0 +1,60 @@
+#ifndef BVQ_EVAL_CACHE_SNAPSHOT_H_
+#define BVQ_EVAL_CACHE_SNAPSHOT_H_
+
+// Versioned binary snapshot of portable answer-cache entries (DESIGN.md
+// §13): what `bvqserve --cache-dir` writes on close/drain/quit and restores
+// on open, and what the `cache save|restore` commands move explicitly.
+//
+// Layout (all multi-byte integers little-endian):
+//
+//   offset  size  field
+//        0     4  magic "BVQC"
+//        4     4  format version (uint32, currently 1)
+//        8     8  entry count (uint64)
+//       16     8  FNV-1a checksum of the payload bytes (uint64)
+//       24     -  payload: `entry count` entries, each
+//                   varint canon_len, canon bytes
+//                   varint domain_size, varint num_vars
+//                   varint nrels, then per relation (sorted by name):
+//                     varint name_len, name bytes, uint64 fingerprint
+//                   cube words: ceil(domain_size^num_vars / 64) uint64s
+//
+// Decoding is strict: every read is bounds-checked, counts and lengths are
+// capped, the cube word count must match domain_size^num_vars exactly (with
+// zero padding bits), and any mismatch — truncation, flipped bytes, a bad
+// checksum, trailing garbage — is a clean error, never a crash and never a
+// partially-believed snapshot. A snapshot is advisory warmth, not trusted
+// state: the answer cache additionally quarantines restored entries until
+// the live database's relation fingerprints match (AnswerCache::Restore /
+// ResolveAgainst), so even a semantically stale file degrades to misses.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "eval/answer_cache.h"
+
+namespace bvq {
+
+/// Serializes `entries` (as produced by AnswerCache::ExportResolved).
+std::string EncodeCacheSnapshot(
+    const std::vector<AnswerCache::PortableEntry>& entries);
+
+/// Strict inverse of EncodeCacheSnapshot; see the format contract above.
+Result<std::vector<AnswerCache::PortableEntry>> DecodeCacheSnapshot(
+    std::string_view bytes);
+
+/// Writes the snapshot atomically (temp file + rename), so a crash mid-save
+/// never leaves a truncated snapshot under the real name.
+Status SaveCacheSnapshotFile(
+    const std::string& path,
+    const std::vector<AnswerCache::PortableEntry>& entries);
+
+/// Reads and decodes `path`. NotFound if the file does not exist.
+Result<std::vector<AnswerCache::PortableEntry>> LoadCacheSnapshotFile(
+    const std::string& path);
+
+}  // namespace bvq
+
+#endif  // BVQ_EVAL_CACHE_SNAPSHOT_H_

@@ -4,6 +4,7 @@
 #include <iterator>
 
 #include "common/strings.h"
+#include "common/varint.h"
 
 namespace bvq {
 
@@ -592,21 +593,294 @@ std::size_t FormulaIndex::PredId(const std::string& name) const {
 }
 
 std::size_t FormulaIndex::InternPred(const std::string& name) {
-  auto [it, inserted] =
-      interner_->pred_ids_.emplace(name, interner_->pred_names_.size());
-  if (inserted) interner_->pred_names_.push_back(name);
-  return it->second;
+  return interner_->InternPredLocked(name);
 }
 
 std::size_t FormulaIndex::InternClass(std::vector<uint64_t> key,
                                       std::vector<std::size_t> free_preds) {
-  auto [it, inserted] = interner_->classes_.emplace(
-      std::move(key), interner_->class_hashes_.size());
+  return interner_->InternClassLocked(std::move(key), std::move(free_preds));
+}
+
+std::size_t FormulaInterner::InternPredLocked(const std::string& name) {
+  auto [it, inserted] = pred_ids_.emplace(name, pred_names_.size());
+  if (inserted) pred_names_.push_back(name);
+  return it->second;
+}
+
+std::size_t FormulaInterner::InternClassLocked(
+    std::vector<uint64_t> key, std::vector<std::size_t> free_preds) {
+  auto [it, inserted] = classes_.emplace(std::move(key), class_hashes_.size());
   if (inserted) {
-    interner_->class_hashes_.push_back(FnvHashWords(it->first));
-    interner_->class_free_preds_.push_back(std::move(free_preds));
+    class_hashes_.push_back(FnvHashWords(it->first));
+    class_free_preds_.push_back(std::move(free_preds));
+    class_keys_.push_back(&it->first);
+    class_canons_.emplace_back();
   }
   return it->second;
+}
+
+// --- Canonical forms (DESIGN.md §13) --------------------------------------
+//
+// Per-kind layout (every integer a varint, names length-prefixed strings,
+// children encoded recursively in place — the format is self-delimiting):
+//
+//   True/False   tag
+//   Atom         tag name nargs arg*
+//   Equals       tag lhs rhs
+//   Not          tag child
+//   And..Iff     tag lhs-child rhs-child
+//   Exists/ForAll tag var child
+//   Fixpoint     tag op name nbound bound* napply apply* body-child
+//   SOExists     tag name arity body-child
+//
+// The interned key for Fixpoint stores no apply count (it is implied by the
+// key length), so the canonical form adds an explicit one to stay
+// self-delimiting; the decoder reconstructs the exact key layout.
+
+namespace {
+// Decode-side sanity caps: a well-formed canon from any real formula stays
+// far below these; a corrupted one must not drive allocation or recursion.
+constexpr std::size_t kCanonMaxDepth = 4096;
+constexpr std::uint64_t kCanonMaxCount = std::uint64_t{1} << 16;
+constexpr std::uint64_t kCanonMaxIndex = std::uint64_t{1} << 20;
+}  // namespace
+
+std::string FormulaInterner::CanonicalFormOf(std::size_t cls) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (cls >= class_keys_.size()) return std::string();
+  std::string out;
+  EncodeClassLocked(cls, &out);
+  return out;
+}
+
+void FormulaInterner::EncodeClassLocked(std::size_t cls, std::string* out) {
+  if (!class_canons_[cls].empty()) {
+    out->append(class_canons_[cls]);
+    return;
+  }
+  std::string buf;
+  const std::vector<uint64_t>& key = *class_keys_[cls];
+  AppendVarint(&buf, key[0]);
+  auto name = [&](std::size_t pred) {
+    const std::string& n = pred_names_[pred];
+    AppendVarint(&buf, n.size());
+    buf.append(n);
+  };
+  switch (static_cast<FormulaKind>(key[0])) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+      break;
+    case FormulaKind::kAtom: {
+      name(key[1]);
+      AppendVarint(&buf, key[2]);
+      for (std::size_t i = 0; i < key[2]; ++i) AppendVarint(&buf, key[3 + i]);
+      break;
+    }
+    case FormulaKind::kEquals:
+      AppendVarint(&buf, key[1]);
+      AppendVarint(&buf, key[2]);
+      break;
+    case FormulaKind::kNot:
+      EncodeClassLocked(key[1], &buf);
+      break;
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+    case FormulaKind::kImplies:
+    case FormulaKind::kIff:
+      EncodeClassLocked(key[1], &buf);
+      EncodeClassLocked(key[2], &buf);
+      break;
+    case FormulaKind::kExists:
+    case FormulaKind::kForAll:
+      AppendVarint(&buf, key[1]);
+      EncodeClassLocked(key[2], &buf);
+      break;
+    case FormulaKind::kFixpoint: {
+      AppendVarint(&buf, key[1]);  // op
+      name(key[2]);
+      const std::size_t nbound = key[3];
+      AppendVarint(&buf, nbound);
+      for (std::size_t i = 0; i < nbound; ++i) {
+        AppendVarint(&buf, key[4 + i]);
+      }
+      const std::size_t napply = key.size() - (5 + nbound);
+      AppendVarint(&buf, napply);
+      for (std::size_t i = 0; i < napply; ++i) {
+        AppendVarint(&buf, key[5 + nbound + i]);
+      }
+      EncodeClassLocked(key[4 + nbound], &buf);
+      break;
+    }
+    case FormulaKind::kSecondOrderExists:
+      name(key[1]);
+      AppendVarint(&buf, key[2]);
+      EncodeClassLocked(key[3], &buf);
+      break;
+  }
+  class_canons_[cls] = std::move(buf);
+  out->append(class_canons_[cls]);
+  canon_to_class_.emplace(class_canons_[cls], cls);
+}
+
+bool FormulaInterner::InternCanonical(std::string_view canon,
+                                      std::size_t* cls) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = canon_to_class_.find(std::string(canon));
+  if (it != canon_to_class_.end()) {
+    *cls = it->second;
+    return true;
+  }
+  std::size_t pos = 0;
+  std::size_t root = 0;
+  if (!DecodeClassLocked(canon, &pos, 0, &root)) return false;
+  if (pos != canon.size()) return false;  // trailing garbage
+  canon_to_class_.emplace(std::string(canon), root);
+  *cls = root;
+  return true;
+}
+
+bool FormulaInterner::DecodeClassLocked(std::string_view canon,
+                                        std::size_t* pos, std::size_t depth,
+                                        std::size_t* cls) {
+  if (depth > kCanonMaxDepth) return false;
+  std::uint64_t kind_raw = 0;
+  if (!ReadVarint(canon, pos, &kind_raw)) return false;
+  if (kind_raw > static_cast<std::uint64_t>(FormulaKind::kSecondOrderExists)) {
+    return false;
+  }
+  auto read_name = [&](std::string* out_name) {
+    std::uint64_t len = 0;
+    if (!ReadVarint(canon, pos, &len)) return false;
+    if (len > kCanonMaxCount || len > canon.size() - *pos) return false;
+    out_name->assign(canon.substr(*pos, static_cast<std::size_t>(len)));
+    *pos += static_cast<std::size_t>(len);
+    return true;
+  };
+  auto read_index = [&](std::uint64_t* out_v) {
+    return ReadVarint(canon, pos, out_v) && *out_v <= kCanonMaxIndex;
+  };
+  auto read_count = [&](std::uint64_t* out_n) {
+    return ReadVarint(canon, pos, out_n) && *out_n <= kCanonMaxCount;
+  };
+
+  std::vector<uint64_t> key{kind_raw};
+  std::vector<std::size_t> free_preds;
+  switch (static_cast<FormulaKind>(kind_raw)) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+      break;
+    case FormulaKind::kAtom: {
+      std::string pred_name;
+      std::uint64_t nargs = 0;
+      if (!read_name(&pred_name) || !read_count(&nargs)) return false;
+      const std::size_t pred = InternPredLocked(pred_name);
+      key.push_back(pred);
+      key.push_back(nargs);
+      for (std::uint64_t i = 0; i < nargs; ++i) {
+        std::uint64_t v = 0;
+        if (!read_index(&v)) return false;
+        key.push_back(v);
+      }
+      free_preds = {pred};
+      break;
+    }
+    case FormulaKind::kEquals: {
+      std::uint64_t lhs = 0, rhs = 0;
+      if (!read_index(&lhs) || !read_index(&rhs)) return false;
+      key.push_back(lhs);
+      key.push_back(rhs);
+      break;
+    }
+    case FormulaKind::kNot: {
+      std::size_t sub = 0;
+      if (!DecodeClassLocked(canon, pos, depth + 1, &sub)) return false;
+      key.push_back(sub);
+      free_preds = class_free_preds_[sub];
+      break;
+    }
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+    case FormulaKind::kImplies:
+    case FormulaKind::kIff: {
+      std::size_t lhs = 0, rhs = 0;
+      if (!DecodeClassLocked(canon, pos, depth + 1, &lhs)) return false;
+      if (!DecodeClassLocked(canon, pos, depth + 1, &rhs)) return false;
+      key.push_back(lhs);
+      key.push_back(rhs);
+      free_preds =
+          UnionSorted(class_free_preds_[lhs], class_free_preds_[rhs]);
+      break;
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForAll: {
+      std::uint64_t var = 0;
+      std::size_t body = 0;
+      if (!read_index(&var)) return false;
+      if (!DecodeClassLocked(canon, pos, depth + 1, &body)) return false;
+      key.push_back(var);
+      key.push_back(body);
+      free_preds = class_free_preds_[body];
+      break;
+    }
+    case FormulaKind::kFixpoint: {
+      std::uint64_t op = 0;
+      if (!ReadVarint(canon, pos, &op) ||
+          op > static_cast<std::uint64_t>(FixpointKind::kInflationary)) {
+        return false;
+      }
+      std::string pred_name;
+      std::uint64_t nbound = 0;
+      if (!read_name(&pred_name) || !read_count(&nbound)) return false;
+      const std::size_t pred = InternPredLocked(pred_name);
+      key.push_back(op);
+      key.push_back(pred);
+      key.push_back(nbound);
+      for (std::uint64_t i = 0; i < nbound; ++i) {
+        std::uint64_t v = 0;
+        if (!read_index(&v)) return false;
+        key.push_back(v);
+      }
+      std::uint64_t napply = 0;
+      if (!read_count(&napply)) return false;
+      std::vector<uint64_t> applies;
+      for (std::uint64_t i = 0; i < napply; ++i) {
+        std::uint64_t v = 0;
+        if (!read_index(&v)) return false;
+        applies.push_back(v);
+      }
+      std::size_t body = 0;
+      if (!DecodeClassLocked(canon, pos, depth + 1, &body)) return false;
+      key.push_back(body);
+      key.insert(key.end(), applies.begin(), applies.end());
+      free_preds = EraseSorted(class_free_preds_[body], pred);
+      break;
+    }
+    case FormulaKind::kSecondOrderExists: {
+      std::string pred_name;
+      std::uint64_t arity = 0;
+      if (!read_name(&pred_name) || !read_count(&arity)) return false;
+      const std::size_t pred = InternPredLocked(pred_name);
+      std::size_t body = 0;
+      if (!DecodeClassLocked(canon, pos, depth + 1, &body)) return false;
+      key.push_back(pred);
+      key.push_back(arity);
+      key.push_back(body);
+      free_preds = EraseSorted(class_free_preds_[body], pred);
+      break;
+    }
+  }
+  *cls = InternClassLocked(std::move(key), std::move(free_preds));
+  return true;
+}
+
+std::vector<std::string> FormulaInterner::FreePredNames(
+    std::size_t cls) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  if (cls >= class_free_preds_.size()) return out;
+  out.reserve(class_free_preds_[cls].size());
+  for (std::size_t p : class_free_preds_[cls]) out.push_back(pred_names_[p]);
+  return out;
 }
 
 FormulaIndex::NodeFacts FormulaIndex::Visit(const FormulaPtr& f) {

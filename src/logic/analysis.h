@@ -9,6 +9,7 @@
 #include <mutex>
 #include <set>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -87,12 +88,44 @@ class FormulaInterner {
   std::size_t num_preds() const;
   std::size_t num_classes() const;
 
+  /// Portable canonical form of class `cls`: a self-delimiting binary
+  /// encoding of the subtree's exact shape with predicate *names* inlined
+  /// (interned ids are process-local and would be meaningless elsewhere).
+  /// Any interner produces the identical byte string for syntactically
+  /// identical subtrees, which is what lets answer-cache snapshots carry
+  /// formula identity across processes and restarts (DESIGN.md §13).
+  /// Memoized per class; returns "" for an out-of-range class id.
+  std::string CanonicalFormOf(std::size_t cls);
+
+  /// Decodes a canonical form produced by CanonicalFormOf (typically by
+  /// another process), interning every node of the subtree into this arena
+  /// exactly as a FormulaIndex build of the same formula would — so a later
+  /// query with that shape dedups onto the same class id. On success stores
+  /// the root's class id in *cls and returns true; returns false on
+  /// malformed or truncated input (strict: bounds-checked reads, capped
+  /// counts and recursion depth, whole input must be consumed).
+  bool InternCanonical(std::string_view canon, std::size_t* cls);
+
+  /// Names of the free relation variables of `cls`, sorted by interned id
+  /// (matching FormulaIndex::FreeRelVars order). Empty for out-of-range ids.
+  std::vector<std::string> FreePredNames(std::size_t cls) const;
+
  private:
   friend class FormulaIndex;
 
   struct KeyHash {
     std::size_t operator()(const std::vector<uint64_t>& key) const;
   };
+
+  // The *Locked helpers require mutex_ to be held by the caller (they are
+  // shared between FormulaIndex builds, which hold the lock across a whole
+  // build, and the canonical-form codec).
+  std::size_t InternPredLocked(const std::string& name);
+  std::size_t InternClassLocked(std::vector<uint64_t> key,
+                                std::vector<std::size_t> free_preds);
+  void EncodeClassLocked(std::size_t cls, std::string* out);
+  bool DecodeClassLocked(std::string_view canon, std::size_t* pos,
+                         std::size_t depth, std::size_t* cls);
 
   // All fields below are guarded by mutex_. Deques, not vectors: growth
   // must not move existing elements, because FormulaIndex snapshots hold
@@ -103,6 +136,11 @@ class FormulaInterner {
   std::unordered_map<std::vector<uint64_t>, std::size_t, KeyHash> classes_;
   std::deque<std::vector<std::size_t>> class_free_preds_;
   std::deque<uint64_t> class_hashes_;
+  // Per-class pointer back to the exact key (the map node's key storage is
+  // stable under rehash), for the canonical-form encoder.
+  std::deque<const std::vector<uint64_t>*> class_keys_;
+  std::deque<std::string> class_canons_;  // lazy memo; "" = not yet encoded
+  std::unordered_map<std::string, std::size_t> canon_to_class_;
 };
 
 /// Structural interning plus relation-variable dependency analysis of a

@@ -142,9 +142,11 @@ bool IsVarToken(const std::string& ident, std::size_t* index) {
   for (std::size_t i = 1; i < ident.size(); ++i) {
     if (!std::isdigit(static_cast<unsigned char>(ident[i]))) return false;
   }
-  const unsigned long n = std::stoul(ident.substr(1));
-  if (n == 0) return false;
-  *index = static_cast<std::size_t>(n - 1);
+  std::size_t n = 0;
+  if (!ParseSizeT(std::string_view(ident).substr(1), &n) || n == 0) {
+    return false;  // 0, or an index too large to represent: not a variable
+  }
+  *index = n - 1;
   return true;
 }
 
@@ -348,7 +350,8 @@ class Parser {
       ++pos_;
       BVQ_RETURN_IF_ERROR(Expect(TokKind::kSlash, "'/'"));
       if (Cur().kind != TokKind::kNumber) return Err("expected arity");
-      const std::size_t arity = std::stoul(Cur().text);
+      std::size_t arity = 0;
+      if (!ParseSizeT(Cur().text, &arity)) return Err("arity out of range");
       ++pos_;
       BVQ_RETURN_IF_ERROR(Expect(TokKind::kDot, "'.'"));
       auto body = ParseIff();

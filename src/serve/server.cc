@@ -1,6 +1,7 @@
 #include "serve/server.h"
 
 #include <chrono>
+#include <cstdio>
 #include <fstream>
 #include <future>
 #include <shared_mutex>
@@ -8,6 +9,7 @@
 #include <utility>
 
 #include "common/strings.h"
+#include "eval/cache_snapshot.h"
 #include "logic/analysis.h"
 #include "logic/parser.h"
 
@@ -295,6 +297,62 @@ void Server::FinishEval(std::uint64_t id,
   if (done) done(outcome);
 }
 
+std::string Server::CacheFileFor(const std::string& session) const {
+  if (options_.cache_dir.empty()) return std::string();
+  // Session names are protocol tokens (no whitespace) but otherwise
+  // unconstrained; percent-encode anything that could escape the directory
+  // or upset a filesystem.
+  std::string safe;
+  safe.reserve(session.size());
+  for (char c : session) {
+    const bool plain = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == '-' ||
+                       c == '.';
+    if (plain) {
+      safe.push_back(c);
+    } else {
+      static const char* hex = "0123456789abcdef";
+      safe.push_back('%');
+      safe.push_back(hex[(static_cast<unsigned char>(c) >> 4) & 0xf]);
+      safe.push_back(hex[static_cast<unsigned char>(c) & 0xf]);
+    }
+  }
+  return StrCat(options_.cache_dir, "/", safe, ".bvqcache");
+}
+
+Status Server::SaveSessionCache(const std::shared_ptr<Session>& session,
+                                const std::string& path) {
+  std::vector<AnswerCache::PortableEntry> entries;
+  {
+    std::shared_lock<std::shared_mutex> db_lock(session->db_mutex());
+    entries = session->cache()->ExportResolved(session->db());
+  }
+  return SaveCacheSnapshotFile(path, entries);
+}
+
+Status Server::RestoreSessionCache(const std::shared_ptr<Session>& session,
+                                   const std::string& path) {
+  auto loaded = LoadCacheSnapshotFile(path);
+  if (!loaded.ok()) return loaded.status();
+  session->cache()->Restore(std::move(*loaded));
+  std::shared_lock<std::shared_mutex> db_lock(session->db_mutex());
+  session->cache()->ResolveAgainst(session->db());
+  return Status::OK();
+}
+
+void Server::SaveAllSessionCaches() {
+  if (options_.cache_dir.empty()) return;
+  for (const std::string& name : sessions_.Names()) {
+    auto session = sessions_.Get(name);
+    if (!session.ok()) continue;  // closed concurrently
+    Status s = SaveSessionCache(*session, CacheFileFor(name));
+    if (!s.ok()) {
+      std::fprintf(stderr, "bvqserve: cache snapshot for session %s: %s\n",
+                   name.c_str(), s.ToString().c_str());
+    }
+  }
+}
+
 Result<std::string> Server::StatsLine(const std::string& session) const {
   if (session.empty()) {
     const AdmissionStats a = admission_.stats();
@@ -323,7 +381,8 @@ Result<std::string> Server::StatsLine(const std::string& session) const {
       " cache_hits=", (*found)->cache_hits.load(),
       " cache_misses=", (*found)->cache_misses.load(),
       " cache_evictions=", c.evictions, " cache_bytes=", c.bytes,
-      " cache_entries=", c.entries);
+      " cache_entries=", c.entries, " cache_restored=", c.restored,
+      " cache_pending=", c.pending);
 }
 
 void Server::EmitChunk(const Emit& emit, const std::string& chunk) {
@@ -346,6 +405,12 @@ void Server::HandleLine(const std::string& line, const Emit& emit) {
 
   if (cmd == "quit") {
     closed_.store(true, std::memory_order_release);
+    if (!options_.cache_dir.empty()) {
+      // Let in-flight evals finish inserting before the final snapshot, so
+      // a quit right after an eval batch persists that batch's warmth.
+      Drain();
+      SaveAllSessionCaches();
+    }
     ok("quit");
     return;
   }
@@ -388,6 +453,21 @@ void Server::HandleLine(const std::string& line, const Emit& emit) {
     }
     Status s = Open(name, so);
     if (!s.ok()) return err(StrCat("open ", name, ": ", s.ToString()));
+    if (!options_.cache_dir.empty()) {
+      // Prewarm from the session's snapshot if one exists. Advisory only:
+      // a missing file is the normal cold case, and a bad one degrades to
+      // misses — the ok line is the same either way.
+      auto session = sessions_.Get(name);
+      if (session.ok()) {
+        Status restored = RestoreSessionCache(*session, CacheFileFor(name));
+        if (!restored.ok() && restored.code() != StatusCode::kNotFound) {
+          std::fprintf(stderr,
+                       "bvqserve: ignoring cache snapshot for session %s: "
+                       "%s\n",
+                       name.c_str(), restored.ToString().c_str());
+        }
+      }
+    }
     return ok(StrCat("open ", name));
   }
   if (cmd == "domain") {
@@ -402,6 +482,7 @@ void Server::HandleLine(const std::string& line, const Emit& emit) {
     {
       std::unique_lock<std::shared_mutex> db_lock((*session)->db_mutex());
       (*session)->db() = Database(n);
+      (*session)->cache()->ResolveAgainst((*session)->db());
     }
     return ok(StrCat("domain ", name, " ", n));
   }
@@ -425,6 +506,7 @@ void Server::HandleLine(const std::string& line, const Emit& emit) {
       Status s = (*session)->db().AddRelation(rel_name, rel);
       if (!s.ok()) return err(StrCat("rel ", name, ": ", s.ToString()));
     }
+    (*session)->cache()->ResolveAgainst((*session)->db());
     return ok(StrCat("rel ", name));
   }
   if (cmd == "load") {
@@ -448,6 +530,9 @@ void Server::HandleLine(const std::string& line, const Emit& emit) {
     {
       std::unique_lock<std::shared_mutex> db_lock((*session)->db_mutex());
       (*session)->db() = std::move(*parsed);
+      // Pending snapshot entries whose fingerprints match the freshly
+      // loaded contents go live here — the restore-then-load prewarm path.
+      (*session)->cache()->ResolveAgainst((*session)->db());
     }
     return ok(StrCat("load ", name));
   }
@@ -501,6 +586,17 @@ void Server::HandleLine(const std::string& line, const Emit& emit) {
   if (cmd == "close") {
     std::string name;
     if (!(is >> name)) return err("close: missing session name");
+    if (!options_.cache_dir.empty()) {
+      auto session = sessions_.Get(name);
+      if (session.ok()) {
+        Status saved = SaveSessionCache(*session, CacheFileFor(name));
+        if (!saved.ok()) {
+          std::fprintf(stderr,
+                       "bvqserve: cache snapshot for session %s: %s\n",
+                       name.c_str(), saved.ToString().c_str());
+        }
+      }
+    }
     Status s = Close(name);
     if (!s.ok()) return err(StrCat("close ", name, ": ", s.ToString()));
     return ok(StrCat("close ", name));
@@ -521,8 +617,22 @@ void Server::HandleLine(const std::string& line, const Emit& emit) {
       (*session)->set_cache_enabled(false);
     } else if (action == "clear") {
       (*session)->cache()->Clear();
+    } else if (action == "save" || action == "restore") {
+      std::string rest;
+      std::getline(is, rest);
+      const std::string path(StripAsciiWhitespace(rest));
+      if (path.empty()) {
+        return err(StrCat("cache ", name, ": ", action, " needs a file"));
+      }
+      Status s = action == "save"
+                     ? SaveSessionCache(*session, path)
+                     : RestoreSessionCache(*session, path);
+      if (!s.ok()) {
+        return err(StrCat("cache ", name, " ", action, ": ", s.ToString()));
+      }
     } else {
-      return err(StrCat("cache ", name, ": expected on|off|clear, got ",
+      return err(StrCat("cache ", name,
+                        ": expected on|off|clear|save|restore, got ",
                         action));
     }
     return ok(StrCat("cache ", name, " ", action));
@@ -531,6 +641,7 @@ void Server::HandleLine(const std::string& line, const Emit& emit) {
     // Synchronisation point for scripts: block until every submitted eval
     // has completed (its result block is emitted before the ok below).
     Drain();
+    SaveAllSessionCaches();
     return ok("drain");
   }
   if (cmd == "stats") {

@@ -38,6 +38,13 @@ struct ServeOptions {
   std::size_t executor_threads = 8;
   /// Tuple cap for result payloads (matches the bvqsh printout default).
   std::size_t payload_tuple_limit = 20;
+  /// When non-empty: answer-cache persistence (DESIGN.md §13). Each
+  /// session's db-resolved cache entries are snapshotted to
+  /// `<cache_dir>/<session>.bvqcache` on `close`, `drain`, and `quit`, and
+  /// prewarmed (restored as pending, fingerprint-gated) on `open`. Snapshot
+  /// problems are never protocol errors: a missing, corrupted, or stale file
+  /// degrades to cache misses with a warning on stderr.
+  std::string cache_dir;
 };
 
 /// Everything known about one finished evaluation.
@@ -71,6 +78,8 @@ struct EvalOutcome {
 ///   eval <id> <session> <query>
 ///   cancel <id>
 ///   close <session>
+///   cache <session> save <file>    (snapshot db-resolved entries)
+///   cache <session> restore <file> (prewarm from a snapshot)
 ///   cache <session> on|off|clear   (cross-query answer cache switch;
 ///                                   `clear` drops resident entries —
 ///                                   mutations never need it, versions
@@ -165,6 +174,18 @@ class Server {
   void WorkerLoop();
   // Serializes protocol emits across handler and worker threads.
   void EmitChunk(const Emit& emit, const std::string& chunk);
+
+  // ---- Cache persistence (no-ops unless options_.cache_dir is set) -------
+  // Snapshot path for a session (name percent-encoded for filesystem
+  // safety); empty when persistence is off.
+  std::string CacheFileFor(const std::string& session) const;
+  Status SaveSessionCache(const std::shared_ptr<Session>& session,
+                          const std::string& path);
+  Status RestoreSessionCache(const std::shared_ptr<Session>& session,
+                             const std::string& path);
+  // Best-effort snapshot of every open session (close/drain/quit hooks);
+  // failures warn on stderr and never fail the protocol command.
+  void SaveAllSessionCaches();
 
   ServeOptions options_;
   SessionManager sessions_;

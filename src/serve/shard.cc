@@ -350,7 +350,9 @@ bool ShardRouter::shard_up(std::size_t shard) const {
 }
 
 std::size_t ShardRouter::restarts() const {
-  return restarts_.load(std::memory_order_relaxed);
+  // Acquire pairs with the release bump in ReaderLoop: whoever observes a
+  // restart also observes the shard as not-yet-acked.
+  return restarts_.load(std::memory_order_acquire);
 }
 
 std::uint64_t ShardRouter::AllocateId(std::size_t shard) {
@@ -461,11 +463,17 @@ void ShardRouter::FanOut(
     const std::shared_ptr<Client>& client, const std::string& line,
     Pending::Kind kind,
     const std::function<std::string(std::vector<std::string>, std::size_t)>&
-        merge) {
+        merge,
+    bool skip_unacked) {
   auto wait = std::make_shared<OpWait>();
   wait->remaining = options_.num_shards;
   std::size_t failed = 0;
   for (std::size_t i = 0; i < options_.num_shards; ++i) {
+    if (skip_unacked &&
+        !workers_[i]->acked.load(std::memory_order_acquire)) {
+      ++failed;
+      continue;
+    }
     Pending p;
     p.kind = kind;
     p.wait = wait;
@@ -597,15 +605,17 @@ void ShardRouter::HandleLine(const std::shared_ptr<Client>& client,
     std::string name;
     is >> name;  // optional
     if (name.empty()) {
-      FanOut(client, trimmed, Pending::Kind::kBarrier,
-             [](std::vector<std::string> responses, std::size_t total) {
-               std::vector<ShardStatsSnapshot> snaps;
-               ShardStatsSnapshot snap;
-               for (const std::string& r : responses) {
-                 if (ParseAggregateStats(r, &snap)) snaps.push_back(snap);
-               }
-               return MergeAggregateStats(snaps, total);
-             });
+      FanOut(
+          client, trimmed, Pending::Kind::kBarrier,
+          [](std::vector<std::string> responses, std::size_t total) {
+            std::vector<ShardStatsSnapshot> snaps;
+            ShardStatsSnapshot snap;
+            for (const std::string& r : responses) {
+              if (ParseAggregateStats(r, &snap)) snaps.push_back(snap);
+            }
+            return MergeAggregateStats(snaps, total);
+          },
+          /*skip_unacked=*/true);
       return;
     }
     RouteToShard(client, ShardForSession(name, options_.num_shards), trimmed,
@@ -672,6 +682,11 @@ void ShardRouter::ReaderLoop(std::size_t shard) {
     std::uint64_t block_iid = 0;
     bool in_block = false;
     while (reader.ReadLine(&line)) {
+      if (!w.acked.load(std::memory_order_relaxed)) {
+        // First line from a respawned process: it is demonstrably alive and
+        // answering, so sessionless stats may count it again.
+        w.acked.store(true, std::memory_order_release);
+      }
       if (in_block) {
         block.append(line);
         block.push_back('\n');
@@ -718,9 +733,18 @@ void ShardRouter::ReaderLoop(std::size_t shard) {
       w.fast_failures = 0;
     }
     if (!SpawnWorker(shard).ok()) return;
-    restarts_.fetch_add(1, std::memory_order_relaxed);
+    // Unacked until the fresh process writes a line back; the store must
+    // precede the restarts_ bump so anyone observing the restart count also
+    // observes the shard as not-yet-answering.
+    w.acked.store(false, std::memory_order_release);
+    restarts_.fetch_add(1, std::memory_order_release);
     std::fprintf(stderr, "bvqserve: shard %zu restarted (pid %d)\n", shard,
                  static_cast<int>(w.pid));
+    // Probe the fresh process on the request FIFO. Its reply (swallowed
+    // here) is what re-acks the shard — no client traffic required.
+    Pending probe;
+    probe.kind = Pending::Kind::kInternal;
+    SendToWorker(w, "stats", std::move(probe), false);
   }
 }
 

@@ -228,6 +228,11 @@ class ShardRouter {
     std::deque<Pending> oob_pending;  // cancel-pipe FIFO
     std::set<std::string> sessions;   // opened here; closed on worker death
     bool up = false;
+    // False from a respawn until the fresh process writes its first
+    // response line back. Sessionless stats fan-outs skip up-but-unacked
+    // workers, so `up=` only counts shards that have demonstrably answered
+    // since restarting (a respawned-but-wedged worker must not inflate it).
+    std::atomic<bool> acked{true};
     bool quit_sent = false;
     int request_fd = -1;
     int cancel_fd = -1;
@@ -248,10 +253,14 @@ class ShardRouter {
   // Routing / dispatch (client threads).
   void RouteToShard(const std::shared_ptr<Client>& client, std::size_t shard,
                     const std::string& line, Pending pending, bool oob);
+  // skip_unacked: treat a respawned worker that has not answered anything
+  // yet as absent (used by the sessionless stats merge so `up=` reflects
+  // responsiveness, not mere process existence).
   void FanOut(const std::shared_ptr<Client>& client, const std::string& line,
               Pending::Kind kind,
               const std::function<std::string(std::vector<std::string>,
-                                              std::size_t)>& merge);
+                                              std::size_t)>& merge,
+              bool skip_unacked = false);
   bool SendToWorker(Worker& w, const std::string& line, Pending pending,
                     bool oob);
   void HandleEval(const std::shared_ptr<Client>& client,

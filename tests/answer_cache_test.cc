@@ -11,11 +11,16 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
 #include "common/resource.h"
 #include "db/database.h"
 #include "db/generators.h"
 #include "eval/answer_cache.h"
 #include "eval/bounded_eval.h"
+#include "eval/cache_snapshot.h"
 #include "logic/analysis.h"
 #include "logic/parser.h"
 
@@ -421,6 +426,301 @@ TEST(CrossQueryCacheTest, EnvironmentDependentSubtreesStayPerQuery) {
   BoundedEvalOptions off;
   off.cross_query_cache = false;
   EXPECT_TRUE(warm == MustEval(db, 3, f, off));
+}
+
+// --- Relation fingerprints (DESIGN.md §13) ----------------------------------
+
+TEST(RelationFingerprintTest, OrderIndependentAndIncrementallyMaintained) {
+  const Value rows[3][2] = {{0, 1}, {1, 2}, {2, 3}};
+
+  RelationBuilder fwd(2), rev(2);
+  for (int i = 0; i < 3; ++i) fwd.Add(rows[i]);
+  for (int i = 2; i >= 0; --i) rev.Add(rows[i]);
+  const Relation a = fwd.Build();
+  const Relation b = rev.Build();
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+
+  // Insert-built and bulk-built relations with the same tuple set agree —
+  // the fingerprint is maintained incrementally, not recomputed.
+  Relation c(2);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(c.Insert({rows[i][0], rows[i][1]}));
+  }
+  EXPECT_EQ(c.fingerprint(), a.fingerprint());
+  // A duplicate insert is a no-op for content, so also for the fingerprint.
+  EXPECT_FALSE(c.Insert({rows[0][0], rows[0][1]}));
+  EXPECT_EQ(c.fingerprint(), a.fingerprint());
+}
+
+TEST(RelationFingerprintTest, SensitiveToContentArityAndSize) {
+  RelationBuilder base(2);
+  const Value t0[] = {0, 1};
+  base.Add(t0);
+  const Relation r0 = base.Build();
+
+  RelationBuilder other(2);
+  const Value t1[] = {1, 0};
+  other.Add(t1);
+  EXPECT_NE(r0.fingerprint(), other.Build().fingerprint());
+
+  // Same flat bytes, different arity.
+  RelationBuilder unary(1);
+  const Value u0[] = {0};
+  const Value u1[] = {1};
+  unary.Add(u0);
+  unary.Add(u1);
+  EXPECT_NE(r0.fingerprint(), unary.Build().fingerprint());
+
+  // Empty relations of different arity are still distinguishable, and
+  // a proposition differs from an empty nullary relation.
+  EXPECT_NE(RelationBuilder(1).Build().fingerprint(),
+            RelationBuilder(2).Build().fingerprint());
+  EXPECT_NE(Relation::Proposition(true).fingerprint(),
+            Relation::Proposition(false).fingerprint());
+}
+
+TEST(RelationFingerprintTest, StableAcrossReparseWhileVersionsAreNot) {
+  Database db = PathDbWithLastP(6);
+  auto reparsed = ParseDatabase(db.ToString());
+  ASSERT_TRUE(reparsed.ok());
+  // Same contents: same fingerprints — this is the identity persistence
+  // keys on. The version nonces, by design, do not survive.
+  EXPECT_EQ(reparsed->relation_fingerprint("E"), db.relation_fingerprint("E"));
+  EXPECT_EQ(reparsed->relation_fingerprint("P"), db.relation_fingerprint("P"));
+  EXPECT_NE(reparsed->relation_version("E"), db.relation_version("E"));
+  // Missing relation: 0, never a fingerprint.
+  EXPECT_EQ(db.relation_fingerprint("nope"), 0u);
+  EXPECT_NE(db.relation_fingerprint("E"), 0u);
+}
+
+// --- Canonical class forms ---------------------------------------------------
+
+TEST(CanonicalFormTest, RoundTripsAcrossIndependentInterners) {
+  auto f = MustParse(kReach);
+  FormulaInterner a;
+  FormulaIndex ia(f, &a);
+  const std::size_t cls_a = ia.Facts(f.get()).cls;
+  const std::string canon = a.CanonicalFormOf(cls_a);
+  ASSERT_FALSE(canon.empty());
+
+  // A second interner with different id numbering (skewed by interning an
+  // unrelated formula first) decodes the canon onto the *same* class a
+  // local index build of the same formula lands on.
+  FormulaInterner b;
+  auto skew = MustParse("exists x1 . Q(x1,x1)");
+  FormulaIndex ib_skew(skew, &b);
+  std::size_t decoded = 0;
+  ASSERT_TRUE(b.InternCanonical(canon, &decoded));
+  FormulaIndex ib(f, &b);
+  EXPECT_EQ(ib.Facts(f.get()).cls, decoded);
+  // And the canon re-encodes identically from the new interner.
+  EXPECT_EQ(b.CanonicalFormOf(decoded), canon);
+
+  // Free predicate names (T is fixpoint-bound, E and P are free).
+  std::vector<std::string> free_names = b.FreePredNames(decoded);
+  std::sort(free_names.begin(), free_names.end());
+  EXPECT_EQ(free_names, (std::vector<std::string>{"E", "P"}));
+}
+
+TEST(CanonicalFormTest, RejectsMalformedBytes) {
+  auto f = MustParse(kReach);
+  FormulaInterner a;
+  FormulaIndex ia(f, &a);
+  const std::string canon = a.CanonicalFormOf(ia.Facts(f.get()).cls);
+
+  FormulaInterner b;
+  std::size_t cls = 0;
+  EXPECT_FALSE(b.InternCanonical("", &cls));
+  // Every strict prefix is rejected, never crashes, never half-interns.
+  for (std::size_t len = 0; len < canon.size(); ++len) {
+    EXPECT_FALSE(b.InternCanonical(canon.substr(0, len), &cls))
+        << "prefix length " << len;
+  }
+  // Trailing garbage is rejected too.
+  EXPECT_FALSE(b.InternCanonical(canon + "\xff", &cls));
+  // An invalid kind tag up front.
+  EXPECT_FALSE(b.InternCanonical(std::string(8, '\xff'), &cls));
+  // The interner is still usable afterwards.
+  ASSERT_TRUE(b.InternCanonical(canon, &cls));
+  EXPECT_EQ(b.CanonicalFormOf(cls), canon);
+}
+
+// --- Portable export / restore / resolve ------------------------------------
+
+TEST(PortableCacheTest, ExportRestoreResolveServesHitsOnReparsedDatabase) {
+  Database db = PathDbWithLastP(8);
+  auto f = MustParse(kReach);
+
+  BoundedEvalOptions off;
+  off.cross_query_cache = false;
+  const AssignmentSet reference = MustEval(db, 3, f, off);
+
+  AnswerCache warm;
+  BoundedEvalOptions on;
+  on.answer_cache = &warm;
+  MustEval(db, 3, f, on);
+  std::vector<AnswerCache::PortableEntry> exported = warm.ExportResolved(db);
+  ASSERT_FALSE(exported.empty());
+
+  // A fresh process: new cache, new interner, a reparse of the same data
+  // (so every version nonce differs but every fingerprint matches).
+  auto reparsed = ParseDatabase(db.ToString());
+  ASSERT_TRUE(reparsed.ok());
+  AnswerCache cold;
+  const std::size_t kept = cold.Restore(std::move(exported));
+  EXPECT_GT(kept, 0u);
+  EXPECT_EQ(cold.stats().pending, kept);
+  const std::size_t live = cold.ResolveAgainst(*reparsed);
+  EXPECT_EQ(live, kept);
+  EXPECT_EQ(cold.stats().pending, 0u);
+  EXPECT_EQ(cold.stats().restored, live);
+
+  // First evaluation after the "restart": hits, and bytes identical to the
+  // cache-off reference.
+  auto f2 = MustParse(kReach);
+  BoundedEvalOptions prewarmed;
+  prewarmed.answer_cache = &cold;
+  EvalStats stats;
+  const AssignmentSet got = MustEval(*reparsed, 3, f2, prewarmed, &stats);
+  EXPECT_GT(stats.cache_hits, 0u);
+  EXPECT_TRUE(got == reference);
+}
+
+TEST(PortableCacheTest, StaleSnapshotStaysPendingAndNeverAnswers) {
+  Database db = PathDbWithLastP(8);
+  auto f = MustParse(kReach);
+  AnswerCache warm;
+  BoundedEvalOptions on;
+  on.answer_cache = &warm;
+  MustEval(db, 3, f, on);
+  std::vector<AnswerCache::PortableEntry> exported = warm.ExportResolved(db);
+  ASSERT_FALSE(exported.empty());
+
+  // Same schema and domain, different contents for both relations: every
+  // fingerprint mismatches, so nothing resolves and nothing is served from
+  // the snapshot. Entries wait pending (the right data may still be
+  // loaded). (If a relation *were* unchanged — same fingerprint — its
+  // entries would resolve, and correctly so: the fingerprint is the
+  // content identity.)
+  Database changed(8);
+  ASSERT_TRUE(changed.AddRelation("E", CycleGraph(8)).ok());
+  RelationBuilder p(1);
+  const Value first = 0;
+  p.Add(&first);
+  ASSERT_TRUE(changed.AddRelation("P", p.Build()).ok());
+
+  AnswerCache cold;
+  const std::size_t kept = cold.Restore(std::move(exported));
+  ASSERT_GT(kept, 0u);
+  EXPECT_EQ(cold.ResolveAgainst(changed), 0u);
+  EXPECT_EQ(cold.stats().pending, kept);
+  EXPECT_EQ(cold.stats().entries, 0u);
+
+  auto f2 = MustParse(kReach);
+  BoundedEvalOptions prewarmed;
+  prewarmed.answer_cache = &cold;
+  EvalStats stats;
+  const AssignmentSet got = MustEval(changed, 3, f2, prewarmed, &stats);
+  EXPECT_EQ(stats.cache_hits, 0u);  // never a wrong answer from stale data
+  BoundedEvalOptions off;
+  off.cross_query_cache = false;
+  EXPECT_TRUE(got == MustEval(changed, 3, f2, off));
+}
+
+TEST(PortableCacheTest, RestoreUnderPressureShedsViaTryCharge) {
+  Database db = PathDbWithLastP(8);
+  auto f = MustParse(kReach);
+  AnswerCache warm;
+  BoundedEvalOptions on;
+  on.answer_cache = &warm;
+  MustEval(db, 3, f, on);
+  std::vector<AnswerCache::PortableEntry> exported = warm.ExportResolved(db);
+  ASSERT_FALSE(exported.empty());
+
+  // A governor with no memory headroom at all: every TryCharge is refused,
+  // every restored entry is shed — and the session token is *not* tripped.
+  ResourceGovernor::Limits limits;
+  limits.mem_budget_bytes = 1;
+  ResourceGovernor session(limits);
+  AnswerCacheOptions options;
+  options.governor = &session;
+  AnswerCache cold(options);
+  EXPECT_EQ(cold.Restore(std::move(exported)), 0u);
+  EXPECT_EQ(cold.stats().pending, 0u);
+  EXPECT_FALSE(session.stopped());
+  EXPECT_TRUE(session.Check().ok());
+  EXPECT_EQ(session.stats().mem_current_bytes, 0u);
+}
+
+// --- Snapshot codec ----------------------------------------------------------
+
+std::vector<AnswerCache::PortableEntry> ExportedReachEntries(std::size_t n) {
+  Database db = PathDbWithLastP(n);
+  auto f = MustParse(kReach);
+  AnswerCache cache;
+  BoundedEvalOptions on;
+  on.answer_cache = &cache;
+  MustEval(db, 3, f, on);
+  return cache.ExportResolved(db);
+}
+
+TEST(CacheSnapshotTest, EncodeDecodeRoundTrip) {
+  const auto entries = ExportedReachEntries(8);
+  ASSERT_FALSE(entries.empty());
+  const std::string encoded = EncodeCacheSnapshot(entries);
+  auto decoded = DecodeCacheSnapshot(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->size(), entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ((*decoded)[i].key.canon, entries[i].key.canon);
+    EXPECT_EQ((*decoded)[i].key.domain_size, entries[i].key.domain_size);
+    EXPECT_EQ((*decoded)[i].key.num_vars, entries[i].key.num_vars);
+    EXPECT_EQ((*decoded)[i].key.rels, entries[i].key.rels);
+    EXPECT_TRUE((*decoded)[i].value == entries[i].value);
+  }
+
+  // The empty snapshot is valid too (a session that cached nothing).
+  auto empty = DecodeCacheSnapshot(EncodeCacheSnapshot({}));
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(CacheSnapshotTest, EveryTruncationIsRejectedNotCrashed) {
+  const std::string encoded = EncodeCacheSnapshot(ExportedReachEntries(6));
+  for (std::size_t len = 0; len < encoded.size(); ++len) {
+    auto r = DecodeCacheSnapshot(encoded.substr(0, len));
+    EXPECT_FALSE(r.ok()) << "prefix length " << len;
+  }
+}
+
+TEST(CacheSnapshotTest, EveryFlippedByteIsRejected) {
+  const std::string encoded = EncodeCacheSnapshot(ExportedReachEntries(6));
+  // Flipping any single byte breaks the magic, the version, the count, the
+  // checksum, or the payload the checksum covers — all rejections. (No
+  // stride: corrupt snapshots must *never* decode to plausible entries.)
+  for (std::size_t i = 0; i < encoded.size(); ++i) {
+    std::string bad = encoded;
+    bad[i] = static_cast<char>(bad[i] ^ 0x40);
+    auto r = DecodeCacheSnapshot(bad);
+    EXPECT_FALSE(r.ok()) << "flipped byte " << i;
+  }
+  // Trailing garbage changes the payload under the recorded checksum.
+  EXPECT_FALSE(DecodeCacheSnapshot(encoded + "x").ok());
+}
+
+TEST(CacheSnapshotTest, SaveLoadFileRoundTripAndMissingFile) {
+  const auto entries = ExportedReachEntries(8);
+  const std::string path =
+      ::testing::TempDir() + "/bvq_cache_snapshot_test.bvqcache";
+  ASSERT_TRUE(SaveCacheSnapshotFile(path, entries).ok());
+  auto loaded = LoadCacheSnapshotFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), entries.size());
+  std::remove(path.c_str());
+
+  auto missing = LoadCacheSnapshotFile(path);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
 }
 
 }  // namespace

@@ -1139,5 +1139,203 @@ TEST(ShardRouterTest, WorkerCrashFailsInFlightAndReportsShardDown) {
   router.Shutdown();
 }
 
+TEST(ShardRouterTest, RestartedWorkerCountsInUpOnlyAfterReack) {
+  // A scripted worker whose first incarnation answers exactly one line and
+  // exits, and whose second incarnation stays wedged (answering nothing)
+  // until a go-file appears. Between the respawn and the first line back,
+  // a sessionless stats must neither hang on the silent process nor count
+  // it as up.
+  char tmpl[] = "/tmp/bvq_reack_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string dir = tmpl;
+  const std::string marker = dir + "/incarnation1";
+  const std::string go = dir + "/go";
+  const std::string stats_line =
+      "stats sessions=0 active=0 queue=0 reserved_bytes=0 "
+      "peak_reserved_bytes=0 admitted=0 rejected=0 queued=0 cancelled=0";
+  const std::string script = StrCat(
+      "if [ ! -e ", marker, " ]; then : > ", marker, "; read line; echo \"",
+      stats_line, "\"; exit 0; fi; while [ ! -e ", go,
+      " ]; do sleep 0.05; done; while read line; do echo \"", stats_line,
+      "\"; done");
+
+  ShardRouter::Options options;
+  options.num_shards = 1;
+  options.worker_commands = {{"/bin/sh", "-c", script}};
+  ShardRouter router(std::move(options));
+  ASSERT_TRUE(router.Start().ok());
+  TestClient client(router);
+
+  router.HandleLine(client.client, "stats");
+  EXPECT_TRUE(client.Contains(" shards=1 up=1\n")) << client.All();
+  // Answering that stats was incarnation 1's last act; wait for the
+  // respawn (observing the restart also observes the shard unacked).
+  ASSERT_TRUE(WaitFor([&] { return router.restarts() == 1; }));
+
+  // Respawned but silent: skipped, promptly, with up=0.
+  router.HandleLine(client.client, "stats");
+  const std::string all = client.All();
+  EXPECT_NE(all.rfind(" shards=1 up=0\n"), std::string::npos) << all;
+
+  // Unwedge incarnation 2. The router's own probe re-acks the shard — no
+  // client traffic is needed for up= to recover, but poll via stats.
+  { std::ofstream unwedge(go); }
+  ASSERT_TRUE(WaitFor([&] {
+    TestClient probe(router);
+    router.HandleLine(probe.client, "stats");
+    return probe.Contains(" shards=1 up=1\n");
+  }));
+  router.Shutdown();
+}
+
+TEST(ServeCacheTest, CacheDirPrewarmsARestartedServer) {
+  // Two Server instances sharing a cache dir stand in for a process
+  // restart: the second serves its first query with cache hits and a
+  // byte-identical result block.
+  char tmpl[] = "/tmp/bvq_cachedir_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  ServeOptions options;
+  options.cache_dir = tmpl;
+
+  const std::vector<std::string> setup = {
+      "open s k=3",
+      "domain s 6",
+      "rel s E/2 0 1 ; 1 2 ; 2 3 ; 3 4 ; 4 5 ; 5 0 ;",
+      StrCat("eval 1 s ", kTcQuery),
+      "drain",
+  };
+  auto run = [&](std::vector<std::string>* chunks_out) {
+    Server server(options);
+    std::mutex mu;
+    auto emit = [&](const std::string& chunk) {
+      std::lock_guard<std::mutex> lock(mu);
+      chunks_out->push_back(chunk);
+    };
+    for (const std::string& line : setup) server.HandleLine(line, emit);
+    server.HandleLine("stats s", emit);
+    server.HandleLine("quit", emit);  // snapshots every session
+  };
+
+  std::vector<std::string> first, second;
+  run(&first);
+  ASSERT_TRUE(std::ifstream(StrCat(tmpl, "/s.bvqcache")).good());
+  run(&second);
+
+  auto block = [](const std::vector<std::string>& chunks) {
+    for (const std::string& c : chunks) {
+      if (c.rfind("result 1 ", 0) == 0) return c;
+    }
+    return std::string();
+  };
+  auto stats = [](const std::vector<std::string>& chunks) {
+    for (const std::string& c : chunks) {
+      if (c.rfind("stats session=s ", 0) == 0) return c;
+    }
+    return std::string();
+  };
+  ASSERT_FALSE(block(first).empty());
+  EXPECT_EQ(block(second), block(first));  // byte-identical across restart
+  // The restart's very first batch was served warm from the snapshot.
+  EXPECT_EQ(stats(second).find(" cache_hits=0 "), std::string::npos)
+      << stats(second);
+  EXPECT_EQ(stats(second).find(" cache_restored=0 "), std::string::npos)
+      << stats(second);
+  EXPECT_NE(stats(first).find(" cache_restored=0 "), std::string::npos)
+      << stats(first);
+
+  // A corrupted snapshot degrades the next restart to a cold start: same
+  // bytes out, no hits, no protocol error.
+  {
+    std::fstream f(StrCat(tmpl, "/s.bvqcache"),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekp(30);
+    char b = 0;
+    f.seekg(30);
+    f.get(b);
+    f.seekp(30);
+    f.put(static_cast<char>(b ^ 0x40));
+  }
+  std::vector<std::string> third;
+  run(&third);
+  EXPECT_EQ(block(third), block(first));
+  EXPECT_NE(stats(third).find(" cache_hits=0 "), std::string::npos)
+      << stats(third);
+}
+
+TEST(ServeCacheTest, ProtocolCacheSaveRestoreCommands) {
+  const std::string file = ::testing::TempDir() + "/bvq_proto_cache.bvqcache";
+  std::remove(file.c_str());
+
+  std::vector<std::string> chunks;
+  std::mutex mu;
+  auto emit = [&](const std::string& chunk) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.push_back(chunk);
+  };
+  auto all = [&] {
+    std::lock_guard<std::mutex> lock(mu);
+    std::string joined;
+    for (const auto& c : chunks) joined += c;
+    return joined;
+  };
+
+  std::string first_block;
+  {
+    Server a;  // no cache_dir: only the explicit commands move snapshots
+    a.HandleLine("open s k=3", emit);
+    a.HandleLine("domain s 6", emit);
+    a.HandleLine("rel s E/2 0 1 ; 1 2 ; 2 3 ; 3 4 ; 4 5 ; 5 0 ;", emit);
+    a.HandleLine(StrCat("eval 1 s ", kTcQuery), emit);
+    a.HandleLine("drain", emit);
+    a.HandleLine(StrCat("cache s save ", file), emit);
+    EXPECT_NE(all().find("ok cache s save\n"), std::string::npos) << all();
+    a.HandleLine("cache s save", emit);  // missing path
+    EXPECT_NE(all().find("err cache s: save needs a file"), std::string::npos)
+        << all();
+    std::lock_guard<std::mutex> lock(mu);
+    for (const auto& c : chunks) {
+      if (c.rfind("result 1 ", 0) == 0) first_block = c;
+    }
+    ASSERT_FALSE(first_block.empty());
+    chunks.clear();
+  }
+
+  Server b;
+  b.HandleLine("open s k=3", emit);
+  b.HandleLine("domain s 6", emit);
+  b.HandleLine("rel s E/2 0 1 ; 1 2 ; 2 3 ; 3 4 ; 4 5 ; 5 0 ;", emit);
+  b.HandleLine(StrCat("cache s restore ", file), emit);
+  EXPECT_NE(all().find("ok cache s restore\n"), std::string::npos) << all();
+  b.HandleLine(StrCat("eval 1 s ", kTcQuery), emit);
+  b.HandleLine("drain", emit);
+  b.HandleLine("stats s", emit);
+  const std::string joined = all();
+  EXPECT_NE(joined.find(first_block), std::string::npos) << joined;
+  EXPECT_EQ(joined.find(" cache_hits=0 "), std::string::npos) << joined;
+
+  // Restoring garbage is an err line, never a crash, and the session keeps
+  // serving correct answers.
+  const std::string garbage = ::testing::TempDir() + "/bvq_garbage.bvqcache";
+  {
+    std::ofstream out(garbage, std::ios::binary);
+    out << "not a snapshot";
+  }
+  b.HandleLine(StrCat("cache s restore ", garbage), emit);
+  EXPECT_NE(all().find("err cache s restore:"), std::string::npos) << all();
+  b.HandleLine(StrCat("eval 2 s ", kTcQuery), emit);
+  b.HandleLine("drain", emit);
+  // Same payload bytes under the new id: swap the frame lines of block 1.
+  std::string expected_block2 =
+      "result 2 " + first_block.substr(std::string("result 1 ").size());
+  const std::string old_tail = "end 1\n";
+  ASSERT_GE(expected_block2.size(), old_tail.size());
+  expected_block2.replace(expected_block2.size() - old_tail.size(),
+                          old_tail.size(), "end 2\n");
+  EXPECT_NE(all().find(expected_block2), std::string::npos) << all();
+  std::remove(file.c_str());
+  std::remove(garbage.c_str());
+}
+
 }  // namespace
 }  // namespace bvq::serve

@@ -402,11 +402,17 @@ int main(int argc, char** argv) {
       options.executor_threads = v;
       raw.lanes = v;
       raw.has_lanes = true;
+    } else if (arg.rfind("--cache-dir=", 0) == 0) {
+      options.cache_dir = arg.substr(std::string("--cache-dir=").size());
+      if (options.cache_dir.empty()) {
+        std::fprintf(stderr, "bvqserve: --cache-dir needs a path\n");
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: bvqserve [--port=N] [--shards=N] [--aggregate-mb=N] "
           "[--max-concurrent=N] [--queue-wait-ms=N] [--queue-max=N] "
-          "[--lanes=N] [script]\n");
+          "[--lanes=N] [--cache-dir=DIR] [script]\n");
       return 0;
     } else if (script_path == nullptr && arg.rfind("--", 0) != 0) {
       script_path = argv[i];
@@ -478,6 +484,12 @@ int main(int argc, char** argv) {
         cmd.push_back(StrCat("--queue-max=", raw.queue_max));
       }
       if (raw.has_lanes) cmd.push_back(StrCat("--lanes=", raw.lanes));
+      if (!options.cache_dir.empty()) {
+        // Workers persist and prewarm their own sessions' caches: session
+        // placement is stable (ShardForSession), so a restarted worker
+        // finds exactly its sessions' snapshots under the shared dir.
+        cmd.push_back(StrCat("--cache-dir=", options.cache_dir));
+      }
       router_options.worker_commands.push_back(std::move(cmd));
     }
     serve::ShardRouter router(std::move(router_options));

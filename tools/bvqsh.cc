@@ -16,6 +16,10 @@
 //                               (default on; `clear` drops resident
 //                               entries — db mutations never need it,
 //                               relation versions invalidate by key)
+//   cache save <file>           snapshot db-resolved cache entries
+//   cache restore <file>        prewarm the cache from a snapshot
+//                               (fingerprint-gated: stale entries stay
+//                               pending and never produce answers)
 //   stats on|off                print memo/hoist counters after eval
 //   deadline <ms>               per-query wall-clock deadline (0 = none)
 //   membudget <mb>              per-query memory budget in MiB (0 = none)
@@ -81,6 +85,7 @@
 #include "db/database.h"
 #include "eval/answer_cache.h"
 #include "eval/bounded_eval.h"
+#include "eval/cache_snapshot.h"
 #include "eval/eso_eval.h"
 #include "eval/naive_eval.h"
 #include "logic/analysis.h"
@@ -234,6 +239,7 @@ bool HandleLine(ShellState& state, const std::string& line) {
     std::size_t n = 0;
     if (!ParseNumArg(state, cmd, rest, &n)) return true;
     state.db = Database(n);
+    state.answer_cache.ResolveAgainst(state.db);
     // An empty domain is legal: every relation is empty, every query
     // answer is the empty relation (and a 0-ary query still has its single
     // empty assignment). Print it honestly instead of the old {0..0} lie.
@@ -261,6 +267,7 @@ bool HandleLine(ShellState& state, const std::string& line) {
       std::printf("added %s/%zu (%zu tuples)\n", name.c_str(), rel.arity(),
                   rel.size());
     }
+    state.answer_cache.ResolveAgainst(state.db);
     return true;
   }
   if (cmd == "load") {
@@ -278,6 +285,7 @@ bool HandleLine(ShellState& state, const std::string& line) {
       return true;
     }
     state.db = std::move(*parsed);
+    state.answer_cache.ResolveAgainst(state.db);
     std::printf("loaded: domain %zu, %zu relations, %zu tuples\n",
                 state.db.domain_size(), state.db.relations().size(),
                 state.db.TotalTuples());
@@ -335,6 +343,40 @@ bool HandleLine(ShellState& state, const std::string& line) {
     return true;
   }
   if (cmd == "cache") {
+    std::istringstream cs(rest);
+    std::string action;
+    cs >> action;
+    if (action == "save" || action == "restore") {
+      std::string path_rest;
+      std::getline(cs, path_rest);
+      const std::string path(TrimLeft(path_rest));
+      if (path.empty()) {
+        Fail(state, "cache " + action, "expected a file name");
+        return true;
+      }
+      if (action == "save") {
+        auto entries = state.answer_cache.ExportResolved(state.db);
+        Status s = SaveCacheSnapshotFile(path, entries);
+        if (!s.ok()) {
+          Fail(state, "cache save " + path, s);
+          return true;
+        }
+        std::printf("cache saved: %zu entries to %s\n", entries.size(),
+                    path.c_str());
+      } else {
+        auto loaded = LoadCacheSnapshotFile(path);
+        if (!loaded.ok()) {
+          Fail(state, "cache restore " + path, loaded.status());
+          return true;
+        }
+        const std::size_t total = loaded->size();
+        const std::size_t kept = state.answer_cache.Restore(std::move(*loaded));
+        const std::size_t live = state.answer_cache.ResolveAgainst(state.db);
+        std::printf("cache restored: %zu of %zu entries kept, %zu live\n",
+                    kept, total, live);
+      }
+      return true;
+    }
     if (rest.find("clear") != std::string::npos) {
       state.answer_cache.Clear();
       std::printf("cache cleared\n");

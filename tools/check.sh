@@ -284,6 +284,95 @@ cache_smoke() {
   rm -rf "$tmp"
 }
 
+# Restart-prewarm smoke. Part 1 (single process) reuses
+# tools/cache_persist_test.sh: serve → snapshot on quit → restart →
+# byte-identical replies with cache hits, and a corrupted snapshot degrades
+# to a cold start. Part 2 (crash path): kill -9 both workers of a 2-shard
+# router mid-session; the respawned workers get the same --cache-dir, the
+# re-opened sessions prewarm from the snapshots the preceding drain wrote,
+# and the first post-restart evals answer byte-identically with nonzero
+# cache hits.
+persist_smoke() {
+  local bvqserve="$1/tools/bvqserve" tmp rc=0 i router kids
+  local tc='(x1,x2) [lfp T(x1,x2) . E(x1,x2) | exists x3 . (E(x1,x3) & exists x1 . (x1 = x3 & T(x1,x2)))](x1,x2)'
+  echo "== restart-prewarm smoke ($bvqserve) =="
+  "$ROOT/tools/cache_persist_test.sh" "$bvqserve"
+  echo "   single-process restart round trip ok (incl. corrupted snapshot)"
+
+  tmp=$(mktemp -d)
+  mkdir "$tmp/cache"
+  { printf 'domain 10\nrel E/2'
+    for ((i = 0; i < 10; i++)); do printf ' %d %d ;' "$i" "$(((i + 1) % 10))"; done
+    printf '\n'; } > "$tmp/cycle.bvq"
+  mkfifo "$tmp/ctl"
+  "$bvqserve" --shards=2 --cache-dir="$tmp/cache" "$tmp/ctl" \
+      > "$tmp/out" 2> "$tmp/err" &
+  router=$!
+  exec 9> "$tmp/ctl"
+  printf 'open s0 k=3\nopen s1 k=3\n' >&9
+  printf 'load s0 %s/cycle.bvq\nload s1 %s/cycle.bvq\n' "$tmp" "$tmp" >&9
+  printf 'eval 1 s0 %s\neval 2 s1 %s\n' "$tc" "$tc" >&9
+  printf 'drain\n' >&9  # barrier: evals done, every session snapshotted
+  for ((i = 0; i < 300; i++)); do
+    if grep -q '^result 1 ok$' "$tmp/out" && \
+       grep -q '^result 2 ok$' "$tmp/out" && \
+       [[ -s "$tmp/cache/s0.bvqcache" && -s "$tmp/cache/s1.bvqcache" ]]; then
+      break
+    fi
+    sleep 0.1
+  done
+  if [[ ! -s "$tmp/cache/s0.bvqcache" || ! -s "$tmp/cache/s1.bvqcache" ]]; then
+    echo "persist smoke: drain left no snapshots" >&2
+    cat "$tmp/out" "$tmp/err" >&2; exit 1
+  fi
+
+  kids=$(cat "/proc/$router/task/$router/children")
+  if [[ -z "$kids" ]]; then
+    echo "persist smoke: no worker processes found to kill" >&2; exit 1
+  fi
+  kill -9 $kids
+  for ((i = 0; i < 300; i++)); do
+    [[ "$(grep -c 'restarted' "$tmp/err" || true)" -ge 2 ]] && break
+    sleep 0.1
+  done
+  if [[ "$(grep -c 'restarted' "$tmp/err" || true)" -lt 2 ]]; then
+    echo "persist smoke: workers were not respawned after kill -9" >&2
+    cat "$tmp/err" >&2; exit 1
+  fi
+
+  # The crashed workers took their sessions with them (a respawned empty
+  # worker must never silently serve a re-homed session); re-opening
+  # prewarms each session from its snapshot.
+  printf 'open s0 k=3\nopen s1 k=3\n' >&9
+  printf 'load s0 %s/cycle.bvq\nload s1 %s/cycle.bvq\n' "$tmp" "$tmp" >&9
+  printf 'eval 3 s0 %s\neval 4 s1 %s\n' "$tc" "$tc" >&9
+  printf 'drain\nstats s0\nstats s1\nquit\n' >&9
+  exec 9>&-
+  wait "$router" || rc=$?
+  if [[ $rc -ne 0 ]]; then
+    echo "persist smoke: router exited with $rc" >&2
+    cat "$tmp/out" "$tmp/err" >&2; exit 1
+  fi
+  payload() {
+    awk -v id="$1" '$0 == "end " id {p=0} p {print} $0 == "result " id " ok" {p=1}' \
+        "$tmp/out"
+  }
+  if [[ -z "$(payload 1)" || -z "$(payload 3)" ]]; then
+    echo "persist smoke: missing result payloads" >&2
+    cat "$tmp/out" >&2; exit 1
+  fi
+  if [[ "$(payload 1)" != "$(payload 3)" || "$(payload 2)" != "$(payload 4)" ]]; then
+    echo "persist smoke: post-restart answers differ from pre-crash" >&2
+    cat "$tmp/out" >&2; exit 1
+  fi
+  if [[ "$(grep -c ' cache_hits=[1-9]' "$tmp/out" || true)" -lt 2 ]]; then
+    echo "persist smoke: restarted workers served no cache hits" >&2
+    cat "$tmp/out" >&2; exit 1
+  fi
+  echo "   crash-restarted workers prewarmed: byte-identical, hits counted"
+  rm -rf "$tmp"
+}
+
 run_plain=1
 run_tsan=1
 run_asan=1
@@ -311,6 +400,7 @@ if [[ $run_plain -eq 1 ]]; then
   serve_smoke "$ROOT/build"
   shard_smoke "$ROOT/build"
   cache_smoke "$ROOT/build"
+  persist_smoke "$ROOT/build"
 fi
 
 if [[ $run_tsan -eq 1 ]]; then
@@ -322,6 +412,7 @@ if [[ $run_tsan -eq 1 ]]; then
   BVQ_THREADS=4 serve_smoke "$ROOT/build-tsan"
   BVQ_THREADS=4 shard_smoke "$ROOT/build-tsan"
   BVQ_THREADS=4 cache_smoke "$ROOT/build-tsan"
+  BVQ_THREADS=4 persist_smoke "$ROOT/build-tsan"
 fi
 
 if [[ $run_asan -eq 1 ]]; then
@@ -336,6 +427,7 @@ if [[ $run_asan -eq 1 ]]; then
   serve_smoke "$ROOT/build-asan"
   shard_smoke "$ROOT/build-asan"
   cache_smoke "$ROOT/build-asan"
+  persist_smoke "$ROOT/build-asan"
 fi
 
 echo "check.sh: all requested passes green"
