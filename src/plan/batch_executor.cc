@@ -1,0 +1,49 @@
+#include "plan/batch_executor.h"
+
+namespace bvq::plan {
+
+BatchExecResult MaterializeShared(const BatchPlan& plan, const Database& db,
+                                  const BatchExecOptions& options) {
+  BatchExecResult result;
+  if (options.cache == nullptr) return result;
+  for (const BatchNode& node : plan.nodes) {
+    if (!node.materialize) continue;
+    if (options.governor != nullptr && !options.governor->Check().ok()) {
+      // Pass-level trip (deadline, budget): abandon the warmup. The
+      // per-query evaluations still run with their own governors and
+      // produce exactly the serial results, just colder.
+      break;
+    }
+    if (options.query_cancelled) {
+      bool live = false;
+      for (const std::size_t qi : node.owners) {
+        if (!options.query_cancelled(qi)) {
+          live = true;
+          break;
+        }
+      }
+      if (!live) {
+        // Every owner is gone; the node's answer has no consumer. A single
+        // surviving owner keeps the node running (refcounted ownership).
+        ++result.skipped_cancelled;
+        continue;
+      }
+    }
+    BoundedEvalOptions eval_options = options.eval;
+    eval_options.governor = options.governor;
+    eval_options.answer_cache = options.cache;
+    eval_options.cross_query_cache = true;
+    eval_options.memo = true;  // the cache piggybacks on the memo layer
+    // A fresh evaluator per node: Evaluate probes the cache before
+    // computing anything (nodes materialized earlier in the pass — or by
+    // earlier batches — are hits, not recomputations) and exports every
+    // database-only memo entry on success, which is what makes one
+    // evaluation of a maximal node cover its whole subtree.
+    BoundedEvaluator eval(db, node.num_vars, eval_options);
+    ++result.evaluated;
+    if (!eval.Evaluate(node.formula).ok()) ++result.failed;
+  }
+  return result;
+}
+
+}  // namespace bvq::plan

@@ -1,0 +1,69 @@
+#ifndef BVQ_PLAN_BATCH_EXECUTOR_H_
+#define BVQ_PLAN_BATCH_EXECUTOR_H_
+
+// Shared-node materialization for batch plans (DESIGN.md §14). The
+// executor walks the plan's DAG in topological order and evaluates every
+// node the planner selected, with the session's AnswerCache installed:
+// each evaluation probes the cache first and exports its database-only
+// memo entries on success, so across the whole pass every shared
+// structural class is computed at most once — residency lands in the
+// session cache under the session governor's non-tripping TryCharge, and
+// the queries themselves then evaluate against a warm cache.
+
+#include <cstddef>
+#include <functional>
+
+#include "common/resource.h"
+#include "db/database.h"
+#include "eval/answer_cache.h"
+#include "eval/bounded_eval.h"
+#include "plan/batch_planner.h"
+
+namespace bvq::plan {
+
+/// Options for MaterializeShared.
+struct BatchExecOptions {
+  /// The session's answer cache (not owned; required). Shared results are
+  /// materialized into it; its governor pays for residency via TryCharge.
+  AnswerCache* cache = nullptr;
+  /// Evaluator template (threads, strategy, limits). The governor,
+  /// answer_cache, cross_query_cache, and memo fields are overridden per
+  /// node; everything else is copied as-is.
+  BoundedEvalOptions eval;
+  /// Optional governor for the materialization pass itself: transient
+  /// evaluation memory is charged here (never to a per-query account —
+  /// shared work has no single owner), and a trip abandons the remaining
+  /// nodes. Null = ungoverned.
+  ResourceGovernor* governor = nullptr;
+  /// Ownership refcount poll: returns true when query `qi` (an index into
+  /// the plan's query vector) has been cancelled. Checked between nodes —
+  /// a node every owner of which is cancelled is skipped, while one live
+  /// owner keeps it running: cancelling one query of a batch must never
+  /// starve a shared node another query still needs. Null = never.
+  std::function<bool(std::size_t)> query_cancelled;
+};
+
+/// What the materialization pass actually did (the plan's `materialized`
+/// counter is the *selection*; this is the execution).
+struct BatchExecResult {
+  /// Selected nodes evaluated (successfully or not).
+  std::size_t evaluated = 0;
+  /// Selected nodes skipped because every owner was cancelled.
+  std::size_t skipped_cancelled = 0;
+  /// Node evaluations that failed. Never fatal: the owning query's own
+  /// evaluation reproduces the identical error serially, so a failed
+  /// shared node costs warmth, not correctness.
+  std::size_t failed = 0;
+};
+
+/// Evaluates the plan's selected shared nodes in topological order,
+/// materializing their answers (and those of their database-only
+/// descendants) into `options.cache`. The database must be the one the
+/// plan was built against and must not mutate during the pass — callers
+/// hold the session's shared db lock across it.
+BatchExecResult MaterializeShared(const BatchPlan& plan, const Database& db,
+                                  const BatchExecOptions& options);
+
+}  // namespace bvq::plan
+
+#endif  // BVQ_PLAN_BATCH_EXECUTOR_H_

@@ -1,0 +1,94 @@
+#ifndef BVQ_PLAN_BATCH_PLANNER_H_
+#define BVQ_PLAN_BATCH_PLANNER_H_
+
+// Batch query planning (DESIGN.md §14): given the N parsed queries of one
+// session batch, intern every subformula into the session's shared
+// FormulaInterner and build a shared-subformula execution DAG. Each
+// structural class appears as one node; nodes are topologically staged
+// (leaves at stage 0) and carry the set of queries that own them, so the
+// executor can evaluate a shared subtree exactly once — and keep evaluating
+// it while *any* owner is still live, even after another owner was
+// cancelled (refcounted ownership, never a shared cancellation).
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "db/database.h"
+#include "logic/analysis.h"
+#include "logic/formula.h"
+
+namespace bvq::plan {
+
+/// Counters describing one batch plan, surfaced through the protocol
+/// (`batch <s> end` / per-session `stats`) and bvqsh `--stats`.
+struct BatchStats {
+  /// Queries the plan covers.
+  std::size_t queries = 0;
+  /// Distinct DAG nodes: structural classes, counted once per effective-k
+  /// group (the answer-cache key includes k, so the same class under two
+  /// different k values is two nodes).
+  std::size_t nodes = 0;
+  /// Nodes owned by two or more queries of the batch.
+  std::size_t shared_nodes = 0;
+  /// Nodes selected for up-front materialization: shared, database-only,
+  /// and maximal (no selected ancestor — evaluating an ancestor exports
+  /// every database-only descendant into the cache anyway).
+  std::size_t materialized = 0;
+  /// Topological depth of the DAG (max node stage + 1; 0 for an empty plan).
+  std::size_t stages = 0;
+  /// Sum over queries of their per-query distinct class count, divided by
+  /// the number of distinct nodes overall: 1.0 = nothing shared, N identical
+  /// queries = N.0. The batch's headline dedup figure.
+  double dedup_ratio = 1.0;
+};
+
+/// One DAG node: a structural class of some query's formula tree, within
+/// one effective-k group.
+struct BatchNode {
+  /// Structural class id in the shared interner.
+  std::size_t cls = 0;
+  /// Representative subtree (any owner's occurrence; they are
+  /// syntactically identical by construction).
+  FormulaPtr formula;
+  /// The effective k this node's group evaluates under.
+  std::size_t num_vars = 0;
+  /// Topological stage: 0 for leaves, 1 + max(children) otherwise.
+  std::size_t stage = 0;
+  /// Every free relation variable of the class resolves to a database
+  /// relation (nonzero version): the node's answer is cacheable across
+  /// queries. Nodes under a fixpoint/second-order binder depend on the
+  /// bound variable and are never database-only.
+  bool db_only = false;
+  /// Selected for up-front shared materialization by the executor.
+  bool materialize = false;
+  /// Indices (into the planner's query vector) of the queries whose trees
+  /// contain this node — the ownership refcount for cancellation.
+  std::vector<std::size_t> owners;
+  /// Child node indices within BatchPlan::nodes (deduplicated).
+  std::vector<std::size_t> children;
+};
+
+/// A planned batch: the input queries plus the staged DAG over their
+/// shared structure. Nodes are in topological order (every child precedes
+/// its parents), which is the order the executor materializes in.
+struct BatchPlan {
+  std::vector<Query> queries;
+  /// Per-query effective k: max(session k, NumVariables(formula)).
+  std::vector<std::size_t> num_vars;
+  std::vector<BatchNode> nodes;
+  BatchStats stats;
+};
+
+/// Builds the shared-subformula DAG for `queries` against `db`. All class
+/// ids are interned into `interner` (the session cache's arena), so they
+/// mean the same thing as the session's answer-cache keys; `interner` must
+/// outlive the plan's use. `session_num_vars` is the session's configured k;
+/// queries needing more variables are planned at their own (larger) k.
+Result<BatchPlan> PlanBatch(std::vector<Query> queries, const Database& db,
+                            std::size_t session_num_vars,
+                            FormulaInterner* interner);
+
+}  // namespace bvq::plan
+
+#endif  // BVQ_PLAN_BATCH_PLANNER_H_

@@ -117,12 +117,39 @@ bool ParseEvalRequest(const std::string& trimmed, std::uint64_t* id,
   return true;
 }
 
-// Replaces the id token of a parsed eval request with the router id.
-std::string RewriteEvalId(const std::string& trimmed, std::uint64_t iid) {
-  std::size_t p = 4;  // past "eval"
-  while (p < trimmed.size() &&
-         std::isspace(static_cast<unsigned char>(trimmed[p])) != 0) {
-    ++p;
+// Parses "batch <session> eval <id> ..." out of a trimmed request line;
+// same contract as ParseEvalRequest — anything malformed is forwarded
+// verbatim for the worker's canonical error text.
+bool ParseBatchEvalRequest(const std::string& trimmed, std::uint64_t* id,
+                           std::string* session) {
+  std::istringstream is(trimmed);
+  std::string cmd, name, sub, id_tok;
+  if (!(is >> cmd) || cmd != "batch" || !(is >> name) || !(is >> sub) ||
+      sub != "eval" || !(is >> id_tok)) {
+    return false;
+  }
+  std::size_t value = 0;
+  if (!ParseSizeT(id_tok, &value)) return false;
+  *id = value;
+  *session = name;
+  return true;
+}
+
+// Replaces the `index`-th whitespace-separated token (0-based) with the
+// router id. Token `index` must exist — callers parsed the line first.
+std::string RewriteIdAtToken(const std::string& trimmed, std::size_t index,
+                             std::uint64_t iid) {
+  std::size_t p = 0;
+  for (std::size_t t = 0; t <= index; ++t) {
+    while (p < trimmed.size() &&
+           std::isspace(static_cast<unsigned char>(trimmed[p])) != 0) {
+      ++p;
+    }
+    if (t == index) break;
+    while (p < trimmed.size() &&
+           std::isspace(static_cast<unsigned char>(trimmed[p])) == 0) {
+      ++p;
+    }
   }
   std::size_t q = p;
   while (q < trimmed.size() &&
@@ -413,7 +440,9 @@ void ShardRouter::RouteToShard(const std::shared_ptr<Client>& client,
   const std::uint64_t orig = pending.orig;
   const std::string session = pending.session;
   if (!SendToWorker(*workers_[shard], line, std::move(pending), oob)) {
-    if (kind == Pending::Kind::kEval) EraseRoute(iid);
+    if (kind == Pending::Kind::kEval || kind == Pending::Kind::kBatchEval) {
+      EraseRoute(iid);
+    }
     client->emit(StrCat(ShardDownLine(shard), "\n"));
     return;
   }
@@ -448,6 +477,10 @@ void ShardRouter::RouteToShard(const std::shared_ptr<Client>& client,
       // Submission failed (unknown session, duplicate, shard down): no
       // result block will ever arrive, so retire the route here.
       if (!StartsWith(response, "ok eval")) EraseRoute(iid);
+      response = ReplaceIdToken(response, iid, orig);
+      break;
+    case Pending::Kind::kBatchEval:
+      if (!StartsWith(response, "ok batch")) EraseRoute(iid);
       response = ReplaceIdToken(response, iid, orig);
       break;
     case Pending::Kind::kCancel:
@@ -491,16 +524,20 @@ void ShardRouter::FanOut(
 
 void ShardRouter::HandleEval(const std::shared_ptr<Client>& client,
                              const std::string& line, std::uint64_t orig,
-                             const std::string& session, std::size_t shard) {
-  (void)session;  // the shard was derived from it; kept for diagnostics
+                             const std::string& session, std::size_t shard,
+                             Pending::Kind kind, std::size_t id_token_index) {
   std::uint64_t iid = 0;
   {
     std::lock_guard<std::mutex> lock(ids_mutex_);
     if (ids_.count(orig) != 0) {
       // The single-process server rejects an in-flight id reuse; the router
       // enforces the same contract fleet-wide, with the same bytes.
+      const std::string prefix =
+          kind == Pending::Kind::kBatchEval
+              ? StrCat("batch ", session, " eval ", orig)
+              : StrCat("eval ", orig);
       client->emit(StrCat(
-          "err eval ", orig, ": ",
+          "err ", prefix, ": ",
           Status::InvalidArgument(
               StrCat("query id ", orig, " is already in flight"))
               .ToString(),
@@ -516,10 +553,11 @@ void ShardRouter::HandleEval(const std::shared_ptr<Client>& client,
     client->inflight.insert(iid);
   }
   Pending p;
-  p.kind = Pending::Kind::kEval;
+  p.kind = kind;
   p.iid = iid;
   p.orig = orig;
-  RouteToShard(client, shard, RewriteEvalId(line, iid), std::move(p), false);
+  RouteToShard(client, shard, RewriteIdAtToken(line, id_token_index, iid),
+               std::move(p), false);
 }
 
 void ShardRouter::HandleCancel(const std::shared_ptr<Client>& client,
@@ -627,10 +665,40 @@ void ShardRouter::HandleLine(const std::shared_ptr<Client>& client,
     std::string session;
     if (ParseEvalRequest(trimmed, &orig, &session)) {
       HandleEval(client, trimmed, orig, session,
-                 ShardForSession(session, options_.num_shards));
+                 ShardForSession(session, options_.num_shards),
+                 Pending::Kind::kEval, /*id_token_index=*/1);
     } else {
       // Malformed: any worker produces the exact single-process error.
       RouteToShard(client, 0, trimmed, Pending{}, false);
+    }
+    return;
+  }
+  if (cmd == "help") {
+    // Answered locally: a multi-line response must never enter the
+    // per-shard control FIFO (one control line per request), and the text
+    // is identical on every worker anyway.
+    client->emit(ProtocolHelpText());
+    return;
+  }
+  if (cmd == "batch") {
+    // Batches are session-affine; everything goes to the session's shard.
+    // `batch <s> eval <id> <query>` needs the same id rewrite as a plain
+    // eval so the result block demuxes back to this client.
+    std::string name;
+    if (!(is >> name)) {
+      // Missing session name: the worker echoes the usage error.
+      RouteToShard(client, 0, trimmed, Pending{}, false);
+      return;
+    }
+    const std::size_t shard = ShardForSession(name, options_.num_shards);
+    std::uint64_t orig = 0;
+    std::string session;
+    if (ParseBatchEvalRequest(trimmed, &orig, &session)) {
+      HandleEval(client, trimmed, orig, session, shard,
+                 Pending::Kind::kBatchEval, /*id_token_index=*/3);
+    } else {
+      // begin / end / malformed: forwarded verbatim, one control line back.
+      RouteToShard(client, shard, trimmed, Pending{}, false);
     }
     return;
   }
@@ -793,6 +861,10 @@ void ShardRouter::HandleControlLine(std::size_t shard, const std::string& line,
         if (!StartsWith(response, "ok eval")) EraseRoute(entry.iid);
         response = ReplaceIdToken(response, entry.iid, entry.orig);
         break;
+      case Pending::Kind::kBatchEval:
+        if (!StartsWith(response, "ok batch")) EraseRoute(entry.iid);
+        response = ReplaceIdToken(response, entry.iid, entry.orig);
+        break;
       case Pending::Kind::kCancel:
         response = ReplaceIdToken(response, entry.iid, entry.orig);
         break;
@@ -880,7 +952,10 @@ void ShardRouter::HandleWorkerDown(std::size_t shard) {
   const std::string down = ShardDownLine(shard);
   auto fail_queue = [&](std::deque<Pending>& queue) {
     for (Pending& entry : queue) {
-      if (entry.kind == Pending::Kind::kEval) EraseRoute(entry.iid);
+      if (entry.kind == Pending::Kind::kEval ||
+          entry.kind == Pending::Kind::kBatchEval) {
+        EraseRoute(entry.iid);
+      }
       if (entry.wait == nullptr) continue;
       {
         std::lock_guard<std::mutex> lock(entry.wait->mutex);

@@ -201,8 +201,9 @@ class ShardRouter {
       kForward,   // response forwarded verbatim
       kOpen,      // + register session on "ok open"
       kClose,     // + unregister session on "ok close"
-      kEval,      // + id rewrite; erase route on "err eval"
-      kCancel,    // + id rewrite (cancel FIFO)
+      kEval,       // + id rewrite; erase route on "err eval"
+      kBatchEval,  // + id rewrite; erase route unless "ok batch"
+      kCancel,     // + id rewrite (cancel FIFO)
       kBarrier,   // stats/drain/quit fan-out contribution
       kInternal,  // detach-cancel: swallow the response
     };
@@ -263,9 +264,13 @@ class ShardRouter {
               bool skip_unacked = false);
   bool SendToWorker(Worker& w, const std::string& line, Pending pending,
                     bool oob);
+  // Shared by `eval <id> ...` and `batch <s> eval <id> ...`:
+  // `id_token_index` is the 0-based token position of the id to rewrite,
+  // `kind` selects the ack prefix the FIFO post-processing matches on.
   void HandleEval(const std::shared_ptr<Client>& client,
                   const std::string& line, std::uint64_t orig,
-                  const std::string& session, std::size_t shard);
+                  const std::string& session, std::size_t shard,
+                  Pending::Kind kind, std::size_t id_token_index);
   void HandleCancel(const std::shared_ptr<Client>& client, std::uint64_t orig);
 
   // Reader side (one thread per shard).

@@ -1,0 +1,302 @@
+// The batch query planner and executor (DESIGN.md §14): shared-subformula
+// DAGs over a batch's queries. The load-bearing properties: node identity
+// is (structural class, effective k) so sharing never crosses cache-key
+// boundaries; nodes are topologically ordered with children before
+// parents; materialization selects shared, database-only, *maximal* nodes;
+// the executor evaluates each shared class at most once per batch; and
+// ownership is refcounted — a node runs while any owner is live and is
+// skipped only when every owner cancelled.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "db/generators.h"
+#include "eval/answer_cache.h"
+#include "eval/bounded_eval.h"
+#include "logic/analysis.h"
+#include "logic/parser.h"
+#include "plan/batch_executor.h"
+#include "plan/batch_planner.h"
+
+namespace bvq::plan {
+namespace {
+
+constexpr char kPathQuery[] = "(x1,x2) exists x3 . (E(x1,x3) & E(x3,x2))";
+constexpr char kPathOrEdgeQuery[] =
+    "(x1,x2) exists x3 . (E(x1,x3) & E(x3,x2)) | E(x1,x2)";
+
+Database CycleDb(std::size_t n) {
+  Database db(n);
+  EXPECT_TRUE(db.AddRelation("E", CycleGraph(n)).ok());
+  return db;
+}
+
+std::vector<Query> ParseAll(const std::vector<std::string>& texts) {
+  std::vector<Query> queries;
+  for (const std::string& text : texts) {
+    auto q = ParseQuery(text);
+    EXPECT_TRUE(q.ok()) << text << ": " << q.status().ToString();
+    queries.push_back(std::move(*q));
+  }
+  return queries;
+}
+
+// --- planner ---------------------------------------------------------------
+
+TEST(BatchPlannerTest, IdenticalQueriesCollapseToOneTree) {
+  const Database db = CycleDb(5);
+  FormulaInterner interner;
+  auto plan = PlanBatch(ParseAll(std::vector<std::string>(8, kPathQuery)), db,
+                        3, &interner);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  // Eight copies of one tree: every node is owned by all eight queries and
+  // the dedup ratio is exactly 8.
+  EXPECT_EQ(plan->stats.queries, 8u);
+  EXPECT_GT(plan->stats.nodes, 0u);
+  EXPECT_EQ(plan->stats.shared_nodes, plan->stats.nodes);
+  EXPECT_DOUBLE_EQ(plan->stats.dedup_ratio, 8.0);
+  for (const BatchNode& node : plan->nodes) {
+    EXPECT_EQ(node.owners.size(), 8u);
+    EXPECT_TRUE(node.db_only);
+  }
+  // Maximality: exactly the root is selected — materializing it exports
+  // every database-only descendant, so selecting those too would be waste.
+  EXPECT_EQ(plan->stats.materialized, 1u);
+  std::size_t max_stage = 0;
+  for (const BatchNode& node : plan->nodes) {
+    max_stage = std::max(max_stage, node.stage);
+  }
+  for (const BatchNode& node : plan->nodes) {
+    EXPECT_EQ(node.materialize, node.stage == max_stage) << node.stage;
+  }
+  EXPECT_EQ(plan->stats.stages, max_stage + 1);
+}
+
+TEST(BatchPlannerTest, DisjointQueriesShareNothing) {
+  const Database db = CycleDb(4);
+  FormulaInterner interner;
+  auto plan = PlanBatch(
+      ParseAll({"(x1,x2) E(x1,x2)", "(x1) exists x2 . E(x2,x1)"}), db, 3,
+      &interner);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->stats.shared_nodes, 0u);
+  EXPECT_EQ(plan->stats.materialized, 0u);
+  EXPECT_DOUBLE_EQ(plan->stats.dedup_ratio, 1.0);
+}
+
+TEST(BatchPlannerTest, OverlappingQueriesShareTheCommonSubtree) {
+  const Database db = CycleDb(5);
+  FormulaInterner interner;
+  auto plan =
+      PlanBatch(ParseAll({kPathQuery, kPathOrEdgeQuery}), db, 3, &interner);
+  ASSERT_TRUE(plan.ok());
+
+  // The whole first query reappears as a subtree of the second, so its
+  // entire tree is shared — and only its root is selected (maximality),
+  // because the second query's root is owned by one query only.
+  EXPECT_GT(plan->stats.shared_nodes, 0u);
+  EXPECT_EQ(plan->stats.materialized, 1u);
+  EXPECT_GT(plan->stats.dedup_ratio, 1.0);
+  for (const BatchNode& node : plan->nodes) {
+    if (node.materialize) {
+      EXPECT_EQ(node.owners.size(), 2u);
+      EXPECT_TRUE(node.db_only);
+    }
+  }
+}
+
+TEST(BatchPlannerTest, NodesAreTopologicallyOrdered) {
+  const Database db = CycleDb(5);
+  FormulaInterner interner;
+  auto plan = PlanBatch(
+      ParseAll({kPathQuery, kPathOrEdgeQuery, "(x1,x2) !E(x1,x2)"}), db, 3,
+      &interner);
+  ASSERT_TRUE(plan.ok());
+  std::set<std::pair<std::size_t, std::size_t>> seen;  // (cls, k) uniqueness
+  for (std::size_t i = 0; i < plan->nodes.size(); ++i) {
+    const BatchNode& node = plan->nodes[i];
+    EXPECT_TRUE(seen.insert({node.cls, node.num_vars}).second);
+    for (const std::size_t child : node.children) {
+      EXPECT_LT(child, i);  // children strictly precede their parents
+      EXPECT_LT(plan->nodes[child].stage, node.stage);
+    }
+    if (node.children.empty()) {
+      EXPECT_EQ(node.stage, 0u);
+    }
+  }
+}
+
+TEST(BatchPlannerTest, SameClassUnderDifferentKIsTwoNodes) {
+  const Database db = CycleDb(4);
+  FormulaInterner interner;
+  // Both queries contain the class E(x1,x2), but the second needs three
+  // variables, so its effective k is 3 while the first plans at the
+  // session's k = 2. Cache keys include k: no sharing across the groups.
+  auto plan = PlanBatch(
+      ParseAll({"(x1,x2) E(x1,x2)",
+                "(x1,x2) E(x1,x2) & exists x3 . E(x1,x3)"}),
+      db, 2, &interner);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->num_vars.size(), 2u);
+  EXPECT_EQ(plan->num_vars[0], 2u);
+  EXPECT_EQ(plan->num_vars[1], 3u);
+  EXPECT_EQ(plan->stats.shared_nodes, 0u);
+  EXPECT_EQ(plan->stats.materialized, 0u);
+}
+
+TEST(BatchPlannerTest, UnresolvedRelationIsNeverMaterialized) {
+  // `Missing` has no database relation, so no node of these trees is
+  // database-only and nothing is selected despite full sharing.
+  const Database db = CycleDb(4);
+  FormulaInterner interner;
+  auto plan = PlanBatch(
+      ParseAll(std::vector<std::string>(2, "(x1,x2) Missing(x1,x2)")), db, 3,
+      &interner);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_GT(plan->stats.shared_nodes, 0u);
+  EXPECT_EQ(plan->stats.materialized, 0u);
+  for (const BatchNode& node : plan->nodes) EXPECT_FALSE(node.db_only);
+}
+
+TEST(BatchPlannerTest, FixpointBoundSubtreesAreNotDbOnly) {
+  const Database db = CycleDb(4);
+  FormulaInterner interner;
+  auto plan = PlanBatch(
+      ParseAll(std::vector<std::string>(
+          2, "(x1,x2) [lfp T(x1,x2) . E(x1,x2) | exists x3 . (E(x1,x3) & "
+             "exists x1 . (x1 = x3 & T(x1,x2)))](x1,x2)")),
+      db, 3, &interner);
+  ASSERT_TRUE(plan.ok());
+  // The whole tree is shared; only database-only nodes may be selected,
+  // and anything mentioning the bound T is excluded.
+  for (const BatchNode& node : plan->nodes) {
+    if (node.materialize) {
+      EXPECT_TRUE(node.db_only);
+    }
+  }
+  // The lfp root itself *is* database-only (T is bound, E resolves), so
+  // the maximal selection is exactly that root.
+  EXPECT_EQ(plan->stats.materialized, 1u);
+}
+
+TEST(BatchPlannerTest, NullInternerIsAnError) {
+  const Database db = CycleDb(3);
+  auto plan = PlanBatch(ParseAll({kPathQuery}), db, 3, nullptr);
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- executor --------------------------------------------------------------
+
+TEST(BatchExecutorTest, MaterializesSharedNodesOnceIntoTheCache) {
+  const Database db = CycleDb(6);
+  AnswerCache cache;
+  auto plan = PlanBatch(ParseAll({kPathQuery, kPathOrEdgeQuery}), db, 3,
+                        cache.interner());
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->stats.materialized, 1u);
+
+  BatchExecOptions exec;
+  exec.cache = &cache;
+  const BatchExecResult run = MaterializeShared(*plan, db, exec);
+  EXPECT_EQ(run.evaluated, 1u);
+  EXPECT_EQ(run.failed, 0u);
+  EXPECT_EQ(run.skipped_cancelled, 0u);
+  // The shared subtree (and its database-only descendants) are resident.
+  EXPECT_GT(cache.stats().entries, 0u);
+  const std::uint64_t insertions = cache.stats().insertions;
+
+  // Both queries now answer with cache hits and the identical bytes a
+  // cache-free evaluation produces: warmth, never a semantic change.
+  for (std::size_t qi = 0; qi < plan->queries.size(); ++qi) {
+    BoundedEvalOptions with_cache;
+    with_cache.answer_cache = &cache;
+    with_cache.cross_query_cache = true;
+    BoundedEvaluator warm(db, plan->num_vars[qi], with_cache);
+    auto got = warm.EvaluateQuery(plan->queries[qi]);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_GT(warm.stats().cache_hits, 0u) << qi;
+
+    BoundedEvaluator cold(db, plan->num_vars[qi], BoundedEvalOptions{});
+    auto want = cold.EvaluateQuery(plan->queries[qi]);
+    ASSERT_TRUE(want.ok());
+    EXPECT_EQ(got->ToString(), want->ToString()) << qi;
+  }
+  EXPECT_GE(insertions, 1u);
+
+  // A second pass over the same plan is pure cache hits: the evaluator
+  // probes before computing, so re-materialization inserts nothing — the
+  // shared class is computed at most once per batch.
+  const std::uint64_t hits_before = cache.stats().hits;
+  const std::uint64_t insertions_before = cache.stats().insertions;
+  const BatchExecResult again = MaterializeShared(*plan, db, exec);
+  EXPECT_EQ(again.evaluated, 1u);
+  EXPECT_GT(cache.stats().hits, hits_before);
+  EXPECT_EQ(cache.stats().insertions, insertions_before);
+}
+
+TEST(BatchExecutorTest, OneLiveOwnerKeepsASharedNodeRunning) {
+  const Database db = CycleDb(6);
+  AnswerCache cache;
+  auto plan = PlanBatch(ParseAll({kPathQuery, kPathOrEdgeQuery}), db, 3,
+                        cache.interner());
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->stats.materialized, 1u);
+
+  // Query 0 cancelled, query 1 live: the shared node still runs, because
+  // cancelling one batch member must never starve the others.
+  BatchExecOptions exec;
+  exec.cache = &cache;
+  exec.query_cancelled = [](std::size_t qi) { return qi == 0; };
+  const BatchExecResult run = MaterializeShared(*plan, db, exec);
+  EXPECT_EQ(run.evaluated, 1u);
+  EXPECT_EQ(run.skipped_cancelled, 0u);
+  EXPECT_GT(cache.stats().entries, 0u);
+}
+
+TEST(BatchExecutorTest, AllOwnersCancelledSkipsTheNode) {
+  const Database db = CycleDb(6);
+  AnswerCache cache;
+  auto plan = PlanBatch(ParseAll({kPathQuery, kPathOrEdgeQuery}), db, 3,
+                        cache.interner());
+  ASSERT_TRUE(plan.ok());
+
+  BatchExecOptions exec;
+  exec.cache = &cache;
+  exec.query_cancelled = [](std::size_t) { return true; };
+  const BatchExecResult run = MaterializeShared(*plan, db, exec);
+  EXPECT_EQ(run.evaluated, 0u);
+  EXPECT_EQ(run.skipped_cancelled, 1u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(BatchExecutorTest, TrippedGovernorAbandonsTheWarmupPass) {
+  const Database db = CycleDb(6);
+  AnswerCache cache;
+  auto plan = PlanBatch(ParseAll({kPathQuery, kPathOrEdgeQuery}), db, 3,
+                        cache.interner());
+  ASSERT_TRUE(plan.ok());
+
+  ResourceGovernor::Limits limits;
+  limits.deadline_ms = 1;
+  ResourceGovernor governor(limits);
+  while (governor.Check().ok()) {
+  }  // burn the 1 ms deadline so the pass starts tripped
+
+  BatchExecOptions exec;
+  exec.cache = &cache;
+  exec.governor = &governor;
+  const BatchExecResult run = MaterializeShared(*plan, db, exec);
+  // Abandoned up front: warmth is best-effort, the queries still run.
+  EXPECT_EQ(run.evaluated, 0u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+}  // namespace
+}  // namespace bvq::plan

@@ -8,10 +8,14 @@
 //   rel <session> <name>/<arity> <v..> ; <v..> ;
 //   load <session> <path>
 //   eval <id> <session> <query>       (async; completion is a result block)
+//   batch <session> begin
+//   batch <session> eval <id> <query> (collected, not yet run)
+//   batch <session> end    (plan shared work, run all; one stats ok-line)
 //   cancel <id>
 //   close <session>
 //   stats [<session>]
 //   drain                  (block until every submitted eval completed)
+//   help                   (one-line usage per command)
 //   quit
 //
 // Modes:
@@ -67,12 +71,20 @@ namespace {
 
 using namespace bvq;
 
-// Extracts the query id from an "eval <id> ..." request so a connection can
-// cancel its own in-flight work on disconnect.
+// Extracts the query id from an "eval <id> ..." or "batch <s> eval <id> ..."
+// request so a connection can cancel its own in-flight work on disconnect.
+// Batch ids are live for cancellation from the moment they are collected.
 bool EvalRequestId(const std::string& line, std::size_t* id) {
   std::istringstream is(line);
   std::string cmd, tok;
-  if (!(is >> cmd) || cmd != "eval" || !(is >> tok)) return false;
+  if (!(is >> cmd)) return false;
+  if (cmd == "batch") {
+    std::string sub;
+    if (!(is >> tok) || !(is >> sub) || sub != "eval") return false;
+  } else if (cmd != "eval") {
+    return false;
+  }
+  if (!(is >> tok)) return false;
   return ParseSizeT(tok, id);
 }
 

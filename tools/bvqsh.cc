@@ -37,6 +37,15 @@
 //   session shard <n> <name>..  plan placements: which of n router shards
 //                               each session name hashes onto (the same
 //                               FNV-1a placement bvqserve --shards=n uses)
+//   batch <name> begin          start collecting a batch for a session
+//   batch <name> eval <query>   add a query to the batch (not yet run)
+//   batch <name> end            plan shared subformulas (DESIGN.md §14),
+//                               run the batch, print results in submission
+//                               order — byte-identical to serial
+//                               `session eval` runs
+//   source <file>               run commands from a file; unlike script
+//                               mode, stops at the first error and reports
+//                               it with file:line context
 //   eval <query>                evaluate with the bounded-variable engine
 //   naive <query>               evaluate with the classical engine (FO only)
 //   eso <sentence>              evaluate an ESO sentence via grounding+SAT
@@ -68,13 +77,18 @@
 //        exists x1 . (x1 = x3 & T(x1,x2)))](x1,x2)
 
 #include <chrono>
+#include <condition_variable>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/resource.h"
@@ -114,6 +128,11 @@ struct ShellState {
   // Serving layer behind the `session` commands; created on first use so a
   // shell that never touches sessions spawns no executor threads.
   std::unique_ptr<serve::Server> server;
+  // Queries collected by `batch <name> eval` since the matching `begin`,
+  // in submission order, so `end` can print results in that order (ids are
+  // server-assigned; the Server holds the batch itself).
+  std::map<std::string, std::vector<std::pair<std::uint64_t, std::string>>>
+      batch_queries;
 };
 
 serve::Server& ServerRef(ShellState& state) {
@@ -214,7 +233,8 @@ void Help() {
       "show | k <n> |\n          strategy naive|reuse | pfp hash|floyd | "
       "threads <n> | memo on|off |\n          esoinc on|off | stats on|off | "
       "deadline <ms> | membudget <mb> |\n          session "
-      "limits|open|eval|stats|close|list|shard ... |\n          eval <q> | "
+      "limits|open|eval|stats|close|list|shard ... |\n          batch <name> "
+      "begin|eval|end | source <f> |\n          eval <q> | "
       "naive <q> | eso <q> | esoall <q> | datalog <f> | quit\n");
 }
 
@@ -578,6 +598,126 @@ bool HandleLine(ShellState& state, const std::string& line) {
     }
     Fail(state, "session " + sub,
          "unknown subcommand (limits|open|eval|stats|close|list|shard)");
+    return true;
+  }
+  if (cmd == "batch") {
+    std::istringstream bs(rest);
+    std::string name, sub;
+    if (!(bs >> name) || !(bs >> sub)) {
+      Fail(state, "batch", "expected: batch <session> begin|eval|end");
+      return true;
+    }
+    if (sub == "begin") {
+      Status s = ServerRef(state).BatchBegin(name);
+      if (!s.ok()) {
+        Fail(state, "batch " + name + " begin", s);
+        return true;
+      }
+      state.batch_queries[name].clear();
+      std::printf("batch %s: collecting\n", name.c_str());
+      return true;
+    }
+    if (sub == "eval") {
+      std::string query;
+      std::getline(bs, query);
+      auto id = ServerRef(state).BatchAdd(name, query);
+      if (!id.ok()) {
+        Fail(state, "batch " + name + " eval" + query, id.status());
+        return true;
+      }
+      state.batch_queries[name].emplace_back(*id, query);
+      std::printf("batch %s: %zu quer%s collected\n", name.c_str(),
+                  state.batch_queries[name].size(),
+                  state.batch_queries[name].size() == 1 ? "y" : "ies");
+      return true;
+    }
+    if (sub == "end") {
+      std::vector<std::pair<std::uint64_t, std::string>> queries;
+      const auto bit = state.batch_queries.find(name);
+      if (bit != state.batch_queries.end()) {
+        queries = std::move(bit->second);
+        state.batch_queries.erase(bit);
+      }
+      // Completions arrive from worker threads in any order; collect them
+      // by id and print in submission order once every query reported.
+      struct Collector {
+        std::mutex mutex;
+        std::condition_variable cv;
+        std::map<std::uint64_t, serve::EvalOutcome> outcomes;
+      };
+      auto collector = std::make_shared<Collector>();
+      const auto start = now();
+      auto stats = ServerRef(state).BatchEnd(
+          name, [collector](const serve::EvalOutcome& outcome) {
+            {
+              std::lock_guard<std::mutex> lock(collector->mutex);
+              collector->outcomes[outcome.id] = outcome;
+            }
+            collector->cv.notify_all();
+          });
+      if (!stats.ok()) {
+        Fail(state, "batch " + name + " end", stats.status());
+        return true;
+      }
+      {
+        std::unique_lock<std::mutex> lock(collector->mutex);
+        collector->cv.wait(lock, [&] {
+          return collector->outcomes.size() >= queries.size();
+        });
+      }
+      const auto stop = now();
+      for (const auto& [id, query] : queries) {
+        const serve::EvalOutcome& outcome = collector->outcomes[id];
+        if (outcome.status.ok()) {
+          std::fwrite(outcome.payload.data(), 1, outcome.payload.size(),
+                      stdout);
+          std::printf("  [%0.2f ms eval, %0.2f ms queued; session %s]\n",
+                      outcome.eval_ms, outcome.queue_wait_ms, name.c_str());
+        } else {
+          Fail(state, "batch " + name + " eval" + query, outcome.status);
+        }
+      }
+      // Bracketed like the timing counters so determinism filters that
+      // drop "  [" lines compare payloads only.
+      std::printf(
+          "  [batch: %zu queries, %zu nodes (%zu shared, %zu materialized), "
+          "%zu stages, dedup %0.2f; %0.2f ms]\n",
+          stats->queries, stats->nodes, stats->shared_nodes,
+          stats->materialized, stats->stages, stats->dedup_ratio,
+          ms(start, stop));
+      return true;
+    }
+    Fail(state, "batch " + name + " " + sub,
+         "unknown subcommand (begin|eval|end)");
+    return true;
+  }
+  if (cmd == "source") {
+    const std::string path(TrimLeft(rest));
+    std::ifstream in(path);
+    if (!in) {
+      Fail(state, "source " + path, "cannot open file");
+      return true;
+    }
+    // Strict mode, unlike top-level script execution: the first failing
+    // line stops the file and is reported with its file:line position.
+    std::string sline;
+    std::size_t lineno = 0;
+    while (std::getline(in, sline)) {
+      ++lineno;
+      if (!sline.empty() && sline[0] == '#') continue;
+      const bool had_error_before = state.had_error;
+      state.had_error = false;
+      const bool keep_going = HandleLine(state, sline);
+      const bool line_failed = state.had_error;
+      state.had_error = had_error_before || line_failed;
+      if (line_failed) {
+        Fail(state, StrCat("source ", path, ":", lineno),
+             "stopped at first error");
+        return true;
+      }
+      if (!keep_going) return false;  // `quit` inside the sourced file
+    }
+    std::printf("sourced %s (%zu lines)\n", path.c_str(), lineno);
     return true;
   }
   if (cmd == "eval" || cmd == "naive" || cmd == "eso" || cmd == "esoall") {

@@ -26,6 +26,13 @@
 # a 2-shard bvqserve router fork/execs real worker processes, splits the
 # admission budget across the fleet, and must reject an over-reserving
 # session on its own shard while sessions on both shards keep serving.
+#
+# Every tier also runs the batch-planner smoke (see batch_smoke below): an
+# 8-query overlapping batch through bvqserve must report dedup > 1 on its
+# `ok batch ... end` line and answer every query byte-identically to a
+# cache-off serial run of the same queries — both direct and through a
+# 2-shard router (batches are session-affine, so routing must not change a
+# single byte).
 
 set -euo pipefail
 
@@ -206,6 +213,97 @@ shard_smoke() {
   rm -rf "$tmp"
 }
 
+# Batch-planner smoke: 8 overlapping queries (two structural shapes built
+# around one shared path subformula, repeated) go through `batch begin /
+# eval / end` on one bvqserve session. The `ok batch ... end` summary must
+# report a dedup ratio strictly above 1 — the planner found the sharing —
+# and every per-id result block must be byte-identical to a cache-off
+# serial run of the same queries, both against the server directly and
+# through a 2-shard router (batches are session-affine).
+batch_smoke() {
+  local bvqserve="$1/tools/bvqserve" tmp rc=0 i dedup mode
+  local qa='(x1,x2) exists x3 . (E(x1,x3) & E(x3,x2))'
+  local qb='(x1,x2) exists x3 . (E(x1,x3) & E(x3,x2)) | E(x1,x2)'
+  tmp=$(mktemp -d)
+  echo "== batch planner smoke ($bvqserve) =="
+  { printf 'domain 10\nrel E/2'
+    for ((i = 0; i < 10; i++)); do printf ' %d %d ;' "$i" "$(((i + 1) % 10))"; done
+    printf '\n'; } > "$tmp/cycle.bvq"
+  {
+    printf 'open b k=3\n'
+    printf 'load b %s/cycle.bvq\n' "$tmp"
+    printf 'batch b begin\n'
+    for ((i = 1; i <= 8; i++)); do
+      if (( i % 2 )); then printf 'batch b eval %d %s\n' "$i" "$qa"
+      else printf 'batch b eval %d %s\n' "$i" "$qb"; fi
+    done
+    printf 'batch b end\ndrain\nclose b\nquit\n'
+  } > "$tmp/batch.bvqserve"
+  {
+    printf 'open s k=3 cache=0\n'
+    printf 'load s %s/cycle.bvq\n' "$tmp"
+    for ((i = 1; i <= 8; i++)); do
+      if (( i % 2 )); then printf 'eval %d s %s\n' "$i" "$qa"
+      else printf 'eval %d s %s\n' "$i" "$qb"; fi
+    done
+    printf 'drain\nclose s\nquit\n'
+  } > "$tmp/serial.bvqserve"
+  "$bvqserve" "$tmp/serial.bvqserve" > "$tmp/serial.out" 2>&1 || rc=$?
+  if [[ $rc -ne 0 ]]; then
+    echo "batch smoke: serial reference bvqserve exited with $rc" >&2
+    cat "$tmp/serial.out" >&2; exit 1
+  fi
+  for ((i = 1; i <= 8; i++)); do
+    if ! grep -q "^result $i ok$" "$tmp/serial.out"; then
+      echo "batch smoke: serial reference query $i did not complete ok" >&2
+      cat "$tmp/serial.out" >&2; exit 1
+    fi
+  done
+  payload() {
+    awk -v id="$2" '$0 == "end " id {p=0} p {print} $0 == "result " id " ok" {p=1}' \
+        "$1"
+  }
+  for mode in direct routed; do
+    rc=0
+    if [[ $mode == direct ]]; then
+      "$bvqserve" "$tmp/batch.bvqserve" > "$tmp/batch.out" 2>&1 || rc=$?
+    else
+      "$bvqserve" --shards=2 "$tmp/batch.bvqserve" > "$tmp/batch.out" 2>&1 || rc=$?
+    fi
+    if [[ $rc -ne 0 ]]; then
+      echo "batch smoke ($mode): bvqserve exited with $rc" >&2
+      cat "$tmp/batch.out" >&2; exit 1
+    fi
+    dedup=$(awk '/^ok batch b end /{
+        for (i = 1; i <= NF; i++)
+          if ($i ~ /^dedup=/) { sub(/^dedup=/, "", $i); print $i }
+      }' "$tmp/batch.out")
+    if [[ -z "$dedup" ]]; then
+      echo "batch smoke ($mode): no ok batch ... end summary line" >&2
+      cat "$tmp/batch.out" >&2; exit 1
+    fi
+    if ! awk -v d="$dedup" 'BEGIN { exit !(d > 1.0) }'; then
+      echo "batch smoke ($mode): dedup ratio $dedup is not > 1" >&2
+      cat "$tmp/batch.out" >&2; exit 1
+    fi
+    for ((i = 1; i <= 8; i++)); do
+      if ! grep -q "^result $i ok$" "$tmp/batch.out"; then
+        echo "batch smoke ($mode): batched query $i did not complete ok" >&2
+        cat "$tmp/batch.out" >&2; exit 1
+      fi
+      if [[ "$(payload "$tmp/batch.out" $i)" != \
+            "$(payload "$tmp/serial.out" $i)" ]]; then
+        echo "batch smoke ($mode): query $i differs from the serial run" >&2
+        diff <(payload "$tmp/serial.out" $i) \
+             <(payload "$tmp/batch.out" $i) >&2 || true
+        exit 1
+      fi
+    done
+    echo "   $mode: 8-query batch dedup=$dedup, byte-identical to serial"
+  done
+  rm -rf "$tmp"
+}
+
 # Cross-query answer-cache smoke: a replayed fixpoint query must be served
 # from the session cache (nonzero cache hits in the stats line) with output
 # byte-identical to a --cross-query-cache=0 run, and a mid-session `load`
@@ -380,8 +478,13 @@ case "${1:-}" in
   --tsan-only) run_plain=0; run_asan=0 ;;
   --plain-only) run_tsan=0; run_asan=0 ;;
   --asan-only) run_plain=0; run_tsan=0 ;;
+  --list)
+    echo "plain  build + ctest + bench/serve/shard/cache/persist/batch smokes"
+    echo "tsan   the same under -DBVQ_SANITIZE=thread, BVQ_THREADS=4"
+    echo "asan   the same under -DBVQ_SANITIZE=address,undefined"
+    exit 0 ;;
   "") ;;
-  *) echo "usage: tools/check.sh [--tsan-only|--plain-only|--asan-only]" >&2
+  *) echo "usage: tools/check.sh [--tsan-only|--plain-only|--asan-only|--list]" >&2
      exit 2 ;;
 esac
 
@@ -399,6 +502,7 @@ if [[ $run_plain -eq 1 ]]; then
   resource_smoke "$ROOT/build"
   serve_smoke "$ROOT/build"
   shard_smoke "$ROOT/build"
+  batch_smoke "$ROOT/build"
   cache_smoke "$ROOT/build"
   persist_smoke "$ROOT/build"
 fi
@@ -411,6 +515,7 @@ if [[ $run_tsan -eq 1 ]]; then
   BVQ_THREADS=4 resource_smoke "$ROOT/build-tsan"
   BVQ_THREADS=4 serve_smoke "$ROOT/build-tsan"
   BVQ_THREADS=4 shard_smoke "$ROOT/build-tsan"
+  BVQ_THREADS=4 batch_smoke "$ROOT/build-tsan"
   BVQ_THREADS=4 cache_smoke "$ROOT/build-tsan"
   BVQ_THREADS=4 persist_smoke "$ROOT/build-tsan"
 fi
@@ -426,6 +531,7 @@ if [[ $run_asan -eq 1 ]]; then
   resource_smoke "$ROOT/build-asan"
   serve_smoke "$ROOT/build-asan"
   shard_smoke "$ROOT/build-asan"
+  batch_smoke "$ROOT/build-asan"
   cache_smoke "$ROOT/build-asan"
   persist_smoke "$ROOT/build-asan"
 fi
